@@ -1,0 +1,69 @@
+"""Ablation A2 — connectivity backends for CC-Str(G_core).
+
+Fact 2 requires a poly-log fully dynamic connectivity structure; the
+union-find alternative must rebuild after deletions.  This ablation drives
+all three backends (HDT, Euler-tour + scan, union-find rebuild) with the
+same deletion-heavy edge stream and compares wall-clock time; the
+rebuild-on-delete backend must perform (many) full rebuilds, which is the
+behaviour the paper's choice avoids.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.connectivity.euler_tour import EulerTourConnectivity
+from repro.connectivity.hdt import HDTConnectivity
+from repro.connectivity.union_find import UnionFindConnectivity
+
+N = 300
+STEPS = 4000
+
+
+def _script(seed: int = 3):
+    rng = random.Random(seed)
+    present = set()
+    script = []
+    for _ in range(STEPS):
+        u, v = rng.sample(range(N), 2)
+        key = (min(u, v), max(u, v))
+        if key in present and rng.random() < 0.6:
+            script.append(("delete", key))
+            present.discard(key)
+        elif key not in present:
+            script.append(("insert", key))
+            present.add(key)
+    return script
+
+
+SCRIPT = _script()
+
+
+def _drive(backend):
+    query_targets = list(range(0, N, 25))
+    for index, (op, (u, v)) in enumerate(SCRIPT):
+        if op == "insert":
+            backend.insert_edge(u, v)
+        else:
+            backend.delete_edge(u, v)
+        if index % 10 == 0:
+            for t in query_targets:
+                if backend.has_vertex(t) and backend.has_vertex(u):
+                    backend.connected(u, t)
+    return backend
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [HDTConnectivity, EulerTourConnectivity, UnionFindConnectivity],
+    ids=["hdt", "euler_tour", "union_find_rebuild"],
+)
+def test_ablation_connectivity_backend(benchmark, factory):
+    backend = benchmark.pedantic(lambda: _drive(factory()), rounds=1, iterations=1)
+    if isinstance(backend, UnionFindConnectivity):
+        benchmark.extra_info["rebuilds"] = backend.rebuilds
+        # interleaved deletions and queries force repeated full rebuilds
+        # (the exact count depends on how deletions batch between queries)
+        assert backend.rebuilds > 0

@@ -1,0 +1,66 @@
+"""Ablation A3 — sampling estimator versus exact similarity inside DynELM.
+
+The sampling estimator of Section 4 is what makes a single re-labelling
+poly-logarithmic instead of Θ(d).  This ablation runs the same DynELM update
+stream with (a) the sampling oracle and (b) the exact oracle, and compares
+the neighbourhood-probe counts: with the exact oracle every re-labelling
+scans a neighbourhood, with the sampling oracle it draws a bounded number of
+samples regardless of degree.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import StrCluParams
+from repro.core.dynelm import DynELM
+from repro.core.estimator import ExactSimilarityOracle
+from repro.graph.generators import planted_partition_graph
+from repro.instrumentation import OpCounter
+from repro.workloads.updates import InsertionStrategy, generate_update_sequence
+
+EDGES = planted_partition_graph(3, 50, 0.45, 0.01, seed=31)
+WORKLOAD = generate_update_sequence(
+    150, EDGES, int(0.3 * len(EDGES)), InsertionStrategy.DEGREE_RANDOM, eta=0.1, seed=32
+)
+PARAMS = StrCluParams(epsilon=0.4, mu=5, rho=0.5, delta_star=0.01, seed=1, max_samples=96)
+
+
+def _run(use_exact_oracle: bool, counter: OpCounter) -> None:
+    if use_exact_oracle:
+        algo = DynELM(PARAMS, counter=counter)
+        algo.oracle = ExactSimilarityOracle(algo.graph, PARAMS.similarity, counter)
+        algo.strategy.oracle = algo.oracle
+    else:
+        algo = DynELM(PARAMS, counter=counter)
+    for update in WORKLOAD.all_updates():
+        algo.apply(update)
+
+
+def test_ablation_sampling_estimator(benchmark):
+    counter = OpCounter()
+    benchmark.pedantic(lambda: _run(False, counter), rounds=1, iterations=1)
+    benchmark.extra_info["samples"] = counter.get("sample")
+    benchmark.extra_info["neighbour_probes"] = counter.get("neighbour_probe")
+
+
+def test_ablation_exact_oracle(benchmark):
+    counter = OpCounter()
+    benchmark.pedantic(lambda: _run(True, counter), rounds=1, iterations=1)
+    benchmark.extra_info["neighbour_probes"] = counter.get("neighbour_probe")
+
+
+def test_ablation_estimator_avoids_neighbourhood_scans(benchmark):
+    sampling_counter, exact_counter = OpCounter(), OpCounter()
+
+    def run_both():
+        _run(False, sampling_counter)
+        _run(True, exact_counter)
+
+    benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print(
+        f"\nAblation A3: sampling probes = {sampling_counter.get('neighbour_probe')}, "
+        f"exact probes = {exact_counter.get('neighbour_probe')}"
+    )
+    # the sampling oracle performs no neighbourhood scans at all; the exact
+    # oracle scans one neighbourhood per re-labelling
+    assert sampling_counter.get("neighbour_probe") == 0
+    assert exact_counter.get("neighbour_probe") > 0

@@ -1,0 +1,50 @@
+"""Ablation A4 — snapshot restore versus hot-start rebuild.
+
+The paper's remark after Theorem 7.1 covers the hot-start case (insert the
+``m0`` initial edges one by one, cost ``Õ(m0)`` amortised over later
+updates).  A deployment that already persisted its state can do better: the
+snapshot stores the maintained labels, so restoring performs *no* similarity
+estimation at all.  This ablation measures both paths on the same graph and
+asserts that the restore path needs zero labelling work while producing the
+identical clustering.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import StrCluParams
+from repro.core.dynstrclu import DynStrClu
+from repro.instrumentation import OpCounter
+from repro.persistence.snapshot import restore_dynstrclu, take_snapshot
+from repro.workloads.datasets import load_dataset
+
+PARAMS = StrCluParams(epsilon=0.3, mu=5, rho=0.2, seed=3, max_samples=128)
+EDGES = load_dataset("slashdot")
+
+
+def _hot_start(counter: OpCounter) -> DynStrClu:
+    return DynStrClu.from_edges(EDGES, PARAMS, counter=counter)
+
+
+def test_ablation_hot_start_rebuild(benchmark):
+    counter = OpCounter()
+    algo = benchmark.pedantic(lambda: _hot_start(counter), rounds=1, iterations=1)
+    benchmark.extra_info["samples"] = counter.get("sample")
+    benchmark.extra_info["similarity_evals"] = counter.get("similarity_eval")
+    assert counter.get("similarity_eval") >= len(EDGES)
+    assert algo.graph.num_edges == len(EDGES)
+
+
+def test_ablation_snapshot_restore(benchmark):
+    source = DynStrClu.from_edges(EDGES, PARAMS)
+    snapshot = take_snapshot(source)
+    counter = OpCounter()
+
+    restored = benchmark.pedantic(
+        lambda: restore_dynstrclu(snapshot, counter=counter), rounds=1, iterations=1
+    )
+    benchmark.extra_info["samples"] = counter.get("sample")
+    benchmark.extra_info["similarity_evals"] = counter.get("similarity_eval")
+    # restoring reinstates the stored labels verbatim: no estimator work at all
+    assert counter.get("similarity_eval") == 0
+    assert counter.get("sample") == 0
+    assert restored.clustering().as_frozen() == source.clustering().as_frozen()

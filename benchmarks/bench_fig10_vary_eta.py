@@ -1,0 +1,37 @@
+"""Figure 10 — overall running time versus the deletion ratio η.
+
+Paper shape: more deletions (larger η) make the DynELM/DynStrClu update
+stream slightly more expensive (deletions shrink degrees, shrinking the
+affordability thresholds), while the exact baselines get slightly cheaper
+(smaller neighbourhoods to re-scan); the dynamic algorithms stay far ahead
+throughout.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.runner import run_eta_sweep
+
+ETAS = (0.0, 0.01, 0.1, 0.2, 0.5)
+
+
+def test_fig10_running_time_vs_eta(benchmark, small_scale):
+    rows = run_once(
+        benchmark,
+        lambda: run_eta_sweep(
+            etas=ETAS,
+            datasets=["dense"],
+            algorithms=("DynELM", "pSCAN"),
+            update_multiplier=small_scale,
+            epsilon=0.3,
+            rho=0.8,
+            max_samples=64,
+        ),
+        "Figure 10: overall running time vs eta",
+    )
+    dyn = {row["eta"]: row for row in rows if row["algorithm"] == "DynELM"}
+    pscan = {row["eta"]: row for row in rows if row["algorithm"] == "pSCAN"}
+    assert set(dyn) == set(ETAS)
+    for eta in ETAS:
+        assert dyn[eta]["ops"] < pscan[eta]["ops"]

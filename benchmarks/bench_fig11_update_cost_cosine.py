@@ -1,0 +1,65 @@
+"""Figure 11 — average update cost versus timestamp under cosine similarity.
+
+Paper shape: the same ordering as Figure 8 holds under cosine similarity
+(DynELM fastest, then pSCAN, then hSCAN), and the dynamic algorithm's
+per-update cost under cosine stays comparable to its cost under Jaccard
+(Section 9.6 notes the performances are nearly identical despite the extra
+1/ε factor in the analysis, because the matching cosine ε is larger).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.runner import run_update_cost_curve
+from repro.graph.similarity import SimilarityKind
+
+
+def test_fig11_average_update_cost_cosine(benchmark, small_scale):
+    rows = run_once(
+        benchmark,
+        lambda: run_update_cost_curve(
+            datasets=["dense"],
+            algorithms=("DynELM", "pSCAN", "hSCAN"),
+            strategies=("RR",),
+            update_multiplier=small_scale,
+            checkpoints=5,
+            similarity=SimilarityKind.COSINE,
+            epsilon=0.6,
+            rho=0.5,
+            max_samples=64,
+        ),
+        "Figure 11: average update cost vs timestamp (cosine)",
+    )
+    final = {row["algorithm"]: row for row in rows}
+    assert final["DynELM"]["ops_per_update"] < final["pSCAN"]["ops_per_update"]
+    assert final["DynELM"]["ops_per_update"] < final["hSCAN"]["ops_per_update"]
+
+
+def test_fig11_cosine_vs_jaccard_cost_parity(benchmark, small_scale):
+    """DynELM's per-update cost under cosine stays within a small factor of
+    its cost under Jaccard on the same workload."""
+
+    def both():
+        cosine = run_update_cost_curve(
+            datasets=["dense"], algorithms=("DynELM",), strategies=("RR",),
+            update_multiplier=small_scale, checkpoints=1,
+            similarity=SimilarityKind.COSINE, epsilon=0.6, rho=0.5,
+            max_samples=64,
+        )
+        jaccard = run_update_cost_curve(
+            datasets=["dense"], algorithms=("DynELM",), strategies=("RR",),
+            update_multiplier=small_scale, checkpoints=1,
+            similarity=SimilarityKind.JACCARD, epsilon=0.3, rho=0.5,
+            max_samples=64,
+        )
+        for row in cosine:
+            row["similarity"] = "cosine"
+        for row in jaccard:
+            row["similarity"] = "jaccard"
+        return cosine + jaccard
+
+    rows = run_once(benchmark, both, "Figure 11 (aux): cosine vs Jaccard per-update cost")
+    cosine_ops = [r["ops_per_update"] for r in rows if r["similarity"] == "cosine"][-1]
+    jaccard_ops = [r["ops_per_update"] for r in rows if r["similarity"] == "jaccard"][-1]
+    assert cosine_ops < 10 * jaccard_ops

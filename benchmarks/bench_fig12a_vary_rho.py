@@ -1,0 +1,35 @@
+"""Figure 12(a) — DynELM overall running time versus the approximation slack ρ.
+
+Paper shape: the running time is not very sensitive to ρ (the theoretical
+dependence is logarithmic through the sample size and linear through 1/ρ in
+the re-label frequency); larger ρ gives larger affordability buffers, so the
+number of re-labelling invocations must decrease monotonically in ρ.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.runner import run_rho_sweep
+
+RHOS = (0.01, 0.1, 0.5)
+
+
+def test_fig12a_running_time_vs_rho(benchmark, small_scale):
+    rows = run_once(
+        benchmark,
+        lambda: run_rho_sweep(
+            rhos=RHOS, datasets=["slashdot", "google"], update_multiplier=small_scale,
+            epsilon=0.3,
+        ),
+        "Figure 12(a): DynELM overall running time vs rho",
+    )
+    for dataset in ("slashdot", "google"):
+        per_rho = {row["rho"]: row for row in rows if row["dataset"] == dataset}
+        assert set(per_rho) == set(RHOS)
+        # a looser approximation re-labels edges less often
+        assert (
+            per_rho[0.5]["relabel_invocations"]
+            <= per_rho[0.1]["relabel_invocations"]
+            <= per_rho[0.01]["relabel_invocations"]
+        )

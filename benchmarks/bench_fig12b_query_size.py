@@ -1,0 +1,35 @@
+"""Figure 12(b) — cluster-group-by query time versus the query size |Q|.
+
+Paper shape: the query time grows roughly linearly with |Q| (the theoretical
+cost is O(|Q| log n)) and stays in the microsecond-to-millisecond range even
+on the larger datasets — far below the O(n + m) cost of retrieving the whole
+clustering.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.runner import run_query_size_sweep
+
+SIZES = (2, 8, 32, 128, 512)
+
+
+def test_fig12b_group_by_query_time_vs_query_size(benchmark):
+    rows = run_once(
+        benchmark,
+        lambda: run_query_size_sweep(
+            query_sizes=SIZES, datasets=["slashdot", "google"], queries_per_size=20
+        ),
+        "Figure 12(b): cluster-group-by query time vs |Q|",
+    )
+    for dataset in ("slashdot", "google"):
+        series = [row for row in rows if row["dataset"] == dataset]
+        sizes = [row["query_size"] for row in series]
+        times = [row["avg_query_us"] for row in series]
+        assert sizes == sorted(sizes)
+        # query time grows with |Q| ...
+        assert times[-1] > times[0]
+        # ... but sub-quadratically: the 256x size growth costs far less than 256^2
+        growth = times[-1] / max(times[0], 1e-9)
+        assert growth < (sizes[-1] / sizes[0]) ** 2

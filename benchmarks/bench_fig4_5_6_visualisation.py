@@ -1,0 +1,53 @@
+"""Figures 4, 5 and 6 — cluster visualisations (density-statistics substitution).
+
+Paper shape: at the per-dataset ε the top-20 clusters are internally dense
+(intra-cluster edges much denser than inter-cluster edges); raising ε
+fragments clusters into more, smaller pieces and creates more noise, while
+lowering ε merges them (Figure 5's sweep on Google).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.runner import run_visualisation
+from repro.graph.similarity import SimilarityKind
+
+
+def test_fig4_top20_density_jaccard(benchmark):
+    rows = run_once(
+        benchmark,
+        lambda: run_visualisation(datasets=["slashdot", "google", "wiki"]),
+        "Figure 4: top-20 cluster statistics (Jaccard, per-dataset epsilon)",
+    )
+    for row in rows:
+        assert row["num_clusters"] >= 1
+        assert row["top_k_intra_density"] > 0.1
+
+
+def test_fig5_epsilon_evolution_on_google(benchmark):
+    rows = run_once(
+        benchmark,
+        lambda: run_visualisation(
+            datasets=["google"], epsilon_sweep=(0.13, 0.135, 0.15, 0.2, 0.3)
+        ),
+        "Figure 5: evolution of the clusters on Google with varying epsilon",
+    )
+    cores = [row["num_cores"] for row in rows]
+    noise = [row["num_noise"] for row in rows]
+    # raising epsilon can only demote cores and create noise
+    assert cores[0] >= cores[-1]
+    assert noise[-1] >= noise[0]
+
+
+def test_fig6_top20_density_cosine(benchmark):
+    rows = run_once(
+        benchmark,
+        lambda: run_visualisation(
+            datasets=["slashdot", "google"], similarity=SimilarityKind.COSINE
+        ),
+        "Figure 6: top-20 cluster statistics (cosine, per-dataset epsilon)",
+    )
+    for row in rows:
+        assert row["num_clusters"] >= 1
+        assert row["top_k_intra_density"] > 0.1

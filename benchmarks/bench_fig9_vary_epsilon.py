@@ -1,0 +1,38 @@
+"""Figure 9 — overall running time versus the similarity threshold ε.
+
+Paper shape: the dynamic algorithms are consistently far cheaper than the
+baselines across the whole ε range, and their running time decreases
+slightly as ε grows (larger ε ⇒ larger affordability thresholds under the
+same ρ·ε product ⇒ fewer re-labellings).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.runner import run_epsilon_sweep
+
+EPSILONS = (0.1, 0.15, 0.2, 0.25, 0.3)
+
+
+def test_fig9_running_time_vs_epsilon(benchmark, small_scale):
+    rows = run_once(
+        benchmark,
+        lambda: run_epsilon_sweep(
+            epsilons=EPSILONS,
+            datasets=["dense"],
+            algorithms=("DynELM", "pSCAN"),
+            update_multiplier=small_scale,
+            rho=0.8,
+            max_samples=64,
+        ),
+        "Figure 9: overall running time vs epsilon",
+    )
+    dyn = {row["epsilon"]: row for row in rows if row["algorithm"] == "DynELM"}
+    pscan = {row["epsilon"]: row for row in rows if row["algorithm"] == "pSCAN"}
+    assert set(dyn) == set(EPSILONS)
+    for epsilon in EPSILONS:
+        assert dyn[epsilon]["ops"] < pscan[epsilon]["ops"]
+    # larger epsilon gives DynELM at least as large affordability buffers:
+    # the number of operations must not grow substantially with epsilon
+    assert dyn[0.3]["ops"] <= dyn[0.1]["ops"] * 1.5

@@ -1,0 +1,41 @@
+"""Table 2 — approximate clustering quality under Jaccard similarity.
+
+Paper shape: with ρ = 0.01 the mis-labelled rate is a fraction of a percent
+and ARI ≥ 0.99; with ρ = 0.5 the rate rises to a few percent and ARI dips but
+stays above ~0.96.  On the synthetic stand-ins (and with the harness's
+capped sample size) the absolute numbers are looser, but the ordering
+"smaller ρ ⇒ fewer mis-labels and higher ARI" and "quality stays high" must
+hold.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.runner import run_quality_table
+from repro.graph.similarity import SimilarityKind
+
+DATASETS = ["slashdot", "google", "email"]
+RHOS = (0.01, 0.5)
+
+
+def test_table2_quality_under_jaccard(benchmark):
+    rows = run_once(
+        benchmark,
+        lambda: run_quality_table(
+            SimilarityKind.JACCARD, rhos=RHOS, datasets=DATASETS, top_ks=(1, 5, 10, 20)
+        ),
+        "Table 2: approximate clustering quality (Jaccard)",
+    )
+    by_key = {(row["dataset"], row["rho"]): row for row in rows}
+    for dataset in DATASETS:
+        tight = by_key[(dataset, 0.01)]
+        loose = by_key[(dataset, 0.5)]
+        # quality is high overall ...
+        assert tight["ARI"] > 0.75
+        assert tight["mislabelled_%"] < 15.0
+        # ... and the smaller rho is at least as good as the larger one
+        assert tight["mislabelled_%"] <= loose["mislabelled_%"] + 1.0
+        assert tight["ARI"] >= loose["ARI"] - 0.05
+        # top-k individual cluster quality stays high for the tight setting
+        assert tight["top5_avg"] > 0.6

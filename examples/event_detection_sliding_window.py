@@ -1,0 +1,119 @@
+"""Event detection on a timestamped interaction stream with a sliding window.
+
+One of the applications motivating structural clustering (Section 1 of the
+paper) is landmark/event detection on tagged-photo collections: photos taken
+at the same event are densely co-tagged for a while and then the activity
+moves on.  This example models that scenario end to end with the library's
+streaming front-end:
+
+1. a synthetic interaction stream contains two long-lived "landmark"
+   communities plus a short burst (the "event") that appears, peaks and
+   fades;
+2. :class:`repro.streaming.SlidingWindowClustering` maintains the structural
+   clustering of the last ``WINDOW`` time units, so expired interactions
+   drop out automatically;
+3. :class:`repro.analysis.ClusterTracker` matches the clusters between
+   periodic snapshots and reports the transition events — the burst shows up
+   as a BORN community that later DISSOLVES, while the landmarks persist;
+4. a state snapshot plus the write-ahead log show how the service would
+   recover after a crash without reprocessing the full history.
+
+Run with:  python examples/event_detection_sliding_window.py
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import tempfile
+from pathlib import Path
+
+from repro import StrCluParams
+from repro.analysis import ClusterEventKind, ClusterTracker, role_census
+from repro.persistence import load_snapshot, restore_dynstrclu, save_snapshot
+from repro.streaming import SlidingWindowClustering
+
+WINDOW = 40.0  # "minutes" of interactions the clustering should reflect
+SNAPSHOT_PERIOD = 20.0
+
+
+def interaction_stream(seed: int = 3):
+    """Yield (u, v, time) interactions: two landmarks plus one short burst.
+
+    Vertices 0-9 and 10-19 are the two landmark communities (steady
+    co-tagging over the whole stream); vertices 100-109 form a burst that is
+    only active between t=60 and t=100.
+    """
+    rng = random.Random(seed)
+    landmark_a = list(range(0, 10))
+    landmark_b = list(range(10, 20))
+    burst = list(range(100, 110))
+
+    t = 0.0
+    while t < 200.0:
+        t += rng.uniform(0.2, 0.6)
+        roll = rng.random()
+        if 60.0 <= t <= 100.0 and roll < 0.5:
+            group = burst
+        elif roll < 0.75:
+            group = landmark_a
+        else:
+            group = landmark_b
+        u, v = rng.sample(group, 2)
+        yield u, v, t
+
+
+def main() -> None:
+    params = StrCluParams(epsilon=0.4, mu=3, rho=0.05, delta_star=0.01, seed=1)
+    window = SlidingWindowClustering(params, window=WINDOW)
+    tracker = ClusterTracker(threshold=0.25)
+
+    next_snapshot = SNAPSHOT_PERIOD
+    print(f"sliding window = {WINDOW} minutes, snapshot every {SNAPSHOT_PERIOD} minutes\n")
+
+    for u, v, t in interaction_stream():
+        window.observe(u, v, time=t)
+        if t >= next_snapshot:
+            next_snapshot += SNAPSHOT_PERIOD
+            clustering = window.clustering()
+            events = tracker.observe(clustering)
+            labels = ", ".join(sorted(e.kind.value for e in events)) or "first snapshot"
+            print(
+                f"t={t:6.1f}  live edges={window.num_live_edges:4d}  "
+                f"clusters={clustering.num_clusters}  events: {labels}"
+            )
+
+    # ------------------------------------------------------------------
+    # what did the tracker see over the whole stream?
+    # ------------------------------------------------------------------
+    born = tracker.events_of_kind(ClusterEventKind.BORN)
+    dissolved = tracker.events_of_kind(ClusterEventKind.DISSOLVED)
+    print(f"\ncommunities born during the stream:      {len(born)}")
+    print(f"communities dissolved during the stream: {len(dissolved)}")
+    print("(the short co-tagging burst appears as a born community that later dissolves)")
+
+    final = window.clustering()
+    census = role_census(final, vertices=window.maintainer.graph.vertices())
+    print(f"\nfinal clustering summary: {final.summary()}")
+    print(f"final vertex roles:       {census}")
+
+    # ------------------------------------------------------------------
+    # crash recovery: snapshot now, replay nothing, resume the stream
+    # ------------------------------------------------------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        checkpoint = Path(tmp) / "window-state.json"
+        save_snapshot(window.maintainer, checkpoint)
+        recovered = restore_dynstrclu(load_snapshot(checkpoint))
+        same = recovered.clustering().as_frozen() == final.as_frozen()
+        print(f"\ncheckpoint round trip reproduces the clustering: {same}")
+
+        # the recovered maintainer keeps accepting updates
+        extra = list(itertools.islice(interaction_stream(seed=99), 5))
+        for u, v, _t in extra:
+            if not recovered.graph.has_edge(u, v):
+                recovered.insert_edge(u, v)
+        print(f"recovered maintainer accepted {len(extra)} further interactions")
+
+
+if __name__ == "__main__":
+    main()

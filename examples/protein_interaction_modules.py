@@ -1,0 +1,103 @@
+"""Functional-module discovery in a protein–protein interaction network.
+
+The paper's first application (atBioNet, US FDA/NCTR) uses structural
+clustering to identify functional modules in protein–protein interaction
+(PPI) networks and to run enrichment analysis for a list of *seed proteins*
+supplied by the user.  This example reproduces that workflow on a synthetic
+PPI network:
+
+1. generate a network whose planted blocks play the role of functional
+   modules, plus promiscuous "chaperone" proteins interacting with several
+   modules;
+2. cluster it with DynStrClu under cosine similarity (the similarity the
+   original SCAN paper used for biological networks);
+3. for a user-supplied seed list, use cluster-group-by to find which seeds
+   fall into the same module — the enrichment-analysis grouping step;
+4. update the network with newly discovered interactions and show that the
+   module assignment refreshes without re-clustering from scratch.
+
+Run with:  python examples/protein_interaction_modules.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import DynStrClu, StrCluParams
+from repro.graph.generators import planted_partition_graph
+from repro.graph.similarity import SimilarityKind
+
+MODULES = 6
+MODULE_SIZE = 18
+CHAPERONES = 4
+
+
+def build_network(seed: int = 21):
+    """A PPI stand-in: dense modules plus a few cross-module chaperones."""
+    rng = random.Random(seed)
+    edges = planted_partition_graph(MODULES, MODULE_SIZE, 0.5, 0.005, seed=seed)
+    n = MODULES * MODULE_SIZE
+    for index in range(CHAPERONES):
+        chaperone = n + index
+        touched_modules = rng.sample(range(MODULES), 3)
+        for module in touched_modules:
+            partners = rng.sample(
+                range(module * MODULE_SIZE, (module + 1) * MODULE_SIZE), 2
+            )
+            for p in partners:
+                edges.append((chaperone, p))
+    return edges
+
+
+def protein_name(vertex: int) -> str:
+    if vertex >= MODULES * MODULE_SIZE:
+        return f"CHP{vertex - MODULES * MODULE_SIZE:02d}"
+    return f"P{vertex:03d}"
+
+
+def main() -> None:
+    edges = build_network()
+    params = StrCluParams(
+        epsilon=0.55, mu=4, rho=0.05, delta_star=0.01, seed=9,
+        similarity=SimilarityKind.COSINE,
+    )
+    network = DynStrClu(params)
+    for u, v in edges:
+        network.insert_edge(u, v)
+
+    modules = network.clustering()
+    print(f"detected {modules.num_clusters} functional modules")
+    for index, module in enumerate(modules.top_k(MODULES)):
+        members = sorted(module)
+        print(
+            f"  module {index}: {len(members):2d} proteins "
+            f"({', '.join(protein_name(v) for v in members[:6])}, ...)"
+        )
+    print(
+        f"promiscuous proteins bridging modules (hubs): "
+        f"{sorted(protein_name(v) for v in modules.hubs)}"
+    )
+
+    # the atBioNet workflow: the user supplies seed proteins; group them by module
+    rng = random.Random(1)
+    seeds = rng.sample(range(MODULES * MODULE_SIZE), 8) + [MODULES * MODULE_SIZE]
+    print(f"\nseed proteins: {[protein_name(v) for v in seeds]}")
+    groups = network.group_by(seeds)
+    for group_id, members in groups.groups.items():
+        print(f"  enriched module {group_id}: {sorted(protein_name(v) for v in members)}")
+
+    # new experimental evidence arrives: a batch of interactions between two
+    # modules; the index absorbs them as updates
+    new_interactions = [(0, MODULE_SIZE + offset) for offset in range(6)]
+    for u, v in new_interactions:
+        if not network.graph.has_edge(u, v):
+            network.insert_edge(u, v)
+    refreshed = network.clustering()
+    print(
+        f"\nafter {len(new_interactions)} newly reported interactions: "
+        f"{refreshed.num_clusters} modules, {len(refreshed.hubs)} bridging proteins"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Quickstart: dynamic structural clustering in a few lines.
+
+Builds a small graph with two planted communities, maintains the clustering
+under edge insertions and deletions with DynStrClu, and answers
+cluster-group-by queries — the end-to-end workflow of the paper.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import DynStrClu, StrCluParams
+from repro.graph.generators import planted_partition_graph
+
+
+def main() -> None:
+    # 1. parameters: similarity threshold, core threshold, approximation slack
+    params = StrCluParams(epsilon=0.4, mu=3, rho=0.05, delta_star=0.01, seed=7)
+
+    # 2. build the structure by streaming edge insertions (two communities of 12)
+    algo = DynStrClu(params)
+    edges = planted_partition_graph(2, 12, p_intra=0.7, p_inter=0.05, seed=1)
+    for u, v in edges:
+        algo.insert_edge(u, v)
+
+    clustering = algo.clustering()
+    print("after the initial insertions:")
+    print("  summary:", clustering.summary())
+    for index, cluster in enumerate(clustering.top_k(5)):
+        print(f"  cluster {index}: {sorted(cluster)}")
+
+    # 3. the graph keeps changing: delete a few intra-community edges and add
+    #    a bridge between the communities
+    algo.delete_edge(*edges[0])
+    algo.delete_edge(*edges[1])
+    if not algo.graph.has_edge(0, 12):
+        algo.insert_edge(0, 12)
+
+    print("\nafter two deletions and one bridge insertion:")
+    print("  summary:", algo.clustering().summary())
+
+    # 4. cluster-group-by: group an arbitrary vertex subset by cluster,
+    #    in O(|Q| log n) time, without materialising the whole clustering
+    query = [0, 1, 5, 12, 13, 23]
+    groups = algo.group_by(query)
+    print(f"\ncluster-group-by({query}):")
+    for group_id, members in groups.groups.items():
+        print(f"  group {group_id}: {sorted(members)}")
+
+    # 5. the vertex roles of structural clustering
+    result = algo.clustering()
+    print("\nroles: cores =", len(result.cores), "hubs =", len(result.hubs),
+          "noise =", len(result.noise))
+
+
+if __name__ == "__main__":
+    main()

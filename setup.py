@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The environment this repository targets may lack the ``wheel`` package, in
+which case PEP-660 editable installs fail; keeping a ``setup.py`` lets
+``pip install -e . --no-use-pep517`` (and plain ``python setup.py develop``)
+work offline.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

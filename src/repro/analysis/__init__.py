@@ -1,0 +1,54 @@
+"""Post-clustering analysis: vertex roles, cluster statistics, evolution tracking.
+
+Structural clustering is rarely an end in itself — the applications cited in
+the paper's introduction (protein-module discovery, community detection,
+landmark/event detection, blockchain fraud detection) all consume the
+*roles* of vertices (core / member / hub / outlier), summary statistics of
+the clusters, or the way clusters evolve while the graph changes.  This
+package provides those consumers:
+
+* :mod:`repro.analysis.roles` — per-vertex role classification and role
+  census of a :class:`~repro.core.result.Clustering`;
+* :mod:`repro.analysis.statistics` — cluster-level statistics (density,
+  conductance, coverage, modularity of the induced partition, size
+  distribution);
+* :mod:`repro.analysis.tracking` — matching clusters between consecutive
+  snapshots of a dynamic graph and classifying the transition events
+  (continue / grow / shrink / split / merge / born / dissolved).
+"""
+
+from repro.analysis.report import analysis_report, analysis_rows
+from repro.analysis.roles import VertexRole, classify_roles, role_census, role_of
+from repro.analysis.statistics import (
+    ClusterStatistics,
+    cluster_statistics,
+    clustering_coverage,
+    clustering_statistics,
+    modularity,
+    size_distribution,
+)
+from repro.analysis.tracking import (
+    ClusterEvent,
+    ClusterEventKind,
+    ClusterTracker,
+    match_clusterings,
+)
+
+__all__ = [
+    "analysis_report",
+    "analysis_rows",
+    "VertexRole",
+    "classify_roles",
+    "role_census",
+    "role_of",
+    "ClusterStatistics",
+    "cluster_statistics",
+    "clustering_statistics",
+    "clustering_coverage",
+    "modularity",
+    "size_distribution",
+    "ClusterEvent",
+    "ClusterEventKind",
+    "ClusterTracker",
+    "match_clusterings",
+]

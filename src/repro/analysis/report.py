@@ -1,0 +1,92 @@
+"""Plain-text analysis report for a clustering snapshot.
+
+Combines the role census, the headline clustering summary, the cluster-size
+distribution and the per-cluster statistics of the top-k clusters into one
+human-readable report — the piece an operator reads after pointing the
+maintainer at a graph, and the format the CLI and the examples print.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.analysis.roles import role_census
+from repro.analysis.statistics import (
+    clustering_coverage,
+    cluster_statistics,
+    size_distribution,
+)
+from repro.core.result import Clustering
+from repro.graph.dynamic_graph import DynamicGraph, Vertex
+
+
+def analysis_rows(
+    clustering: Clustering, graph: DynamicGraph, top_k: int = 10
+) -> List[Dict[str, object]]:
+    """Per-cluster rows (size, density, conductance, cores) for the top-k clusters.
+
+    Rows are ordered by decreasing cluster size; the layout matches the
+    other experiment tables so it can be fed to
+    :func:`repro.experiments.reporting.format_table`.
+    """
+    rows: List[Dict[str, object]] = []
+    for rank, cluster in enumerate(clustering.top_k(top_k), start=1):
+        stats = cluster_statistics(cluster, graph, cores=clustering.cores)
+        row: Dict[str, object] = {"rank": rank}
+        row.update(stats.as_row())
+        rows.append(row)
+    return rows
+
+
+def analysis_report(
+    clustering: Clustering,
+    graph: DynamicGraph,
+    top_k: int = 10,
+    vertices: Optional[Iterable[Vertex]] = None,
+    title: str = "Structural clustering analysis",
+) -> str:
+    """Render a multi-section plain-text report of one clustering snapshot.
+
+    Example
+    -------
+    >>> from repro import DynStrClu, StrCluParams
+    >>> algo = DynStrClu(StrCluParams(epsilon=0.5, mu=2, rho=0.0))
+    >>> for e in [(1, 2), (2, 3), (1, 3), (3, 4)]:
+    ...     _ = algo.insert_edge(*e)
+    >>> print(analysis_report(algo.clustering(), algo.graph).splitlines()[0])
+    Structural clustering analysis
+    """
+    universe = list(vertices) if vertices is not None else list(graph.vertices())
+    summary = clustering.summary()
+    census = role_census(clustering, vertices=universe)
+    coverage = clustering_coverage(clustering, graph)
+    sizes = size_distribution(clustering)
+
+    lines: List[str] = [title, "=" * len(title), ""]
+    lines.append(
+        f"graph: {graph.num_vertices} vertices, {graph.num_edges} edges; "
+        f"clusters: {summary['clusters']}, coverage: {coverage:.1%}"
+    )
+    lines.append(
+        "roles: "
+        + ", ".join(f"{name}={count}" for name, count in census.items())
+    )
+    if sizes:
+        distribution = ", ".join(f"{size}×{count}" for size, count in sizes.items())
+        lines.append(f"cluster sizes (size×count): {distribution}")
+    lines.append("")
+
+    rows = analysis_rows(clustering, graph, top_k=top_k)
+    if rows:
+        lines.append(f"top-{len(rows)} clusters:")
+        header = f"{'rank':>4}  {'size':>5}  {'cores':>5}  {'density':>8}  {'conduct.':>8}"
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in rows:
+            lines.append(
+                f"{row['rank']:>4}  {row['size']:>5}  {row['cores']:>5}  "
+                f"{row['density']:>8.3f}  {row['conductance']:>8.3f}"
+            )
+    else:
+        lines.append("no clusters (every vertex is noise at these parameters)")
+    return "\n".join(lines)

@@ -1,0 +1,258 @@
+"""Tracking how clusters evolve while the graph is updated.
+
+A dynamic clustering index is most useful when the *changes* in the
+clustering can be observed over time: communities appearing and
+dissolving, merging after a burst of new edges, or splitting after
+deletions.  This module matches the clusters of two consecutive snapshots
+by set overlap and classifies each cluster of the newer snapshot with a
+:class:`ClusterEventKind`; :class:`ClusterTracker` strings the matching
+over an arbitrary number of snapshots and assigns stable community
+identifiers across time.
+
+The matching is the standard "relative overlap" heuristic used in dynamic
+community detection: cluster ``C_new`` matches cluster ``C_old`` when their
+Jaccard overlap is at least ``threshold`` (default 0.3) and is the largest
+overlap among all old clusters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.result import Clustering
+from repro.evaluation.quality import set_jaccard
+from repro.graph.dynamic_graph import Vertex
+
+
+class ClusterEventKind(str, Enum):
+    """Transition events of a cluster between two snapshots."""
+
+    BORN = "born"  #: no old cluster overlaps the new cluster
+    CONTINUED = "continued"  #: one dominant old cluster, similar size
+    GROWN = "grown"  #: one dominant old cluster, new cluster noticeably larger
+    SHRUNK = "shrunk"  #: one dominant old cluster, new cluster noticeably smaller
+    MERGED = "merged"  #: two or more old clusters map into the new cluster
+    SPLIT = "split"  #: the dominant old cluster maps into several new clusters
+    DISSOLVED = "dissolved"  #: an old cluster with no matching new cluster
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class ClusterEvent:
+    """One transition event produced by :func:`match_clusterings`.
+
+    ``new_index`` is ``None`` for :attr:`ClusterEventKind.DISSOLVED` events
+    and ``old_indices`` is empty for :attr:`ClusterEventKind.BORN` events.
+    """
+
+    kind: ClusterEventKind
+    new_index: Optional[int]
+    old_indices: Tuple[int, ...]
+    overlap: float
+
+    def involves(self, old_index: int) -> bool:
+        """True when the event consumed the given old cluster index."""
+        return old_index in self.old_indices
+
+
+def _best_matches(
+    new_clusters: Sequence[Set[Vertex]],
+    old_clusters: Sequence[Set[Vertex]],
+    threshold: float,
+) -> Dict[int, List[int]]:
+    """For each new cluster, the old clusters overlapping it above threshold."""
+    matches: Dict[int, List[int]] = {i: [] for i in range(len(new_clusters))}
+    for i, new in enumerate(new_clusters):
+        for j, old in enumerate(old_clusters):
+            if set_jaccard(new, old) >= threshold:
+                matches[i].append(j)
+    return matches
+
+
+def match_clusterings(
+    old: Clustering,
+    new: Clustering,
+    threshold: float = 0.3,
+    growth_factor: float = 1.25,
+) -> List[ClusterEvent]:
+    """Classify every new cluster (and every vanished old cluster) with an event.
+
+    Parameters
+    ----------
+    old, new:
+        The two consecutive clustering snapshots.
+    threshold:
+        Minimum Jaccard overlap for an old cluster to count as a parent of a
+        new cluster.
+    growth_factor:
+        Size ratio above which a single-parent transition is reported as
+        GROWN (or below whose inverse as SHRUNK) instead of CONTINUED.
+
+    Example
+    -------
+    >>> from repro.core.result import Clustering
+    >>> old = Clustering(clusters=[{1, 2, 3, 4}])
+    >>> new = Clustering(clusters=[{1, 2}, {3, 4}])
+    >>> kinds = sorted(e.kind.value for e in match_clusterings(old, new))
+    >>> kinds
+    ['split', 'split']
+    """
+    matches = _best_matches(new.clusters, old.clusters, threshold)
+
+    # how many new clusters each old cluster feeds into (for SPLIT detection)
+    fanout: Dict[int, int] = {}
+    for parents in matches.values():
+        for j in parents:
+            fanout[j] = fanout.get(j, 0) + 1
+
+    events: List[ClusterEvent] = []
+    consumed_old: Set[int] = set()
+    for i, new_cluster in enumerate(new.clusters):
+        parents = matches[i]
+        consumed_old.update(parents)
+        if not parents:
+            events.append(ClusterEvent(ClusterEventKind.BORN, i, (), 0.0))
+            continue
+        best_parent = max(parents, key=lambda j: set_jaccard(new_cluster, old.clusters[j]))
+        overlap = set_jaccard(new_cluster, old.clusters[best_parent])
+        if len(parents) >= 2:
+            kind = ClusterEventKind.MERGED
+        elif fanout.get(best_parent, 0) >= 2:
+            kind = ClusterEventKind.SPLIT
+        else:
+            old_size = len(old.clusters[best_parent])
+            new_size = len(new_cluster)
+            if old_size and new_size >= growth_factor * old_size:
+                kind = ClusterEventKind.GROWN
+            elif old_size and new_size * growth_factor <= old_size:
+                kind = ClusterEventKind.SHRUNK
+            else:
+                kind = ClusterEventKind.CONTINUED
+        events.append(ClusterEvent(kind, i, tuple(sorted(parents)), overlap))
+
+    for j in range(len(old.clusters)):
+        if j not in consumed_old:
+            events.append(ClusterEvent(ClusterEventKind.DISSOLVED, None, (j,), 0.0))
+    return events
+
+
+@dataclass
+class _TrackedCommunity:
+    community_id: int
+    members: Set[Vertex]
+    born_at: int
+    last_seen: int
+    history: List[ClusterEventKind] = field(default_factory=list)
+
+
+class ClusterTracker:
+    """Assign stable community identifiers to clusters across snapshots.
+
+    Feed consecutive :class:`~repro.core.result.Clustering` snapshots with
+    :meth:`observe`; each call returns the list of
+    :class:`ClusterEvent` objects of that step and updates the identifier
+    assignment (a CONTINUED/GROWN/SHRUNK cluster keeps its dominant
+    parent's identifier; BORN, MERGED and SPLIT clusters receive fresh
+    identifiers).
+
+    Example
+    -------
+    >>> from repro.core.result import Clustering
+    >>> tracker = ClusterTracker()
+    >>> _ = tracker.observe(Clustering(clusters=[{1, 2, 3}]))
+    >>> _ = tracker.observe(Clustering(clusters=[{1, 2, 3, 4}]))
+    >>> tracker.active_communities()[0].members == {1, 2, 3, 4}
+    True
+    """
+
+    def __init__(self, threshold: float = 0.3, growth_factor: float = 1.25) -> None:
+        self.threshold = threshold
+        self.growth_factor = growth_factor
+        self._previous: Optional[Clustering] = None
+        self._previous_ids: List[int] = []
+        self._communities: Dict[int, _TrackedCommunity] = {}
+        self._next_id = 0
+        self._step = 0
+        self.events: List[Tuple[int, ClusterEvent]] = []
+
+    def _fresh_id(self) -> int:
+        cid = self._next_id
+        self._next_id += 1
+        return cid
+
+    def observe(self, clustering: Clustering) -> List[ClusterEvent]:
+        """Record one snapshot; return the transition events from the previous one."""
+        step = self._step
+        self._step += 1
+        if self._previous is None:
+            ids: List[int] = []
+            for cluster in clustering.clusters:
+                cid = self._fresh_id()
+                ids.append(cid)
+                self._communities[cid] = _TrackedCommunity(
+                    community_id=cid, members=set(cluster), born_at=step, last_seen=step
+                )
+            self._previous = clustering
+            self._previous_ids = ids
+            return []
+
+        step_events = match_clusterings(
+            self._previous, clustering, threshold=self.threshold, growth_factor=self.growth_factor
+        )
+        new_ids: List[int] = [-1] * len(clustering.clusters)
+        for event in step_events:
+            self.events.append((step, event))
+            if event.kind is ClusterEventKind.DISSOLVED:
+                old_cid = self._previous_ids[event.old_indices[0]]
+                community = self._communities.get(old_cid)
+                if community is not None:
+                    community.history.append(ClusterEventKind.DISSOLVED)
+                continue
+            assert event.new_index is not None
+            if event.kind in (
+                ClusterEventKind.CONTINUED,
+                ClusterEventKind.GROWN,
+                ClusterEventKind.SHRUNK,
+            ):
+                cid = self._previous_ids[event.old_indices[0]]
+            else:
+                cid = self._fresh_id()
+            new_ids[event.new_index] = cid
+            members = set(clustering.clusters[event.new_index])
+            community = self._communities.get(cid)
+            if community is None:
+                community = _TrackedCommunity(
+                    community_id=cid, members=members, born_at=step, last_seen=step
+                )
+                self._communities[cid] = community
+            community.members = members
+            community.last_seen = step
+            community.history.append(event.kind)
+
+        self._previous = clustering
+        self._previous_ids = new_ids
+        return step_events
+
+    # ------------------------------------------------------------------
+    # read-only views
+    # ------------------------------------------------------------------
+    def community_id_of_cluster(self, cluster_index: int) -> int:
+        """Stable identifier assigned to a cluster of the latest snapshot."""
+        return self._previous_ids[cluster_index]
+
+    def active_communities(self) -> List[_TrackedCommunity]:
+        """Communities present in the latest observed snapshot."""
+        latest = self._step - 1
+        return [c for c in self._communities.values() if c.last_seen == latest]
+
+    def all_communities(self) -> List[_TrackedCommunity]:
+        """Every community ever tracked (including dissolved ones)."""
+        return list(self._communities.values())
+
+    def events_of_kind(self, kind: ClusterEventKind) -> List[Tuple[int, ClusterEvent]]:
+        """All recorded ``(step, event)`` pairs of a given kind."""
+        return [(step, event) for step, event in self.events if event.kind is kind]

@@ -1,0 +1,18 @@
+"""Baseline algorithms the paper compares against.
+
+* :func:`~repro.baselines.scan.static_scan` — the original SCAN algorithm
+  (Xu et al., 2007): exact structural clustering computed from scratch.
+* :class:`~repro.baselines.pscan.ExactDynamicSCAN` — a pSCAN-style dynamic
+  maintainer: exact edge labels kept up to date by re-scanning the affected
+  neighbourhoods on every update (``O(n)`` worst-case per update).
+* :class:`~repro.baselines.hscan.IndexedDynamicSCAN` — an hSCAN-style
+  index: per-vertex similarity-sorted neighbour orders maintained under
+  updates (``O(n log n)`` per update) so that the clustering for *any*
+  ``(ε, μ)`` given on the fly can be reported in ``O(n + m)``.
+"""
+
+from repro.baselines.hscan import IndexedDynamicSCAN
+from repro.baselines.pscan import ExactDynamicSCAN
+from repro.baselines.scan import static_scan
+
+__all__ = ["static_scan", "ExactDynamicSCAN", "IndexedDynamicSCAN"]

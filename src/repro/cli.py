@@ -1,0 +1,156 @@
+"""Command line interface: ``python -m repro`` or the ``repro`` console script.
+
+Subcommands
+-----------
+``list-datasets``
+    Print the synthetic dataset registry.
+``cluster``
+    Run structural clustering on a dataset (or an edge-list file) and print
+    the cluster summary.
+``experiment``
+    Run one of the table/figure reproductions and print its rows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.config import StrCluParams
+from repro.core.dynstrclu import DynStrClu
+from repro.experiments import (
+    format_table,
+    run_epsilon_sweep,
+    run_eta_sweep,
+    run_memory_table,
+    run_overall_time,
+    run_quality_table,
+    run_query_size_sweep,
+    run_rho_sweep,
+    run_update_cost_curve,
+    run_visualisation,
+)
+from repro.graph.io import load_edge_list
+from repro.graph.similarity import SimilarityKind
+from repro.workloads.datasets import DATASETS, dataset_spec, load_dataset
+
+EXPERIMENTS = {
+    "table1": lambda args: run_memory_table(update_multiplier=args.scale),
+    "table2": lambda args: run_quality_table(SimilarityKind.JACCARD),
+    "table3": lambda args: run_quality_table(SimilarityKind.COSINE, rhos=(0.01, 0.1)),
+    "fig7": lambda args: run_overall_time(update_multiplier=args.scale),
+    "fig8": lambda args: run_update_cost_curve(update_multiplier=args.scale),
+    "fig9": lambda args: run_epsilon_sweep(update_multiplier=args.scale),
+    "fig10": lambda args: run_eta_sweep(update_multiplier=args.scale),
+    "fig11": lambda args: run_update_cost_curve(
+        update_multiplier=args.scale, similarity=SimilarityKind.COSINE, epsilon=0.6
+    ),
+    "fig12a": lambda args: run_rho_sweep(update_multiplier=args.scale),
+    "fig12b": lambda args: run_query_size_sweep(),
+    "fig4-6": lambda args: run_visualisation(),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Dynamic Structural Clustering on Graphs (SIGMOD 2021) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-datasets", help="print the synthetic dataset registry")
+
+    cluster = sub.add_parser("cluster", help="cluster a dataset or an edge-list file")
+    cluster.add_argument("--dataset", help="dataset name from the registry")
+    cluster.add_argument("--edge-list", help="path to a SNAP-style edge list")
+    cluster.add_argument("--epsilon", type=float, default=None)
+    cluster.add_argument("--mu", type=int, default=5)
+    cluster.add_argument("--rho", type=float, default=0.01)
+    cluster.add_argument(
+        "--similarity", choices=["jaccard", "cosine"], default="jaccard"
+    )
+
+    experiment = sub.add_parser("experiment", help="run a table/figure reproduction")
+    experiment.add_argument("name", choices=sorted(EXPERIMENTS))
+    experiment.add_argument(
+        "--scale",
+        type=float,
+        default=0.5,
+        help="update-sequence length as a multiple of the initial edge count",
+    )
+    return parser
+
+
+def _cmd_list_datasets() -> int:
+    rows = []
+    for name, spec in DATASETS.items():
+        rows.append(
+            {
+                "name": name,
+                "paper_name": spec.paper_name,
+                "vertices": spec.num_vertices,
+                "eps_jaccard": spec.default_epsilon_jaccard,
+                "eps_cosine": spec.default_epsilon_cosine,
+                "representative": spec.representative,
+            }
+        )
+    print(format_table(rows, title="Synthetic dataset registry"))
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    if bool(args.dataset) == bool(args.edge_list):
+        print("exactly one of --dataset / --edge-list is required", file=sys.stderr)
+        return 2
+    similarity = SimilarityKind(args.similarity)
+    if args.dataset:
+        edges = load_dataset(args.dataset)
+        spec = dataset_spec(args.dataset)
+        default_eps = (
+            spec.default_epsilon_jaccard
+            if similarity is SimilarityKind.JACCARD
+            else spec.default_epsilon_cosine
+        )
+    else:
+        edges, _mapping = load_edge_list(args.edge_list)
+        default_eps = 0.2
+    epsilon = args.epsilon if args.epsilon is not None else default_eps
+    params = StrCluParams(epsilon=epsilon, mu=args.mu, rho=args.rho, similarity=similarity)
+    algo = DynStrClu.from_edges(edges, params)
+    clustering = algo.clustering()
+    summary = clustering.summary()
+    summary_row = {"epsilon": epsilon, "mu": args.mu, "rho": args.rho}
+    summary_row.update(summary)
+    print(format_table([summary_row], title="StrClu result"))
+    top = [
+        {"rank": i + 1, "size": len(c)} for i, c in enumerate(clustering.top_k(10))
+    ]
+    if top:
+        print()
+        print(format_table(top, title="Top clusters"))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    rows = EXPERIMENTS[args.name](args)
+    print(format_table(rows, title=f"Experiment {args.name}"))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list-datasets":
+        return _cmd_list_datasets()
+    if args.command == "cluster":
+        return _cmd_cluster(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

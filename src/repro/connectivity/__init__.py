@@ -1,0 +1,41 @@
+"""Fully dynamic connectivity substrate (the paper's ``CC-Str(G_core)``).
+
+Fact 2 of the paper requires a data structure that maintains the connected
+components of the sim-core graph under edge insertions/deletions in
+poly-logarithmic amortized time and answers ``FindCcID`` in ``O(log n)``.
+Three interchangeable backends are provided:
+
+* :class:`~repro.connectivity.union_find.UnionFindConnectivity` — amortized
+  rebuild-on-delete oracle; simplest, used for correctness cross-checks and
+  insert-heavy workloads.
+* :class:`~repro.connectivity.euler_tour.EulerTourConnectivity` — Euler-tour
+  trees over treaps with a linear replacement-edge scan on deletions.
+* :class:`~repro.connectivity.hdt.HDTConnectivity` — the Holm–de
+  Lichtenberg–Thorup level structure (the structure Fact 2 cites), built on
+  the same Euler-tour forests.
+"""
+
+from repro.connectivity.base import ConnectivityStructure
+from repro.connectivity.euler_tour import EulerTourConnectivity, EulerTourForest
+from repro.connectivity.hdt import HDTConnectivity
+from repro.connectivity.union_find import UnionFind, UnionFindConnectivity
+
+__all__ = [
+    "ConnectivityStructure",
+    "UnionFind",
+    "UnionFindConnectivity",
+    "EulerTourForest",
+    "EulerTourConnectivity",
+    "HDTConnectivity",
+]
+
+
+def make_connectivity(backend: str = "hdt") -> ConnectivityStructure:
+    """Factory for a connectivity backend by name (``hdt``, ``ett`` or ``union_find``)."""
+    if backend == "hdt":
+        return HDTConnectivity()
+    if backend in ("ett", "euler_tour"):
+        return EulerTourConnectivity()
+    if backend in ("union_find", "uf"):
+        return UnionFindConnectivity()
+    raise ValueError(f"unknown connectivity backend: {backend!r}")

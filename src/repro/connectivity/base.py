@@ -1,0 +1,102 @@
+"""Abstract interface of the ``CC-Str(G_core)`` substrate.
+
+The interface mirrors exactly the operations DynStrClu needs (paper §7):
+
+* insert a sim-core edge into ``G_core``;
+* remove an edge from ``G_core``;
+* ``FindCcID(u)``: an identifier of the connected component containing ``u``,
+  stable for the duration of a single query;
+* insert/remove an isolated (core) vertex — the paper's "conceptual
+  self-loop" trick for core vertices with no incident sim-core edge.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Hashable, Iterable, List, Set
+
+Vertex = Hashable
+
+
+class ConnectivityStructure(ABC):
+    """Maintains connected components of a graph under edge/vertex updates."""
+
+    # ------------------------------------------------------------------
+    # vertex lifecycle
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def add_vertex(self, u: Vertex) -> None:
+        """Insert ``u`` as an isolated vertex (no-op if present)."""
+
+    @abstractmethod
+    def remove_vertex(self, u: Vertex) -> None:
+        """Remove ``u``; the vertex must currently be isolated."""
+
+    @abstractmethod
+    def has_vertex(self, u: Vertex) -> bool:
+        """Return True when ``u`` is present."""
+
+    # ------------------------------------------------------------------
+    # edge lifecycle
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def insert_edge(self, u: Vertex, v: Vertex) -> None:
+        """Insert the edge ``(u, v)``; endpoints are added if missing."""
+
+    @abstractmethod
+    def delete_edge(self, u: Vertex, v: Vertex) -> None:
+        """Delete the edge ``(u, v)``; endpoints remain present."""
+
+    @abstractmethod
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        """Return True when the edge is present."""
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def connected(self, u: Vertex, v: Vertex) -> bool:
+        """Return True when ``u`` and ``v`` lie in the same component."""
+
+    @abstractmethod
+    def component_id(self, u: Vertex) -> int:
+        """Return an identifier of the component of ``u`` (``FindCcID``).
+
+        Identifiers are guaranteed consistent at any single moment: two
+        vertices share an identifier exactly when they are connected.  They
+        may change across updates.
+        """
+
+    @abstractmethod
+    def component_size(self, u: Vertex) -> int:
+        """Return the number of vertices in the component of ``u``."""
+
+    @abstractmethod
+    def num_vertices(self) -> int:
+        """Return the number of vertices currently present."""
+
+    @abstractmethod
+    def num_edges(self) -> int:
+        """Return the number of edges currently present."""
+
+    @abstractmethod
+    def vertices(self) -> Iterable[Vertex]:
+        """Iterate over the vertices currently present."""
+
+    # ------------------------------------------------------------------
+    # derived helpers shared by all backends
+    # ------------------------------------------------------------------
+    def components(self) -> List[Set[Vertex]]:
+        """Return the list of components as vertex sets (linear-time helper)."""
+        by_id: Dict[int, Set[Vertex]] = {}
+        for v in self.vertices():
+            by_id.setdefault(self.component_id(v), set()).add(v)
+        return list(by_id.values())
+
+    def num_components(self) -> int:
+        """Return the current number of connected components."""
+        return len({self.component_id(v) for v in self.vertices()})
+
+    def memory_elements(self) -> Dict[str, int]:
+        """Element counts for the Table 1 memory model (backends may refine)."""
+        return {"cc_node": self.num_vertices() + 2 * self.num_edges()}

@@ -1,0 +1,28 @@
+"""The paper's primary contribution: DynELM and DynStrClu.
+
+Public entry points:
+
+* :class:`~repro.core.config.StrCluParams` — clustering parameters
+  (ε, μ, ρ, δ*, similarity kind).
+* :class:`~repro.core.dynelm.DynELM` — dynamic edge-label maintenance
+  (Theorem 6.1 / 8.1).
+* :class:`~repro.core.dynstrclu.DynStrClu` — the ultimate algorithm with
+  cluster-group-by queries (Theorem 7.1).
+* :func:`~repro.core.result.compute_clusters` — Fact 1: StrCluResult from an
+  edge labelling in O(n + m) time.
+"""
+
+from repro.core.config import StrCluParams
+from repro.core.dynelm import DynELM
+from repro.core.dynstrclu import DynStrClu
+from repro.core.labelling import EdgeLabel
+from repro.core.result import Clustering, compute_clusters
+
+__all__ = [
+    "StrCluParams",
+    "DynELM",
+    "DynStrClu",
+    "EdgeLabel",
+    "Clustering",
+    "compute_clusters",
+]

@@ -1,0 +1,153 @@
+"""Similarity oracles: the sampling (Δ, δ)-estimator and its exact counterpart.
+
+Section 4 of the paper builds a biased sampling estimator for the Jaccard
+similarity of an edge ``(u, v)``: repeat ``L`` times —
+
+1. flip a coin ``z`` with ``Pr[z = 1] = |N[u]| / (|N[u]| + |N[v]|)``;
+2. draw ``w`` uniformly from ``N[u]`` if ``z = 1`` else from ``N[v]``;
+3. record ``X = 1`` iff ``w ∈ N[u] ∩ N[v]``.
+
+Then ``E[X̄] = 2σ / (1 + σ)`` and ``σ̃ = X̄ / (2 − X̄)`` estimates ``σ`` within
+``Δ`` with probability ``1 − δ`` for ``L = (2/Δ²) ln(2/δ)`` (Theorem 4.1).
+
+Section 8.1 reuses the same random variable for cosine similarity:
+``(d[u] + d[v]) X̄ / (2 sqrt(d[u] d[v]))`` estimates ``σ_c`` (Theorem 8.3),
+after short-circuiting edges with ``d_min < ε² d_max`` as dissimilar
+(Lemma 8.2).
+
+Both oracles implement the same tiny protocol (:class:`SimilarityOracle`),
+so DynELM can run with exact similarities (ρ = 0 mode, ablations) or with
+the sampling estimator (the paper's configuration) interchangeably.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional, Protocol
+
+from repro.graph.dynamic_graph import DynamicGraph, Vertex
+from repro.graph.similarity import SimilarityKind, cosine_similarity, jaccard_similarity
+from repro.instrumentation import NULL_COUNTER, OpCounter
+
+
+class SimilarityOracle(Protocol):
+    """Anything that can produce a similarity value for an edge of the graph."""
+
+    def similarity(self, u: Vertex, v: Vertex, num_samples: Optional[int] = None) -> float:
+        """Return an (estimate of the) structural similarity of edge ``(u, v)``."""
+        ...
+
+
+class ExactSimilarityOracle:
+    """Oracle that computes the exact similarity by scanning neighbourhoods.
+
+    Cost per call is ``Θ(min(d[u], d[v]))`` set probes — the cost the
+    sampling estimator is designed to avoid.  Used by the exact baselines,
+    by ρ = 0 mode and by the estimator ablation benchmark.
+    """
+
+    def __init__(
+        self,
+        graph: DynamicGraph,
+        kind: SimilarityKind = SimilarityKind.JACCARD,
+        counter: OpCounter | None = None,
+    ) -> None:
+        self.graph = graph
+        self.kind = SimilarityKind(kind)
+        self.counter = counter if counter is not None else NULL_COUNTER
+
+    def similarity(self, u: Vertex, v: Vertex, num_samples: Optional[int] = None) -> float:
+        """Return the exact similarity; ``num_samples`` is accepted and ignored."""
+        self.counter.add("similarity_eval")
+        self.counter.add("neighbour_probe", min(self.graph.degree(u), self.graph.degree(v)) + 1)
+        if self.kind is SimilarityKind.JACCARD:
+            return jaccard_similarity(self.graph, u, v)
+        return cosine_similarity(self.graph, u, v)
+
+
+class SamplingSimilarityOracle:
+    """The (Δ, δ)-similarity estimator of Sections 4 and 8.1.
+
+    Parameters
+    ----------
+    graph:
+        The dynamic graph; random neighbour draws use its O(1)
+        ``random_closed_neighbour``.
+    kind:
+        Jaccard or cosine.
+    epsilon:
+        Only used by the cosine short-circuit of Lemma 8.2.
+    rng:
+        Random source (seeded by the caller for reproducibility).
+    default_samples:
+        Sample size used when the caller does not pass ``num_samples``.
+    """
+
+    def __init__(
+        self,
+        graph: DynamicGraph,
+        kind: SimilarityKind = SimilarityKind.JACCARD,
+        epsilon: float = 0.2,
+        rng: random.Random | None = None,
+        default_samples: int = 256,
+        counter: OpCounter | None = None,
+    ) -> None:
+        self.graph = graph
+        self.kind = SimilarityKind(kind)
+        self.epsilon = epsilon
+        self.rng = rng if rng is not None else random.Random(0)
+        self.default_samples = default_samples
+        self.counter = counter if counter is not None else NULL_COUNTER
+
+    # ------------------------------------------------------------------
+    def _mean_indicator(self, u: Vertex, v: Vertex, num_samples: int) -> float:
+        """Return ``X̄`` — the empirical mean of the paper's indicator variable."""
+        graph = self.graph
+        rng = self.rng
+        nu = graph.neighbours(u)
+        nv = graph.neighbours(v)
+        size_u = len(nu) + 1  # |N[u]| includes u itself
+        size_v = len(nv) + 1
+        threshold = size_u / (size_u + size_v)
+        hits = 0
+        self.counter.add("sample", num_samples)
+        for _ in range(num_samples):
+            if rng.random() < threshold:
+                w = graph.random_closed_neighbour(u, rng)
+            else:
+                w = graph.random_closed_neighbour(v, rng)
+            # membership in N[x] means: equals x, or is adjacent to x
+            in_nu = w == u or w in nu
+            in_nv = w == v or w in nv
+            if in_nu and in_nv:
+                hits += 1
+        return hits / num_samples
+
+    def similarity(self, u: Vertex, v: Vertex, num_samples: Optional[int] = None) -> float:
+        """Return ``σ̃(u, v)`` (Jaccard) or ``σ̃_c(u, v)`` (cosine)."""
+        samples = num_samples if num_samples is not None else self.default_samples
+        if samples < 1:
+            raise ValueError("num_samples must be >= 1")
+        self.counter.add("similarity_eval")
+        if self.kind is SimilarityKind.JACCARD:
+            mean = self._mean_indicator(u, v, samples)
+            return mean / (2.0 - mean) if mean < 2.0 else 1.0
+        # cosine: short-circuit of Lemma 8.2, then Eq. (6) — using the closed
+        # neighbourhood sizes |N[x]| = d[x] + 1 throughout (see DESIGN.md)
+        size_u = self.graph.degree(u) + 1
+        size_v = self.graph.degree(v) + 1
+        n_min, n_max = min(size_u, size_v), max(size_u, size_v)
+        if n_min < self.epsilon * self.epsilon * n_max:
+            return 0.0
+        mean = self._mean_indicator(u, v, samples)
+        return (size_u + size_v) * mean / (2.0 * math.sqrt(size_u * size_v))
+
+
+def hoeffding_sample_size(delta: float, accuracy: float) -> int:
+    """Reference sample size ``L = (2/Δ²) ln(2/δ)`` from Theorem 4.1 (testing aid)."""
+    if not 0.0 < delta < 1.0:
+        raise ValueError("delta must be in (0, 1)")
+    if accuracy <= 0.0:
+        raise ValueError("accuracy must be positive")
+    return math.ceil(2.0 / (accuracy * accuracy) * math.log(2.0 / delta))

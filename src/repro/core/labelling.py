@@ -1,0 +1,148 @@
+"""Edge labels, the (½ρε, δ)-strategy, and ρ-approximate validity checks.
+
+An edge labelling assigns ``similar`` or ``dissimilar`` to every edge of the
+graph.  The paper's algorithms never store exact similarities; they store
+labels produced by the *(Δ, δ)-strategy* (Definition 4.2): an edge is
+labelled ``similar`` iff the estimator reports ``σ̃ ≥ ε``.  With
+``Δ = ½ρε`` the resulting labelling is a valid ρ-approximate labelling
+(Definition 2.2) with probability at least ``1 − δ`` per invocation
+(Lemma 4.3), and the δ-budget is split across invocations by the schedule
+``δ_i = δ*/(i(i+1))``.
+
+This module also provides the exact labelling (Definition 2.1) and the
+validity predicates that the evaluation module and the property-based tests
+use.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, Tuple
+
+from repro.core.config import StrCluParams
+from repro.core.estimator import SimilarityOracle
+from repro.graph.dynamic_graph import DynamicGraph, Vertex, canonical_edge
+from repro.graph.similarity import SimilarityKind, structural_similarity
+from repro.instrumentation import NULL_COUNTER, OpCounter
+
+Edge = Tuple[Vertex, Vertex]
+
+
+class EdgeLabel(str, Enum):
+    """Label of an edge under structural clustering."""
+
+    SIMILAR = "similar"
+    DISSIMILAR = "dissimilar"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+    @property
+    def is_similar(self) -> bool:
+        """Convenience flag used in hot paths."""
+        return self is EdgeLabel.SIMILAR
+
+
+class LabellingStrategy:
+    """The (½ρε, δ)-strategy with the per-invocation δ-schedule.
+
+    Each call to :meth:`label` is one strategy invocation: the invocation
+    counter ``i`` advances, δ_i and the sample size L_i are derived from the
+    parameters, the oracle is queried and the threshold test ``σ̃ ≥ ε`` is
+    applied.
+    """
+
+    def __init__(
+        self,
+        params: StrCluParams,
+        oracle: SimilarityOracle,
+        counter: OpCounter | None = None,
+    ) -> None:
+        self.params = params
+        self.oracle = oracle
+        self.invocations = 0
+        self.counter = counter if counter is not None else NULL_COUNTER
+
+    def label(self, u: Vertex, v: Vertex) -> EdgeLabel:
+        """Label edge ``(u, v)`` with a fresh strategy invocation."""
+        self.invocations += 1
+        self.counter.add("label_invocation")
+        if self.params.exact_mode:
+            estimate = self.oracle.similarity(u, v)
+        else:
+            samples = self.params.sample_size(self.invocations)
+            estimate = self.oracle.similarity(u, v, num_samples=samples)
+        return EdgeLabel.SIMILAR if estimate >= self.params.epsilon else EdgeLabel.DISSIMILAR
+
+    def last_sample_size(self) -> int:
+        """Sample size that the *next* invocation would use (monitoring aid)."""
+        if self.params.exact_mode:
+            return 0
+        return self.params.sample_size(self.invocations + 1)
+
+
+# ----------------------------------------------------------------------
+# exact labellings and validity predicates
+# ----------------------------------------------------------------------
+def exact_labelling(
+    graph: DynamicGraph,
+    epsilon: float,
+    kind: SimilarityKind = SimilarityKind.JACCARD,
+) -> Dict[Edge, EdgeLabel]:
+    """Return the valid (exact) edge labelling ``L_ε(G)`` of Definition 2.1."""
+    labels: Dict[Edge, EdgeLabel] = {}
+    for u, v in graph.edges():
+        sigma = structural_similarity(graph, u, v, kind)
+        labels[canonical_edge(u, v)] = (
+            EdgeLabel.SIMILAR if sigma >= epsilon else EdgeLabel.DISSIMILAR
+        )
+    return labels
+
+
+def is_valid_exact(
+    graph: DynamicGraph,
+    labels: Dict[Edge, EdgeLabel],
+    epsilon: float,
+    kind: SimilarityKind = SimilarityKind.JACCARD,
+) -> bool:
+    """Check Definition 2.1: every label agrees with the ``σ ≥ ε`` test."""
+    return is_valid_rho_approximate(graph, labels, epsilon, 0.0, kind)
+
+
+def is_valid_rho_approximate(
+    graph: DynamicGraph,
+    labels: Dict[Edge, EdgeLabel],
+    epsilon: float,
+    rho: float,
+    kind: SimilarityKind = SimilarityKind.JACCARD,
+) -> bool:
+    """Check Definition 2.2 on every edge of ``graph``.
+
+    Edges with ``σ ≥ (1+ρ)ε`` must be similar, edges with ``σ < (1−ρ)ε``
+    must be dissimilar, everything in between is a free ("does not matter")
+    choice.  Every edge of the graph must carry some label.
+    """
+    upper = (1.0 + rho) * epsilon
+    lower = (1.0 - rho) * epsilon
+    for u, v in graph.edges():
+        key = canonical_edge(u, v)
+        label = labels.get(key)
+        if label is None:
+            return False
+        sigma = structural_similarity(graph, u, v, kind)
+        if sigma >= upper and label is not EdgeLabel.SIMILAR:
+            return False
+        if sigma < lower and label is not EdgeLabel.DISSIMILAR:
+            return False
+    return True
+
+
+def mislabelled_edges(
+    exact: Dict[Edge, EdgeLabel], approximate: Dict[Edge, EdgeLabel]
+) -> int:
+    """Number of edges labelled differently in the two labellings (common keys only)."""
+    return sum(
+        1
+        for edge, label in approximate.items()
+        if edge in exact and exact[edge] is not label
+    )

@@ -1,0 +1,228 @@
+"""StrCluResult types and the O(n + m) retrieval of Fact 1.
+
+Given a core threshold ``μ`` and an edge labelling ``L(G)`` the StrCluResult
+is uniquely determined (Fact 1): core vertices are those with at least ``μ``
+similar neighbours, the sim-core graph ``G_core`` consists of the similar
+edges between two cores, and each StrClu cluster is a connected component of
+``G_core`` together with every vertex similar to some core of that
+component.  Non-core vertices belonging to two or more clusters are *hubs*;
+non-core vertices belonging to none are *noise*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.connectivity.union_find import UnionFind
+from repro.core.labelling import EdgeLabel
+from repro.graph.dynamic_graph import DynamicGraph, Vertex, canonical_edge
+
+Edge = Tuple[Vertex, Vertex]
+
+
+def _vertex_sort_key(v: Vertex) -> Tuple[int, object]:
+    """Deterministic total order over vertex ids ("smallest identifier" in the paper)."""
+    if isinstance(v, int):
+        return (0, v)
+    return (1, repr(v))
+
+
+@dataclass
+class Clustering:
+    """A complete StrCluResult: clusters plus vertex roles.
+
+    Attributes
+    ----------
+    clusters:
+        List of clusters; each cluster is a set of vertices.  Clusters may
+        overlap (hubs belong to several).
+    cores:
+        The set of core vertices.
+    hubs:
+        Non-core vertices assigned to at least two clusters.
+    noise:
+        Non-core vertices assigned to no cluster.
+    """
+
+    clusters: List[Set[Vertex]] = field(default_factory=list)
+    cores: Set[Vertex] = field(default_factory=set)
+    hubs: Set[Vertex] = field(default_factory=set)
+    noise: Set[Vertex] = field(default_factory=set)
+
+    @property
+    def num_clusters(self) -> int:
+        """Number of clusters."""
+        return len(self.clusters)
+
+    def membership(self) -> Dict[Vertex, List[int]]:
+        """Map each clustered vertex to the indices of the clusters containing it."""
+        out: Dict[Vertex, List[int]] = {}
+        for idx, cluster in enumerate(self.clusters):
+            for v in cluster:
+                out.setdefault(v, []).append(idx)
+        return out
+
+    def cluster_of_core(self, core: Vertex) -> Optional[int]:
+        """Index of the (unique) cluster containing a core vertex, or None."""
+        for idx, cluster in enumerate(self.clusters):
+            if core in cluster:
+                return idx
+        return None
+
+    def top_k(self, k: int) -> List[Set[Vertex]]:
+        """The ``k`` largest clusters by size (ties broken deterministically)."""
+        ranked = sorted(
+            self.clusters, key=lambda c: (-len(c), tuple(sorted(map(repr, c))))
+        )
+        return ranked[:k]
+
+    def as_frozen(self) -> FrozenSet[FrozenSet[Vertex]]:
+        """A hashable, order-insensitive view used by equality assertions in tests."""
+        return frozenset(frozenset(c) for c in self.clusters)
+
+    def partition_assignment(
+        self, graph: DynamicGraph, labels: Mapping[Edge, EdgeLabel]
+    ) -> Dict[Vertex, int]:
+        """Disjoint cluster assignment used by the ARI computation (Section 9.2).
+
+        Each core belongs to exactly one cluster.  Each non-core clustered
+        vertex is assigned only to the cluster containing its "smallest"
+        similar core neighbour (smallest by identifier representation, as in
+        the paper).  Noise vertices are omitted.
+        """
+        core_cluster: Dict[Vertex, int] = {}
+        for idx, cluster in enumerate(self.clusters):
+            for v in cluster:
+                if v in self.cores:
+                    core_cluster[v] = idx
+        assignment: Dict[Vertex, int] = dict(core_cluster)
+        clustered = set().union(*self.clusters) if self.clusters else set()
+        for v in clustered:
+            if v in self.cores:
+                continue
+            similar_cores = [
+                w
+                for w in graph.neighbours(v)
+                if w in self.cores
+                and labels.get(canonical_edge(v, w)) is EdgeLabel.SIMILAR
+            ]
+            if not similar_cores:
+                continue
+            smallest = min(similar_cores, key=_vertex_sort_key)
+            assignment[v] = core_cluster[smallest]
+        return assignment
+
+    def summary(self) -> Dict[str, int]:
+        """Small dictionary of headline statistics (used in reports and examples)."""
+        return {
+            "clusters": self.num_clusters,
+            "cores": len(self.cores),
+            "hubs": len(self.hubs),
+            "noise": len(self.noise),
+            "largest_cluster": max((len(c) for c in self.clusters), default=0),
+        }
+
+
+@dataclass
+class GroupByResult:
+    """Result of a cluster-group-by query (Definition 3.2).
+
+    ``groups`` maps an opaque cluster identifier to the non-empty
+    intersection of the query set with that cluster.
+    """
+
+    groups: Dict[int, Set[Vertex]] = field(default_factory=dict)
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.groups)
+
+    def as_sets(self) -> List[Set[Vertex]]:
+        """The groups as a list of sets (identifier-free view)."""
+        return list(self.groups.values())
+
+    def group_of(self, v: Vertex) -> List[int]:
+        """Identifiers of every group containing ``v`` (hubs may be in several)."""
+        return [gid for gid, members in self.groups.items() if v in members]
+
+
+def similar_neighbour_counts(
+    graph: DynamicGraph, labels: Mapping[Edge, EdgeLabel]
+) -> Dict[Vertex, int]:
+    """SimCnt for every vertex: the number of similar edges incident on it."""
+    counts: Dict[Vertex, int] = {v: 0 for v in graph.vertices()}
+    for (u, v), label in labels.items():
+        if label is EdgeLabel.SIMILAR and graph.has_edge(u, v):
+            counts[u] = counts.get(u, 0) + 1
+            counts[v] = counts.get(v, 0) + 1
+    return counts
+
+
+def compute_clusters(
+    graph: DynamicGraph,
+    labels: Mapping[Edge, EdgeLabel],
+    mu: int,
+) -> Clustering:
+    """Fact 1: compute the unique StrCluResult of a labelling in O(n + m).
+
+    Parameters
+    ----------
+    graph:
+        The current graph.
+    labels:
+        An edge labelling covering every edge of ``graph`` (canonical keys).
+    mu:
+        The core threshold.
+    """
+    counts = similar_neighbour_counts(graph, labels)
+    cores = {v for v, c in counts.items() if c >= mu}
+
+    # connected components of the sim-core graph via union-find
+    uf = UnionFind(cores)
+    for (u, v), label in labels.items():
+        if label is EdgeLabel.SIMILAR and u in cores and v in cores and graph.has_edge(u, v):
+            uf.union(u, v)
+
+    component_of: Dict[Vertex, Vertex] = {c: uf.find(c) for c in cores}
+    cluster_index: Dict[Vertex, int] = {}
+    clusters: List[Set[Vertex]] = []
+    for core in cores:
+        root = component_of[core]
+        if root not in cluster_index:
+            cluster_index[root] = len(clusters)
+            clusters.append(set())
+        clusters[cluster_index[root]].add(core)
+
+    # attach every vertex similar to some core of each component
+    assignments: Dict[Vertex, Set[int]] = {}
+    for (u, v), label in labels.items():
+        if label is not EdgeLabel.SIMILAR or not graph.has_edge(u, v):
+            continue
+        for core, other in ((u, v), (v, u)):
+            if core in cores:
+                idx = cluster_index[component_of[core]]
+                clusters[idx].add(other)
+                assignments.setdefault(other, set()).add(idx)
+
+    hubs = set()
+    noise = set()
+    for v in graph.vertices():
+        if v in cores:
+            continue
+        assigned = assignments.get(v, set())
+        if len(assigned) >= 2:
+            hubs.add(v)
+        elif not assigned:
+            noise.add(v)
+    return Clustering(clusters=clusters, cores=cores, hubs=hubs, noise=noise)
+
+
+def clusterings_equal(a: Clustering, b: Clustering) -> bool:
+    """True when two clusterings have identical clusters, cores, hubs and noise."""
+    return (
+        a.as_frozen() == b.as_frozen()
+        and a.cores == b.cores
+        and a.hubs == b.hubs
+        and a.noise == b.noise
+    )

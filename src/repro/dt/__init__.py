@@ -1,0 +1,13 @@
+"""Distributed Tracking (DT) substrate.
+
+Implements the classic two-party distributed tracking protocol (paper
+Section 2.4), the per-vertex ``DtHeap`` organisation with shared counters
+(Section 5.2), and the tracker façade used by DynELM to detect when an edge
+has absorbed enough affecting updates that its label must be re-checked.
+"""
+
+from repro.dt.heap import DtHeap, DtHeapEntry
+from repro.dt.instance import DTInstance
+from repro.dt.tracker import NaiveTracker, UpdateTracker
+
+__all__ = ["DTInstance", "DtHeap", "DtHeapEntry", "UpdateTracker", "NaiveTracker"]

@@ -1,0 +1,141 @@
+"""A standalone two-participant Distributed Tracking instance.
+
+This is the textbook protocol of Section 2.4 simulated in memory for a
+single edge: the edge is the coordinator, its two endpoints are the
+participants.  Given a threshold ``tau`` the coordinator must report
+*maturity* exactly when the total number of counter increments across the
+two participants reaches ``tau``, using ``O(log tau)`` rounds of ``O(1)``
+messages each.
+
+The production tracker (:mod:`repro.dt.tracker`) re-implements the same
+round logic on top of shared per-vertex counters and heaps; this standalone
+class exists (a) as the reference implementation the property-based tests
+compare against, and (b) to expose the protocol's message complexity for the
+DT unit tests.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+
+class DTInstance:
+    """Distributed tracking for one edge with ``h = 2`` participants.
+
+    Parameters
+    ----------
+    tau:
+        The maturity threshold (total number of increments to detect).
+        Must be a positive integer.
+
+    Notes
+    -----
+    * With ``h = 2`` the protocol switches to the *straightforward* mode
+      (every increment is a message) as soon as the remaining threshold is
+      at most ``4 * h = 8``; otherwise each round uses slack
+      ``lambda = floor(tau / (2 * h))``.
+    * :attr:`messages` counts coordinator-received/sent messages so tests can
+      assert the ``O(h log(tau / h))`` bound.
+    """
+
+    NUM_PARTICIPANTS = 2
+    STRAIGHTFORWARD_LIMIT = 4 * NUM_PARTICIPANTS
+
+    __slots__ = (
+        "initial_tau",
+        "remaining",
+        "slack",
+        "signals_in_round",
+        "round_counts",
+        "checkpoints",
+        "mature",
+        "messages",
+        "rounds",
+        "total_increments",
+    )
+
+    def __init__(self, tau: int) -> None:
+        if tau < 1:
+            raise ValueError(f"tau must be a positive integer, got {tau}")
+        self.initial_tau = tau
+        self.mature = False
+        self.messages = 0
+        self.rounds = 0
+        self.total_increments = 0
+        self.remaining = tau
+        self.round_counts = [0, 0]
+        self.checkpoints = [0, 0]
+        self.slack = 0
+        self._start_round()
+
+    # ------------------------------------------------------------------
+    def _start_round(self) -> None:
+        """Begin a new round with the current ``remaining`` threshold."""
+        self.rounds += 1
+        self.signals_in_round = 0
+        self.round_counts = [0, 0]
+        if self.remaining <= self.STRAIGHTFORWARD_LIMIT:
+            self.slack = 1
+        else:
+            self.slack = self.remaining // (2 * self.NUM_PARTICIPANTS)
+        self.checkpoints = [self.slack, self.slack]
+        # coordinator sends one slack message to each participant
+        self.messages += self.NUM_PARTICIPANTS
+
+    @property
+    def straightforward(self) -> bool:
+        """True when the current round runs in straightforward (slack 1) mode."""
+        return self.remaining <= self.STRAIGHTFORWARD_LIMIT
+
+    # ------------------------------------------------------------------
+    def increment(self, participant: int) -> bool:
+        """Increment the counter of ``participant`` (0 or 1).
+
+        Returns ``True`` exactly once: on the increment with which the total
+        reaches ``tau``.  Further increments raise ``RuntimeError`` because a
+        matured instance must be restarted by its owner.
+        """
+        if participant not in (0, 1):
+            raise ValueError("participant must be 0 or 1")
+        if self.mature:
+            raise RuntimeError("DT instance already matured; restart it with a new tau")
+        self.total_increments += 1
+        self.round_counts[participant] += 1
+
+        if self.straightforward:
+            # every increment is reported to the coordinator
+            self.messages += 1
+            self.remaining -= 1
+            if self.remaining == 0:
+                self.mature = True
+            return self.mature
+
+        if self.round_counts[participant] == self.checkpoints[participant]:
+            # participant reaches its checkpoint: signal the coordinator
+            self.messages += 1
+            self.signals_in_round += 1
+            self.checkpoints[participant] += self.slack
+            if self.signals_in_round == self.NUM_PARTICIPANTS:
+                # coordinator collects exact counters and starts a new round
+                self.messages += self.NUM_PARTICIPANTS
+                consumed = sum(self.round_counts)
+                self.remaining -= consumed
+                if self.remaining <= 0:  # defensive; cannot happen with h=2 slack rule
+                    self.mature = True
+                    return True
+                self._start_round()
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DTInstance(tau={self.initial_tau}, remaining={self.remaining}, "
+            f"mature={self.mature}, rounds={self.rounds}, messages={self.messages})"
+        )
+
+
+def naive_message_cost(tau: int) -> int:
+    """Message cost of the trivial protocol (one message per increment)."""
+    return tau
+
+
+EdgeKey = Hashable

@@ -1,0 +1,22 @@
+"""Quality evaluation of approximate clusterings (paper Section 9.2)."""
+
+from repro.evaluation.ari import adjusted_rand_index
+from repro.evaluation.nmi import normalised_mutual_information
+from repro.evaluation.quality import (
+    QualityReport,
+    individual_cluster_quality,
+    mislabelled_rate,
+    quality_report,
+)
+from repro.evaluation.visualisation import cluster_density_report, top_k_cluster_summary
+
+__all__ = [
+    "adjusted_rand_index",
+    "normalised_mutual_information",
+    "mislabelled_rate",
+    "individual_cluster_quality",
+    "quality_report",
+    "QualityReport",
+    "top_k_cluster_summary",
+    "cluster_density_report",
+]

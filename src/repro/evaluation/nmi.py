@@ -1,0 +1,70 @@
+"""Normalised Mutual Information between two disjoint cluster assignments.
+
+The ARI (Section 9.2 of the paper) is the primary overall-quality measure;
+NMI is the other widely used external index for comparing clusterings and is
+provided for completeness of the evaluation toolkit.  Both operate on the
+disjoint assignment produced by
+:meth:`repro.core.result.Clustering.partition_assignment`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Mapping
+
+Vertex = Hashable
+
+
+def normalised_mutual_information(
+    assignment_a: Mapping[Vertex, int], assignment_b: Mapping[Vertex, int]
+) -> float:
+    """NMI (arithmetic-mean normalisation) of two disjoint assignments.
+
+    Vertices present in only one assignment are ignored, mirroring how noise
+    is dropped from the ARI computation.  Returns a value in ``[0, 1]``;
+    two identical assignments score 1, independent assignments score ~0.
+    By convention two assignments that both have a single cluster (zero
+    entropy) score 1.0, and an empty intersection scores 0.0.
+
+    Example
+    -------
+    >>> normalised_mutual_information({1: 0, 2: 0, 3: 1}, {1: 5, 2: 5, 3: 9})
+    1.0
+    """
+    common = [v for v in assignment_a if v in assignment_b]
+    n = len(common)
+    if n == 0:
+        return 0.0
+
+    counts_a: Dict[int, int] = {}
+    counts_b: Dict[int, int] = {}
+    joint: Dict[tuple, int] = {}
+    for v in common:
+        a, b = assignment_a[v], assignment_b[v]
+        counts_a[a] = counts_a.get(a, 0) + 1
+        counts_b[b] = counts_b.get(b, 0) + 1
+        joint[(a, b)] = joint.get((a, b), 0) + 1
+
+    def entropy(counts: Dict[int, int]) -> float:
+        total = 0.0
+        for count in counts.values():
+            p = count / n
+            total -= p * math.log(p)
+        return total
+
+    h_a = entropy(counts_a)
+    h_b = entropy(counts_b)
+    if h_a == 0.0 and h_b == 0.0:
+        return 1.0
+
+    mutual = 0.0
+    for (a, b), count in joint.items():
+        p_ab = count / n
+        p_a = counts_a[a] / n
+        p_b = counts_b[b] / n
+        mutual += p_ab * math.log(p_ab / (p_a * p_b))
+
+    denominator = 0.5 * (h_a + h_b)
+    if denominator <= 0.0:
+        return 0.0
+    return max(0.0, min(1.0, mutual / denominator))

@@ -1,0 +1,27 @@
+"""Experiment harness reproducing every table and figure of the paper."""
+
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import (
+    run_epsilon_sweep,
+    run_eta_sweep,
+    run_memory_table,
+    run_overall_time,
+    run_quality_table,
+    run_query_size_sweep,
+    run_rho_sweep,
+    run_update_cost_curve,
+    run_visualisation,
+)
+
+__all__ = [
+    "format_table",
+    "run_memory_table",
+    "run_quality_table",
+    "run_overall_time",
+    "run_update_cost_curve",
+    "run_epsilon_sweep",
+    "run_eta_sweep",
+    "run_rho_sweep",
+    "run_query_size_sweep",
+    "run_visualisation",
+]

@@ -1,0 +1,15 @@
+"""Dynamic graph substrate: storage, similarities, generators and I/O."""
+
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.similarity import (
+    cosine_similarity,
+    jaccard_similarity,
+    structural_similarity,
+)
+
+__all__ = [
+    "DynamicGraph",
+    "jaccard_similarity",
+    "cosine_similarity",
+    "structural_similarity",
+]

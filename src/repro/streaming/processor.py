@@ -1,0 +1,194 @@
+"""Stream processor: drive a maintainer from an update stream with observers.
+
+:class:`StreamProcessor` turns the low-level maintainers into a service-like
+component:
+
+* it applies every incoming :class:`~repro.core.dynelm.Update` to the
+  maintainer (a :class:`~repro.core.dynstrclu.DynStrClu` by default);
+* every ``snapshot_every`` updates it retrieves the clustering, pushes it
+  through a :class:`~repro.analysis.tracking.ClusterTracker` and notifies
+  the registered listeners of the resulting cluster events;
+* optionally it appends every update to a write-ahead log and periodically
+  writes a state checkpoint (:mod:`repro.persistence`), so the processor can
+  be reconstructed after a crash.
+
+The component is deliberately synchronous and single-threaded — the
+maintainers are not thread-safe and the paper's model is a single update
+stream — but the listener interface is where an application would hang its
+alerting, metrics or downstream materialisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, List, Optional, Protocol, Union
+
+from repro.analysis.tracking import ClusterEvent, ClusterTracker
+from repro.core.config import StrCluParams
+from repro.core.dynelm import Update
+from repro.core.dynstrclu import DynStrClu
+from repro.core.result import Clustering
+from repro.persistence.snapshot import save_snapshot
+from repro.persistence.updatelog import UpdateLogWriter
+
+
+class StreamListener(Protocol):
+    """Observer interface for :class:`StreamProcessor` snapshots."""
+
+    def on_snapshot(
+        self, step: int, clustering: Clustering, events: List[ClusterEvent]
+    ) -> None:
+        """Called after each periodic snapshot with the step count, the
+        clustering and the cluster events since the previous snapshot."""
+        ...
+
+
+@dataclass
+class CallbackListener:
+    """Adapt a plain callable into a :class:`StreamListener`."""
+
+    callback: Callable[[int, Clustering, List[ClusterEvent]], None]
+
+    def on_snapshot(
+        self, step: int, clustering: Clustering, events: List[ClusterEvent]
+    ) -> None:
+        self.callback(step, clustering, events)
+
+
+@dataclass
+class StreamReport:
+    """Summary returned by :meth:`StreamProcessor.process`."""
+
+    updates_applied: int = 0
+    snapshots_taken: int = 0
+    events: List[ClusterEvent] = field(default_factory=list)
+    final_clustering: Optional[Clustering] = None
+
+    def events_of_kind(self, kind) -> List[ClusterEvent]:
+        """Filter the accumulated events by kind."""
+        return [event for event in self.events if event.kind is kind]
+
+
+class StreamProcessor:
+    """Apply an update stream to a maintainer with periodic snapshots.
+
+    Parameters
+    ----------
+    params:
+        Clustering parameters (used when no ``maintainer`` is supplied).
+    maintainer:
+        Optional pre-built maintainer; defaults to a fresh
+        :class:`DynStrClu` (e.g. one restored from a snapshot).
+    snapshot_every:
+        Take a clustering snapshot every this many applied updates.
+    wal_path:
+        When given, every applied update is appended to this write-ahead
+        log before it is applied.
+    checkpoint_path / checkpoint_every:
+        When given, a full state snapshot is written to ``checkpoint_path``
+        every ``checkpoint_every`` applied updates.
+
+    Example
+    -------
+    >>> from repro.core.dynelm import Update
+    >>> processor = StreamProcessor(StrCluParams(epsilon=0.5, mu=2, rho=0.0),
+    ...                             snapshot_every=2)
+    >>> report = processor.process([Update.insert(1, 2), Update.insert(2, 3),
+    ...                             Update.insert(1, 3), Update.insert(3, 4)])
+    >>> report.updates_applied, report.snapshots_taken
+    (4, 2)
+    """
+
+    def __init__(
+        self,
+        params: Optional[StrCluParams] = None,
+        maintainer: Optional[DynStrClu] = None,
+        snapshot_every: int = 100,
+        tracker: Optional[ClusterTracker] = None,
+        wal_path: Optional[Union[str, Path]] = None,
+        checkpoint_path: Optional[Union[str, Path]] = None,
+        checkpoint_every: int = 1000,
+    ) -> None:
+        if maintainer is None:
+            if params is None:
+                raise ValueError("either params or a maintainer must be provided")
+            maintainer = DynStrClu(params)
+        if snapshot_every < 1:
+            raise ValueError("snapshot_every must be >= 1")
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        self.maintainer = maintainer
+        self.snapshot_every = snapshot_every
+        self.tracker = tracker if tracker is not None else ClusterTracker()
+        self.listeners: List[StreamListener] = []
+        self.updates_applied = 0
+        self.snapshots_taken = 0
+        self.checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
+        self.checkpoint_every = checkpoint_every
+        self.checkpoints_written = 0
+        self._wal: Optional[UpdateLogWriter] = (
+            UpdateLogWriter(wal_path) if wal_path is not None else None
+        )
+
+    # ------------------------------------------------------------------
+    # listeners
+    # ------------------------------------------------------------------
+    def add_listener(self, listener: Union[StreamListener, Callable]) -> None:
+        """Register a listener (an object with ``on_snapshot`` or a callable)."""
+        if callable(listener) and not hasattr(listener, "on_snapshot"):
+            listener = CallbackListener(listener)
+        self.listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # processing
+    # ------------------------------------------------------------------
+    def apply(self, update: Update) -> Optional[List[ClusterEvent]]:
+        """Apply one update; returns the snapshot events if a snapshot was due."""
+        if self._wal is not None:
+            self._wal.append(update)
+        self.maintainer.apply(update)
+        self.updates_applied += 1
+        events: Optional[List[ClusterEvent]] = None
+        if self.updates_applied % self.snapshot_every == 0:
+            events = self._snapshot()
+        if (
+            self.checkpoint_path is not None
+            and self.updates_applied % self.checkpoint_every == 0
+        ):
+            save_snapshot(self.maintainer, self.checkpoint_path)
+            self.checkpoints_written += 1
+        return events
+
+    def process(self, updates: Iterable[Update]) -> StreamReport:
+        """Apply a whole stream and return a :class:`StreamReport`."""
+        report = StreamReport()
+        for update in updates:
+            events = self.apply(update)
+            report.updates_applied += 1
+            if events is not None:
+                report.snapshots_taken += 1
+                report.events.extend(events)
+        report.final_clustering = self.maintainer.clustering()
+        return report
+
+    def close(self) -> None:
+        """Flush and close the write-ahead log (if any)."""
+        if self._wal is not None:
+            self._wal.close()
+            self._wal = None
+
+    def __enter__(self) -> "StreamProcessor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _snapshot(self) -> List[ClusterEvent]:
+        clustering = self.maintainer.clustering()
+        events = self.tracker.observe(clustering)
+        self.snapshots_taken += 1
+        for listener in self.listeners:
+            listener.on_snapshot(self.updates_applied, clustering, events)
+        return events

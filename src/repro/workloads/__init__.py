@@ -1,0 +1,29 @@
+"""Update workloads and the synthetic dataset registry used by the benchmarks."""
+
+from repro.workloads.datasets import (
+    ALL_DATASETS,
+    DATASETS,
+    EXTRA_DATASETS,
+    REPRESENTATIVES,
+    DatasetSpec,
+    list_datasets,
+    load_dataset,
+)
+from repro.workloads.updates import (
+    InsertionStrategy,
+    UpdateWorkload,
+    generate_update_sequence,
+)
+
+__all__ = [
+    "InsertionStrategy",
+    "UpdateWorkload",
+    "generate_update_sequence",
+    "DatasetSpec",
+    "DATASETS",
+    "EXTRA_DATASETS",
+    "ALL_DATASETS",
+    "REPRESENTATIVES",
+    "list_datasets",
+    "load_dataset",
+]

@@ -1,0 +1,58 @@
+"""Unit tests for the plain-text analysis report."""
+
+from __future__ import annotations
+
+from repro.analysis.report import analysis_report, analysis_rows
+from repro.core.config import StrCluParams
+from repro.core.dynstrclu import DynStrClu
+from repro.core.result import Clustering
+from repro.graph.dynamic_graph import DynamicGraph
+
+
+def _two_triangles() -> DynStrClu:
+    algo = DynStrClu(StrCluParams(epsilon=0.5, mu=2, rho=0.0))
+    for u, v in [(1, 2), (2, 3), (1, 3), (4, 5), (5, 6), (4, 6), (3, 7)]:
+        algo.insert_edge(u, v)
+    return algo
+
+
+class TestAnalysisRows:
+    def test_rows_ordered_by_size(self):
+        algo = _two_triangles()
+        rows = analysis_rows(algo.clustering(), algo.graph)
+        assert [row["rank"] for row in rows] == list(range(1, len(rows) + 1))
+        sizes = [row["size"] for row in rows]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_top_k_limits_rows(self):
+        algo = _two_triangles()
+        rows = analysis_rows(algo.clustering(), algo.graph, top_k=1)
+        assert len(rows) == 1
+
+    def test_row_columns(self):
+        algo = _two_triangles()
+        row = analysis_rows(algo.clustering(), algo.graph)[0]
+        assert {"rank", "size", "cores", "density", "conductance"} <= set(row)
+
+
+class TestAnalysisReport:
+    def test_report_mentions_headline_numbers(self):
+        algo = _two_triangles()
+        report = analysis_report(algo.clustering(), algo.graph, title="Report")
+        assert report.splitlines()[0] == "Report"
+        assert "clusters: 2" in report
+        assert "roles:" in report
+        assert "top-2 clusters:" in report
+
+    def test_report_without_clusters(self):
+        graph = DynamicGraph([(1, 2)])
+        report = analysis_report(Clustering(), graph)
+        assert "no clusters" in report
+        assert "coverage: 0.0%" in report
+
+    def test_report_with_explicit_universe(self):
+        algo = _two_triangles()
+        report = analysis_report(
+            algo.clustering(), algo.graph, vertices=list(algo.graph.vertices()) + [99]
+        )
+        assert "outlier=" in report

@@ -1,0 +1,78 @@
+"""Unit tests for vertex role classification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.roles import VertexRole, classify_roles, role_census, role_of
+from repro.core.config import StrCluParams
+from repro.core.dynstrclu import DynStrClu
+from repro.core.result import Clustering
+
+
+@pytest.fixture
+def sample_clustering() -> Clustering:
+    # two overlapping clusters; 3 is a hub, 9 is noise, 2 and 5 are members
+    return Clustering(
+        clusters=[{1, 2, 3}, {3, 4, 5}],
+        cores={1, 4},
+        hubs={3},
+        noise={9},
+    )
+
+
+class TestClassifyRoles:
+    def test_core_member_hub_outlier(self, sample_clustering):
+        roles = classify_roles(sample_clustering, vertices=[1, 2, 3, 4, 5, 9])
+        assert roles[1] is VertexRole.CORE
+        assert roles[4] is VertexRole.CORE
+        assert roles[2] is VertexRole.MEMBER
+        assert roles[5] is VertexRole.MEMBER
+        assert roles[3] is VertexRole.HUB
+        assert roles[9] is VertexRole.OUTLIER
+
+    def test_unknown_vertex_is_outlier(self, sample_clustering):
+        roles = classify_roles(sample_clustering, vertices=[1, 777])
+        assert roles[777] is VertexRole.OUTLIER
+
+    def test_default_universe_comes_from_clustering(self, sample_clustering):
+        roles = classify_roles(sample_clustering)
+        assert set(roles) == {1, 2, 3, 4, 5, 9}
+
+    def test_role_of_single_vertex(self, sample_clustering):
+        assert role_of(3, sample_clustering) is VertexRole.HUB
+        assert role_of(1, sample_clustering) is VertexRole.CORE
+
+    def test_empty_clustering(self):
+        roles = classify_roles(Clustering(), vertices=[1, 2])
+        assert all(role is VertexRole.OUTLIER for role in roles.values())
+
+
+class TestRoleCensus:
+    def test_counts(self, sample_clustering):
+        census = role_census(sample_clustering, vertices=[1, 2, 3, 4, 5, 9])
+        assert census == {"core": 2, "member": 2, "hub": 1, "outlier": 1}
+
+    def test_census_keys_always_present(self):
+        census = role_census(Clustering(), vertices=[])
+        assert set(census) == {"core", "member", "hub", "outlier"}
+        assert all(v == 0 for v in census.values())
+
+
+class TestAgainstDynStrClu:
+    def test_roles_match_maintainer_view(self):
+        params = StrCluParams(epsilon=0.5, mu=2, rho=0.0)
+        algo = DynStrClu(params)
+        edges = [(1, 2), (2, 3), (1, 3), (3, 4), (4, 5), (5, 6), (4, 6), (7, 8)]
+        for u, v in edges:
+            algo.insert_edge(u, v)
+        clustering = algo.clustering()
+        roles = classify_roles(clustering, vertices=algo.graph.vertices())
+        for core in clustering.cores:
+            assert roles[core] is VertexRole.CORE
+        for noise in clustering.noise:
+            assert roles[noise] is VertexRole.OUTLIER
+        for hub in clustering.hubs:
+            assert roles[hub] is VertexRole.HUB
+        # every graph vertex received a role
+        assert set(roles) == set(algo.graph.vertices())

@@ -1,0 +1,113 @@
+"""Unit tests for cluster-level statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.statistics import (
+    boundary_edges_between,
+    cluster_statistics,
+    clustering_coverage,
+    clustering_statistics,
+    clusters_intersecting,
+    labelling_similarity_histogram,
+    modularity,
+    size_distribution,
+)
+from repro.core.labelling import EdgeLabel
+from repro.core.result import Clustering
+from repro.graph.dynamic_graph import DynamicGraph
+
+
+@pytest.fixture
+def two_triangles() -> DynamicGraph:
+    graph = DynamicGraph()
+    for edge in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]:
+        graph.insert_edge(*edge)
+    return graph
+
+
+class TestClusterStatistics:
+    def test_internal_and_boundary_edges(self, two_triangles):
+        stats = cluster_statistics({0, 1, 2}, two_triangles)
+        assert stats.size == 3
+        assert stats.internal_edges == 3
+        assert stats.boundary_edges == 1
+        assert stats.density == pytest.approx(1.0)
+        assert stats.conductance == pytest.approx(1 / 7)
+        assert stats.average_internal_degree == pytest.approx(2.0)
+
+    def test_core_count(self, two_triangles):
+        stats = cluster_statistics({0, 1, 2}, two_triangles, cores={1, 2, 5})
+        assert stats.cores == 2
+
+    def test_singleton_cluster(self, two_triangles):
+        stats = cluster_statistics({0}, two_triangles)
+        assert stats.density == 0.0
+        assert stats.internal_edges == 0
+        assert stats.boundary_edges == 2
+
+    def test_vertices_missing_from_graph_are_ignored(self, two_triangles):
+        stats = cluster_statistics({0, 1, 999}, two_triangles)
+        assert stats.size == 3
+        assert stats.internal_edges == 1
+
+    def test_as_row_has_all_columns(self, two_triangles):
+        row = cluster_statistics({0, 1, 2}, two_triangles).as_row()
+        assert {"size", "density", "conductance", "internal_edges"} <= set(row)
+
+
+class TestClusteringLevel:
+    def test_clustering_statistics_order(self, two_triangles):
+        clustering = Clustering(clusters=[{0, 1, 2}, {3, 4, 5}], cores={0, 3})
+        stats = clustering_statistics(clustering, two_triangles)
+        assert len(stats) == 2
+        assert stats[0].internal_edges == stats[1].internal_edges == 3
+
+    def test_coverage(self, two_triangles):
+        clustering = Clustering(clusters=[{0, 1, 2}])
+        assert clustering_coverage(clustering, two_triangles) == pytest.approx(0.5)
+        assert clustering_coverage(Clustering(), two_triangles) == 0.0
+        assert clustering_coverage(Clustering(clusters=[set()]), DynamicGraph()) == 0.0
+
+    def test_size_distribution(self):
+        clustering = Clustering(clusters=[{1, 2}, {3, 4}, {5, 6, 7}])
+        assert size_distribution(clustering) == {2: 2, 3: 1}
+
+    def test_clusters_intersecting(self):
+        clustering = Clustering(clusters=[{1, 2}, {3, 4}, {5, 6}])
+        assert clusters_intersecting(clustering, {2, 5}) == [0, 2]
+        assert clusters_intersecting(clustering, {99}) == []
+
+    def test_boundary_edges_between(self, two_triangles):
+        clustering = Clustering(clusters=[{0, 1, 2}, {3, 4, 5}])
+        between = boundary_edges_between(clustering, two_triangles)
+        assert between == {(0, 1): 1}
+
+
+class TestModularity:
+    def test_two_communities(self, two_triangles):
+        assignment = {0: 0, 1: 0, 2: 0, 3: 1, 4: 1, 5: 1}
+        assert modularity(assignment, two_triangles) == pytest.approx(5 / 14)
+
+    def test_single_community_is_zero(self, two_triangles):
+        assignment = {v: 0 for v in range(6)}
+        assert modularity(assignment, two_triangles) == pytest.approx(0.0)
+
+    def test_empty_graph(self):
+        assert modularity({}, DynamicGraph()) == 0.0
+
+    def test_better_partition_has_higher_modularity(self, two_triangles):
+        good = {0: 0, 1: 0, 2: 0, 3: 1, 4: 1, 5: 1}
+        bad = {0: 0, 1: 1, 2: 0, 3: 1, 4: 0, 5: 1}
+        assert modularity(good, two_triangles) > modularity(bad, two_triangles)
+
+
+class TestLabelHistogram:
+    def test_counts(self):
+        labels = {
+            (1, 2): EdgeLabel.SIMILAR,
+            (2, 3): EdgeLabel.DISSIMILAR,
+            (3, 4): EdgeLabel.SIMILAR,
+        }
+        assert labelling_similarity_histogram(labels) == {"similar": 2, "dissimilar": 1}

@@ -1,0 +1,126 @@
+"""Unit tests for cluster-evolution tracking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tracking import (
+    ClusterEventKind,
+    ClusterTracker,
+    match_clusterings,
+)
+from repro.core.config import StrCluParams
+from repro.core.dynstrclu import DynStrClu
+from repro.core.result import Clustering
+
+
+def _clustering(*clusters):
+    return Clustering(clusters=[set(c) for c in clusters])
+
+
+class TestMatchClusterings:
+    def test_continued(self):
+        events = match_clusterings(_clustering({1, 2, 3}), _clustering({1, 2, 3}))
+        assert [e.kind for e in events] == [ClusterEventKind.CONTINUED]
+        assert events[0].overlap == pytest.approx(1.0)
+
+    def test_born_and_dissolved(self):
+        events = match_clusterings(_clustering({1, 2, 3}), _clustering({7, 8, 9}))
+        kinds = sorted(e.kind.value for e in events)
+        assert kinds == ["born", "dissolved"]
+
+    def test_grown_and_shrunk(self):
+        grown = match_clusterings(_clustering({1, 2, 3}), _clustering({1, 2, 3, 4, 5}))
+        assert grown[0].kind is ClusterEventKind.GROWN
+        shrunk = match_clusterings(_clustering({1, 2, 3, 4, 5}), _clustering({1, 2, 3}))
+        assert shrunk[0].kind is ClusterEventKind.SHRUNK
+
+    def test_split(self):
+        events = match_clusterings(
+            _clustering({1, 2, 3, 4}), _clustering({1, 2}, {3, 4})
+        )
+        assert all(e.kind is ClusterEventKind.SPLIT for e in events)
+        assert all(e.old_indices == (0,) for e in events)
+
+    def test_merge(self):
+        events = match_clusterings(
+            _clustering({1, 2, 3}, {4, 5, 6}), _clustering({1, 2, 3, 4, 5, 6})
+        )
+        assert len(events) == 1
+        assert events[0].kind is ClusterEventKind.MERGED
+        assert events[0].old_indices == (0, 1)
+
+    def test_threshold_controls_matching(self):
+        old = _clustering({1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+        new = _clustering({1, 20, 21, 22, 23, 24, 25, 26, 27, 28})
+        strict = match_clusterings(old, new, threshold=0.5)
+        assert any(e.kind is ClusterEventKind.BORN for e in strict)
+        lax = match_clusterings(old, new, threshold=0.01)
+        assert all(e.kind is not ClusterEventKind.BORN for e in lax)
+
+    def test_involves(self):
+        events = match_clusterings(_clustering({1, 2, 3}), _clustering({1, 2, 3}))
+        assert events[0].involves(0)
+        assert not events[0].involves(5)
+
+
+class TestClusterTracker:
+    def test_first_observation_has_no_events(self):
+        tracker = ClusterTracker()
+        assert tracker.observe(_clustering({1, 2, 3})) == []
+        assert len(tracker.active_communities()) == 1
+
+    def test_identifier_stability_across_growth(self):
+        tracker = ClusterTracker()
+        tracker.observe(_clustering({1, 2, 3}))
+        first_id = tracker.community_id_of_cluster(0)
+        tracker.observe(_clustering({1, 2, 3, 4}))
+        assert tracker.community_id_of_cluster(0) == first_id
+
+    def test_split_gets_fresh_identifiers(self):
+        tracker = ClusterTracker()
+        tracker.observe(_clustering({1, 2, 3, 4}))
+        original = tracker.community_id_of_cluster(0)
+        tracker.observe(_clustering({1, 2}, {3, 4}))
+        new_ids = {tracker.community_id_of_cluster(0), tracker.community_id_of_cluster(1)}
+        assert original not in new_ids
+        assert len(new_ids) == 2
+
+    def test_dissolved_history_recorded(self):
+        tracker = ClusterTracker()
+        tracker.observe(_clustering({1, 2, 3}))
+        tracker.observe(_clustering())
+        dissolved = tracker.events_of_kind(ClusterEventKind.DISSOLVED)
+        assert len(dissolved) == 1
+        assert len(tracker.active_communities()) == 0
+        assert len(tracker.all_communities()) == 1
+
+    def test_events_accumulate_with_steps(self):
+        tracker = ClusterTracker()
+        tracker.observe(_clustering({1, 2, 3}))
+        tracker.observe(_clustering({1, 2, 3}, {7, 8, 9}))
+        tracker.observe(_clustering({1, 2, 3}))
+        born = tracker.events_of_kind(ClusterEventKind.BORN)
+        dissolved = tracker.events_of_kind(ClusterEventKind.DISSOLVED)
+        assert len(born) == 1 and born[0][0] == 1
+        assert len(dissolved) == 1 and dissolved[0][0] == 2
+
+
+class TestTrackerOnMaintainer:
+    def test_merge_detected_when_bridge_appears(self):
+        """Two separate triangles merge into one cluster when bridged densely."""
+        params = StrCluParams(epsilon=0.5, mu=2, rho=0.0)
+        algo = DynStrClu(params)
+        for u, v in [(1, 2), (2, 3), (1, 3), (4, 5), (5, 6), (4, 6)]:
+            algo.insert_edge(u, v)
+        tracker = ClusterTracker()
+        tracker.observe(algo.clustering())
+        assert len(tracker.active_communities()) == 2
+
+        # densely connect the two triangles so they become one cluster
+        for u, v in [(3, 4), (3, 5), (2, 4), (2, 5), (1, 4), (1, 6), (2, 6), (3, 6), (1, 5)]:
+            algo.insert_edge(u, v)
+        events = tracker.observe(algo.clustering())
+        kinds = {e.kind for e in events}
+        assert ClusterEventKind.MERGED in kinds
+        assert len(tracker.active_communities()) == 1

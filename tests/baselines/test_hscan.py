@@ -1,0 +1,84 @@
+"""Unit tests for the hSCAN-style index baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.hscan import IndexedDynamicSCAN
+from repro.baselines.scan import static_scan
+from repro.core.result import clusterings_equal
+from repro.graph.similarity import jaccard_similarity
+from repro.workloads.updates import InsertionStrategy, generate_update_sequence
+
+
+class TestIndexMaintenance:
+    def test_indexed_similarities_are_exact(self, community_edges):
+        algo = IndexedDynamicSCAN.from_edges(community_edges)
+        for u, v in algo.graph.edges():
+            assert algo.edge_similarity(u, v) == pytest.approx(
+                jaccard_similarity(algo.graph, u, v)
+            )
+
+    def test_index_exact_after_mixed_updates(self, community_edges):
+        workload = generate_update_sequence(
+            48, community_edges, 200, InsertionStrategy.RANDOM_RANDOM, eta=0.5, seed=3
+        )
+        algo = IndexedDynamicSCAN()
+        for update in workload.all_updates():
+            algo.apply(update)
+        for u, v in algo.graph.edges():
+            assert algo.edge_similarity(u, v) == pytest.approx(
+                jaccard_similarity(algo.graph, u, v)
+            )
+
+    def test_deleted_edge_removed_from_index(self, community_edges):
+        algo = IndexedDynamicSCAN.from_edges(community_edges[:50])
+        u, v = community_edges[0]
+        algo.delete_edge(u, v)
+        assert algo.edge_similarity(u, v) is None
+
+
+class TestOnTheFlyQueries:
+    def test_clustering_matches_static_scan_for_several_parameters(self, community_edges):
+        """The index answers any (epsilon, mu) given at query time."""
+        algo = IndexedDynamicSCAN.from_edges(community_edges)
+        for epsilon, mu in [(0.3, 2), (0.4, 3), (0.5, 4)]:
+            expected = static_scan(algo.graph, epsilon, mu)
+            assert clusterings_equal(algo.clustering(epsilon, mu), expected), (epsilon, mu)
+
+    def test_core_test_uses_kth_similarity(self, community_edges):
+        algo = IndexedDynamicSCAN.from_edges(community_edges)
+        expected = static_scan(algo.graph, 0.4, 3)
+        for v in algo.graph.vertices():
+            assert algo.is_core(v, 0.4, 3) == (v in expected.cores)
+
+    def test_labelling_for_epsilon(self, community_edges):
+        from repro.core.labelling import exact_labelling
+
+        algo = IndexedDynamicSCAN.from_edges(community_edges)
+        assert algo.labelling(0.4) == exact_labelling(algo.graph, 0.4)
+
+
+class TestNeighbourOrder:
+    def test_kth_similarity_out_of_range_is_zero(self):
+        algo = IndexedDynamicSCAN.from_edges([(0, 1)])
+        assert algo.is_core(0, 0.1, 5) is False
+
+    def test_neighbours_at_least(self, community_edges):
+        algo = IndexedDynamicSCAN.from_edges(community_edges)
+        vertex = community_edges[0][0]
+        order = algo.orders[vertex]
+        listed = order.neighbours_at_least(0.4)
+        expected = {
+            w
+            for w in algo.graph.neighbours(vertex)
+            if jaccard_similarity(algo.graph, vertex, w) >= 0.4
+        }
+        assert set(listed) == expected
+
+    def test_memory_includes_index_entries(self, community_edges):
+        algo = IndexedDynamicSCAN.from_edges(community_edges)
+        from repro.baselines.pscan import ExactDynamicSCAN
+
+        plain = ExactDynamicSCAN.from_edges(community_edges, epsilon=0.4, mu=3)
+        assert algo.memory_words() > plain.memory_words()

@@ -1,0 +1,73 @@
+"""Unit tests for the pSCAN-style exact dynamic baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.pscan import ExactDynamicSCAN
+from repro.baselines.scan import static_scan
+from repro.core.labelling import exact_labelling
+from repro.core.result import clusterings_equal
+from repro.graph.similarity import SimilarityKind
+from repro.instrumentation import OpCounter
+from repro.workloads.updates import InsertionStrategy, generate_update_sequence
+
+
+class TestExactness:
+    def test_labels_exact_after_insertions(self, community_edges):
+        algo = ExactDynamicSCAN.from_edges(community_edges, epsilon=0.4, mu=3)
+        assert algo.labels == exact_labelling(algo.graph, 0.4)
+
+    def test_labels_exact_after_mixed_updates(self, community_edges):
+        workload = generate_update_sequence(
+            48, community_edges, 250, InsertionStrategy.DEGREE_RANDOM, eta=0.4, seed=1
+        )
+        algo = ExactDynamicSCAN(epsilon=0.4, mu=3)
+        for update in workload.all_updates():
+            algo.apply(update)
+        assert algo.labels == exact_labelling(algo.graph, 0.4)
+
+    def test_clustering_matches_static_scan(self, community_edges):
+        algo = ExactDynamicSCAN.from_edges(community_edges, epsilon=0.4, mu=3)
+        assert clusterings_equal(algo.clustering(), static_scan(algo.graph, 0.4, 3))
+
+    def test_cosine_mode(self, community_edges):
+        algo = ExactDynamicSCAN.from_edges(
+            community_edges, epsilon=0.6, mu=3, similarity=SimilarityKind.COSINE
+        )
+        assert algo.labels == exact_labelling(algo.graph, 0.6, SimilarityKind.COSINE)
+
+    def test_edge_label_lookup(self, community_edges):
+        algo = ExactDynamicSCAN.from_edges(community_edges[:30], epsilon=0.4, mu=3)
+        u, v = community_edges[0]
+        assert algo.edge_label(u, v) is not None
+        assert algo.edge_label(9999, 9998) is None
+
+
+class TestCostModel:
+    def test_per_update_work_scales_with_degree(self, community_edges):
+        """pSCAN-style maintenance re-evaluates every incident edge: the
+        similarity-eval count per update is about the endpoint degrees."""
+        counter = OpCounter()
+        algo = ExactDynamicSCAN.from_edges(community_edges, epsilon=0.4, mu=3, counter=counter)
+        counter.reset()
+        # pick the highest-degree vertex and add a fresh edge to it
+        hub = max(algo.graph.vertices(), key=algo.graph.degree)
+        algo.insert_edge(hub, 10_001)
+        assert counter.get("similarity_eval") >= algo.graph.degree(hub)
+
+    def test_memory_linear(self, community_edges):
+        algo = ExactDynamicSCAN.from_edges(community_edges, epsilon=0.4, mu=3)
+        assert algo.memory_words() > 0
+
+
+class TestValidation:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ExactDynamicSCAN(epsilon=0.0, mu=3)
+        with pytest.raises(ValueError):
+            ExactDynamicSCAN(epsilon=0.5, mu=0)
+
+    def test_updates_counted(self, community_edges):
+        algo = ExactDynamicSCAN.from_edges(community_edges[:20], epsilon=0.4, mu=3)
+        assert algo.updates_processed == 20

@@ -1,0 +1,70 @@
+"""Unit tests for the static SCAN baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.scan import scan_labelling, static_scan
+from repro.core.labelling import exact_labelling
+from repro.core.result import compute_clusters, clusterings_equal
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import planted_partition_graph
+from repro.graph.similarity import SimilarityKind
+from repro.instrumentation import OpCounter
+
+
+class TestScanLabelling:
+    def test_matches_exact_labelling(self, two_communities):
+        assert scan_labelling(two_communities, 0.4) == exact_labelling(two_communities, 0.4)
+
+    def test_counts_one_similarity_eval_per_edge(self, two_communities):
+        counter = OpCounter()
+        scan_labelling(two_communities, 0.4, counter=counter)
+        assert counter.get("similarity_eval") == two_communities.num_edges
+
+
+class TestStaticScan:
+    def test_equals_fact1_on_exact_labels(self, two_communities):
+        clustering = static_scan(two_communities, 0.4, 3)
+        expected = compute_clusters(two_communities, exact_labelling(two_communities, 0.4), 3)
+        assert clusterings_equal(clustering, expected)
+
+    def test_recovers_planted_communities(self):
+        edges = planted_partition_graph(3, 12, p_intra=0.85, p_inter=0.0, seed=2)
+        graph = DynamicGraph(edges)
+        clustering = static_scan(graph, 0.5, 3)
+        assert clustering.num_clusters == 3
+        blocks = [set(range(i * 12, (i + 1) * 12)) for i in range(3)]
+        found = {frozenset(c) for c in clustering.clusters}
+        for block in blocks:
+            assert any(cluster <= block for cluster in found)
+
+    def test_epsilon_one_only_keeps_twin_edges(self, two_communities):
+        clustering = static_scan(two_communities, 1.0, 2)
+        # with epsilon = 1 only edges whose endpoints have identical closed
+        # neighbourhoods are similar, so clusters are rare and tiny
+        for cluster in clustering.clusters:
+            assert len(cluster) <= two_communities.num_vertices
+
+    def test_mu_one_makes_every_similar_endpoint_core(self, two_communities):
+        clustering = static_scan(two_communities, 0.4, 1)
+        for u, v in two_communities.edges():
+            from repro.graph.similarity import jaccard_similarity
+
+            if jaccard_similarity(two_communities, u, v) >= 0.4:
+                assert u in clustering.cores and v in clustering.cores
+
+    def test_cosine_variant_runs(self, two_communities):
+        clustering = static_scan(two_communities, 0.6, 3, SimilarityKind.COSINE)
+        assert clustering.num_clusters >= 1
+
+    def test_cosine_similar_set_contains_jaccard_similar_set(self, two_communities):
+        """σ_c ≥ σ_j, so at equal ε the cosine labelling has at least the
+        Jaccard-similar edges (Section 9.1 observation)."""
+        from repro.core.labelling import EdgeLabel
+
+        jac = scan_labelling(two_communities, 0.45, SimilarityKind.JACCARD)
+        cos = scan_labelling(two_communities, 0.45, SimilarityKind.COSINE)
+        for edge, label in jac.items():
+            if label is EdgeLabel.SIMILAR:
+                assert cos[edge] is EdgeLabel.SIMILAR

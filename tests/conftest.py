@@ -1,0 +1,57 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.config import StrCluParams
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import planted_partition_graph, powerlaw_cluster_graph
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """Deterministic RNG for tests that need randomness."""
+    return random.Random(12345)
+
+
+@pytest.fixture
+def triangle_graph() -> DynamicGraph:
+    """A triangle plus a pendant vertex — the smallest interesting StrClu input."""
+    return DynamicGraph([(0, 1), (1, 2), (0, 2), (2, 3)])
+
+
+@pytest.fixture
+def two_communities() -> DynamicGraph:
+    """Two dense 6-vertex communities joined by one bridge edge."""
+    edges = planted_partition_graph(2, 6, p_intra=0.9, p_inter=0.0, seed=7)
+    graph = DynamicGraph(edges)
+    if not graph.has_edge(0, 6):
+        graph.insert_edge(0, 6)
+    return graph
+
+
+@pytest.fixture
+def community_edges() -> list:
+    """Edge list of a 4-community planted-partition graph (48 vertices)."""
+    return planted_partition_graph(4, 12, p_intra=0.5, p_inter=0.03, seed=3)
+
+
+@pytest.fixture
+def powerlaw_edges() -> list:
+    """Edge list of a small heavy-tailed graph with triangles."""
+    return powerlaw_cluster_graph(n=120, attachments=3, triangle_prob=0.6, seed=9)
+
+
+@pytest.fixture
+def exact_params() -> StrCluParams:
+    """Exact-mode parameters (rho = 0): DynELM must equal static SCAN."""
+    return StrCluParams(epsilon=0.4, mu=3, rho=0.0, seed=1)
+
+
+@pytest.fixture
+def approx_params() -> StrCluParams:
+    """Default approximate parameters used by most algorithm tests."""
+    return StrCluParams(epsilon=0.4, mu=3, rho=0.05, delta_star=0.01, seed=1)

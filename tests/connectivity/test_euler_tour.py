@@ -1,0 +1,192 @@
+"""Unit tests for Euler-tour forests and the ETT connectivity backend."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.connectivity.euler_tour import EulerTourConnectivity, EulerTourForest
+
+
+class TestEulerTourForest:
+    def test_isolated_vertices(self):
+        forest = EulerTourForest()
+        forest.add_vertex(1)
+        forest.add_vertex(2)
+        assert not forest.connected(1, 2)
+        assert forest.tree_size(1) == 1
+
+    def test_link_connects(self):
+        forest = EulerTourForest()
+        forest.link(1, 2)
+        forest.link(2, 3)
+        assert forest.connected(1, 3)
+        assert forest.tree_size(1) == 3
+        assert forest.component_id(1) == forest.component_id(3)
+
+    def test_link_same_tree_rejected(self):
+        forest = EulerTourForest()
+        forest.link(1, 2)
+        forest.link(2, 3)
+        with pytest.raises(ValueError):
+            forest.link(1, 3)
+
+    def test_duplicate_link_rejected(self):
+        forest = EulerTourForest()
+        forest.link(1, 2)
+        with pytest.raises(ValueError):
+            forest.link(2, 1)
+
+    def test_cut_splits(self):
+        forest = EulerTourForest()
+        forest.link(1, 2)
+        forest.link(2, 3)
+        forest.link(3, 4)
+        forest.cut(2, 3)
+        assert forest.connected(1, 2)
+        assert forest.connected(3, 4)
+        assert not forest.connected(1, 4)
+        assert forest.tree_size(1) == 2
+        assert forest.tree_size(4) == 2
+
+    def test_cut_missing_edge_rejected(self):
+        forest = EulerTourForest()
+        forest.link(1, 2)
+        with pytest.raises(ValueError):
+            forest.cut(1, 3)
+
+    def test_tree_vertices(self):
+        forest = EulerTourForest()
+        for a, b in [(0, 1), (1, 2), (1, 3)]:
+            forest.link(a, b)
+        forest.add_vertex(9)
+        assert sorted(forest.tree_vertices(2)) == [0, 1, 2, 3]
+        assert forest.tree_vertices(9) == [9]
+
+    def test_remove_isolated_vertex(self):
+        forest = EulerTourForest()
+        forest.add_vertex(5)
+        forest.remove_vertex(5)
+        assert not forest.has_vertex(5)
+
+    def test_remove_connected_vertex_rejected(self):
+        forest = EulerTourForest()
+        forest.link(1, 2)
+        with pytest.raises(ValueError):
+            forest.remove_vertex(1)
+
+    def test_invariant_after_random_link_cut(self):
+        rng = random.Random(2)
+        forest = EulerTourForest(seed=2)
+        tree_edges = set()
+        for v in range(40):
+            forest.add_vertex(v)
+        for _ in range(800):
+            u, v = rng.sample(range(40), 2)
+            key = (min(u, v), max(u, v))
+            if key in tree_edges:
+                forest.cut(*key)
+                tree_edges.discard(key)
+            elif not forest.connected(u, v):
+                forest.link(u, v)
+                tree_edges.add(key)
+        assert forest.check_invariant()
+        assert forest.num_tree_edges() == len(tree_edges)
+
+
+class TestMarks:
+    def test_vertex_marks_searchable(self):
+        forest = EulerTourForest()
+        for a, b in [(0, 1), (1, 2), (2, 3)]:
+            forest.link(a, b)
+        assert forest.find_marked_vertex(0) is None
+        forest.set_vertex_mark(2, True)
+        assert forest.find_marked_vertex(0) == 2
+        forest.set_vertex_mark(2, False)
+        assert forest.find_marked_vertex(0) is None
+
+    def test_edge_marks_searchable(self):
+        forest = EulerTourForest()
+        for a, b in [(0, 1), (1, 2), (2, 3)]:
+            forest.link(a, b)
+        assert forest.find_marked_edge(3) is None
+        forest.set_edge_mark(1, 2, True)
+        assert forest.find_marked_edge(3) == (1, 2)
+        forest.set_edge_mark(1, 2, False)
+        assert forest.find_marked_edge(3) is None
+
+    def test_marks_limited_to_their_tree(self):
+        forest = EulerTourForest()
+        forest.link(0, 1)
+        forest.link(5, 6)
+        forest.set_vertex_mark(6, True)
+        assert forest.find_marked_vertex(0) is None
+        assert forest.find_marked_vertex(5) == 6
+
+    def test_marks_survive_restructuring(self):
+        forest = EulerTourForest()
+        for a, b in [(0, 1), (1, 2), (2, 3), (3, 4)]:
+            forest.link(a, b)
+        forest.set_vertex_mark(4, True)
+        forest.cut(2, 3)
+        # vertex 4 is now in the {3, 4} tree
+        assert forest.find_marked_vertex(3) == 4
+        assert forest.find_marked_vertex(0) is None
+
+    def test_edge_mark_unknown_edge_rejected(self):
+        forest = EulerTourForest()
+        forest.link(0, 1)
+        with pytest.raises(ValueError):
+            forest.set_edge_mark(0, 2, True)
+
+
+class TestEulerTourConnectivity:
+    def test_insert_delete_with_replacement(self):
+        cc = EulerTourConnectivity()
+        for e in [(1, 2), (2, 3), (1, 3)]:
+            cc.insert_edge(*e)
+        cc.delete_edge(1, 2)
+        assert cc.connected(1, 2)  # replacement via 3
+        cc.delete_edge(1, 3)
+        assert not cc.connected(1, 2)
+
+    def test_component_sizes(self):
+        cc = EulerTourConnectivity()
+        cc.insert_edge(1, 2)
+        cc.insert_edge(2, 3)
+        cc.insert_edge(4, 5)
+        assert cc.component_size(1) == 3
+        assert cc.component_size(5) == 2
+
+    def test_duplicate_and_missing_edges_rejected(self):
+        cc = EulerTourConnectivity()
+        cc.insert_edge(1, 2)
+        with pytest.raises(ValueError):
+            cc.insert_edge(1, 2)
+        with pytest.raises(ValueError):
+            cc.delete_edge(1, 3)
+
+    def test_matches_union_find_on_random_sequence(self):
+        from repro.connectivity.union_find import UnionFindConnectivity
+
+        rng = random.Random(11)
+        ett = EulerTourConnectivity(seed=11)
+        reference = UnionFindConnectivity()
+        present = set()
+        n = 25
+        for _ in range(1200):
+            u, v = rng.sample(range(n), 2)
+            key = (min(u, v), max(u, v))
+            if key in present:
+                ett.delete_edge(*key)
+                reference.delete_edge(*key)
+                present.discard(key)
+            else:
+                ett.insert_edge(*key)
+                reference.insert_edge(*key)
+                present.add(key)
+        for u in range(n):
+            for v in range(u + 1, n):
+                if reference.has_vertex(u) and reference.has_vertex(v) and ett.has_vertex(u) and ett.has_vertex(v):
+                    assert ett.connected(u, v) == reference.connected(u, v)

@@ -1,0 +1,166 @@
+"""Unit tests for the HDT fully dynamic connectivity structure."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.connectivity import make_connectivity
+from repro.connectivity.hdt import HDTConnectivity
+from repro.connectivity.union_find import UnionFindConnectivity
+
+
+class TestBasics:
+    def test_insert_connects(self):
+        cc = HDTConnectivity()
+        cc.insert_edge(1, 2)
+        cc.insert_edge(2, 3)
+        assert cc.connected(1, 3)
+        assert cc.component_size(1) == 3
+        assert cc.num_edges() == 2
+        assert cc.num_vertices() == 3
+
+    def test_delete_tree_edge_without_replacement(self):
+        cc = HDTConnectivity()
+        cc.insert_edge(1, 2)
+        cc.insert_edge(2, 3)
+        cc.delete_edge(2, 3)
+        assert cc.connected(1, 2)
+        assert not cc.connected(1, 3)
+
+    def test_delete_tree_edge_with_replacement(self):
+        cc = HDTConnectivity()
+        for e in [(1, 2), (2, 3), (1, 3)]:
+            cc.insert_edge(*e)
+        cc.delete_edge(1, 2)
+        assert cc.connected(1, 2)
+
+    def test_delete_nontree_edge(self):
+        cc = HDTConnectivity()
+        for e in [(1, 2), (2, 3), (1, 3)]:
+            cc.insert_edge(*e)
+        # (1, 3) closed a cycle, so it is a non-tree edge at level 0
+        assert cc.edge_level(1, 3) == 0
+        cc.delete_edge(1, 3)
+        assert cc.connected(1, 3)
+
+    def test_duplicate_and_missing_edges_rejected(self):
+        cc = HDTConnectivity()
+        cc.insert_edge(1, 2)
+        with pytest.raises(ValueError):
+            cc.insert_edge(2, 1)
+        with pytest.raises(ValueError):
+            cc.delete_edge(1, 3)
+
+    def test_self_loop_rejected(self):
+        cc = HDTConnectivity()
+        with pytest.raises(ValueError):
+            cc.insert_edge(1, 1)
+
+    def test_vertex_lifecycle(self):
+        cc = HDTConnectivity()
+        cc.add_vertex("a")
+        assert cc.has_vertex("a")
+        cc.insert_edge("a", "b")
+        with pytest.raises(ValueError):
+            cc.remove_vertex("a")
+        cc.delete_edge("a", "b")
+        cc.remove_vertex("a")
+        assert not cc.has_vertex("a")
+
+    def test_disconnected_query_for_unknown_vertices(self):
+        cc = HDTConnectivity()
+        cc.insert_edge(1, 2)
+        assert not cc.connected(1, 99)
+
+    def test_component_ids_consistent_at_query_time(self):
+        cc = HDTConnectivity()
+        cc.insert_edge(1, 2)
+        cc.insert_edge(3, 4)
+        cc.insert_edge(2, 3)
+        ids = {cc.component_id(v) for v in (1, 2, 3, 4)}
+        assert len(ids) == 1
+        cc.delete_edge(2, 3)
+        assert cc.component_id(1) == cc.component_id(2)
+        assert cc.component_id(1) != cc.component_id(3)
+
+
+class TestLevels:
+    def test_levels_increase_under_churn(self):
+        """Deleting tree edges in a dense component must promote edges."""
+        cc = HDTConnectivity()
+        n = 16
+        edges = [(u, v) for u in range(n) for v in range(u + 1, n)]
+        for e in edges:
+            cc.insert_edge(*e)
+        rng = random.Random(0)
+        rng.shuffle(edges)
+        for e in edges[: len(edges) // 2]:
+            cc.delete_edge(*e)
+        assert cc.max_level >= 1
+        # remaining graph is still quite dense, should stay connected
+        assert cc.component_size(0) == n
+
+    def test_memory_elements_positive(self):
+        cc = HDTConnectivity()
+        for e in [(0, 1), (1, 2), (0, 2)]:
+            cc.insert_edge(*e)
+        assert cc.memory_elements()["cc_node"] > 0
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_churn_matches_union_find(self, seed):
+        rng = random.Random(seed)
+        n = 30
+        hdt = HDTConnectivity(seed=seed)
+        oracle = UnionFindConnectivity()
+        present = set()
+        for step in range(1500):
+            u, v = rng.sample(range(n), 2)
+            key = (min(u, v), max(u, v))
+            if key in present and rng.random() < 0.55:
+                hdt.delete_edge(*key)
+                oracle.delete_edge(*key)
+                present.discard(key)
+            elif key not in present:
+                hdt.insert_edge(*key)
+                oracle.insert_edge(*key)
+                present.add(key)
+            if step % 50 == 0:
+                for a in range(n):
+                    if not oracle.has_vertex(a) or not hdt.has_vertex(a):
+                        continue
+                    for b in range(a + 1, n):
+                        if oracle.has_vertex(b) and hdt.has_vertex(b):
+                            assert hdt.connected(a, b) == oracle.connected(a, b), (
+                                step,
+                                a,
+                                b,
+                            )
+
+    def test_deletion_heavy_workload(self):
+        """Insert a full clique then delete everything; no crash, correct end state."""
+        cc = HDTConnectivity()
+        n = 12
+        edges = [(u, v) for u in range(n) for v in range(u + 1, n)]
+        for e in edges:
+            cc.insert_edge(*e)
+        for e in edges:
+            cc.delete_edge(*e)
+        assert cc.num_edges() == 0
+        for u in range(n):
+            for v in range(u + 1, n):
+                assert not cc.connected(u, v)
+
+
+class TestFactory:
+    def test_make_connectivity_backends(self):
+        from repro.connectivity.euler_tour import EulerTourConnectivity
+
+        assert isinstance(make_connectivity("hdt"), HDTConnectivity)
+        assert isinstance(make_connectivity("ett"), EulerTourConnectivity)
+        assert isinstance(make_connectivity("union_find"), UnionFindConnectivity)
+        with pytest.raises(ValueError):
+            make_connectivity("nope")

@@ -1,0 +1,108 @@
+"""Unit tests for union-find and the rebuild-on-delete connectivity backend."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.connectivity.union_find import UnionFind, UnionFindConnectivity
+
+
+class TestUnionFind:
+    def test_initial_singletons(self):
+        uf = UnionFind([1, 2, 3])
+        assert not uf.connected(1, 2)
+        assert uf.set_size(1) == 1
+
+    def test_union_and_find(self):
+        uf = UnionFind([1, 2, 3, 4])
+        assert uf.union(1, 2)
+        assert uf.union(3, 4)
+        assert uf.connected(1, 2)
+        assert not uf.connected(1, 3)
+        assert uf.union(2, 3)
+        assert uf.connected(1, 4)
+        assert uf.set_size(4) == 4
+
+    def test_union_same_set_returns_false(self):
+        uf = UnionFind([1, 2])
+        uf.union(1, 2)
+        assert not uf.union(2, 1)
+
+    def test_add_idempotent_and_len(self):
+        uf = UnionFind()
+        uf.add("a")
+        uf.add("a")
+        assert len(uf) == 1
+        assert "a" in uf and "b" not in uf
+
+
+class TestUnionFindConnectivity:
+    def test_insert_connects(self):
+        cc = UnionFindConnectivity()
+        cc.insert_edge(1, 2)
+        cc.insert_edge(2, 3)
+        assert cc.connected(1, 3)
+        assert cc.component_size(1) == 3
+        assert cc.num_edges() == 2
+
+    def test_component_ids_consistent(self):
+        cc = UnionFindConnectivity()
+        cc.insert_edge(1, 2)
+        cc.insert_edge(3, 4)
+        assert cc.component_id(1) == cc.component_id(2)
+        assert cc.component_id(1) != cc.component_id(3)
+
+    def test_delete_splits_component(self):
+        cc = UnionFindConnectivity()
+        cc.insert_edge(1, 2)
+        cc.insert_edge(2, 3)
+        cc.delete_edge(1, 2)
+        assert not cc.connected(1, 3)
+        assert cc.connected(2, 3)
+        assert cc.rebuilds >= 1
+
+    def test_delete_keeps_alternative_path(self):
+        cc = UnionFindConnectivity()
+        for e in [(1, 2), (2, 3), (1, 3)]:
+            cc.insert_edge(*e)
+        cc.delete_edge(1, 2)
+        assert cc.connected(1, 2)
+
+    def test_duplicate_edge_rejected(self):
+        cc = UnionFindConnectivity()
+        cc.insert_edge(1, 2)
+        with pytest.raises(ValueError):
+            cc.insert_edge(2, 1)
+
+    def test_delete_missing_edge_rejected(self):
+        cc = UnionFindConnectivity()
+        with pytest.raises(ValueError):
+            cc.delete_edge(1, 2)
+
+    def test_self_loop_rejected(self):
+        cc = UnionFindConnectivity()
+        with pytest.raises(ValueError):
+            cc.insert_edge(4, 4)
+
+    def test_vertex_lifecycle(self):
+        cc = UnionFindConnectivity()
+        cc.add_vertex(9)
+        assert cc.has_vertex(9)
+        assert cc.component_size(9) == 1
+        cc.remove_vertex(9)
+        assert not cc.has_vertex(9)
+
+    def test_remove_non_isolated_vertex_rejected(self):
+        cc = UnionFindConnectivity()
+        cc.insert_edge(1, 2)
+        with pytest.raises(ValueError):
+            cc.remove_vertex(1)
+
+    def test_components_helper(self):
+        cc = UnionFindConnectivity()
+        cc.insert_edge(1, 2)
+        cc.insert_edge(3, 4)
+        cc.add_vertex(5)
+        comps = sorted(sorted(c) for c in cc.components())
+        assert comps == [[1, 2], [3, 4], [5]]
+        assert cc.num_components() == 3

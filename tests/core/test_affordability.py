@@ -1,0 +1,116 @@
+"""Unit tests for update-affordability thresholds (Lemmas 5.1/5.2, 8.4/8.5)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.affordability import (
+    cosine_is_balanced,
+    cosine_threshold,
+    jaccard_affordability,
+    jaccard_threshold,
+    tracking_threshold,
+)
+from repro.core.config import StrCluParams
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.similarity import SimilarityKind, jaccard_similarity
+
+
+class TestJaccardThresholds:
+    def test_formula(self):
+        assert jaccard_affordability(100, rho=0.1, epsilon=0.4) == math.floor(0.5 * 0.1 * 0.4 * 100)
+        assert jaccard_threshold(100, rho=0.1, epsilon=0.4) == 2 + 1
+
+    def test_minimum_is_one(self):
+        assert jaccard_threshold(1, rho=0.01, epsilon=0.1) == 1
+        assert jaccard_threshold(0, rho=0.5, epsilon=0.9) == 1
+
+    def test_grows_with_degree(self):
+        small = jaccard_threshold(10, 0.2, 0.5)
+        large = jaccard_threshold(1000, 0.2, 0.5)
+        assert large > small
+
+    def test_exact_mode_gives_one(self):
+        assert jaccard_threshold(10_000, rho=0.0, epsilon=0.3) == 1
+
+
+class TestCosineThresholds:
+    def test_balance_test(self):
+        assert cosine_is_balanced(81, 100, epsilon=1.0)
+        assert not cosine_is_balanced(80, 100, epsilon=1.0)
+
+    def test_balanced_formula(self):
+        tau = cosine_threshold(90, 100, rho=0.2, epsilon=0.5)
+        assert tau == math.floor(0.45 * 0.2 * 0.25 * 100) + 1
+
+    def test_unbalanced_formula(self):
+        tau = cosine_threshold(5, 1000, rho=0.2, epsilon=0.5)
+        assert tau == math.floor(0.19 * 0.25 * 1000) + 1
+
+    def test_unbalanced_threshold_independent_of_rho(self):
+        a = cosine_threshold(5, 1000, rho=0.01, epsilon=0.5)
+        b = cosine_threshold(5, 1000, rho=0.4, epsilon=0.5)
+        assert a == b
+
+    def test_minimum_is_one(self):
+        assert cosine_threshold(1, 1, rho=0.0, epsilon=0.1) == 1
+
+
+class TestTrackingThresholdDispatch:
+    def test_jaccard_uses_max_degree(self):
+        graph = DynamicGraph([(0, i) for i in range(1, 41)] + [(1, 2)])
+        params = StrCluParams(epsilon=0.5, mu=2, rho=0.4)
+        tau = tracking_threshold(graph, 0, 1, params)
+        assert tau == jaccard_threshold(40, 0.4, 0.5)
+
+    def test_cosine_uses_closed_sizes(self):
+        graph = DynamicGraph([(0, i) for i in range(1, 41)] + [(1, 2)])
+        params = StrCluParams(epsilon=0.5, mu=2, rho=0.4, similarity=SimilarityKind.COSINE)
+        tau = tracking_threshold(graph, 0, 1, params)
+        assert tau == cosine_threshold(3, 41, 0.4, 0.5)
+
+    def test_exact_mode_always_one_under_jaccard(self):
+        graph = DynamicGraph([(0, i) for i in range(1, 100)])
+        params = StrCluParams(epsilon=0.3, mu=2, rho=0.0)
+        assert tracking_threshold(graph, 0, 1, params) == 1
+
+
+class TestAffordabilityGuarantee:
+    """Empirical check of Lemma 5.1/5.2: within k affecting updates the exact
+    Jaccard similarity cannot cross the (1 ± ρ)ε boundary."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_dissimilar_edge_cannot_become_clearly_similar(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        epsilon, rho = 0.4, 0.5
+        # build a hub edge (0, 1) with many exclusive neighbours of 0: dissimilar
+        graph = DynamicGraph([(0, 1)] + [(0, i) for i in range(2, 30)])
+        assert jaccard_similarity(graph, 0, 1) < (1 - rho) * epsilon
+        k = jaccard_affordability(max(graph.degree(0), graph.degree(1)), rho, epsilon)
+        # apply k adversarial affecting updates that raise the similarity fastest:
+        # connect 1 to neighbours of 0 (insertions incident on 1)
+        raised = 0
+        for i in range(2, 30):
+            if raised >= k:
+                break
+            graph.insert_edge(1, i)
+            raised += 1
+        assert jaccard_similarity(graph, 0, 1) <= (1 + rho) * epsilon + 1e-9
+
+    def test_similar_edge_cannot_become_clearly_dissimilar(self):
+        epsilon, rho = 0.4, 0.5
+        # clique of 12: every edge has similarity 1
+        clique = [(u, v) for u in range(12) for v in range(u + 1, 12)]
+        graph = DynamicGraph(clique)
+        assert jaccard_similarity(graph, 0, 1) >= (1 + rho) * epsilon
+        k = jaccard_affordability(max(graph.degree(0), graph.degree(1)), rho, epsilon)
+        # adversarial affecting updates: attach fresh pendant vertices to 0
+        next_id = 100
+        for _ in range(k):
+            graph.insert_edge(0, next_id)
+            next_id += 1
+        assert jaccard_similarity(graph, 0, 1) >= (1 - rho) * epsilon - 1e-9

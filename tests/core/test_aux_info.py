@@ -1,0 +1,70 @@
+"""Unit tests for the vAuxInfo module (SimCnt + neighbour categories)."""
+
+from __future__ import annotations
+
+from repro.core.aux_info import VertexAuxInfo
+
+
+class TestSimCnt:
+    def test_empty(self):
+        aux = VertexAuxInfo()
+        assert aux.sim_count(1) == 0
+        assert aux.similar_neighbours(1) == set()
+
+    def test_add_similar_edge_updates_both_endpoints(self):
+        aux = VertexAuxInfo()
+        aux.update_similar_edge(1, 2, u_is_core=False, v_is_core=True)
+        assert aux.sim_count(1) == 1
+        assert aux.sim_count(2) == 1
+        assert aux.sim_core_neighbours(1) == {2}
+        assert aux.sim_noncore_neighbours(2) == {1}
+
+    def test_remove_similar_edge(self):
+        aux = VertexAuxInfo()
+        aux.update_similar_edge(1, 2, True, True)
+        aux.remove_similar_edge(1, 2)
+        assert aux.sim_count(1) == 0
+        assert aux.sim_count(2) == 0
+
+    def test_remove_unknown_edge_is_noop(self):
+        aux = VertexAuxInfo()
+        aux.remove_similar_edge(7, 8)
+        assert aux.sim_count(7) == 0
+
+
+class TestCategories:
+    def test_category_moves_with_core_status(self):
+        aux = VertexAuxInfo()
+        aux.update_similar_edge(1, 2, u_is_core=False, v_is_core=False)
+        assert aux.sim_core_neighbours(1) == set()
+        aux.set_neighbour_core_status(1, 2, v_is_core=True)
+        assert aux.sim_core_neighbours(1) == {2}
+        assert aux.sim_noncore_neighbours(1) == set()
+        # SimCnt unchanged by the category move
+        assert aux.sim_count(1) == 1
+
+    def test_category_move_for_non_similar_neighbour_is_noop(self):
+        aux = VertexAuxInfo()
+        aux.set_neighbour_core_status(1, 2, v_is_core=True)
+        assert aux.sim_count(1) == 0
+
+    def test_is_similar_neighbour(self):
+        aux = VertexAuxInfo()
+        aux.update_similar_edge(3, 4, False, True)
+        assert aux.is_similar_neighbour(3, 4)
+        assert aux.is_similar_neighbour(4, 3)
+        assert not aux.is_similar_neighbour(3, 5)
+
+    def test_vertices_and_entry_count(self):
+        aux = VertexAuxInfo()
+        aux.update_similar_edge(1, 2, True, True)
+        aux.update_similar_edge(2, 3, True, False)
+        assert aux.vertices() == {1, 2, 3}
+        assert aux.num_entries() == 4
+
+    def test_similar_neighbours_returns_copy(self):
+        aux = VertexAuxInfo()
+        aux.update_similar_edge(1, 2, True, True)
+        snapshot = aux.similar_neighbours(1)
+        snapshot.add(99)
+        assert aux.similar_neighbours(1) == {2}

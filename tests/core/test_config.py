@@ -1,0 +1,128 @@
+"""Unit tests for StrCluParams validation and derived quantities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import DEFAULT_PARAMS, StrCluParams
+from repro.graph.similarity import SimilarityKind
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        params = StrCluParams()
+        assert 0 < params.epsilon <= 1
+        assert params.mu >= 1
+        assert params is not DEFAULT_PARAMS  # fresh instance
+
+    @pytest.mark.parametrize("epsilon", [0.0, -0.1, 1.5])
+    def test_bad_epsilon(self, epsilon):
+        with pytest.raises(ValueError):
+            StrCluParams(epsilon=epsilon)
+
+    @pytest.mark.parametrize("mu", [0, -3])
+    def test_bad_mu(self, mu):
+        with pytest.raises(ValueError):
+            StrCluParams(mu=mu)
+
+    def test_rho_upper_bound_depends_on_epsilon(self):
+        # for epsilon = 0.8, rho must be below 1/0.8 - 1 = 0.25
+        StrCluParams(epsilon=0.8, rho=0.2)
+        with pytest.raises(ValueError):
+            StrCluParams(epsilon=0.8, rho=0.3)
+
+    def test_rho_below_one_for_small_epsilon(self):
+        StrCluParams(epsilon=0.2, rho=0.9)
+        with pytest.raises(ValueError):
+            StrCluParams(epsilon=0.2, rho=1.0)
+
+    def test_rho_zero_always_allowed(self):
+        assert StrCluParams(epsilon=1.0, rho=0.0).exact_mode
+
+    @pytest.mark.parametrize("delta", [0.0, 1.0, -0.5])
+    def test_bad_delta_star(self, delta):
+        with pytest.raises(ValueError):
+            StrCluParams(delta_star=delta)
+
+    def test_similarity_coerced_from_string(self):
+        params = StrCluParams(similarity="cosine")
+        assert params.similarity is SimilarityKind.COSINE
+
+
+class TestDerivedQuantities:
+    def test_delta_estimate(self):
+        params = StrCluParams(epsilon=0.4, rho=0.1)
+        assert params.delta_estimate == pytest.approx(0.02)
+
+    def test_delta_schedule_telescopes_below_delta_star(self):
+        params = StrCluParams(delta_star=0.05)
+        total = sum(params.delta_schedule(i) for i in range(1, 20_000))
+        assert total < params.delta_star
+
+    def test_delta_schedule_invalid_invocation(self):
+        with pytest.raises(ValueError):
+            StrCluParams().delta_schedule(0)
+
+    def test_jaccard_sample_size_matches_formula(self):
+        params = StrCluParams(epsilon=0.5, rho=0.2, delta_star=0.01, max_samples=None)
+        import math
+
+        delta_1 = params.delta_schedule(1)
+        expected = math.ceil(2.0 / 0.05**2 * math.log(2.0 / delta_1))
+        assert params.jaccard_sample_size(1) == expected
+
+    def test_sample_sizes_grow_with_invocation_index(self):
+        params = StrCluParams(epsilon=0.5, rho=0.2, max_samples=None)
+        assert params.jaccard_sample_size(100) > params.jaccard_sample_size(1)
+
+    def test_cosine_sample_size_matches_theorem_8_3(self):
+        import math
+
+        params = StrCluParams(epsilon=0.3, rho=0.2, max_samples=None)
+        delta_1 = params.delta_schedule(1)
+        width = params.delta_estimate
+        eps = params.epsilon
+        expected = math.ceil(
+            (eps * eps + 1.0) ** 2 / (8.0 * eps * eps * width * width) * math.log(2.0 / delta_1)
+        )
+        assert params.cosine_sample_size(1) == expected
+
+    def test_cosine_needs_more_samples_for_small_epsilon(self):
+        # the Theorem 8.3 constant exceeds the Jaccard constant when ε < 2 - sqrt(3)
+        params = StrCluParams(epsilon=0.15, rho=0.2, max_samples=None)
+        assert params.cosine_sample_size(1) > params.jaccard_sample_size(1)
+
+    def test_sample_size_capped(self):
+        params = StrCluParams(epsilon=0.2, rho=0.01, max_samples=500)
+        assert params.sample_size(1) == 500
+
+    def test_sample_size_in_exact_mode_raises(self):
+        with pytest.raises(ValueError):
+            StrCluParams(rho=0.0).jaccard_sample_size(1)
+
+    def test_dispatch_by_similarity(self):
+        jac = StrCluParams(epsilon=0.3, rho=0.2, max_samples=None)
+        cos = jac.with_similarity("cosine")
+        assert jac.sample_size(1) == jac.jaccard_sample_size(1)
+        assert cos.sample_size(1) == cos.cosine_sample_size(1)
+
+
+class TestCopies:
+    def test_with_rho(self):
+        params = StrCluParams(rho=0.01)
+        changed = params.with_rho(0.5)
+        assert changed.rho == 0.5
+        assert params.rho == 0.01
+
+    def test_with_epsilon(self):
+        assert StrCluParams().with_epsilon(0.33).epsilon == 0.33
+
+    def test_with_similarity(self):
+        assert StrCluParams().with_similarity(SimilarityKind.COSINE).similarity is (
+            SimilarityKind.COSINE
+        )
+
+    def test_frozen(self):
+        params = StrCluParams()
+        with pytest.raises(Exception):
+            params.epsilon = 0.9  # type: ignore[misc]

@@ -1,0 +1,96 @@
+"""DynELM with the exact oracle but ρ > 0: deterministic ρ-approximate validity.
+
+Running the (½ρε, δ)-strategy on top of the *exact* similarity oracle removes
+all sampling randomness: every label decision equals the exact threshold
+test, and the only approximation left is the update affordability (an edge is
+re-labelled only every τ(u, v)-th affecting update).  Lemmas 5.1/5.2 then
+guarantee — deterministically — that the maintained labelling is a valid
+ρ-approximate labelling after every update, which is exactly what these
+tests assert.  This isolates the DT/affordability machinery from the
+estimator, complementing the sampling-based tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import StrCluParams
+from repro.core.dynelm import DynELM
+from repro.core.dynstrclu import DynStrClu
+from repro.core.estimator import ExactSimilarityOracle
+from repro.core.labelling import is_valid_rho_approximate
+from repro.baselines.scan import static_scan
+from repro.graph.similarity import SimilarityKind
+from repro.workloads.updates import InsertionStrategy, generate_update_sequence
+
+
+def make_dynelm(params: StrCluParams) -> DynELM:
+    algo = DynELM(params)
+    algo.oracle = ExactSimilarityOracle(algo.graph, params.similarity)
+    algo.strategy.oracle = algo.oracle
+    return algo
+
+
+class TestDeterministicRhoValidity:
+    @pytest.mark.parametrize("rho", [0.1, 0.3, 0.6])
+    def test_jaccard_labels_always_valid(self, community_edges, rho):
+        params = StrCluParams(epsilon=0.4, mu=3, rho=rho, seed=1)
+        workload = generate_update_sequence(
+            48, community_edges, 300, InsertionStrategy.DEGREE_RANDOM, eta=0.3, seed=7
+        )
+        algo = make_dynelm(params)
+        for index, update in enumerate(workload.all_updates()):
+            algo.apply(update)
+            if index % 50 == 0:
+                assert is_valid_rho_approximate(
+                    algo.graph, algo.labels, params.epsilon, rho
+                ), f"invalid labelling after update {index}"
+        assert is_valid_rho_approximate(algo.graph, algo.labels, params.epsilon, rho)
+
+    @pytest.mark.parametrize("rho", [0.1, 0.4])
+    def test_cosine_labels_always_valid(self, community_edges, rho):
+        params = StrCluParams(
+            epsilon=0.5, mu=3, rho=rho, seed=1, similarity=SimilarityKind.COSINE
+        )
+        workload = generate_update_sequence(
+            48, community_edges, 250, InsertionStrategy.RANDOM_RANDOM, eta=0.3, seed=9
+        )
+        algo = make_dynelm(params)
+        for update in workload.all_updates():
+            algo.apply(update)
+        assert is_valid_rho_approximate(
+            algo.graph, algo.labels, params.epsilon, rho, SimilarityKind.COSINE
+        )
+
+    def test_larger_rho_relabels_less(self, community_edges):
+        workload = generate_update_sequence(
+            48, community_edges, 300, InsertionStrategy.DEGREE_DEGREE, eta=0.1, seed=3
+        )
+        invocations = {}
+        for rho in (0.05, 0.3, 0.6):
+            params = StrCluParams(epsilon=0.4, mu=3, rho=rho, seed=1)
+            algo = make_dynelm(params)
+            for update in workload.all_updates():
+                algo.apply(update)
+            invocations[rho] = algo.strategy.invocations
+        assert invocations[0.6] <= invocations[0.3] <= invocations[0.05]
+
+    def test_sandwich_guarantee_holds_deterministically(self, community_edges):
+        """With the exact oracle the Theorem 2.3 sandwich holds surely."""
+        epsilon, mu, rho = 0.4, 3, 0.4
+        params = StrCluParams(epsilon=epsilon, mu=mu, rho=rho, seed=5)
+        algo = DynStrClu(params)
+        algo.elm.oracle = ExactSimilarityOracle(algo.graph, params.similarity)
+        algo.elm.strategy.oracle = algo.elm.oracle
+        workload = generate_update_sequence(
+            48, community_edges, 200, InsertionStrategy.DEGREE_RANDOM, eta=0.2, seed=6
+        )
+        for update in workload.all_updates():
+            algo.apply(update)
+        upper = static_scan(algo.graph, (1 + rho) * epsilon, mu)
+        lower = static_scan(algo.graph, (1 - rho) * epsilon, mu)
+        approx = algo.clustering()
+        for cluster in upper.clusters:
+            assert any(cluster <= candidate for candidate in approx.clusters)
+        for cluster in approx.clusters:
+            assert any(cluster <= candidate for candidate in lower.clusters)

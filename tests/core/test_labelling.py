@@ -1,0 +1,146 @@
+"""Unit tests for edge labels, the (½ρε, δ)-strategy and validity predicates."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.config import StrCluParams
+from repro.core.estimator import ExactSimilarityOracle, SamplingSimilarityOracle
+from repro.core.labelling import (
+    EdgeLabel,
+    LabellingStrategy,
+    exact_labelling,
+    is_valid_exact,
+    is_valid_rho_approximate,
+    mislabelled_edges,
+)
+from repro.graph.dynamic_graph import DynamicGraph, canonical_edge
+from repro.graph.generators import planted_partition_graph
+from repro.graph.similarity import SimilarityKind, jaccard_similarity
+
+
+@pytest.fixture
+def graph() -> DynamicGraph:
+    return DynamicGraph(planted_partition_graph(2, 12, 0.6, 0.05, seed=8))
+
+
+class TestEdgeLabel:
+    def test_is_similar_flag(self):
+        assert EdgeLabel.SIMILAR.is_similar
+        assert not EdgeLabel.DISSIMILAR.is_similar
+
+    def test_string_value(self):
+        assert str(EdgeLabel.SIMILAR) == "similar"
+
+
+class TestExactLabelling:
+    def test_every_edge_labelled(self, graph):
+        labels = exact_labelling(graph, 0.3)
+        assert len(labels) == graph.num_edges
+
+    def test_labels_follow_threshold(self, graph):
+        labels = exact_labelling(graph, 0.3)
+        for (u, v), label in labels.items():
+            sigma = jaccard_similarity(graph, u, v)
+            assert (label is EdgeLabel.SIMILAR) == (sigma >= 0.3)
+
+    def test_is_valid_exact(self, graph):
+        labels = exact_labelling(graph, 0.3)
+        assert is_valid_exact(graph, labels, 0.3)
+
+    def test_flipping_a_boundary_label_breaks_exact_validity(self, graph):
+        labels = exact_labelling(graph, 0.3)
+        # flip the similar edge with the highest similarity: definitely invalid
+        best = max(
+            (e for e, l in labels.items() if l is EdgeLabel.SIMILAR),
+            key=lambda e: jaccard_similarity(graph, *e),
+        )
+        labels[best] = EdgeLabel.DISSIMILAR
+        assert not is_valid_exact(graph, labels, 0.3)
+
+    def test_missing_edge_label_is_invalid(self, graph):
+        labels = exact_labelling(graph, 0.3)
+        labels.pop(next(iter(labels)))
+        assert not is_valid_rho_approximate(graph, labels, 0.3, 0.1)
+
+
+class TestRhoApproximateValidity:
+    def test_exact_labelling_is_rho_valid_for_any_rho(self, graph):
+        labels = exact_labelling(graph, 0.3)
+        for rho in (0.0, 0.1, 0.5):
+            assert is_valid_rho_approximate(graph, labels, 0.3, rho)
+
+    def test_dont_care_band_allows_either_label(self, graph):
+        epsilon, rho = 0.3, 0.5
+        labels = exact_labelling(graph, epsilon)
+        flipped_in_band = 0
+        for (u, v), label in list(labels.items()):
+            sigma = jaccard_similarity(graph, u, v)
+            if (1 - rho) * epsilon <= sigma < (1 + rho) * epsilon:
+                labels[(u, v)] = (
+                    EdgeLabel.DISSIMILAR if label is EdgeLabel.SIMILAR else EdgeLabel.SIMILAR
+                )
+                flipped_in_band += 1
+        assert flipped_in_band > 0, "fixture should have edges in the dont-care band"
+        assert is_valid_rho_approximate(graph, labels, epsilon, rho)
+
+    def test_labels_outside_band_are_constrained(self, graph):
+        epsilon, rho = 0.3, 0.1
+        labels = exact_labelling(graph, epsilon)
+        clearly_similar = [
+            e
+            for e in labels
+            if jaccard_similarity(graph, *e) >= (1 + rho) * epsilon
+        ]
+        assert clearly_similar
+        labels[clearly_similar[0]] = EdgeLabel.DISSIMILAR
+        assert not is_valid_rho_approximate(graph, labels, epsilon, rho)
+
+
+class TestLabellingStrategy:
+    def test_exact_mode_reproduces_exact_labelling(self, graph):
+        params = StrCluParams(epsilon=0.3, mu=3, rho=0.0)
+        strategy = LabellingStrategy(params, ExactSimilarityOracle(graph))
+        reference = exact_labelling(graph, 0.3)
+        for u, v in graph.edges():
+            assert strategy.label(u, v) is reference[canonical_edge(u, v)]
+
+    def test_invocation_counter_advances(self, graph):
+        params = StrCluParams(epsilon=0.3, mu=3, rho=0.0)
+        strategy = LabellingStrategy(params, ExactSimilarityOracle(graph))
+        strategy.label(0, 1)
+        strategy.label(1, 2) if graph.has_edge(1, 2) else strategy.label(0, 1)
+        assert strategy.invocations == 2
+
+    def test_sampling_mode_is_mostly_rho_valid(self, graph):
+        params = StrCluParams(epsilon=0.3, mu=3, rho=0.4, delta_star=0.01, seed=3)
+        oracle = SamplingSimilarityOracle(
+            graph, epsilon=params.epsilon, rng=random.Random(3)
+        )
+        strategy = LabellingStrategy(params, oracle)
+        labels = {canonical_edge(u, v): strategy.label(u, v) for u, v in graph.edges()}
+        assert is_valid_rho_approximate(graph, labels, params.epsilon, params.rho)
+
+    def test_last_sample_size(self, graph):
+        params = StrCluParams(epsilon=0.3, mu=3, rho=0.2)
+        strategy = LabellingStrategy(
+            params, SamplingSimilarityOracle(graph, rng=random.Random(0))
+        )
+        assert strategy.last_sample_size() == params.sample_size(1)
+        exact = LabellingStrategy(
+            StrCluParams(epsilon=0.3, mu=3, rho=0.0), ExactSimilarityOracle(graph)
+        )
+        assert exact.last_sample_size() == 0
+
+
+class TestMislabelledEdges:
+    def test_counts_differences_over_common_keys(self):
+        a = {(0, 1): EdgeLabel.SIMILAR, (1, 2): EdgeLabel.DISSIMILAR}
+        b = {(0, 1): EdgeLabel.DISSIMILAR, (1, 2): EdgeLabel.DISSIMILAR, (2, 3): EdgeLabel.SIMILAR}
+        assert mislabelled_edges(a, b) == 1
+
+    def test_zero_for_identical(self):
+        labels = {(0, 1): EdgeLabel.SIMILAR}
+        assert mislabelled_edges(labels, dict(labels)) == 0

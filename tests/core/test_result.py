@@ -1,0 +1,140 @@
+"""Unit tests for StrCluResult computation (Fact 1) and result types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.labelling import EdgeLabel, exact_labelling
+from repro.core.result import (
+    Clustering,
+    GroupByResult,
+    clusterings_equal,
+    compute_clusters,
+    similar_neighbour_counts,
+)
+from repro.graph.dynamic_graph import DynamicGraph, canonical_edge
+from repro.graph.generators import hub_and_noise_graph
+
+
+@pytest.fixture
+def labelled_two_triangles():
+    """Two triangles joined by one dissimilar edge, plus a pendant noise vertex."""
+    edges = [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3), (5, 6)]
+    graph = DynamicGraph(edges)
+    labels = {canonical_edge(u, v): EdgeLabel.SIMILAR for u, v in edges}
+    labels[canonical_edge(2, 3)] = EdgeLabel.DISSIMILAR
+    labels[canonical_edge(5, 6)] = EdgeLabel.DISSIMILAR
+    return graph, labels
+
+
+class TestSimilarNeighbourCounts:
+    def test_counts(self, labelled_two_triangles):
+        graph, labels = labelled_two_triangles
+        counts = similar_neighbour_counts(graph, labels)
+        assert counts[0] == 2
+        assert counts[2] == 2  # the (2,3) edge is dissimilar
+        assert counts[6] == 0
+
+    def test_stale_label_for_absent_edge_ignored(self):
+        graph = DynamicGraph([(0, 1)])
+        labels = {(0, 1): EdgeLabel.SIMILAR, (5, 6): EdgeLabel.SIMILAR}
+        counts = similar_neighbour_counts(graph, labels)
+        assert counts.get(5, 0) == 0
+
+
+class TestComputeClusters:
+    def test_two_clusters_with_mu_two(self, labelled_two_triangles):
+        graph, labels = labelled_two_triangles
+        clustering = compute_clusters(graph, labels, mu=2)
+        assert clustering.num_clusters == 2
+        assert clustering.as_frozen() == frozenset(
+            {frozenset({0, 1, 2}), frozenset({3, 4, 5})}
+        )
+        assert clustering.cores == {0, 1, 2, 3, 4, 5}
+        assert clustering.noise == {6}
+        assert clustering.hubs == set()
+
+    def test_high_mu_gives_no_clusters(self, labelled_two_triangles):
+        graph, labels = labelled_two_triangles
+        clustering = compute_clusters(graph, labels, mu=5)
+        assert clustering.num_clusters == 0
+        assert clustering.cores == set()
+        assert clustering.noise == set(graph.vertices())
+
+    def test_hub_detection(self):
+        """A non-core vertex similar to cores of two different clusters is a hub."""
+        clique_a = [(u, v) for u in range(4) for v in range(u + 1, 4)]
+        clique_b = [(u, v) for u in range(10, 14) for v in range(u + 1, 14)]
+        edges = clique_a + clique_b + [(2, 20), (12, 20)]
+        graph = DynamicGraph(edges)
+        labels = {canonical_edge(u, v): EdgeLabel.SIMILAR for u, v in edges}
+        clustering = compute_clusters(graph, labels, mu=3)
+        assert clustering.num_clusters == 2
+        assert 20 in clustering.hubs
+        membership = clustering.membership()
+        assert len(membership[20]) == 2
+
+    def test_matches_role_structure_of_generator(self):
+        """On a hub-and-noise planted graph with exact labels, SCAN roles match."""
+        edges = hub_and_noise_graph(3, 10, hubs=2, noise=5, p_intra=0.9, seed=1)
+        graph = DynamicGraph(edges)
+        labels = exact_labelling(graph, 0.5)
+        clustering = compute_clusters(graph, labels, mu=3)
+        assert clustering.num_clusters >= 3
+        noise_ids = {v for v in graph.vertices() if graph.degree(v) == 1}
+        assert noise_ids <= clustering.noise
+
+    def test_empty_graph(self):
+        clustering = compute_clusters(DynamicGraph(), {}, mu=2)
+        assert clustering.num_clusters == 0
+        assert clustering.summary()["largest_cluster"] == 0
+
+
+class TestClusteringHelpers:
+    def test_top_k_ordering(self, labelled_two_triangles):
+        graph, labels = labelled_two_triangles
+        graph.insert_edge(0, 7)
+        labels[canonical_edge(0, 7)] = EdgeLabel.SIMILAR
+        clustering = compute_clusters(graph, labels, mu=2)
+        top = clustering.top_k(1)
+        assert len(top) == 1
+        assert len(top[0]) == 4  # {0,1,2,7} is now the largest cluster
+
+    def test_partition_assignment_assigns_cores_and_satellites(self, labelled_two_triangles):
+        graph, labels = labelled_two_triangles
+        graph.insert_edge(0, 7)
+        labels[canonical_edge(0, 7)] = EdgeLabel.SIMILAR
+        clustering = compute_clusters(graph, labels, mu=2)
+        assignment = clustering.partition_assignment(graph, labels)
+        assert assignment[0] == assignment[1] == assignment[2] == assignment[7]
+        assert assignment[3] == assignment[4] == assignment[5]
+        assert assignment[0] != assignment[3]
+        assert 6 not in assignment  # noise is omitted
+
+    def test_cluster_of_core(self, labelled_two_triangles):
+        graph, labels = labelled_two_triangles
+        clustering = compute_clusters(graph, labels, mu=2)
+        assert clustering.cluster_of_core(0) == clustering.cluster_of_core(1)
+        assert clustering.cluster_of_core(99) is None
+
+    def test_summary_keys(self, labelled_two_triangles):
+        graph, labels = labelled_two_triangles
+        summary = compute_clusters(graph, labels, mu=2).summary()
+        assert set(summary) == {"clusters", "cores", "hubs", "noise", "largest_cluster"}
+
+    def test_clusterings_equal(self, labelled_two_triangles):
+        graph, labels = labelled_two_triangles
+        a = compute_clusters(graph, labels, mu=2)
+        b = compute_clusters(graph, labels, mu=2)
+        assert clusterings_equal(a, b)
+        b.noise.add(99)
+        assert not clusterings_equal(a, b)
+
+
+class TestGroupByResult:
+    def test_group_accessors(self):
+        result = GroupByResult(groups={1: {0, 1}, 2: {5}})
+        assert result.num_groups == 2
+        assert sorted(len(g) for g in result.as_sets()) == [1, 2]
+        assert result.group_of(0) == [1]
+        assert result.group_of(42) == []

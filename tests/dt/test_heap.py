@@ -1,0 +1,108 @@
+"""Unit tests for the addressable DtHeap."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.dt.heap import DtHeap, DtHeapEntry
+
+
+def make_entry(payload, key):
+    return DtHeapEntry(payload, key=key, round_start=0)
+
+
+class TestBasicOperations:
+    def test_push_and_peek(self):
+        heap = DtHeap()
+        heap.push(make_entry("a", 5))
+        heap.push(make_entry("b", 2))
+        heap.push(make_entry("c", 9))
+        assert heap.peek_min().payload == "b"
+        assert len(heap) == 3
+
+    def test_pop_min_order(self):
+        heap = DtHeap()
+        for key in [7, 3, 9, 1, 5]:
+            heap.push(make_entry(key, key))
+        popped = [heap.pop_min().key for _ in range(5)]
+        assert popped == [1, 3, 5, 7, 9]
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            DtHeap().pop_min()
+
+    def test_peek_empty_returns_none(self):
+        assert DtHeap().peek_min() is None
+
+    def test_double_push_rejected(self):
+        heap = DtHeap()
+        entry = make_entry("x", 1)
+        heap.push(entry)
+        with pytest.raises(ValueError):
+            heap.push(entry)
+
+    def test_remove_arbitrary_entry(self):
+        heap = DtHeap()
+        entries = [make_entry(i, i) for i in range(10)]
+        for e in entries:
+            heap.push(e)
+        heap.remove(entries[4])
+        assert len(heap) == 9
+        assert not entries[4].in_heap
+        remaining = sorted(e.key for e in heap.entries())
+        assert remaining == [0, 1, 2, 3, 5, 6, 7, 8, 9]
+
+    def test_remove_foreign_entry_raises(self):
+        heap = DtHeap()
+        heap.push(make_entry("a", 1))
+        with pytest.raises(ValueError):
+            heap.remove(make_entry("b", 2))
+
+    def test_update_key_up_and_down(self):
+        heap = DtHeap()
+        entries = {name: make_entry(name, key) for name, key in [("a", 5), ("b", 10), ("c", 15)]}
+        for e in entries.values():
+            heap.push(e)
+        heap.update_key(entries["c"], 1)
+        assert heap.peek_min().payload == "c"
+        heap.update_key(entries["c"], 20)
+        assert heap.peek_min().payload == "a"
+        assert heap.check_invariant()
+
+
+class TestRandomisedInvariant:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_sorted_reference_under_random_ops(self, seed):
+        rng = random.Random(seed)
+        heap = DtHeap()
+        live = {}
+        next_id = 0
+        for _ in range(1500):
+            op = rng.random()
+            if op < 0.45 or not live:
+                entry = make_entry(next_id, rng.randrange(1000))
+                heap.push(entry)
+                live[next_id] = entry
+                next_id += 1
+            elif op < 0.70:
+                payload = rng.choice(list(live))
+                heap.update_key(live[payload], rng.randrange(1000))
+            elif op < 0.85:
+                payload = rng.choice(list(live))
+                heap.remove(live.pop(payload))
+            else:
+                expected_min = min(e.key for e in live.values())
+                assert heap.peek_min().key == expected_min
+        assert heap.check_invariant()
+        assert len(heap) == len(live)
+
+    def test_pop_all_returns_sorted_sequence(self):
+        rng = random.Random(99)
+        heap = DtHeap()
+        keys = [rng.randrange(10_000) for _ in range(500)]
+        for i, key in enumerate(keys):
+            heap.push(make_entry(i, key))
+        popped = [heap.pop_min().key for _ in range(len(keys))]
+        assert popped == sorted(keys)

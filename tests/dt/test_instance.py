@@ -1,0 +1,93 @@
+"""Unit tests for the standalone DT instance (two-participant protocol)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.dt.instance import DTInstance, naive_message_cost
+
+
+class TestMaturityExactness:
+    @pytest.mark.parametrize("tau", [1, 2, 5, 8, 9, 16, 37, 100, 513])
+    def test_matures_exactly_at_tau_alternating(self, tau):
+        dt = DTInstance(tau)
+        for i in range(1, tau + 1):
+            matured = dt.increment(i % 2)
+            assert matured == (i == tau), f"tau={tau}, step={i}"
+        assert dt.mature
+
+    @pytest.mark.parametrize("tau", [1, 3, 8, 9, 50, 200])
+    def test_matures_exactly_at_tau_single_participant(self, tau):
+        dt = DTInstance(tau)
+        for i in range(1, tau + 1):
+            assert dt.increment(0) == (i == tau)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matures_exactly_at_tau_random_participants(self, seed):
+        rng = random.Random(seed)
+        tau = rng.randint(1, 400)
+        dt = DTInstance(tau)
+        for i in range(1, tau + 1):
+            assert dt.increment(rng.randint(0, 1)) == (i == tau)
+
+    def test_increment_after_maturity_raises(self):
+        dt = DTInstance(2)
+        dt.increment(0)
+        dt.increment(1)
+        with pytest.raises(RuntimeError):
+            dt.increment(0)
+
+    def test_invalid_tau(self):
+        with pytest.raises(ValueError):
+            DTInstance(0)
+
+    def test_invalid_participant(self):
+        dt = DTInstance(5)
+        with pytest.raises(ValueError):
+            dt.increment(2)
+
+
+class TestMessageComplexity:
+    def test_small_tau_uses_straightforward_mode(self):
+        dt = DTInstance(6)
+        assert dt.straightforward
+
+    def test_large_tau_uses_slack_rounds(self):
+        dt = DTInstance(1000)
+        assert not dt.straightforward
+        assert dt.slack == 1000 // 4
+
+    @pytest.mark.parametrize("tau", [64, 256, 1024, 4096])
+    def test_message_bound_logarithmic(self, tau):
+        """Total messages must be O(h log(tau/h)) — far below the naive tau."""
+        rng = random.Random(tau)
+        dt = DTInstance(tau)
+        for _ in range(tau):
+            dt.increment(rng.randint(0, 1))
+        assert dt.mature
+        bound = 12 * (math.log2(tau) + 1) + 40
+        assert dt.messages <= bound
+        assert dt.messages < naive_message_cost(tau)
+
+    def test_round_count_logarithmic(self):
+        dt = DTInstance(10_000)
+        rng = random.Random(1)
+        for _ in range(10_000):
+            dt.increment(rng.randint(0, 1))
+        assert dt.mature
+        assert dt.rounds <= math.log(10_000) / math.log(4 / 3) + 2
+
+    def test_remaining_decreases_across_rounds(self):
+        dt = DTInstance(500)
+        seen = [dt.remaining]
+        for i in range(499):
+            dt.increment(i % 2)
+            if dt.remaining != seen[-1]:
+                seen.append(dt.remaining)
+        assert seen == sorted(seen, reverse=True)
+        # each round removes at least a quarter of the remaining threshold
+        for before, after in zip(seen, seen[1:]):
+            assert after <= before

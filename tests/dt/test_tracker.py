@@ -1,0 +1,172 @@
+"""Unit tests for the heap-organised update tracker (Section 5.2)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.dt.tracker import NaiveTracker, UpdateTracker
+from repro.instrumentation import OpCounter
+
+
+class TestSingleEdge:
+    @pytest.mark.parametrize("tau", [1, 2, 3, 8, 9, 17, 64, 301])
+    def test_matures_exactly_at_tau(self, tau):
+        tracker = UpdateTracker()
+        tracker.track("u", "v", tau)
+        matured_at = None
+        for i in range(1, tau + 5):
+            endpoint = "u" if i % 2 else "v"
+            matured = tracker.register_update(endpoint)
+            if matured:
+                matured_at = i
+                assert matured == [("u", "v")]
+                break
+        assert matured_at == tau
+
+    def test_updates_on_untracked_vertex_are_ignored(self):
+        tracker = UpdateTracker()
+        tracker.track(1, 2, 5)
+        assert tracker.register_update(99) == []
+        assert tracker.num_tracked() == 1
+
+    def test_untrack_stops_tracking(self):
+        tracker = UpdateTracker()
+        tracker.track(1, 2, 3)
+        tracker.untrack(1, 2)
+        assert not tracker.is_tracked(1, 2)
+        for _ in range(10):
+            assert tracker.register_update(1) == []
+
+    def test_untrack_unknown_edge_is_noop(self):
+        tracker = UpdateTracker()
+        tracker.untrack(5, 6)
+        assert tracker.num_tracked() == 0
+
+    def test_double_track_rejected(self):
+        tracker = UpdateTracker()
+        tracker.track(1, 2, 3)
+        with pytest.raises(ValueError):
+            tracker.track(2, 1, 4)
+
+    def test_invalid_tau_rejected(self):
+        tracker = UpdateTracker()
+        with pytest.raises(ValueError):
+            tracker.track(1, 2, 0)
+
+    def test_retrack_after_maturity(self):
+        tracker = UpdateTracker()
+        tracker.track(1, 2, 2)
+        assert tracker.register_update(1) == []
+        assert tracker.register_update(2) == [(1, 2)]
+        # restart with a new threshold; counting starts afresh
+        tracker.track(1, 2, 3)
+        assert tracker.register_update(1) == []
+        assert tracker.register_update(1) == []
+        assert tracker.register_update(2) == [(1, 2)]
+
+    def test_increment_and_process_ready_split(self):
+        """DynELM's step ordering: increments first, drain later."""
+        tracker = UpdateTracker()
+        tracker.track(1, 2, 1)
+        tracker.increment(1)
+        # nothing processed yet
+        assert tracker.num_tracked() == 1
+        assert tracker.process_ready(1) == [(1, 2)]
+
+
+class TestSharedCounterSemantics:
+    def test_shared_counter_counts_all_updates(self):
+        tracker = UpdateTracker()
+        tracker.track(1, 2, 10)
+        tracker.track(1, 3, 10)
+        for _ in range(4):
+            tracker.register_update(1)
+        assert tracker.shared_counter(1) == 4
+
+    def test_update_affects_all_incident_tracked_edges(self):
+        """One update at u must count toward every DT instance incident on u."""
+        tracker = UpdateTracker()
+        tracker.track(0, 1, 3)
+        tracker.track(0, 2, 3)
+        tracker.track(0, 3, 3)
+        matured = []
+        for _ in range(3):
+            matured.extend(tracker.register_update(0))
+        assert sorted(matured) == [(0, 1), (0, 2), (0, 3)]
+
+    def test_heap_sizes_track_membership(self):
+        tracker = UpdateTracker()
+        tracker.track(0, 1, 5)
+        tracker.track(0, 2, 5)
+        assert tracker.heap_size(0) == 2
+        assert tracker.heap_size(1) == 1
+        tracker.untrack(0, 1)
+        assert tracker.heap_size(0) == 1
+        assert tracker.heap_size(1) == 0
+
+    def test_memory_elements_counts(self):
+        tracker = UpdateTracker()
+        tracker.track(0, 1, 5)
+        tracker.track(1, 2, 5)
+        elements = tracker.memory_elements()
+        assert elements["dt_coordinator"] == 2
+        assert elements["dt_heap_entry"] == 4
+
+
+class TestEquivalenceWithNaiveTracker:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_same_maturities_as_naive(self, seed):
+        """The heap-organised tracker must mature every edge at exactly the
+        same update as the one-counter-per-edge straw man."""
+        rng = random.Random(seed)
+        n = 12
+        heap_tracker = UpdateTracker()
+        naive = NaiveTracker()
+        tracked = set()
+
+        def threshold():
+            return rng.randint(1, 40)
+
+        for step in range(1500):
+            action = rng.random()
+            if action < 0.25 and len(tracked) < 40:
+                u, v = rng.sample(range(n), 2)
+                if not heap_tracker.is_tracked(u, v):
+                    tau = threshold()
+                    heap_tracker.track(u, v, tau)
+                    naive.track(u, v, tau)
+                    tracked.add((min(u, v), max(u, v)))
+            elif action < 0.30 and tracked:
+                edge = rng.choice(sorted(tracked))
+                heap_tracker.untrack(*edge)
+                naive.untrack(*edge)
+                tracked.discard(edge)
+            else:
+                u = rng.randrange(n)
+                matured_heap = sorted(heap_tracker.register_update(u))
+                matured_naive = sorted(naive.register_update(u))
+                assert matured_heap == matured_naive, f"step {step}"
+                for edge in matured_heap:
+                    tracked.discard(edge)
+
+    def test_heap_tracker_does_less_work_per_update(self):
+        """With many incident edges and large thresholds, the shared-counter
+        tracker performs asymptotically fewer per-update operations."""
+        heap_counter = OpCounter()
+        naive_counter = OpCounter()
+        heap_tracker = UpdateTracker(heap_counter)
+        naive = NaiveTracker(naive_counter)
+        fan_out = 200
+        tau = 1000
+        for v in range(1, fan_out + 1):
+            heap_tracker.track(0, v, tau)
+            naive.track(0, v, tau)
+        heap_counter.reset()
+        naive_counter.reset()
+        for _ in range(300):
+            heap_tracker.register_update(0)
+            naive.register_update(0)
+        assert naive_counter.get("counter_increment") == 300 * fan_out
+        assert heap_counter.get("heap_op") < naive_counter.get("counter_increment") / 10

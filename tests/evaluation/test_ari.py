@@ -1,0 +1,64 @@
+"""Unit tests for the Adjusted Rand Index."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.evaluation.ari import adjusted_rand_index
+
+
+class TestAdjustedRandIndex:
+    def test_identical_partitions_score_one(self):
+        assignment = {i: i % 3 for i in range(30)}
+        assert adjusted_rand_index(assignment, dict(assignment)) == pytest.approx(1.0)
+
+    def test_relabelled_partitions_score_one(self):
+        a = {i: i % 3 for i in range(30)}
+        b = {i: (i % 3) * 10 + 7 for i in range(30)}  # same blocks, different labels
+        assert adjusted_rand_index(a, b) == pytest.approx(1.0)
+
+    def test_independent_random_partitions_score_near_zero(self):
+        rng = random.Random(0)
+        a = {i: rng.randrange(4) for i in range(3000)}
+        b = {i: rng.randrange(4) for i in range(3000)}
+        assert abs(adjusted_rand_index(a, b)) < 0.05
+
+    def test_partial_agreement_between_zero_and_one(self):
+        a = {i: i // 10 for i in range(40)}
+        b = dict(a)
+        for i in range(0, 40, 7):
+            b[i] = (b[i] + 1) % 4
+        score = adjusted_rand_index(a, b)
+        assert 0.0 < score < 1.0
+
+    def test_only_common_vertices_considered(self):
+        a = {1: 0, 2: 0, 3: 1}
+        b = {2: 5, 3: 6, 99: 7}
+        # common support {2, 3}: split apart in both -> perfect agreement
+        assert adjusted_rand_index(a, b) == pytest.approx(1.0)
+
+    def test_empty_common_support(self):
+        assert adjusted_rand_index({1: 0}, {2: 0}) == 1.0
+
+    def test_single_cluster_everywhere(self):
+        a = {i: 0 for i in range(10)}
+        b = {i: 42 for i in range(10)}
+        assert adjusted_rand_index(a, b) == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        rng = random.Random(3)
+        a = {i: rng.randrange(3) for i in range(200)}
+        b = {i: rng.randrange(5) for i in range(200)}
+        assert adjusted_rand_index(a, b) == pytest.approx(adjusted_rand_index(b, a))
+
+    def test_matches_sklearn_style_reference_on_small_case(self):
+        """Hand-checked contingency example."""
+        a = {0: "x", 1: "x", 2: "x", 3: "y", 4: "y", 5: "y"}
+        b = {0: 1, 1: 1, 2: 2, 3: 2, 4: 2, 5: 2}
+        # contingency: x -> {1:2, 2:1}, y -> {2:3}
+        # sum_cells = C(2,2)+C(1,2)+C(3,2) = 1 + 0 + 3 = 4
+        # sum_rows = C(3,2)+C(3,2) = 6 ; sum_cols = C(2,2)+C(4,2) = 1 + 6 = 7
+        # expected = 6*7/15 = 2.8 ; max = 6.5 ; ARI = (4-2.8)/(6.5-2.8)
+        assert adjusted_rand_index(a, b) == pytest.approx((4 - 2.8) / (6.5 - 2.8))

@@ -1,0 +1,52 @@
+"""Unit tests for normalised mutual information."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.nmi import normalised_mutual_information
+
+
+class TestNMI:
+    def test_identical_assignments(self):
+        a = {1: 0, 2: 0, 3: 1, 4: 1}
+        assert normalised_mutual_information(a, a) == pytest.approx(1.0)
+
+    def test_relabelled_assignments_are_equivalent(self):
+        a = {1: 0, 2: 0, 3: 1, 4: 1}
+        b = {1: 7, 2: 7, 3: 3, 4: 3}
+        assert normalised_mutual_information(a, b) == pytest.approx(1.0)
+
+    def test_independent_assignments_score_low(self):
+        a = {i: i % 2 for i in range(200)}
+        b = {i: (i // 100) % 2 for i in range(200)}
+        assert normalised_mutual_information(a, b) < 0.05
+
+    def test_partial_agreement_is_between_zero_and_one(self):
+        a = {1: 0, 2: 0, 3: 0, 4: 1, 5: 1, 6: 1}
+        b = {1: 0, 2: 0, 3: 1, 4: 1, 5: 1, 6: 0}
+        value = normalised_mutual_information(a, b)
+        assert 0.0 < value < 1.0
+
+    def test_disjoint_vertex_sets(self):
+        assert normalised_mutual_information({1: 0}, {2: 0}) == 0.0
+
+    def test_empty(self):
+        assert normalised_mutual_information({}, {}) == 0.0
+
+    def test_single_cluster_convention(self):
+        a = {1: 0, 2: 0, 3: 0}
+        b = {1: 4, 2: 4, 3: 4}
+        assert normalised_mutual_information(a, b) == 1.0
+
+    def test_symmetry(self):
+        a = {1: 0, 2: 0, 3: 1, 4: 2, 5: 2}
+        b = {1: 1, 2: 0, 3: 1, 4: 2, 5: 2}
+        ab = normalised_mutual_information(a, b)
+        ba = normalised_mutual_information(b, a)
+        assert ab == pytest.approx(ba)
+
+    def test_extra_vertices_ignored(self):
+        a = {1: 0, 2: 0, 3: 1, 99: 5}
+        b = {1: 0, 2: 0, 3: 1}
+        assert normalised_mutual_information(a, b) == pytest.approx(1.0)

@@ -1,0 +1,131 @@
+"""Unit tests for the Section 9.2 quality measurements."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.scan import scan_labelling, static_scan
+from repro.core.config import StrCluParams
+from repro.core.dynelm import DynELM
+from repro.core.labelling import EdgeLabel
+from repro.core.result import Clustering, compute_clusters
+from repro.evaluation.quality import (
+    individual_cluster_quality,
+    mislabelled_rate,
+    quality_report,
+    set_jaccard,
+)
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import planted_partition_graph
+
+
+@pytest.fixture
+def quality_setup():
+    edges = planted_partition_graph(3, 14, 0.55, 0.03, seed=6)
+    graph = DynamicGraph(edges)
+    epsilon, mu = 0.35, 4
+    exact_labels = scan_labelling(graph, epsilon)
+    exact_clustering = compute_clusters(graph, exact_labels, mu)
+    params = StrCluParams(epsilon=epsilon, mu=mu, rho=0.05, delta_star=0.01, seed=2)
+    approx = DynELM.from_edges(edges, params)
+    return graph, epsilon, exact_labels, exact_clustering, approx
+
+
+class TestMislabelledRate:
+    def test_zero_for_identical_labellings(self, quality_setup):
+        graph, epsilon, exact_labels, *_ = quality_setup
+        assert mislabelled_rate(exact_labels, dict(exact_labels)) == 0.0
+
+    def test_counts_flips(self, quality_setup):
+        graph, epsilon, exact_labels, *_ = quality_setup
+        modified = dict(exact_labels)
+        flipped = list(modified)[:5]
+        for edge in flipped:
+            modified[edge] = (
+                EdgeLabel.DISSIMILAR
+                if modified[edge] is EdgeLabel.SIMILAR
+                else EdgeLabel.SIMILAR
+            )
+        assert mislabelled_rate(exact_labels, modified) == pytest.approx(5 / len(exact_labels))
+
+    def test_missing_edges_count_as_mislabelled(self, quality_setup):
+        graph, epsilon, exact_labels, *_ = quality_setup
+        partial = dict(list(exact_labels.items())[:-3])
+        assert mislabelled_rate(exact_labels, partial) == pytest.approx(3 / len(exact_labels))
+
+    def test_empty_exact_labelling(self):
+        assert mislabelled_rate({}, {}) == 0.0
+
+    def test_small_rho_gives_small_rate(self, quality_setup):
+        graph, epsilon, exact_labels, _exact_clustering, approx = quality_setup
+        rate = mislabelled_rate(exact_labels, approx.labels)
+        assert rate < 0.2
+
+
+class TestSetJaccard:
+    def test_identical(self):
+        assert set_jaccard({1, 2}, {1, 2}) == 1.0
+
+    def test_disjoint(self):
+        assert set_jaccard({1}, {2}) == 0.0
+
+    def test_empty_sets(self):
+        assert set_jaccard(set(), set()) == 1.0
+
+
+class TestIndividualClusterQuality:
+    def test_perfect_for_identical_clusterings(self, quality_setup):
+        *_, exact_clustering, _approx = quality_setup
+        mn, avg = individual_cluster_quality(exact_clustering, exact_clustering, 10)
+        assert mn == pytest.approx(1.0)
+        assert avg == pytest.approx(1.0)
+
+    def test_zero_when_no_exact_core_in_cluster(self):
+        approx = Clustering(clusters=[{1, 2, 3}], cores={1}, hubs=set(), noise=set())
+        exact = Clustering(clusters=[{7, 8}], cores={7, 8}, hubs=set(), noise=set())
+        mn, avg = individual_cluster_quality(approx, exact, 5)
+        assert mn == 0.0
+
+    def test_empty_approximate_clustering(self):
+        empty = Clustering()
+        exact = Clustering(clusters=[{1, 2}], cores={1, 2})
+        assert individual_cluster_quality(empty, exact, 10) == (1.0, 1.0)
+
+    def test_split_cluster_detected(self):
+        """An exact cluster split in two gives individual quality around 1/2."""
+        exact = Clustering(clusters=[set(range(20))], cores=set(range(20)))
+        approx = Clustering(
+            clusters=[set(range(10)), set(range(10, 20))], cores=set(range(20))
+        )
+        mn, avg = individual_cluster_quality(approx, exact, 2)
+        assert mn == pytest.approx(0.5)
+        assert avg == pytest.approx(0.5)
+
+
+class TestQualityReport:
+    def test_report_row_structure(self, quality_setup):
+        graph, epsilon, exact_labels, exact_clustering, approx = quality_setup
+        report = quality_report(
+            dataset="toy",
+            rho=0.05,
+            epsilon=epsilon,
+            graph=graph,
+            exact_labels=exact_labels,
+            approx_labels=approx.labels,
+            exact_clustering=exact_clustering,
+            approx_clustering=approx.clustering(),
+            top_ks=(1, 5),
+        )
+        row = report.row()
+        assert row["dataset"] == "toy"
+        assert 0.0 <= row["ARI"] <= 1.0
+        assert "top1_min" in row and "top5_avg" in row
+
+    def test_high_quality_for_small_rho(self, quality_setup):
+        graph, epsilon, exact_labels, exact_clustering, approx = quality_setup
+        report = quality_report(
+            "toy", 0.05, epsilon, graph, exact_labels, approx.labels,
+            exact_clustering, approx.clustering(), top_ks=(1, 5, 10),
+        )
+        assert report.ari > 0.8
+        assert report.mislabelled_rate < 0.2

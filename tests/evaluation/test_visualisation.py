@@ -1,0 +1,78 @@
+"""Unit tests for the visualisation-substitution statistics (Figures 4-6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.scan import static_scan
+from repro.evaluation.visualisation import (
+    cluster_density_report,
+    epsilon_sweep_summaries,
+    hub_assignment_colouring,
+    top_k_cluster_summary,
+)
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import planted_partition_graph
+
+
+@pytest.fixture
+def clustered_graph():
+    edges = planted_partition_graph(4, 12, 0.6, 0.02, seed=12)
+    graph = DynamicGraph(edges)
+    clustering = static_scan(graph, 0.35, 4)
+    return graph, clustering
+
+
+class TestClusterSummaries:
+    def test_summaries_count_and_sizes(self, clustered_graph):
+        graph, clustering = clustered_graph
+        summaries = top_k_cluster_summary(graph, clustering, k=20)
+        assert 1 <= len(summaries) <= 20
+        for summary in summaries:
+            assert summary.size >= 1
+            assert 0.0 <= summary.intra_density <= 1.0
+            assert summary.boundary_edges >= 0
+
+    def test_planted_clusters_are_dense_inside(self, clustered_graph):
+        """The figures' claim: intra-cluster density far above the global density."""
+        graph, clustering = clustered_graph
+        report = cluster_density_report(graph, clustering, k=10)
+        global_density = graph.num_edges / (
+            graph.num_vertices * (graph.num_vertices - 1) / 2
+        )
+        assert report["avg_intra_density"] > 3 * global_density
+
+    def test_empty_clustering(self):
+        graph = DynamicGraph([(0, 1)])
+        clustering = static_scan(graph, 0.9, 5)
+        report = cluster_density_report(graph, clustering, k=5)
+        assert report["clusters"] == 0
+
+
+class TestColouring:
+    def test_every_clustered_vertex_gets_one_colour(self, clustered_graph):
+        graph, clustering = clustered_graph
+        colouring = hub_assignment_colouring(clustering, graph)
+        clustered = set().union(*clustering.clusters)
+        assert set(colouring) == clustered
+        assert all(isinstance(c, int) for c in colouring.values())
+
+    def test_noise_not_coloured(self, clustered_graph):
+        graph, clustering = clustered_graph
+        colouring = hub_assignment_colouring(clustering, graph)
+        for v in clustering.noise:
+            assert v not in colouring
+
+
+class TestEpsilonSweep:
+    def test_higher_epsilon_gives_more_smaller_clusters_or_fewer_cores(self, clustered_graph):
+        """Figure 5's qualitative claim: raising ε fragments/shrinks clusters."""
+        graph, _ = clustered_graph
+        epsilons = [0.25, 0.35, 0.5, 0.7]
+        clusterings = {eps: static_scan(graph, eps, 4) for eps in epsilons}
+        rows = epsilon_sweep_summaries(graph, clusterings)
+        assert [row["epsilon"] for row in rows] == sorted(epsilons)
+        cores = [row["num_cores"] for row in rows]
+        assert cores[0] >= cores[-1]
+        noise = [row["num_noise"] for row in rows]
+        assert noise[-1] >= noise[0]

@@ -1,0 +1,55 @@
+"""Unit tests for the experiment report renderers."""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import format_table, rows_to_csv, series_by
+
+
+ROWS = [
+    {"dataset": "a", "algorithm": "DynELM", "seconds": 0.5},
+    {"dataset": "a", "algorithm": "pSCAN", "seconds": 1.75},
+    {"dataset": "b", "algorithm": "DynELM", "seconds": 0.25},
+]
+
+
+class TestFormatTable:
+    def test_contains_headers_and_values(self):
+        text = format_table(ROWS, title="demo")
+        assert text.startswith("demo")
+        assert "dataset" in text and "algorithm" in text
+        assert "DynELM" in text and "pSCAN" in text
+
+    def test_explicit_column_order(self):
+        text = format_table(ROWS, columns=["seconds", "dataset"])
+        header = text.splitlines()[0]
+        assert header.index("seconds") < header.index("dataset")
+
+    def test_missing_cells_render_empty(self):
+        text = format_table([{"a": 1}, {"b": 2}])
+        assert "a" in text and "b" in text
+
+    def test_float_formatting(self):
+        text = format_table([{"v": 0.000001}, {"v": 123456.0}, {"v": 0.5}])
+        assert "e-06" in text or "1.000e-06" in text
+        assert "0.5000" in text
+
+    def test_empty_rows(self):
+        assert format_table([], columns=["x"]).count("\n") >= 1
+
+
+class TestCsv:
+    def test_round_trip_columns(self):
+        csv = rows_to_csv(ROWS)
+        lines = csv.splitlines()
+        assert lines[0] == "dataset,algorithm,seconds"
+        assert len(lines) == 4
+
+    def test_empty(self):
+        assert rows_to_csv([]) == ""
+
+
+class TestSeries:
+    def test_group_by_key(self):
+        grouped = series_by(ROWS, "dataset")
+        assert set(grouped) == {"a", "b"}
+        assert len(grouped["a"]) == 2

@@ -1,0 +1,121 @@
+"""Smoke-level tests for the experiment runners (tiny scales).
+
+The full-scale reproductions live under ``benchmarks/``; here each runner is
+exercised on the smallest dataset with a tiny update multiplier so the test
+suite stays fast while still covering the harness code paths end to end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import runner
+from repro.graph.similarity import SimilarityKind
+
+SMALL = ["email"]
+TINY_MULTIPLIER = 0.2
+
+
+class TestMemoryTable:
+    def test_rows_and_ordering(self):
+        rows = runner.run_memory_table(datasets=SMALL, update_multiplier=TINY_MULTIPLIER)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["dataset"] == "email"
+        for name in runner.ALGORITHM_NAMES:
+            assert row[f"{name}_memory_words"] > 0
+        # DynStrClu keeps extra structures on top of DynELM
+        assert row["DynStrClu_memory_words"] > row["DynELM_memory_words"]
+        # the hSCAN-style index stores similarity-ordered neighbour lists
+        assert row["hSCAN_memory_words"] > row["pSCAN_memory_words"]
+
+
+class TestQualityTable:
+    def test_jaccard_rows(self):
+        rows = runner.run_quality_table(
+            SimilarityKind.JACCARD, rhos=(0.01,), datasets=SMALL, top_ks=(1, 5)
+        )
+        assert len(rows) == 1
+        row = rows[0]
+        assert 0.0 <= row["ARI"] <= 1.0
+        assert row["mislabelled_%"] < 30.0
+        assert "top5_avg" in row
+
+    def test_cosine_rows(self):
+        rows = runner.run_quality_table(
+            SimilarityKind.COSINE, rhos=(0.01,), datasets=SMALL, top_ks=(1,)
+        )
+        assert len(rows) == 1
+        assert 0.0 <= rows[0]["ARI"] <= 1.0
+
+
+class TestTimingRunners:
+    def test_overall_time(self):
+        rows = runner.run_overall_time(
+            datasets=SMALL,
+            algorithms=("DynStrClu", "pSCAN"),
+            update_multiplier=TINY_MULTIPLIER,
+        )
+        assert {row["algorithm"] for row in rows} == {"DynStrClu", "pSCAN"}
+        for row in rows:
+            assert row["seconds"] > 0
+            assert row["avg_update_us"] > 0
+
+    def test_update_cost_curve(self):
+        rows = runner.run_update_cost_curve(
+            datasets=SMALL,
+            algorithms=("DynStrClu",),
+            strategies=("RR",),
+            update_multiplier=TINY_MULTIPLIER,
+            checkpoints=3,
+        )
+        timestamps = [row["timestamp"] for row in rows]
+        assert timestamps == sorted(timestamps)
+        assert len(rows) >= 3
+
+    def test_epsilon_sweep(self):
+        rows = runner.run_epsilon_sweep(
+            epsilons=(0.2, 0.4),
+            datasets=SMALL,
+            algorithms=("DynELM",),
+            update_multiplier=TINY_MULTIPLIER,
+        )
+        assert {row["epsilon"] for row in rows} == {0.2, 0.4}
+
+    def test_eta_sweep(self):
+        rows = runner.run_eta_sweep(
+            etas=(0.0, 0.5),
+            datasets=SMALL,
+            algorithms=("DynELM",),
+            update_multiplier=TINY_MULTIPLIER,
+        )
+        assert {row["eta"] for row in rows} == {0.0, 0.5}
+
+    def test_rho_sweep(self):
+        rows = runner.run_rho_sweep(
+            rhos=(0.01, 0.5), datasets=SMALL, update_multiplier=TINY_MULTIPLIER
+        )
+        assert len(rows) == 2
+        by_rho = {row["rho"]: row for row in rows}
+        # a larger rho means larger affordability, hence fewer re-labellings
+        assert by_rho[0.5]["relabel_invocations"] <= by_rho[0.01]["relabel_invocations"]
+
+    def test_query_size_sweep(self):
+        rows = runner.run_query_size_sweep(
+            query_sizes=(2, 16), datasets=SMALL, queries_per_size=5
+        )
+        assert [row["query_size"] for row in rows] == [2, 16]
+        for row in rows:
+            assert row["avg_query_us"] > 0
+
+
+class TestVisualisationRunner:
+    def test_default_epsilon_rows(self):
+        rows = runner.run_visualisation(datasets=SMALL)
+        assert len(rows) == 1
+        assert rows[0]["num_clusters"] >= 1
+        assert rows[0]["top_k_intra_density"] > 0
+
+    def test_epsilon_sweep_rows(self):
+        rows = runner.run_visualisation(datasets=SMALL, epsilon_sweep=(0.2, 0.3, 0.5))
+        assert [row["epsilon"] for row in rows] == [0.2, 0.3, 0.5]

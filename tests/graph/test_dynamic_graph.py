@@ -1,0 +1,191 @@
+"""Unit tests for the dynamic graph substrate."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph.dynamic_graph import DynamicGraph, GraphError, canonical_edge
+
+
+class TestCanonicalEdge:
+    def test_orders_integer_endpoints(self):
+        assert canonical_edge(5, 2) == (2, 5)
+        assert canonical_edge(2, 5) == (2, 5)
+
+    def test_orders_string_endpoints(self):
+        assert canonical_edge("b", "a") == ("a", "b")
+
+    def test_mixed_types_fall_back_to_repr_order(self):
+        edge = canonical_edge("x", 1)
+        assert set(edge) == {"x", 1}
+        assert canonical_edge(1, "x") == edge
+
+
+class TestBasicMutations:
+    def test_empty_graph(self):
+        g = DynamicGraph()
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert not g.has_edge(0, 1)
+        assert g.degree(0) == 0
+
+    def test_insert_creates_vertices(self):
+        g = DynamicGraph()
+        g.insert_edge(1, 2)
+        assert g.num_vertices == 2
+        assert g.num_edges == 1
+        assert g.has_edge(1, 2)
+        assert g.has_edge(2, 1)
+
+    def test_insert_duplicate_raises(self):
+        g = DynamicGraph([(1, 2)])
+        with pytest.raises(GraphError):
+            g.insert_edge(2, 1)
+
+    def test_self_loop_rejected(self):
+        g = DynamicGraph()
+        with pytest.raises(GraphError):
+            g.insert_edge(3, 3)
+
+    def test_delete_edge(self):
+        g = DynamicGraph([(1, 2), (2, 3)])
+        g.delete_edge(1, 2)
+        assert not g.has_edge(1, 2)
+        assert g.num_edges == 1
+        assert g.has_vertex(1)  # endpoints survive
+
+    def test_delete_missing_edge_raises(self):
+        g = DynamicGraph([(1, 2)])
+        with pytest.raises(GraphError):
+            g.delete_edge(1, 3)
+
+    def test_remove_vertex_drops_incident_edges(self):
+        g = DynamicGraph([(1, 2), (1, 3), (2, 3)])
+        g.remove_vertex(1)
+        assert not g.has_vertex(1)
+        assert g.num_edges == 1
+        assert g.has_edge(2, 3)
+
+    def test_remove_absent_vertex_is_noop(self):
+        g = DynamicGraph([(1, 2)])
+        g.remove_vertex(99)
+        assert g.num_edges == 1
+
+    def test_add_vertex_idempotent(self):
+        g = DynamicGraph()
+        g.add_vertex(7)
+        g.add_vertex(7)
+        assert g.num_vertices == 1
+        assert g.degree(7) == 0
+
+    def test_constructor_from_edges(self):
+        edges = [(0, 1), (1, 2), (2, 0)]
+        g = DynamicGraph(edges)
+        assert g.num_edges == 3
+        assert sorted(g.edges()) == [(0, 1), (0, 2), (1, 2)]
+
+
+class TestNeighbourhoods:
+    def test_neighbours_and_degree(self, triangle_graph):
+        assert triangle_graph.degree(2) == 3
+        assert triangle_graph.neighbours(2) == {0, 1, 3}
+
+    def test_closed_neighbourhood_includes_self(self, triangle_graph):
+        assert triangle_graph.closed_neighbourhood(0) == {0, 1, 2}
+        assert triangle_graph.closed_neighbourhood(3) == {2, 3}
+
+    def test_closed_neighbourhood_is_a_copy(self, triangle_graph):
+        n = triangle_graph.closed_neighbourhood(0)
+        n.add(99)
+        assert 99 not in triangle_graph.closed_neighbourhood(0)
+
+    def test_common_and_union_counts(self, triangle_graph):
+        # N[0] = {0,1,2}, N[2] = {0,1,2,3}
+        assert triangle_graph.common_closed_neighbours(0, 2) == 3
+        assert triangle_graph.union_closed_neighbours(0, 2) == 4
+
+    def test_common_neighbours_nonadjacent_pair(self, triangle_graph):
+        # N[0] = {0,1,2}, N[3] = {2,3}
+        assert triangle_graph.common_closed_neighbours(0, 3) == 1
+
+    def test_edges_reported_once(self):
+        g = DynamicGraph([(0, 1), (1, 2)])
+        assert sorted(g.edges()) == [(0, 1), (1, 2)]
+
+
+class TestRandomNeighbourSampling:
+    def test_isolated_vertex_returns_itself(self, rng):
+        g = DynamicGraph()
+        g.add_vertex(5)
+        assert g.random_closed_neighbour(5, rng) == 5
+
+    def test_samples_only_closed_neighbourhood(self, rng):
+        g = DynamicGraph([(0, 1), (0, 2), (0, 3)])
+        closed = g.closed_neighbourhood(0)
+        for _ in range(200):
+            assert g.random_closed_neighbour(0, rng) in closed
+
+    def test_distribution_is_roughly_uniform(self):
+        g = DynamicGraph([(0, 1), (0, 2), (0, 3)])
+        rng = random.Random(7)
+        counts = {v: 0 for v in (0, 1, 2, 3)}
+        trials = 8000
+        for _ in range(trials):
+            counts[g.random_closed_neighbour(0, rng)] += 1
+        for v, count in counts.items():
+            assert abs(count / trials - 0.25) < 0.05, (v, count)
+
+    def test_sampling_after_deletions_stays_consistent(self, rng):
+        g = DynamicGraph([(0, 1), (0, 2), (0, 3), (0, 4)])
+        g.delete_edge(0, 2)
+        g.delete_edge(0, 4)
+        valid = g.closed_neighbourhood(0)
+        for _ in range(100):
+            assert g.random_closed_neighbour(0, rng) in valid
+
+
+class TestCopyAndEquality:
+    def test_copy_is_independent(self, triangle_graph):
+        clone = triangle_graph.copy()
+        clone.insert_edge(3, 4)
+        assert not triangle_graph.has_edge(3, 4)
+        assert clone.has_edge(3, 4)
+
+    def test_equality_by_structure(self):
+        a = DynamicGraph([(0, 1), (1, 2)])
+        b = DynamicGraph([(1, 2), (0, 1)])
+        assert a == b
+        b.insert_edge(2, 3)
+        assert a != b
+
+    def test_contains_and_len(self, triangle_graph):
+        assert 0 in triangle_graph
+        assert 42 not in triangle_graph
+        assert len(triangle_graph) == 4
+
+
+class TestStress:
+    def test_random_mutation_sequence_matches_reference(self):
+        """Insert/delete randomly and compare against a naive edge-set mirror."""
+        rng = random.Random(3)
+        g = DynamicGraph()
+        mirror = set()
+        n = 25
+        for _ in range(2000):
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u == v:
+                continue
+            key = canonical_edge(u, v)
+            if key in mirror:
+                g.delete_edge(u, v)
+                mirror.discard(key)
+            else:
+                g.insert_edge(u, v)
+                mirror.add(key)
+            assert g.num_edges == len(mirror)
+        assert set(g.edges()) == mirror
+        for u in range(n):
+            expected = {b if a == u else a for a, b in mirror if u in (a, b)}
+            assert g.neighbours(u) == expected

@@ -1,0 +1,142 @@
+"""Unit tests for the synthetic graph generators."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import (
+    community_membership,
+    erdos_renyi_graph,
+    hub_and_noise_graph,
+    planted_partition_graph,
+    powerlaw_cluster_graph,
+    preferential_attachment_graph,
+)
+
+
+def _assert_simple(edges):
+    seen = set()
+    for u, v in edges:
+        assert u != v, "self loop generated"
+        assert (u, v) not in seen and (v, u) not in seen, "duplicate edge generated"
+        seen.add((u, v))
+
+
+class TestErdosRenyi:
+    def test_exact_edge_count(self):
+        edges = erdos_renyi_graph(30, 50, seed=1)
+        assert len(edges) == 50
+        _assert_simple(edges)
+
+    def test_deterministic_for_seed(self):
+        assert erdos_renyi_graph(30, 40, seed=5) == erdos_renyi_graph(30, 40, seed=5)
+        assert erdos_renyi_graph(30, 40, seed=5) != erdos_renyi_graph(30, 40, seed=6)
+
+    def test_too_many_edges_raises(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(5, 11, seed=0)
+
+
+class TestPreferentialAttachment:
+    def test_vertex_range_and_simplicity(self):
+        edges = preferential_attachment_graph(100, 3, seed=2)
+        _assert_simple(edges)
+        vertices = {v for e in edges for v in e}
+        assert vertices <= set(range(100))
+
+    def test_heavy_tail(self):
+        """Max degree should be several times the average degree."""
+        edges = preferential_attachment_graph(300, 3, seed=4)
+        degrees = Counter()
+        for u, v in edges:
+            degrees[u] += 1
+            degrees[v] += 1
+        avg = sum(degrees.values()) / len(degrees)
+        assert max(degrees.values()) > 3 * avg
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            preferential_attachment_graph(3, 5, seed=0)
+        with pytest.raises(ValueError):
+            preferential_attachment_graph(10, 0, seed=0)
+
+
+class TestPowerlawCluster:
+    def test_simple_and_connected_enough(self):
+        edges = powerlaw_cluster_graph(200, 3, 0.7, seed=3)
+        _assert_simple(edges)
+        graph = DynamicGraph(edges)
+        assert graph.num_vertices == 200
+        # every non-seed vertex attaches to >= 1 earlier vertex
+        assert all(graph.degree(v) >= 1 for v in range(3, 200))
+
+    def test_triangle_probability_increases_clustering(self):
+        def triangle_count(edges):
+            graph = DynamicGraph(edges)
+            count = 0
+            for u, v in graph.edges():
+                count += graph.common_closed_neighbours(u, v) - 2  # exclude endpoints
+            return count
+
+        low = triangle_count(powerlaw_cluster_graph(300, 3, 0.0, seed=8))
+        high = triangle_count(powerlaw_cluster_graph(300, 3, 0.95, seed=8))
+        assert high > low
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            powerlaw_cluster_graph(50, 2, 1.5, seed=0)
+
+
+class TestPlantedPartition:
+    def test_block_structure(self):
+        edges = planted_partition_graph(3, 10, p_intra=1.0, p_inter=0.0, seed=0)
+        _assert_simple(edges)
+        for u, v in edges:
+            assert u // 10 == v // 10, "inter-community edge with p_inter = 0"
+        # p_intra = 1.0 -> complete blocks
+        assert len(edges) == 3 * (10 * 9 // 2)
+
+    def test_inter_community_edges_appear(self):
+        edges = planted_partition_graph(2, 20, p_intra=0.3, p_inter=0.3, seed=1)
+        crossing = [e for e in edges if e[0] // 20 != e[1] // 20]
+        assert crossing
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ValueError):
+            planted_partition_graph(2, 5, p_intra=0.1, p_inter=0.5, seed=0)
+
+    def test_membership_helper(self):
+        membership = community_membership(3, 4)
+        assert membership == [0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2]
+
+    def test_deterministic(self):
+        a = planted_partition_graph(3, 8, 0.4, 0.02, seed=9)
+        b = planted_partition_graph(3, 8, 0.4, 0.02, seed=9)
+        assert a == b
+
+
+class TestHubAndNoise:
+    def test_extra_vertices_created(self):
+        edges = hub_and_noise_graph(3, 8, hubs=2, noise=4, seed=5)
+        _assert_simple(edges)
+        vertices = {v for e in edges for v in e}
+        base = 3 * 8
+        assert max(vertices) >= base  # hubs and noise vertices beyond the blocks
+
+    def test_noise_vertices_have_degree_one(self):
+        edges = hub_and_noise_graph(2, 6, hubs=1, noise=3, seed=2)
+        graph = DynamicGraph(edges)
+        base = 2 * 6
+        noise_ids = sorted(v for v in graph.vertices() if v >= base)[-3:]
+        for v in noise_ids:
+            assert graph.degree(v) == 1
+
+    def test_hub_touches_two_communities(self):
+        edges = hub_and_noise_graph(3, 10, hubs=1, noise=0, p_intra=0.8, seed=6)
+        graph = DynamicGraph(edges)
+        hub = 30
+        communities = {w // 10 for w in graph.neighbours(hub)}
+        assert len(communities) == 2

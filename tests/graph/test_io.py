@@ -1,0 +1,81 @@
+"""Unit tests for edge-list I/O and preprocessing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.io import (
+    graph_from_edges,
+    load_edge_list,
+    parse_edge_list,
+    preprocess_edges,
+    save_edge_list,
+    save_graphml,
+)
+
+
+class TestParsing:
+    def test_skips_comments_and_blank_lines(self):
+        lines = ["# a comment", "", "1 2", "2\t3", "   ", "# trailing"]
+        assert parse_edge_list(lines) == [("1", "2"), ("2", "3")]
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(ValueError):
+            parse_edge_list(["1"])
+
+    def test_extra_columns_ignored(self):
+        assert parse_edge_list(["1 2 0.5 extra"]) == [("1", "2")]
+
+
+class TestPreprocessing:
+    def test_removes_self_loops_and_duplicates(self):
+        pairs = [("a", "a"), ("a", "b"), ("b", "a"), ("a", "b"), ("b", "c")]
+        edges, mapping = preprocess_edges(pairs)
+        assert len(edges) == 2
+        assert set(mapping) == {"a", "b", "c"}
+
+    def test_relabels_to_consecutive_integers(self):
+        pairs = [("x", "y"), ("y", "z")]
+        edges, mapping = preprocess_edges(pairs)
+        assert sorted(mapping.values()) == [0, 1, 2]
+        assert all(isinstance(u, int) and isinstance(v, int) for u, v in edges)
+
+    def test_undirected_deduplication(self):
+        pairs = [("1", "2"), ("2", "1")]
+        edges, _ = preprocess_edges(pairs)
+        assert len(edges) == 1
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        save_edge_list([(0, 1), (1, 2)], path, header="test graph\ntwo edges")
+        edges, mapping = load_edge_list(path)
+        assert len(edges) == 2
+        graph = graph_from_edges(edges)
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 2
+
+    def test_header_is_commented(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        save_edge_list([(5, 6)], path, header="hello")
+        content = path.read_text()
+        assert content.startswith("# hello")
+
+
+class TestGraphML:
+    def test_export_contains_nodes_edges_and_clusters(self, tmp_path):
+        graph = DynamicGraph([(0, 1), (1, 2)])
+        path = tmp_path / "out.graphml"
+        save_graphml(graph, {0: 1, 1: 1, 2: -1}, path)
+        text = path.read_text()
+        assert text.count("<node") == 3
+        assert text.count("<edge") == 2
+        assert ">1</data>" in text and ">-1</data>" in text
+
+    def test_export_without_clusters(self, tmp_path):
+        graph = DynamicGraph([(0, 1)])
+        path = tmp_path / "plain.graphml"
+        save_graphml(graph, None, path)
+        assert "<graphml" in path.read_text()

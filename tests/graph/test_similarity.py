@@ -1,0 +1,115 @@
+"""Unit tests for exact structural similarities."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.similarity import (
+    SimilarityKind,
+    cosine_similarity,
+    intersection_union_sizes,
+    jaccard_similarity,
+    structural_similarity,
+)
+
+
+@pytest.fixture
+def small_graph() -> DynamicGraph:
+    # triangle 0-1-2 plus pendant 3 attached to 2
+    return DynamicGraph([(0, 1), (1, 2), (0, 2), (2, 3)])
+
+
+class TestJaccard:
+    def test_identical_neighbourhoods(self, small_graph):
+        # N[0] = N[1] = {0, 1, 2}
+        assert jaccard_similarity(small_graph, 0, 1) == pytest.approx(1.0)
+
+    def test_partial_overlap(self, small_graph):
+        # N[0] = {0,1,2}, N[2] = {0,1,2,3} -> 3/4
+        assert jaccard_similarity(small_graph, 0, 2) == pytest.approx(0.75)
+
+    def test_pendant_edge(self, small_graph):
+        # N[2] = {0,1,2,3}, N[3] = {2,3} -> 2/4
+        assert jaccard_similarity(small_graph, 2, 3) == pytest.approx(0.5)
+
+    def test_non_adjacent_pair_is_zero(self, small_graph):
+        assert jaccard_similarity(small_graph, 0, 3) == 0.0
+
+    def test_symmetry(self, small_graph):
+        for u, v in small_graph.edges():
+            assert jaccard_similarity(small_graph, u, v) == pytest.approx(
+                jaccard_similarity(small_graph, v, u)
+            )
+
+    def test_range(self, small_graph):
+        for u, v in small_graph.edges():
+            sigma = jaccard_similarity(small_graph, u, v)
+            assert 0.0 < sigma <= 1.0
+
+
+class TestCosine:
+    def test_known_value(self, small_graph):
+        # edge (2,3): |N[2] ∩ N[3]| = 2, |N[2]| = 4, |N[3]| = 2 -> 2/sqrt(8)
+        expected = 2.0 / math.sqrt(8.0)
+        assert cosine_similarity(small_graph, 2, 3) == pytest.approx(expected)
+
+    def test_identical_closed_neighbourhoods_give_one(self, small_graph):
+        # edge (0,1): N[0] = N[1] = {0,1,2} -> 3/sqrt(9) = 1
+        assert cosine_similarity(small_graph, 0, 1) == pytest.approx(1.0)
+
+    def test_non_adjacent_pair_is_zero(self, small_graph):
+        assert cosine_similarity(small_graph, 1, 3) == 0.0
+
+    def test_cosine_at_least_jaccard(self, small_graph):
+        """The paper's Section 9.1 inequality: σ_c(u,v) ≥ σ(u,v) for every edge."""
+        for u, v in small_graph.edges():
+            assert cosine_similarity(small_graph, u, v) >= jaccard_similarity(
+                small_graph, u, v
+            ) - 1e-12
+
+    def test_cosine_inequality_on_random_graph(self, powerlaw_edges):
+        graph = DynamicGraph(powerlaw_edges)
+        for u, v in graph.edges():
+            assert cosine_similarity(graph, u, v) + 1e-12 >= jaccard_similarity(graph, u, v)
+
+    def test_cosine_can_exceed_one_never(self, powerlaw_edges):
+        graph = DynamicGraph(powerlaw_edges)
+        for u, v in graph.edges():
+            assert cosine_similarity(graph, u, v) <= 1.0 + 1e-12
+
+
+class TestIntersectionUnion:
+    def test_counts_match_set_algebra(self, small_graph):
+        for u, v in small_graph.edges():
+            a, b = intersection_union_sizes(small_graph, u, v)
+            nu = small_graph.closed_neighbourhood(u)
+            nv = small_graph.closed_neighbourhood(v)
+            assert a == len(nu & nv)
+            assert b == len(nu | nv)
+
+    def test_works_for_non_adjacent_pairs(self, small_graph):
+        a, b = intersection_union_sizes(small_graph, 0, 3)
+        assert (a, b) == (1, 4)
+
+
+class TestDispatch:
+    def test_structural_similarity_jaccard(self, small_graph):
+        assert structural_similarity(small_graph, 0, 2, SimilarityKind.JACCARD) == pytest.approx(
+            0.75
+        )
+
+    def test_structural_similarity_cosine(self, small_graph):
+        assert structural_similarity(small_graph, 0, 2, SimilarityKind.COSINE) == pytest.approx(
+            cosine_similarity(small_graph, 0, 2)
+        )
+
+    def test_unknown_kind_raises(self, small_graph):
+        with pytest.raises(ValueError):
+            structural_similarity(small_graph, 0, 2, "tanimoto")  # type: ignore[arg-type]
+
+    def test_kind_enum_from_string(self):
+        assert SimilarityKind("jaccard") is SimilarityKind.JACCARD
+        assert SimilarityKind("cosine") is SimilarityKind.COSINE

@@ -1,0 +1,121 @@
+"""Integration tests for the paper's worked semantics.
+
+Figure 1 of the paper illustrates the StrClu roles (cores, hubs, noise) and
+the effect of deleting one edge on the sim-core graph.  The exact edge set of
+the figure is not fully specified in the text, so these tests build analogous
+small graphs with the same structural features and check the same behaviour:
+
+* clusters may overlap only through non-core (hub) vertices;
+* deleting a single edge can flip core statuses and re-shape ``G_core``;
+* re-inserting the deleted edge restores the original clustering exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.scan import static_scan
+from repro.core.config import StrCluParams
+from repro.core.dynstrclu import DynStrClu
+from repro.core.result import clusterings_equal
+
+
+def bridge_graph_edges():
+    """Two 5-cliques joined by a single bridge edge (u, w) = (4, 5)."""
+    clique_a = [(u, v) for u in range(5) for v in range(u + 1, 5)]
+    clique_b = [(u, v) for u in range(5, 10) for v in range(u + 1, 10)]
+    return clique_a + clique_b + [(4, 5)]
+
+
+class TestRolesAndOverlap:
+    def test_hub_bridges_two_clusters(self):
+        params = StrCluParams(epsilon=0.3, mu=3, rho=0.0)
+        clique_a = [(u, v) for u in range(4) for v in range(u + 1, 4)]
+        clique_b = [(u, v) for u in range(10, 14) for v in range(u + 1, 14)]
+        edges = clique_a + clique_b + [(2, 20), (12, 20)]
+        algo = DynStrClu.from_edges(edges, params)
+        clustering = algo.clustering()
+        assert clustering.num_clusters == 2
+        assert clustering.hubs == {20}
+        assert not clustering.noise
+
+    def test_pendant_vertices_are_noise(self):
+        params = StrCluParams(epsilon=0.4, mu=3, rho=0.0)
+        clique = [(u, v) for u in range(5) for v in range(u + 1, 5)]
+        pendants = [(0, 100), (1, 101)]
+        algo = DynStrClu.from_edges(clique + pendants, params)
+        clustering = algo.clustering()
+        # a pendant vertex shares only itself and its neighbour: similarity
+        # 2 / 6 < 0.4, so it is attached to no cluster
+        assert {100, 101} <= clustering.noise
+
+
+class TestDeletionAndReinsertion:
+    def test_delete_then_reinsert_restores_clustering(self):
+        """Figure 1(a) -> 1(d) -> 1(a): deleting the bridge changes the
+        result; re-inserting it restores the original exactly."""
+        params = StrCluParams(epsilon=1 / 3, mu=3, rho=0.0)
+        algo = DynStrClu.from_edges(bridge_graph_edges(), params)
+        before = algo.clustering()
+        assert before.num_clusters >= 1
+
+        algo.delete_edge(4, 5)
+        after_delete = algo.clustering()
+        assert clusterings_equal(
+            after_delete, static_scan(algo.graph, 1 / 3, 3)
+        )
+
+        algo.insert_edge(4, 5)
+        after_reinsert = algo.clustering()
+        assert clusterings_equal(after_reinsert, before)
+
+    def test_deleting_bridge_affects_incident_similarities_only(self):
+        """The affected edges of update (u, w) are exactly those incident on
+        u or w (Observation 1): labels of other edges cannot change."""
+        params = StrCluParams(epsilon=0.3, mu=3, rho=0.0)
+        algo = DynStrClu.from_edges(bridge_graph_edges(), params)
+        labels_before = dict(algo.labels)
+        result = algo.delete_edge(4, 5)
+        for (a, b), _label in result.flips:
+            assert 4 in (a, b) or 5 in (a, b)
+        for edge, label in algo.labels.items():
+            if 4 not in edge and 5 not in edge:
+                assert labels_before[edge] is label
+
+    def test_core_status_flip_cascades_to_gcore(self):
+        """Removing enough similar edges around a vertex demotes it from core
+        and removes it from the connectivity structure."""
+        params = StrCluParams(epsilon=0.3, mu=3, rho=0.0)
+        clique = [(u, v) for u in range(5) for v in range(u + 1, 5)]
+        algo = DynStrClu.from_edges(clique, params)
+        assert algo.is_core(0)
+        assert algo.cc.has_vertex(0)
+        # remove vertex 0's incident edges one by one until it loses core status
+        for v in (1, 2):
+            algo.delete_edge(0, v)
+        # N[0] = {0,3,4}; similarity with 3 and 4 is 3/5 >= 0.3, SimCnt(0)=2 < mu
+        assert not algo.is_core(0)
+        assert not algo.cc.has_vertex(0)
+        reference = static_scan(algo.graph, 0.3, 3)
+        assert clusterings_equal(algo.clustering(), reference)
+
+
+class TestParameterSemantics:
+    def test_larger_epsilon_never_adds_similar_edges(self):
+        from repro.core.labelling import EdgeLabel, exact_labelling
+        from repro.graph.dynamic_graph import DynamicGraph
+
+        graph = DynamicGraph(bridge_graph_edges())
+        low = exact_labelling(graph, 0.3)
+        high = exact_labelling(graph, 0.6)
+        for edge, label in high.items():
+            if label is EdgeLabel.SIMILAR:
+                assert low[edge] is EdgeLabel.SIMILAR
+
+    def test_larger_mu_never_adds_cores(self):
+        from repro.graph.dynamic_graph import DynamicGraph
+
+        graph = DynamicGraph(bridge_graph_edges())
+        small_mu = static_scan(graph, 0.3, 2)
+        large_mu = static_scan(graph, 0.3, 4)
+        assert large_mu.cores <= small_mu.cores

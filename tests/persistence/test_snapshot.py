@@ -1,0 +1,164 @@
+"""Unit tests for state snapshots (take / save / load / restore)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.config import StrCluParams
+from repro.core.dynelm import DynELM
+from repro.core.dynstrclu import DynStrClu
+from repro.core.labelling import EdgeLabel
+from repro.graph.generators import planted_partition_graph
+from repro.graph.similarity import SimilarityKind
+from repro.persistence.snapshot import (
+    SnapshotError,
+    StateSnapshot,
+    load_snapshot,
+    restore_dynelm,
+    restore_dynstrclu,
+    save_snapshot,
+    take_snapshot,
+)
+
+EXACT = StrCluParams(epsilon=0.5, mu=2, rho=0.0)
+SAMPLED = StrCluParams(epsilon=0.3, mu=3, rho=0.2, seed=5, max_samples=64)
+
+
+def _build_dynstrclu(params: StrCluParams, edges) -> DynStrClu:
+    algo = DynStrClu(params)
+    for u, v in edges:
+        algo.insert_edge(u, v)
+    return algo
+
+
+TRIANGLES = [(1, 2), (2, 3), (1, 3), (3, 4), (4, 5), (5, 6), (4, 6)]
+
+
+class TestTakeSnapshot:
+    def test_counts(self):
+        algo = _build_dynstrclu(EXACT, TRIANGLES)
+        snap = take_snapshot(algo)
+        assert snap.num_edges == len(TRIANGLES)
+        assert snap.num_vertices == 6
+        assert snap.updates_processed == len(TRIANGLES)
+
+    def test_labels_view(self):
+        algo = _build_dynstrclu(EXACT, TRIANGLES)
+        snap = take_snapshot(algo)
+        labels = snap.labels()
+        assert labels[(1, 2)] is EdgeLabel.SIMILAR
+        assert len(labels) == len(TRIANGLES)
+
+    def test_works_on_dynelm_directly(self):
+        elm = DynELM.from_edges(TRIANGLES, EXACT)
+        snap = take_snapshot(elm)
+        assert snap.num_edges == len(TRIANGLES)
+
+    def test_isolated_vertices_are_preserved(self):
+        algo = _build_dynstrclu(EXACT, [(1, 2), (2, 3)])
+        algo.graph.add_vertex(99)
+        snap = take_snapshot(algo)
+        assert 99 in snap.vertices
+
+
+class TestJsonRoundTrip:
+    def test_document_round_trip(self):
+        algo = _build_dynstrclu(SAMPLED, TRIANGLES)
+        snap = take_snapshot(algo)
+        restored = StateSnapshot.from_json(snap.to_json())
+        assert restored.params == snap.params
+        assert restored.vertices == snap.vertices
+        assert restored.labelled_edges == snap.labelled_edges
+
+    def test_file_round_trip(self, tmp_path):
+        algo = _build_dynstrclu(EXACT, TRIANGLES)
+        path = tmp_path / "state.json"
+        saved = save_snapshot(algo, path)
+        loaded = load_snapshot(path)
+        assert loaded.labelled_edges == saved.labelled_edges
+        # the file really is JSON
+        document = json.loads(path.read_text())
+        assert document["format"] == "repro-strclu-snapshot"
+
+    def test_string_vertices_supported(self):
+        algo = _build_dynstrclu(EXACT, [("a", "b"), ("b", "c"), ("a", "c")])
+        snap = StateSnapshot.from_json(take_snapshot(algo).to_json())
+        assert set(snap.vertices) == {"a", "b", "c"}
+
+    def test_rejects_wrong_format(self):
+        with pytest.raises(SnapshotError):
+            StateSnapshot.from_document({"format": "something-else", "version": 1})
+
+    def test_rejects_wrong_version(self):
+        with pytest.raises(SnapshotError):
+            StateSnapshot.from_document({"format": "repro-strclu-snapshot", "version": 99})
+
+    def test_rejects_invalid_json(self):
+        with pytest.raises(SnapshotError):
+            StateSnapshot.from_json("{not json")
+
+    def test_rejects_malformed_edges(self):
+        document = {
+            "format": "repro-strclu-snapshot",
+            "version": 1,
+            "params": {
+                "epsilon": 0.5, "mu": 2, "rho": 0.0, "delta_star": 0.001,
+                "similarity": "jaccard", "seed": 0, "max_samples": None,
+            },
+            "vertices": [1, 2],
+            "edges": [[1]],
+        }
+        with pytest.raises(SnapshotError):
+            StateSnapshot.from_document(document)
+
+
+class TestRestore:
+    def test_restored_dynelm_keeps_labels_verbatim(self):
+        elm = DynELM.from_edges(TRIANGLES, SAMPLED)
+        snap = take_snapshot(elm)
+        restored = restore_dynelm(snap)
+        assert restored.labels == elm.labels
+        assert restored.graph.num_edges == elm.graph.num_edges
+        assert restored.updates_processed == elm.updates_processed
+
+    def test_restored_dynstrclu_reproduces_clustering(self):
+        edges = planted_partition_graph(3, 10, 0.8, 0.02, seed=3)
+        params = StrCluParams(epsilon=0.4, mu=3, rho=0.0)
+        algo = _build_dynstrclu(params, edges)
+        restored = restore_dynstrclu(take_snapshot(algo))
+        assert restored.clustering().as_frozen() == algo.clustering().as_frozen()
+        assert restored.cores == algo.cores
+
+    def test_restored_instance_accepts_further_updates(self):
+        algo = _build_dynstrclu(EXACT, TRIANGLES)
+        restored = restore_dynstrclu(take_snapshot(algo))
+        # both instances process the same extra updates and stay equivalent
+        extra = [(2, 4), (1, 4), (6, 1)]
+        for u, v in extra:
+            algo.insert_edge(u, v)
+            restored.insert_edge(u, v)
+        algo.delete_edge(3, 4)
+        restored.delete_edge(3, 4)
+        assert restored.clustering().as_frozen() == algo.clustering().as_frozen()
+
+    def test_restore_under_cosine(self):
+        params = StrCluParams(epsilon=0.5, mu=2, rho=0.0, similarity=SimilarityKind.COSINE)
+        algo = _build_dynstrclu(params, TRIANGLES)
+        restored = restore_dynstrclu(take_snapshot(algo))
+        assert restored.params.similarity is SimilarityKind.COSINE
+        assert restored.clustering().as_frozen() == algo.clustering().as_frozen()
+
+    def test_restore_respects_connectivity_backend(self):
+        algo = _build_dynstrclu(EXACT, TRIANGLES)
+        restored = restore_dynstrclu(take_snapshot(algo), connectivity_backend="union_find")
+        assert restored.clustering().as_frozen() == algo.clustering().as_frozen()
+
+    def test_group_by_after_restore(self):
+        algo = _build_dynstrclu(EXACT, TRIANGLES)
+        restored = restore_dynstrclu(take_snapshot(algo))
+        query = [1, 2, 4, 6]
+        original = sorted(tuple(sorted(g)) for g in algo.group_by(query).as_sets())
+        recovered = sorted(tuple(sorted(g)) for g in restored.group_by(query).as_sets())
+        assert original == recovered

@@ -1,0 +1,130 @@
+"""Unit tests for the append-only update log and replay."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import StrCluParams
+from repro.core.dynelm import Update, UpdateKind
+from repro.core.dynstrclu import DynStrClu
+from repro.persistence.snapshot import restore_dynstrclu, take_snapshot
+from repro.persistence.updatelog import (
+    LOG_HEADER,
+    UpdateLogError,
+    UpdateLogReader,
+    UpdateLogWriter,
+    format_update,
+    parse_update_line,
+    read_update_log,
+    replay_updates,
+    write_update_log,
+)
+
+PARAMS = StrCluParams(epsilon=0.5, mu=2, rho=0.0)
+
+UPDATES = [
+    Update.insert(1, 2),
+    Update.insert(2, 3),
+    Update.insert(1, 3),
+    Update.insert(3, 4),
+    Update.delete(3, 4),
+    Update.insert("alice", "bob"),
+]
+
+
+class TestFormatting:
+    def test_format_and_parse_round_trip(self):
+        for update in UPDATES:
+            parsed = parse_update_line(format_update(update))
+            assert parsed == update
+
+    def test_comments_and_blank_lines_skipped(self):
+        assert parse_update_line("") is None
+        assert parse_update_line("   ") is None
+        assert parse_update_line("# a comment") is None
+
+    def test_malformed_lines_raise(self):
+        with pytest.raises(UpdateLogError):
+            parse_update_line("* 1 2")
+        with pytest.raises(UpdateLogError):
+            parse_update_line("+ 1")
+        with pytest.raises(UpdateLogError):
+            parse_update_line("+ 1 2 3")
+
+    def test_whitespace_vertex_rejected(self):
+        with pytest.raises(UpdateLogError):
+            format_update(Update.insert("a vertex", 2))
+
+    def test_integer_identifiers_parse_back_to_int(self):
+        parsed = parse_update_line("+ 10 20")
+        assert parsed == Update(UpdateKind.INSERT, 10, 20)
+        assert isinstance(parsed.u, int)
+
+
+class TestWriterReader:
+    def test_write_and_read(self, tmp_path):
+        path = tmp_path / "updates.log"
+        count = write_update_log(UPDATES, path)
+        assert count == len(UPDATES)
+        assert read_update_log(path) == UPDATES
+        assert path.read_text().splitlines()[0] == LOG_HEADER
+
+    def test_append_mode(self, tmp_path):
+        path = tmp_path / "updates.log"
+        with UpdateLogWriter(path) as writer:
+            writer.append(UPDATES[0])
+        with UpdateLogWriter(path, append=True) as writer:
+            writer.append(UPDATES[1])
+        assert read_update_log(path) == UPDATES[:2]
+
+    def test_write_after_close_raises(self, tmp_path):
+        writer = UpdateLogWriter(tmp_path / "updates.log")
+        writer.close()
+        with pytest.raises(UpdateLogError):
+            writer.append(UPDATES[0])
+
+    def test_reader_is_reiterable(self, tmp_path):
+        path = tmp_path / "updates.log"
+        write_update_log(UPDATES, path)
+        reader = UpdateLogReader(path)
+        assert list(reader) == list(reader)
+
+
+class TestReplay:
+    def test_replay_into_maintainer(self, tmp_path):
+        path = tmp_path / "updates.log"
+        updates = [u for u in UPDATES if isinstance(u.u, int)]
+        write_update_log(updates, path)
+        algo = DynStrClu(PARAMS)
+        applied = replay_updates(algo, UpdateLogReader(path))
+        assert applied == len(updates)
+        assert algo.graph.num_edges == 3  # (3, 4) was inserted then deleted
+
+    def test_replay_with_skip_reconstructs_from_checkpoint(self, tmp_path):
+        """snapshot + log suffix == replaying the full log from scratch."""
+        log_path = tmp_path / "updates.log"
+        updates = [u for u in UPDATES if isinstance(u.u, int)]
+        prefix, suffix = updates[:3], updates[3:]
+
+        live = DynStrClu(PARAMS)
+        with UpdateLogWriter(log_path) as wal:
+            for update in prefix:
+                wal.append(update)
+                live.apply(update)
+            snapshot = take_snapshot(live)
+            for update in suffix:
+                wal.append(update)
+                live.apply(update)
+
+        recovered = restore_dynstrclu(snapshot)
+        replay_updates(recovered, UpdateLogReader(log_path), skip=len(prefix))
+        assert recovered.clustering().as_frozen() == live.clustering().as_frozen()
+        assert recovered.graph.num_edges == live.graph.num_edges
+
+    def test_on_update_callback(self, tmp_path):
+        seen = []
+        updates = [u for u in UPDATES if isinstance(u.u, int)]
+        algo = DynStrClu(PARAMS)
+        replay_updates(algo, updates, on_update=lambda i, u: seen.append((i, u.kind)))
+        assert len(seen) == len(updates)
+        assert seen[0][0] == 0

@@ -1,0 +1,78 @@
+"""Property-based tests: every connectivity backend answers like a recomputation."""
+
+from __future__ import annotations
+
+import networkx as nx
+from hypothesis import given, settings, strategies as st
+
+from repro.connectivity.euler_tour import EulerTourConnectivity
+from repro.connectivity.hdt import HDTConnectivity
+from repro.connectivity.union_find import UnionFindConnectivity
+
+# a script of edge toggles over a small vertex universe: each pair flips the
+# presence of that edge
+scripts = st.lists(
+    st.tuples(st.integers(0, 11), st.integers(0, 11)), min_size=1, max_size=200
+)
+
+
+def run_script(backend, script):
+    """Apply the toggle script to the backend and a networkx mirror in lockstep."""
+    mirror = nx.Graph()
+    present = set()
+    for u, v in script:
+        if u == v:
+            continue
+        key = (min(u, v), max(u, v))
+        if key in present:
+            backend.delete_edge(*key)
+            mirror.remove_edge(*key)
+            present.discard(key)
+        else:
+            backend.insert_edge(*key)
+            mirror.add_edge(*key)
+            present.add(key)
+    return mirror
+
+
+def assert_matches_networkx(backend, mirror):
+    nodes = list(mirror.nodes)
+    components = {node: index for index, comp in enumerate(nx.connected_components(mirror)) for node in comp}
+    for i, u in enumerate(nodes):
+        assert backend.component_size(u) == len(
+            nx.node_connected_component(mirror, u)
+        )
+        for v in nodes[i + 1 :]:
+            expected = components[u] == components[v]
+            assert backend.connected(u, v) == expected
+            assert (backend.component_id(u) == backend.component_id(v)) == expected
+
+
+class TestBackendsAgainstNetworkx:
+    @given(scripts)
+    @settings(max_examples=50, deadline=None)
+    def test_hdt_matches_networkx(self, script):
+        backend = HDTConnectivity()
+        mirror = run_script(backend, script)
+        assert_matches_networkx(backend, mirror)
+
+    @given(scripts)
+    @settings(max_examples=50, deadline=None)
+    def test_euler_tour_matches_networkx(self, script):
+        backend = EulerTourConnectivity()
+        mirror = run_script(backend, script)
+        assert_matches_networkx(backend, mirror)
+
+    @given(scripts)
+    @settings(max_examples=30, deadline=None)
+    def test_union_find_matches_networkx(self, script):
+        backend = UnionFindConnectivity()
+        mirror = run_script(backend, script)
+        assert_matches_networkx(backend, mirror)
+
+    @given(scripts)
+    @settings(max_examples=30, deadline=None)
+    def test_hdt_edge_and_vertex_counts(self, script):
+        backend = HDTConnectivity()
+        mirror = run_script(backend, script)
+        assert backend.num_edges() == mirror.number_of_edges()

@@ -1,0 +1,66 @@
+"""Property-based tests for distributed tracking (instance and tracker)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dt.instance import DTInstance
+from repro.dt.tracker import NaiveTracker, UpdateTracker
+
+
+class TestDTInstanceProperties:
+    @given(st.integers(1, 2000), st.lists(st.integers(0, 1), min_size=0, max_size=2000))
+    @settings(max_examples=80, deadline=None)
+    def test_maturity_exactly_at_tau(self, tau, increments):
+        """The DT protocol is an exact counter: maturity fires on the tau-th
+        increment, never earlier, never later."""
+        dt = DTInstance(tau)
+        for index, participant in enumerate(increments, start=1):
+            if index > tau:
+                break
+            matured = dt.increment(participant)
+            assert matured == (index == tau)
+
+    @given(st.integers(9, 5000))
+    @settings(max_examples=50, deadline=None)
+    def test_slack_rule(self, tau):
+        dt = DTInstance(tau)
+        assert dt.slack == tau // 4
+        assert dt.checkpoints == [dt.slack, dt.slack]
+
+
+# operations over a small universe of vertices / edges
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("track"), st.integers(0, 7), st.integers(0, 7), st.integers(1, 30)),
+        st.tuples(st.just("untrack"), st.integers(0, 7), st.integers(0, 7), st.just(0)),
+        st.tuples(st.just("update"), st.integers(0, 7), st.just(0), st.just(0)),
+    ),
+    min_size=1,
+    max_size=300,
+)
+
+
+class TestTrackerEquivalenceProperty:
+    @given(ops)
+    @settings(max_examples=80, deadline=None)
+    def test_heap_tracker_equals_naive_tracker(self, operations):
+        """Whatever the interleaving of track/untrack/update operations, the
+        heap-organised tracker reports exactly the same maturities as the
+        per-edge-counter straw man."""
+        heap_tracker = UpdateTracker()
+        naive = NaiveTracker()
+        for op, a, b, tau in operations:
+            if op == "track":
+                if a == b or heap_tracker.is_tracked(a, b):
+                    continue
+                heap_tracker.track(a, b, tau)
+                naive.track(a, b, tau)
+            elif op == "untrack":
+                heap_tracker.untrack(a, b)
+                naive.untrack(a, b)
+            else:
+                assert sorted(heap_tracker.register_update(a)) == sorted(
+                    naive.register_update(a)
+                )
+        assert heap_tracker.num_tracked() == naive.num_tracked()

@@ -1,0 +1,74 @@
+"""Property-based tests for the sampling estimator and the labelling strategy."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import StrCluParams
+from repro.core.estimator import SamplingSimilarityOracle
+from repro.core.labelling import LabellingStrategy, is_valid_rho_approximate
+from repro.graph.dynamic_graph import DynamicGraph, canonical_edge
+from repro.graph.similarity import SimilarityKind, jaccard_similarity
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 12), st.integers(0, 12)), min_size=1, max_size=60
+)
+
+
+def build_graph(pairs):
+    graph = DynamicGraph()
+    for u, v in pairs:
+        if u != v and not graph.has_edge(u, v):
+            graph.insert_edge(u, v)
+    return graph
+
+
+class TestEstimatorProperties:
+    @given(edge_lists, st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_jaccard_estimates_stay_in_unit_interval(self, pairs, seed):
+        graph = build_graph(pairs)
+        oracle = SamplingSimilarityOracle(graph, rng=random.Random(seed))
+        for u, v in graph.edges():
+            estimate = oracle.similarity(u, v, num_samples=32)
+            assert 0.0 <= estimate <= 1.0
+
+    @given(edge_lists, st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_cosine_estimates_never_negative(self, pairs, seed):
+        graph = build_graph(pairs)
+        oracle = SamplingSimilarityOracle(
+            graph, kind=SimilarityKind.COSINE, epsilon=0.4, rng=random.Random(seed)
+        )
+        for u, v in graph.edges():
+            assert oracle.similarity(u, v, num_samples=32) >= 0.0
+
+    @given(edge_lists, st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_large_sample_estimate_is_rho_accurate(self, pairs, seed):
+        """With a generous sample budget the strategy produces a valid
+        ρ-approximate labelling for a generous ρ (statistical, seeded)."""
+        graph = build_graph(pairs)
+        params = StrCluParams(epsilon=0.4, mu=2, rho=0.6, delta_star=0.05, seed=seed)
+        oracle = SamplingSimilarityOracle(
+            graph, epsilon=params.epsilon, rng=random.Random(seed), default_samples=1024
+        )
+        strategy = LabellingStrategy(params, oracle)
+        labels = {
+            canonical_edge(u, v): strategy.label(u, v) for u, v in graph.edges()
+        }
+        assert is_valid_rho_approximate(graph, labels, params.epsilon, params.rho)
+
+    @given(edge_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_estimator_is_exact_for_full_overlap_edges(self, pairs):
+        """Edges whose endpoints have identical closed neighbourhoods must be
+        estimated as similarity 1 regardless of sampling randomness."""
+        graph = build_graph(pairs)
+        oracle = SamplingSimilarityOracle(graph, rng=random.Random(0))
+        for u, v in graph.edges():
+            if graph.closed_neighbourhood(u) == graph.closed_neighbourhood(v):
+                assert oracle.similarity(u, v, num_samples=16) == 1.0
+                assert jaccard_similarity(graph, u, v) == 1.0

@@ -1,0 +1,91 @@
+"""Property-based tests for the dynamic graph and similarity substrate."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.dynamic_graph import DynamicGraph, canonical_edge
+from repro.graph.similarity import cosine_similarity, jaccard_similarity
+
+# a list of (u, v) pairs over a small vertex universe; duplicates and self
+# loops are filtered during interpretation
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 15), st.integers(0, 15)), min_size=0, max_size=80
+)
+
+
+def build_graph(pairs):
+    graph = DynamicGraph()
+    mirror = set()
+    for u, v in pairs:
+        if u == v:
+            continue
+        key = canonical_edge(u, v)
+        if key in mirror:
+            continue
+        graph.insert_edge(u, v)
+        mirror.add(key)
+    return graph, mirror
+
+
+class TestGraphProperties:
+    @given(edge_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_edge_count_and_degree_sum(self, pairs):
+        graph, mirror = build_graph(pairs)
+        assert graph.num_edges == len(mirror)
+        assert sum(graph.degree(v) for v in graph.vertices()) == 2 * len(mirror)
+
+    @given(edge_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_neighbourhood_symmetry(self, pairs):
+        graph, _ = build_graph(pairs)
+        for u in graph.vertices():
+            for v in graph.neighbours(u):
+                assert u in graph.neighbours(v)
+
+    @given(edge_lists, st.randoms(use_true_random=False))
+    @settings(max_examples=40, deadline=None)
+    def test_delete_everything_leaves_empty_graph(self, pairs, rng):
+        graph, mirror = build_graph(pairs)
+        edges = list(mirror)
+        rng.shuffle(edges)
+        for u, v in edges:
+            graph.delete_edge(u, v)
+        assert graph.num_edges == 0
+        assert all(graph.degree(v) == 0 for v in graph.vertices())
+
+
+class TestSimilarityProperties:
+    @given(edge_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_similarities_bounded_and_cosine_dominates(self, pairs):
+        graph, mirror = build_graph(pairs)
+        for u, v in mirror:
+            jac = jaccard_similarity(graph, u, v)
+            cos = cosine_similarity(graph, u, v)
+            assert 0.0 < jac <= 1.0  # adjacent vertices share at least themselves
+            assert 0.0 < cos <= 1.0 + 1e-12
+            assert cos + 1e-12 >= jac
+
+    @given(edge_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_similarity_symmetry(self, pairs):
+        graph, mirror = build_graph(pairs)
+        for u, v in mirror:
+            assert jaccard_similarity(graph, u, v) == jaccard_similarity(graph, v, u)
+            assert cosine_similarity(graph, u, v) == cosine_similarity(graph, v, u)
+
+    @given(edge_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_inserting_common_neighbour_never_lowers_intersection(self, pairs):
+        graph, mirror = build_graph(pairs)
+        if not mirror:
+            return
+        u, v = next(iter(mirror))
+        before = graph.common_closed_neighbours(u, v)
+        w = 999
+        graph.insert_edge(u, w)
+        graph.insert_edge(v, w)
+        after = graph.common_closed_neighbours(u, v)
+        assert after == before + 1

@@ -1,0 +1,112 @@
+"""Unit tests for the stream processor (snapshots, listeners, WAL, checkpoints)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tracking import ClusterEventKind
+from repro.core.config import StrCluParams
+from repro.core.dynelm import Update
+from repro.core.dynstrclu import DynStrClu
+from repro.persistence.snapshot import load_snapshot, restore_dynstrclu
+from repro.persistence.updatelog import UpdateLogReader, replay_updates
+from repro.streaming.processor import StreamProcessor
+
+PARAMS = StrCluParams(epsilon=0.5, mu=2, rho=0.0)
+
+TRIANGLE_STREAM = [
+    Update.insert(1, 2),
+    Update.insert(2, 3),
+    Update.insert(1, 3),
+    Update.insert(4, 5),
+    Update.insert(5, 6),
+    Update.insert(4, 6),
+]
+
+
+class TestConstruction:
+    def test_requires_params_or_maintainer(self):
+        with pytest.raises(ValueError):
+            StreamProcessor()
+
+    def test_accepts_prebuilt_maintainer(self):
+        maintainer = DynStrClu(PARAMS)
+        processor = StreamProcessor(maintainer=maintainer, snapshot_every=1)
+        processor.process([Update.insert(1, 2)])
+        assert maintainer.graph.num_edges == 1
+
+    def test_invalid_intervals(self):
+        with pytest.raises(ValueError):
+            StreamProcessor(PARAMS, snapshot_every=0)
+        with pytest.raises(ValueError):
+            StreamProcessor(PARAMS, checkpoint_every=0)
+
+
+class TestSnapshotsAndListeners:
+    def test_snapshot_cadence(self):
+        processor = StreamProcessor(PARAMS, snapshot_every=2)
+        report = processor.process(TRIANGLE_STREAM)
+        assert report.updates_applied == 6
+        assert report.snapshots_taken == 3
+        assert report.final_clustering.num_clusters == 2
+
+    def test_listener_receives_snapshots(self):
+        calls = []
+        processor = StreamProcessor(PARAMS, snapshot_every=3)
+        processor.add_listener(lambda step, clustering, events: calls.append(step))
+        processor.process(TRIANGLE_STREAM)
+        assert calls == [3, 6]
+
+    def test_listener_object_with_on_snapshot(self):
+        class Recorder:
+            def __init__(self):
+                self.clusters_seen = []
+
+            def on_snapshot(self, step, clustering, events):
+                self.clusters_seen.append(clustering.num_clusters)
+
+        recorder = Recorder()
+        processor = StreamProcessor(PARAMS, snapshot_every=3)
+        processor.add_listener(recorder)
+        processor.process(TRIANGLE_STREAM)
+        assert recorder.clusters_seen == [1, 2]
+
+    def test_born_events_reported(self):
+        processor = StreamProcessor(PARAMS, snapshot_every=3)
+        report = processor.process(TRIANGLE_STREAM)
+        born = report.events_of_kind(ClusterEventKind.BORN)
+        assert len(born) == 1  # the second triangle appears in the second snapshot
+
+    def test_apply_returns_events_only_on_snapshot(self):
+        processor = StreamProcessor(PARAMS, snapshot_every=2)
+        assert processor.apply(Update.insert(1, 2)) is None
+        events = processor.apply(Update.insert(2, 3))
+        assert events == []  # first snapshot has no previous clustering to diff
+
+
+class TestPersistenceIntegration:
+    def test_wal_records_every_update(self, tmp_path):
+        wal = tmp_path / "stream.log"
+        with StreamProcessor(PARAMS, snapshot_every=10, wal_path=wal) as processor:
+            processor.process(TRIANGLE_STREAM)
+        assert UpdateLogReader(wal).read_all() == TRIANGLE_STREAM
+
+    def test_checkpoint_plus_wal_recovers_state(self, tmp_path):
+        wal = tmp_path / "stream.log"
+        checkpoint = tmp_path / "checkpoint.json"
+        with StreamProcessor(
+            PARAMS,
+            snapshot_every=10,
+            wal_path=wal,
+            checkpoint_path=checkpoint,
+            checkpoint_every=4,
+        ) as processor:
+            report = processor.process(TRIANGLE_STREAM)
+            assert processor.checkpoints_written == 1
+
+        recovered = restore_dynstrclu(load_snapshot(checkpoint))
+        replay_updates(recovered, UpdateLogReader(wal), skip=4)
+        assert (
+            recovered.clustering().as_frozen()
+            == report.final_clustering.as_frozen()
+        )

@@ -1,0 +1,125 @@
+"""Unit tests for sliding-window structural clustering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import StrCluParams
+from repro.core.dynstrclu import DynStrClu
+from repro.streaming.window import SlidingWindowClustering, TimedEdge
+
+PARAMS = StrCluParams(epsilon=0.5, mu=2, rho=0.0)
+
+
+class TestBasics:
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SlidingWindowClustering(PARAMS, window=0)
+
+    def test_observe_inserts_edges(self):
+        swc = SlidingWindowClustering(PARAMS, window=10)
+        swc.observe(1, 2, time=0.0)
+        swc.observe(2, 3, time=1.0)
+        assert swc.num_live_edges == 2
+        assert swc.maintainer.graph.has_edge(1, 2)
+        assert swc.last_seen(1, 2) == 0.0
+
+    def test_observe_event_dataclass(self):
+        swc = SlidingWindowClustering(PARAMS, window=10)
+        event = TimedEdge(4, 5, time=2.0)
+        swc.observe_event(event)
+        assert event.edge == (4, 5)
+        assert swc.num_live_edges == 1
+
+    def test_time_must_be_non_decreasing(self):
+        swc = SlidingWindowClustering(PARAMS, window=10)
+        swc.observe(1, 2, time=5.0)
+        with pytest.raises(ValueError):
+            swc.observe(2, 3, time=4.0)
+        with pytest.raises(ValueError):
+            swc.advance_to(1.0)
+
+
+class TestExpiry:
+    def test_edges_expire_after_window(self):
+        swc = SlidingWindowClustering(PARAMS, window=10)
+        swc.observe(1, 2, time=0.0)
+        swc.observe(2, 3, time=5.0)
+        expired = swc.advance_to(11.0)
+        assert expired == 1
+        assert not swc.maintainer.graph.has_edge(1, 2)
+        assert swc.maintainer.graph.has_edge(2, 3)
+        assert swc.num_live_edges == 1
+        assert swc.expired_edges == 1
+
+    def test_refresh_extends_lifetime(self):
+        swc = SlidingWindowClustering(PARAMS, window=10)
+        swc.observe(1, 2, time=0.0)
+        swc.observe(1, 2, time=8.0)  # refresh, no duplicate insertion
+        assert swc.num_live_edges == 1
+        assert swc.advance_to(12.0) == 0  # original timestamp is stale
+        assert swc.maintainer.graph.has_edge(1, 2)
+        assert swc.advance_to(19.0) == 1
+        assert not swc.maintainer.graph.has_edge(1, 2)
+
+    def test_expiry_happens_on_observe_too(self):
+        swc = SlidingWindowClustering(PARAMS, window=5)
+        swc.observe(1, 2, time=0.0)
+        expired = swc.observe(3, 4, time=50.0)
+        assert expired == 1
+        assert swc.live_edges() == [(3, 4)]
+
+    def test_everything_expires(self):
+        swc = SlidingWindowClustering(PARAMS, window=1)
+        for t, (u, v) in enumerate([(1, 2), (2, 3), (1, 3)]):
+            swc.observe(u, v, time=float(10 * t))
+        assert swc.num_live_edges == 1
+        swc.advance_to(100.0)
+        assert swc.num_live_edges == 0
+        assert swc.maintainer.graph.num_edges == 0
+
+
+class TestClusteringView:
+    def _triangle_events(self, base_time: float):
+        return [
+            TimedEdge(1, 2, base_time),
+            TimedEdge(2, 3, base_time + 1),
+            TimedEdge(1, 3, base_time + 2),
+        ]
+
+    def test_clustering_reflects_window_content(self):
+        swc = SlidingWindowClustering(PARAMS, window=100)
+        for event in self._triangle_events(0.0):
+            swc.observe_event(event)
+        clustering = swc.clustering()
+        assert clustering.num_clusters == 1
+        assert {1, 2, 3} in clustering.clusters
+
+    def test_cluster_disappears_after_expiry(self):
+        swc = SlidingWindowClustering(PARAMS, window=10)
+        for event in self._triangle_events(0.0):
+            swc.observe_event(event)
+        assert swc.clustering().num_clusters == 1
+        swc.advance_to(1000.0)
+        assert swc.clustering().num_clusters == 0
+
+    def test_window_equals_recompute_on_live_edges(self):
+        """The maintained clustering equals a from-scratch build on the live edges."""
+        swc = SlidingWindowClustering(PARAMS, window=30)
+        interactions = [
+            (1, 2, 0.0), (2, 3, 2.0), (1, 3, 4.0), (3, 4, 10.0),
+            (4, 5, 12.0), (5, 6, 14.0), (4, 6, 16.0), (1, 2, 20.0),
+            (6, 7, 35.0), (2, 3, 38.0), (7, 8, 40.0), (8, 6, 42.0), (7, 6, 44.0),
+        ]
+        for u, v, t in interactions:
+            swc.observe(u, v, time=t)
+        reference = DynStrClu.from_edges(swc.live_edges(), PARAMS)
+        assert swc.clustering().as_frozen() == reference.clustering().as_frozen()
+
+    def test_group_by_on_window(self):
+        swc = SlidingWindowClustering(PARAMS, window=100)
+        for event in self._triangle_events(0.0):
+            swc.observe_event(event)
+        result = swc.group_by([1, 3])
+        assert result.num_groups == 1
+        assert result.as_sets() == [{1, 3}]

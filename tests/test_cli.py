@@ -1,0 +1,57 @@
+"""Unit tests for the command line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.graph.io import save_edge_list
+from repro.graph.generators import planted_partition_graph
+
+
+class TestListDatasets:
+    def test_lists_all(self, capsys):
+        assert main(["list-datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "slashdot" in out
+        assert "twitter" in out
+
+
+class TestCluster:
+    def test_cluster_registry_dataset(self, capsys):
+        assert main(["cluster", "--dataset", "email", "--mu", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "StrClu result" in out
+        assert "clusters" in out
+
+    def test_cluster_edge_list_file(self, tmp_path, capsys):
+        path = tmp_path / "edges.txt"
+        save_edge_list(planted_partition_graph(2, 10, 0.7, 0.0, seed=1), path)
+        assert main(["cluster", "--edge-list", str(path), "--epsilon", "0.4", "--mu", "3"]) == 0
+        assert "Top clusters" in capsys.readouterr().out
+
+    def test_requires_exactly_one_source(self, capsys):
+        assert main(["cluster"]) == 2
+        assert main(["cluster", "--dataset", "email", "--edge-list", "x.txt"]) == 2
+
+    def test_cosine_option(self, capsys):
+        assert main(["cluster", "--dataset", "email", "--similarity", "cosine"]) == 0
+
+
+class TestExperiment:
+    def test_registry_covers_every_table_and_figure(self):
+        from repro.cli import EXPERIMENTS
+
+        expected = {
+            "table1", "table2", "table3", "fig4-6", "fig7", "fig8",
+            "fig9", "fig10", "fig11", "fig12a", "fig12b",
+        }
+        assert expected == set(EXPERIMENTS)
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "not-an-experiment"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,62 @@
+"""Unit tests for the instrumentation module (counters, memory model, stopwatch)."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.instrumentation import NULL_COUNTER, MemoryModel, NullCounter, OpCounter, Stopwatch
+
+
+class TestOpCounter:
+    def test_add_and_get(self):
+        counter = OpCounter()
+        counter.add("x")
+        counter.add("x", 4)
+        counter.add("y")
+        assert counter.get("x") == 5
+        assert counter.get("y") == 1
+        assert counter.get("missing") == 0
+        assert counter.total() == 6
+
+    def test_reset_and_snapshot(self):
+        counter = OpCounter()
+        counter.add("a", 3)
+        snapshot = counter.snapshot()
+        counter.reset()
+        assert snapshot == {"a": 3}
+        assert counter.total() == 0
+
+    def test_null_counter_ignores_everything(self):
+        NULL_COUNTER.add("anything", 1000)
+        assert NULL_COUNTER.total() == 0
+        assert isinstance(NULL_COUNTER, NullCounter)
+
+
+class TestMemoryModel:
+    def test_words_combination(self):
+        model = MemoryModel()
+        expected = 3 * model.adjacency_entry + 2 * model.vertex_record
+        assert model.words(adjacency_entry=3, vertex_record=2) == expected
+
+    def test_unknown_element_kind_raises(self):
+        with pytest.raises(AttributeError):
+            MemoryModel().words(unknown_thing=1)
+
+    def test_zero_elements(self):
+        assert MemoryModel().words() == 0
+
+
+class TestStopwatch:
+    def test_measures_phases(self):
+        watch = Stopwatch()
+        with watch.measure("a"):
+            time.sleep(0.01)
+        with watch.measure("a"):
+            pass
+        with watch.measure("b"):
+            pass
+        assert watch.elapsed["a"] >= 0.01
+        assert watch.total() >= watch.elapsed["a"]
+        assert set(watch.elapsed) == {"a", "b"}

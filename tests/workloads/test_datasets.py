@@ -1,0 +1,72 @@
+"""Unit tests for the synthetic dataset registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.workloads.datasets import (
+    ALL_DATASETS,
+    DATASETS,
+    EXTRA_DATASETS,
+    QUALITY_DATASETS,
+    REPRESENTATIVES,
+    dataset_spec,
+    list_datasets,
+    load_dataset,
+)
+
+
+class TestRegistry:
+    def test_fifteen_datasets(self):
+        assert len(DATASETS) == 15
+
+    def test_extra_datasets_are_disjoint_from_the_paper_registry(self):
+        assert set(EXTRA_DATASETS).isdisjoint(DATASETS)
+        assert ALL_DATASETS == {**DATASETS, **EXTRA_DATASETS}
+        assert "dense" in EXTRA_DATASETS
+
+    def test_representatives_subset(self):
+        assert len(REPRESENTATIVES) == 5
+        assert set(REPRESENTATIVES) <= set(DATASETS)
+        for name in REPRESENTATIVES:
+            assert DATASETS[name].representative
+
+    def test_quality_datasets_include_twitter(self):
+        assert "twitter" in QUALITY_DATASETS
+        assert DATASETS["twitter"].scalability
+
+    def test_list_datasets(self):
+        assert sorted(list_datasets()) == sorted(ALL_DATASETS)
+        assert sorted(list_datasets(include_extras=False)) == sorted(DATASETS)
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            load_dataset("does-not-exist")
+        with pytest.raises(KeyError):
+            dataset_spec("does-not-exist")
+
+    def test_epsilon_defaults_in_range(self):
+        for spec in DATASETS.values():
+            assert 0 < spec.default_epsilon_jaccard <= 1
+            assert 0 < spec.default_epsilon_cosine <= 1
+            # the paper observes that matching cosine thresholds are larger
+            assert spec.default_epsilon_cosine >= spec.default_epsilon_jaccard
+
+
+class TestGeneratedGraphs:
+    @pytest.mark.parametrize("name", sorted(ALL_DATASETS))
+    def test_every_dataset_loads_as_a_simple_graph(self, name):
+        edges = load_dataset(name)
+        assert edges, name
+        graph = DynamicGraph(edges)  # raises on duplicates / self loops
+        spec = dataset_spec(name)
+        assert graph.num_vertices <= spec.num_vertices
+        assert graph.num_vertices >= spec.num_vertices * 0.8
+
+    def test_deterministic(self):
+        assert load_dataset("slashdot") == load_dataset("slashdot")
+
+    def test_twitter_is_largest(self):
+        sizes = {name: len(load_dataset(name)) for name in ("twitter", "email", "slashdot")}
+        assert sizes["twitter"] > sizes["slashdot"] > sizes["email"]

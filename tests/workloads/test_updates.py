@@ -1,0 +1,107 @@
+"""Unit tests for the update-sequence simulator (Section 9.4)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.core.dynelm import UpdateKind
+from repro.graph.dynamic_graph import DynamicGraph, canonical_edge
+from repro.graph.generators import planted_partition_graph
+from repro.workloads.updates import InsertionStrategy, generate_update_sequence
+
+
+@pytest.fixture
+def base_edges():
+    return planted_partition_graph(3, 10, 0.4, 0.05, seed=1)
+
+
+def replay(workload):
+    """Apply the workload to a plain graph; raises if any update is inconsistent."""
+    graph = DynamicGraph()
+    for update in workload.all_updates():
+        if update.kind is UpdateKind.INSERT:
+            graph.insert_edge(update.u, update.v)
+        else:
+            graph.delete_edge(update.u, update.v)
+    return graph
+
+
+class TestGeneration:
+    def test_counts(self, base_edges):
+        workload = generate_update_sequence(30, base_edges, 120, "RR", eta=0.0, seed=0)
+        assert len(workload.updates) == 120
+        assert workload.total_updates == len(base_edges) + 120
+
+    def test_insert_only_when_eta_zero(self, base_edges):
+        workload = generate_update_sequence(30, base_edges, 150, "RR", eta=0.0, seed=0)
+        assert all(u.kind is UpdateKind.INSERT for u in workload.updates)
+
+    def test_deletion_fraction_tracks_eta(self, base_edges):
+        eta = 0.5
+        # use a roomy vertex universe so the graph never saturates (saturation
+        # converts insertions into fallback deletions and skews the ratio)
+        workload = generate_update_sequence(120, base_edges, 2000, "RR", eta=eta, seed=4)
+        kinds = Counter(u.kind for u in workload.updates)
+        fraction = kinds[UpdateKind.DELETE] / len(workload.updates)
+        assert abs(fraction - eta / (1 + eta)) < 0.05
+
+    def test_replay_is_always_consistent(self, base_edges):
+        for strategy in InsertionStrategy:
+            for eta in (0.0, 0.2, 0.5):
+                workload = generate_update_sequence(
+                    30, base_edges, 400, strategy, eta=eta, seed=7
+                )
+                graph = replay(workload)
+                assert graph.num_edges >= 0
+
+    def test_deterministic_for_seed(self, base_edges):
+        a = generate_update_sequence(30, base_edges, 100, "DR", eta=0.3, seed=5)
+        b = generate_update_sequence(30, base_edges, 100, "DR", eta=0.3, seed=5)
+        assert a.updates == b.updates
+        c = generate_update_sequence(30, base_edges, 100, "DR", eta=0.3, seed=6)
+        assert a.updates != c.updates
+
+    def test_negative_eta_rejected(self, base_edges):
+        with pytest.raises(ValueError):
+            generate_update_sequence(30, base_edges, 10, "RR", eta=-1, seed=0)
+
+    def test_unknown_strategy_rejected(self, base_edges):
+        with pytest.raises(ValueError):
+            generate_update_sequence(30, base_edges, 10, "XX", eta=0.0, seed=0)
+
+    def test_never_inserts_existing_edge_or_self_loop(self, base_edges):
+        workload = generate_update_sequence(30, base_edges, 500, "DD", eta=0.3, seed=9)
+        present = {canonical_edge(u, v) for u, v in base_edges}
+        for update in workload.updates:
+            assert update.u != update.v
+            if update.kind is UpdateKind.INSERT:
+                assert update.edge not in present
+                present.add(update.edge)
+            else:
+                assert update.edge in present
+                present.discard(update.edge)
+
+    def test_complete_graph_falls_back_to_deletions(self):
+        """On a tiny complete graph, insert requests degrade to deletions."""
+        n = 4
+        complete = [(u, v) for u in range(n) for v in range(u + 1, n)]
+        workload = generate_update_sequence(n, complete, 20, "RR", eta=0.0, seed=1)
+        assert any(u.kind is UpdateKind.DELETE for u in workload.updates)
+        replay(workload)
+
+
+class TestDegreeBias:
+    def test_degree_strategies_prefer_high_degree_vertices(self):
+        """DR insertions must touch the hub of a star far more often than RR,
+        because the first endpoint is drawn proportionally to degree."""
+        star = [(0, i) for i in range(1, 40)]
+
+        def hub_touch_fraction(strategy: str) -> float:
+            # large vertex universe so the hub has plenty of non-neighbours left
+            workload = generate_update_sequence(400, star, 300, strategy, eta=0.0, seed=3)
+            touches = sum(1 for u in workload.updates if 0 in (u.u, u.v))
+            return touches / len(workload.updates)
+
+        assert hub_touch_fraction("DR") > hub_touch_fraction("RR") + 0.1
