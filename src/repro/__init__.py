@@ -32,7 +32,19 @@ from repro.persistence import (
 )
 from repro.streaming import SlidingWindowClustering, StreamProcessor
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+from repro.service import (  # noqa: E402  (needs __version__ for /healthz)
+    BackgroundServer,
+    ClusteringEngine,
+    ClusteringServiceServer,
+    ClusteringView,
+    EngineConfig,
+    LoadGenConfig,
+    LoadGenerator,
+    ServiceClient,
+    ServiceMetrics,
+)
 
 __all__ = [
     "DynamicGraph",
@@ -60,5 +72,14 @@ __all__ = [
     "restore_dynstrclu",
     "SlidingWindowClustering",
     "StreamProcessor",
+    "ClusteringEngine",
+    "EngineConfig",
+    "ClusteringView",
+    "ClusteringServiceServer",
+    "BackgroundServer",
+    "ServiceClient",
+    "ServiceMetrics",
+    "LoadGenerator",
+    "LoadGenConfig",
     "__version__",
 ]

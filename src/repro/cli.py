@@ -9,14 +9,26 @@ Subcommands
     the cluster summary.
 ``experiment``
     Run one of the table/figure reproductions and print its rows.
+``serve``
+    Run the concurrent clustering service (micro-batching engine + JSON/HTTP
+    API) until interrupted.
+``loadgen``
+    Generate open-loop insert/delete/query traffic against a running service
+    (or an in-process engine) and print the throughput/latency report.
+
+``repro --version`` prints the library version.  Unknown subcommands exit
+with status 2 and a usage message (argparse's standard behaviour, locked in
+by the CLI tests).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
+from repro import __version__
 from repro.core.config import StrCluParams
 from repro.core.dynstrclu import DynStrClu
 from repro.experiments import (
@@ -57,6 +69,9 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Dynamic Structural Clustering on Graphs (SIGMOD 2021) reproduction",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list-datasets", help="print the synthetic dataset registry")
@@ -79,6 +94,59 @@ def _build_parser() -> argparse.ArgumentParser:
         default=0.5,
         help="update-sequence length as a multiple of the initial edge count",
     )
+
+    serve = sub.add_parser(
+        "serve", help="run the concurrent clustering service over JSON/HTTP"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8321)
+    serve.add_argument("--epsilon", type=float, default=0.5)
+    serve.add_argument("--mu", type=int, default=3)
+    serve.add_argument("--rho", type=float, default=0.01)
+    serve.add_argument(
+        "--similarity", choices=["jaccard", "cosine"], default="jaccard"
+    )
+    serve.add_argument(
+        "--data-dir",
+        help="snapshot+WAL directory; enables durability and crash recovery",
+    )
+    serve.add_argument("--batch-size", type=int, default=64)
+    serve.add_argument("--flush-interval", type=float, default=0.05)
+    serve.add_argument("--queue-capacity", type=int, default=4096)
+    serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        help="cut a checkpoint every N applied updates (0: only on shutdown)",
+    )
+    serve.add_argument(
+        "--dataset", help="optionally preload a registry dataset before serving"
+    )
+
+    loadgen = sub.add_parser(
+        "loadgen", help="generate open-loop traffic against a clustering service"
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=8321)
+    loadgen.add_argument(
+        "--in-process",
+        action="store_true",
+        help="drive a fresh in-process engine instead of a remote server",
+    )
+    loadgen.add_argument("--dataset", default="email")
+    loadgen.add_argument(
+        "--updates", type=int, default=2000, help="generated updates after the hot start"
+    )
+    loadgen.add_argument("--eta", type=float, default=0.2, help="deletion ratio")
+    loadgen.add_argument("--rate", type=float, default=0.0, help="requests/s (0: max)")
+    loadgen.add_argument("--ingest-batch", type=int, default=16)
+    loadgen.add_argument("--query-ratio", type=float, default=0.2)
+    loadgen.add_argument("--query-size", type=int, default=32)
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument("--epsilon", type=float, default=0.5)
+    loadgen.add_argument("--mu", type=int, default=3)
+    loadgen.add_argument("--rho", type=float, default=0.01)
+    loadgen.add_argument("--json", dest="json_out", help="also write the report to this file")
     return parser
 
 
@@ -138,6 +206,149 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.core.dynelm import Update
+    from repro.service import ClusteringEngine, ClusteringServiceServer, EngineConfig
+
+    try:
+        params = StrCluParams(
+            epsilon=args.epsilon,
+            mu=args.mu,
+            rho=args.rho,
+            similarity=SimilarityKind(args.similarity),
+        )
+        config = EngineConfig(
+            batch_size=args.batch_size,
+            flush_interval=args.flush_interval,
+            queue_capacity=args.queue_capacity,
+            checkpoint_every=args.checkpoint_every,
+        )
+    except ValueError as exc:
+        print(f"repro serve: {exc}", file=sys.stderr)
+        return 2
+    engine = ClusteringEngine(params, config=config, data_dir=args.data_dir)
+    if engine.recovered_updates:
+        print(
+            f"recovered {engine.recovered_updates} WAL updates "
+            f"(state at {engine.applied} applied)",
+            file=sys.stderr,
+        )
+    with engine:
+        if args.dataset:
+            for u, v in load_dataset(args.dataset):
+                engine.submit(Update.insert(u, v))
+            engine.flush()
+            print(
+                f"preloaded dataset {args.dataset!r}: {engine.view().stats()}",
+                file=sys.stderr,
+            )
+
+        async def _serve() -> None:
+            server = ClusteringServiceServer(engine, host=args.host, port=args.port)
+            await server.start()
+            print(
+                f"repro service listening on http://{args.host}:{server.port} "
+                f"(POST /updates, POST /group-by, GET /cluster/{{v}}, "
+                f"GET /stats, GET /healthz)",
+                file=sys.stderr,
+            )
+            await server.serve_forever()
+
+        try:
+            asyncio.run(_serve())
+        except KeyboardInterrupt:
+            print("shutting down (final checkpoint)...", file=sys.stderr)
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.service import (
+        ClientTarget,
+        ClusteringEngine,
+        EngineTarget,
+        LoadGenConfig,
+        LoadGenerator,
+        ServiceClient,
+    )
+    from repro.workloads.updates import generate_update_sequence
+
+    try:
+        spec = dataset_spec(args.dataset)
+        edges = load_dataset(args.dataset)
+        workload = generate_update_sequence(
+            spec.num_vertices, edges, args.updates, eta=args.eta, seed=args.seed
+        )
+        stream = list(workload.all_updates())
+        config = LoadGenConfig(
+            rate=args.rate,
+            ingest_batch=args.ingest_batch,
+            query_ratio=args.query_ratio,
+            query_size=args.query_size,
+            seed=args.seed,
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"repro loadgen: {exc}", file=sys.stderr)
+        return 2
+
+    engine = None
+    client = None
+    if args.in_process:
+        params = StrCluParams(epsilon=args.epsilon, mu=args.mu, rho=args.rho)
+        engine = ClusteringEngine(params).start()
+        target = EngineTarget(engine)
+    else:
+        from repro.service import ServiceError
+
+        client = ServiceClient(args.host, args.port)
+        try:
+            client.healthz()  # fail fast when no server is listening
+        except (OSError, ServiceError) as exc:
+            print(
+                f"repro loadgen: no clustering service at "
+                f"http://{args.host}:{args.port} ({exc})",
+                file=sys.stderr,
+            )
+            return 2
+        target = ClientTarget(client)
+
+    try:
+        generator = LoadGenerator(target, stream, config=config)
+        report = generator.run()
+        if engine is not None:
+            engine.flush()
+    finally:
+        if engine is not None:
+            engine.close()
+        if client is not None:
+            client.close()
+
+    document = report.as_dict()
+    rows = [
+        {
+            "requests": report.requests,
+            "updates_sent": report.updates_sent,
+            "accepted": report.updates_accepted,
+            "rejected": report.updates_rejected,
+            "offered_upd_s": round(report.offered_updates_per_second, 1),
+            "accepted_upd_s": round(report.accepted_updates_per_second, 1),
+            "query_p50_ms": round(generator.metrics.query.percentile(50) * 1e3, 3),
+            "query_p99_ms": round(generator.metrics.query.percentile(99) * 1e3, 3),
+            "max_lag_s": round(report.max_lag_s, 4),
+        }
+    ]
+    print(format_table(rows, title=f"loadgen against {args.dataset}"))
+    if report.errors:
+        print(f"{len(report.errors)} request errors; first: {report.errors[0]}",
+              file=sys.stderr)
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2)
+        print(f"report written to {args.json_out}", file=sys.stderr)
+    return 0 if not report.errors else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = _build_parser()
@@ -148,6 +359,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_cluster(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "loadgen":
+        return _cmd_loadgen(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

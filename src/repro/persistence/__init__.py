@@ -27,6 +27,7 @@ from repro.persistence.snapshot import (
 from repro.persistence.updatelog import (
     UpdateLogReader,
     UpdateLogWriter,
+    read_log_base,
     read_update_log,
     replay_updates,
     write_update_log,
@@ -41,6 +42,7 @@ __all__ = [
     "restore_dynstrclu",
     "UpdateLogWriter",
     "UpdateLogReader",
+    "read_log_base",
     "write_update_log",
     "read_update_log",
     "replay_updates",

@@ -20,6 +20,7 @@ entries recorded after the snapshot was taken.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 from typing import Callable, IO, Iterable, Iterator, List, Optional, Union
 
@@ -28,6 +29,11 @@ from repro.graph.dynamic_graph import Vertex
 
 #: Header line written at the top of every log file.
 LOG_HEADER = "# repro-update-log v1"
+
+#: Comment prefix recording the stream position at which a log was started
+#: (the total number of updates applied before its first entry).  Used by
+#: crash recovery to line a rotated log up against a state snapshot.
+BASE_PREFIX = "# base "
 
 _OP_TO_SYMBOL = {UpdateKind.INSERT: "+", UpdateKind.DELETE: "-"}
 _SYMBOL_TO_OP = {"+": UpdateKind.INSERT, "-": UpdateKind.DELETE}
@@ -83,14 +89,23 @@ class UpdateLogWriter:
             log.append(Update.insert(1, 2))
     """
 
-    def __init__(self, path: Union[str, Path], append: bool = False) -> None:
+    def __init__(
+        self, path: Union[str, Path], append: bool = False, base: int = 0
+    ) -> None:
         self.path = Path(path)
         mode = "a" if append and self.path.exists() else "w"
         self._handle: Optional[IO[str]] = self.path.open(mode, encoding="utf-8")
         if mode == "w":
             self._handle.write(LOG_HEADER + "\n")
+            if base:
+                self._handle.write(f"{BASE_PREFIX}{base}\n")
             self._handle.flush()
+        self.base = base
         self.entries_written = 0
+
+    @property
+    def closed(self) -> bool:
+        return self._handle is None
 
     def append(self, update: Update) -> None:
         """Append one update and flush it to disk."""
@@ -105,8 +120,22 @@ class UpdateLogWriter:
         for update in updates:
             self.append(update)
 
+    def sync(self) -> None:
+        """Flush buffered entries and fsync them to stable storage.
+
+        Durability barrier for checkpoints: after ``sync()`` returns, every
+        appended entry survives a crash of the whole machine, not just of
+        the process, so recovery never replays a torn tail.
+        """
+        if self._handle is None:
+            return
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
     def close(self) -> None:
+        """Fsync and close the log.  Safe to call more than once."""
         if self._handle is not None:
+            self.sync()
             self._handle.close()
             self._handle = None
 
@@ -118,21 +147,73 @@ class UpdateLogWriter:
 
 
 class UpdateLogReader:
-    """Iterates over the updates stored in a log file."""
+    """Iterates over the updates stored in a log file.
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    Parameters
+    ----------
+    path:
+        The log file to read.
+    tolerate_torn_tail:
+        When true, a final entry that is unterminated (no trailing newline)
+        or unparseable is silently dropped instead of raising — the shape a
+        log takes when the writer crashed mid-append.  Corruption anywhere
+        *before* the last line still raises :class:`UpdateLogError`.
+    """
+
+    def __init__(
+        self, path: Union[str, Path], tolerate_torn_tail: bool = False
+    ) -> None:
         self.path = Path(path)
+        self.tolerate_torn_tail = tolerate_torn_tail
 
     def __iter__(self) -> Iterator[Update]:
+        # stream with one line of lookahead: only the final line may be a
+        # torn tail, and buffering one line keeps recovery O(1) in memory
+        # even for a WAL that was never rotated
         with self.path.open("r", encoding="utf-8") as handle:
+            pending: Optional[str] = None
+            pending_no = 0
             for lineno, line in enumerate(handle, start=1):
-                update = parse_update_line(line, lineno)
-                if update is not None:
-                    yield update
+                if pending is not None:
+                    update = parse_update_line(pending, pending_no)
+                    if update is not None:
+                        yield update
+                pending, pending_no = line, lineno
+            if pending is None:
+                return
+            if self.tolerate_torn_tail and not pending.endswith("\n"):
+                return  # unterminated tail: the writer died mid-append
+            try:
+                update = parse_update_line(pending, pending_no)
+            except UpdateLogError:
+                if self.tolerate_torn_tail:
+                    return
+                raise
+            if update is not None:
+                yield update
+
+    def base(self) -> int:
+        """The stream position recorded when this log was started (0 if none)."""
+        return read_log_base(self.path)
 
     def read_all(self) -> List[Update]:
         """Materialise the whole log."""
         return list(self)
+
+
+def read_log_base(path: Union[str, Path]) -> int:
+    """Parse the ``# base N`` marker of a rotated log (0 when absent)."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            stripped = line.strip()
+            if stripped.startswith(BASE_PREFIX):
+                try:
+                    return int(stripped[len(BASE_PREFIX):])
+                except ValueError as exc:
+                    raise UpdateLogError(f"malformed base marker {line!r}") from exc
+            if stripped and not stripped.startswith("#"):
+                break  # past the header block: no marker present
+    return 0
 
 
 def write_update_log(updates: Iterable[Update], path: Union[str, Path]) -> int:

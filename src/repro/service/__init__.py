@@ -1,0 +1,62 @@
+"""Concurrent clustering service: batched ingest + snapshot-isolated reads.
+
+The maintainers in :mod:`repro.core` faithfully reproduce the paper's
+single-stream update model; this package is the layer that turns them into
+a *system*.  It decouples the single writer from many readers with the
+read-committed-snapshot discipline of OLTP serving stacks:
+
+* :mod:`repro.service.engine` — :class:`ClusteringEngine`, a single writer
+  thread fed by a bounded micro-batching queue (backpressure on overflow),
+  with WAL-before-apply durability and snapshot+WAL crash recovery;
+* :mod:`repro.service.views` — :class:`ClusteringView`, the immutable
+  snapshot published atomically after each batch; all reads are lock-free
+  and observe exactly one prefix of the update stream;
+* :mod:`repro.service.server` / :mod:`repro.service.client` — a
+  stdlib-only asyncio JSON-over-HTTP front-end and its matching client;
+* :mod:`repro.service.metrics` — ingest/query latency histograms and
+  throughput counters on top of :mod:`repro.instrumentation`;
+* :mod:`repro.service.loadgen` — an open-loop insert/delete/query load
+  generator over :mod:`repro.workloads.updates` streams.
+
+Exposed on the CLI as ``repro serve`` and ``repro loadgen``.
+"""
+
+from repro.service.client import BackpressureError, ServiceClient, ServiceError
+from repro.service.engine import (
+    ClusteringEngine,
+    EngineBackpressure,
+    EngineClosed,
+    EngineConfig,
+    EngineError,
+)
+from repro.service.loadgen import (
+    ClientTarget,
+    EngineTarget,
+    LoadGenConfig,
+    LoadGenerator,
+    LoadReport,
+)
+from repro.service.metrics import LatencyHistogram, ServiceMetrics
+from repro.service.server import BackgroundServer, ClusteringServiceServer
+from repro.service.views import ClusteringView
+
+__all__ = [
+    "ClusteringEngine",
+    "EngineConfig",
+    "EngineError",
+    "EngineBackpressure",
+    "EngineClosed",
+    "ClusteringView",
+    "ClusteringServiceServer",
+    "BackgroundServer",
+    "ServiceClient",
+    "ServiceError",
+    "BackpressureError",
+    "ServiceMetrics",
+    "LatencyHistogram",
+    "LoadGenerator",
+    "LoadGenConfig",
+    "LoadReport",
+    "EngineTarget",
+    "ClientTarget",
+]

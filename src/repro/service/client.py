@@ -1,0 +1,151 @@
+"""Stdlib HTTP client for the clustering service.
+
+:class:`ServiceClient` wraps ``http.client`` (no third-party dependencies)
+and mirrors the server's five routes with typed helpers.  One persistent
+keep-alive connection is maintained per client; the client is protected by
+a lock so it can be shared between load-generator threads, and transparently
+reconnects once if the server closed the idle connection.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.dynelm import Update
+from repro.core.result import GroupByResult
+from repro.graph.dynamic_graph import Vertex
+from repro.service.server import encode_update
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, document: object) -> None:
+        super().__init__(f"service returned {status}: {document!r}")
+        self.status = status
+        self.document = document
+
+
+class BackpressureError(ServiceError):
+    """The 503 path: the ingest queue was full; carries the accepted count."""
+
+    @property
+    def accepted(self) -> int:
+        if isinstance(self.document, dict):
+            return int(self.document.get("accepted", 0))
+        return 0
+
+
+class ServiceClient:
+    """Synchronous JSON/HTTP client matching :class:`ClusteringServiceServer`.
+
+    Example
+    -------
+    ::
+
+        client = ServiceClient("127.0.0.1", 8321)
+        client.submit_updates([Update.insert(1, 2), Update.insert(2, 3)])
+        result = client.group_by([1, 2, 3])
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8321, timeout: float = 10.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._lock = threading.Lock()
+        self._connection: Optional[http.client.HTTPConnection] = None
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _request(
+        self, method: str, path: str, payload: Optional[object] = None
+    ) -> Tuple[int, object]:
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        headers = {"Content-Type": "application/json"} if body is not None else {}
+        with self._lock:
+            for attempt in (0, 1):
+                if self._connection is None:
+                    self._connection = http.client.HTTPConnection(
+                        self.host, self.port, timeout=self.timeout
+                    )
+                try:
+                    self._connection.request(method, path, body=body, headers=headers)
+                    response = self._connection.getresponse()
+                    raw = response.read()
+                    break
+                except (ConnectionError, http.client.HTTPException, OSError):
+                    # stale keep-alive connection: reconnect once
+                    self._connection.close()
+                    self._connection = None
+                    if attempt:
+                        raise
+        try:
+            document = json.loads(raw.decode("utf-8")) if raw else None
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            document = raw.decode("utf-8", errors="replace")
+        return response.status, document
+
+    def _expect_ok(self, method: str, path: str, payload: Optional[object] = None) -> object:
+        status, document = self._request(method, path, payload)
+        if status == 503:
+            raise BackpressureError(status, document)
+        if not 200 <= status < 300:
+            raise ServiceError(status, document)
+        return document
+
+    def close(self) -> None:
+        with self._lock:
+            if self._connection is not None:
+                self._connection.close()
+                self._connection = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # routes
+    # ------------------------------------------------------------------
+    def healthz(self) -> Dict[str, object]:
+        """Liveness document: status, library version, view version."""
+        return self._expect_ok("GET", "/healthz")  # type: ignore[return-value]
+
+    def stats(self) -> Dict[str, object]:
+        """View statistics plus engine metrics."""
+        return self._expect_ok("GET", "/stats")  # type: ignore[return-value]
+
+    def submit_updates(self, updates: Sequence[Update]) -> int:
+        """Submit a batch of updates; returns the accepted count.
+
+        Raises :class:`BackpressureError` when the server accepted only a
+        prefix (inspect ``.accepted`` for how much got in).
+        """
+        payload = {"updates": [encode_update(u) for u in updates]}
+        document = self._expect_ok("POST", "/updates", payload)
+        return int(document["accepted"])  # type: ignore[index]
+
+    def group_by(self, vertices: Iterable[Vertex]) -> GroupByResult:
+        """Snapshot-consistent cluster-group-by over ``vertices``."""
+        document = self._expect_ok("POST", "/group-by", {"vertices": list(vertices)})
+        groups = {
+            int(gid): set(members)
+            for gid, members in document["groups"].items()  # type: ignore[index]
+        }
+        return GroupByResult(groups=groups)
+
+    def group_by_raw(self, vertices: Iterable[Vertex]) -> Dict[str, object]:
+        """Like :meth:`group_by` but returns the raw document (with version)."""
+        return self._expect_ok(  # type: ignore[return-value]
+            "POST", "/group-by", {"vertices": list(vertices)}
+        )
+
+    def cluster_of(self, vertex: Vertex) -> List[int]:
+        """Cluster indices of one vertex in the current view."""
+        document = self._expect_ok("GET", f"/cluster/{vertex}")
+        return list(document["clusters"])  # type: ignore[index]

@@ -1,0 +1,531 @@
+"""The clustering engine: a single-writer, micro-batching ingest pipeline.
+
+:class:`ClusteringEngine` turns a :class:`~repro.core.dynstrclu.DynStrClu`
+maintainer into a concurrent service component:
+
+* **Single writer.**  The maintainers are not thread-safe, and the paper's
+  model is one update stream.  The engine preserves both: exactly one
+  writer thread applies updates, in submission order.
+* **Micro-batching with backpressure.**  Producers enqueue updates into a
+  bounded queue (:meth:`submit`); when the queue is full the producer either
+  blocks or gets :class:`EngineBackpressure` — the open-loop load shedding
+  signal.  The writer drains the queue into batches of at most
+  ``batch_size`` updates, or whatever arrived within ``flush_interval``
+  seconds, whichever closes the batch first.
+* **Snapshot-isolated reads.**  After each batch the writer captures an
+  immutable :class:`~repro.service.views.ClusteringView` and publishes it
+  with a single attribute store.  Readers never touch the maintainer and
+  never block.
+* **Durability and crash recovery.**  With a ``data_dir``, every accepted
+  update is appended to a WAL *before* it is applied, and a checkpoint
+  (atomic snapshot write + WAL rotation) is cut every ``checkpoint_every``
+  updates and on clean shutdown.  On startup the engine restores the last
+  snapshot and replays the WAL suffix, tolerating a torn final entry, so a
+  restarted engine serves exactly the pre-crash clustering.
+
+The WAL/snapshot handshake uses sequence arithmetic rather than a side
+metadata file: the snapshot stores the number of updates applied (``S``),
+the WAL records the stream position at which it was started (``B``), and
+recovery replays the WAL entries after position ``S - B``.  Both crash
+windows of a checkpoint — after the snapshot rename but before the WAL
+rotation, and after both — resolve correctly under that arithmetic.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import threading
+import time
+import warnings
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.core.config import StrCluParams
+from repro.core.dynelm import Update, UpdateKind
+from repro.core.dynstrclu import DynStrClu
+from repro.persistence.snapshot import load_snapshot, restore_dynstrclu, take_snapshot
+from repro.persistence.updatelog import UpdateLogReader, UpdateLogWriter
+from repro.graph.dynamic_graph import Vertex
+from repro.service.metrics import ServiceMetrics
+from repro.service.views import ClusteringView
+
+#: File names inside an engine's data directory.
+SNAPSHOT_FILE = "snapshot.json"
+WAL_FILE = "wal.log"
+
+
+class EngineError(RuntimeError):
+    """Base class for engine failures."""
+
+
+class EngineBackpressure(EngineError):
+    """Raised when the ingest queue is full and the caller asked not to wait."""
+
+
+class EngineClosed(EngineError):
+    """Raised when submitting to an engine that has been closed."""
+
+
+class _Flush:
+    """Queue sentinel: wake the writer, apply the open batch, set the event."""
+
+    __slots__ = ("event",)
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+
+
+class _Stop:
+    """Queue sentinel: drain everything still queued, then exit the loop."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Tuning knobs of the ingest pipeline.
+
+    Attributes
+    ----------
+    batch_size:
+        Maximum updates applied per micro-batch (and per view publication).
+    flush_interval:
+        Seconds the writer waits for more updates before closing a partial
+        batch.  Bounds staleness of the published view under light load.
+    queue_capacity:
+        Bound of the ingest queue; the backpressure horizon.
+    checkpoint_every:
+        Cut a checkpoint after at least this many updates since the last
+        one (0 disables periodic checkpoints; one is still cut on clean
+        close when a ``data_dir`` is configured).
+    fsync_each_batch:
+        When true the WAL is fsynced after every batch (full durability);
+        when false it is flushed per entry but fsynced only at checkpoints
+        and close — the usual group-commit trade-off.
+    """
+
+    batch_size: int = 64
+    flush_interval: float = 0.05
+    queue_capacity: int = 4096
+    checkpoint_every: int = 0
+    fsync_each_batch: bool = False
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.flush_interval <= 0.0:
+            raise ValueError("flush_interval must be positive")
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
+
+
+class ClusteringEngine:
+    """Single-writer clustering service with snapshot-isolated reads.
+
+    Example
+    -------
+    >>> from repro import StrCluParams, Update
+    >>> with ClusteringEngine(StrCluParams(epsilon=0.5, mu=2, rho=0.0)) as engine:
+    ...     for update in [Update.insert(1, 2), Update.insert(2, 3),
+    ...                    Update.insert(1, 3)]:
+    ...         engine.submit(update)
+    ...     engine.flush()
+    ...     sorted(map(sorted, engine.group_by([1, 2, 3]).as_sets()))
+    [[1, 2, 3]]
+    """
+
+    def __init__(
+        self,
+        params: Optional[StrCluParams] = None,
+        config: Optional[EngineConfig] = None,
+        data_dir: Optional[Union[str, Path]] = None,
+        connectivity_backend: str = "hdt",
+        metrics: Optional[ServiceMetrics] = None,
+    ) -> None:
+        self.config = config if config is not None else EngineConfig()
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.data_dir = Path(data_dir) if data_dir is not None else None
+        self._queue: "queue.Queue[object]" = queue.Queue(
+            maxsize=self.config.queue_capacity
+        )
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+        self._failure: Optional[BaseException] = None
+        self._wal: Optional[UpdateLogWriter] = None
+        self._updates_at_checkpoint = 0
+
+        if self.data_dir is not None:
+            self.data_dir.mkdir(parents=True, exist_ok=True)
+            self.maintainer, recovered = _recover(
+                self.data_dir, params, connectivity_backend
+            )
+            self.recovered_updates = recovered
+            if params is not None and self.maintainer.params != params:
+                # the snapshot's params win (they determined the persisted
+                # labelling); the caller must know theirs were ignored
+                warnings.warn(
+                    f"data_dir {self.data_dir} holds a snapshot with params "
+                    f"{self.maintainer.params}, ignoring the requested {params}",
+                    stacklevel=2,
+                )
+        else:
+            if params is None:
+                raise ValueError("either params or a data_dir with a snapshot is required")
+            self.maintainer = DynStrClu(params, connectivity_backend=connectivity_backend)
+            self.recovered_updates = 0
+
+        self.applied = self.maintainer.elm.updates_processed
+        self._updates_at_checkpoint = self.applied
+        if self.data_dir is not None:
+            # start a fresh WAL segment anchored at the recovered position;
+            # cutting a checkpoint here folds the replayed tail into the
+            # snapshot so the old segment is no longer needed
+            self._checkpoint()
+        self._view: ClusteringView = (
+            ClusteringView.capture(self.maintainer, self.applied)
+            if self.applied
+            else ClusteringView.empty()
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ClusteringEngine":
+        """Start the writer thread (idempotent)."""
+        if self._closed:
+            raise EngineClosed("engine is closed")
+        if self._thread is None:
+            self.metrics.start_clock()
+            self._thread = threading.Thread(
+                target=self._writer_loop, name="clustering-engine-writer", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def close(self, checkpoint: bool = True) -> None:
+        """Stop the writer, optionally cut a final checkpoint, close the WAL.
+
+        Idempotent: a second call is a no-op.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._thread is not None:
+            self._queue.put(_Stop())
+            self._thread.join()
+            self._thread = None
+        if checkpoint and self.data_dir is not None and self._failure is None:
+            self._checkpoint()
+        if self._wal is not None:
+            self._wal.close()
+            self._wal = None
+
+    def kill(self) -> None:
+        """Simulate a crash: stop the writer without checkpoint or WAL close.
+
+        Used by recovery tests and chaos drills — state on disk is left
+        exactly as an OS-level process kill would leave it (modulo the
+        page cache, which :class:`UpdateLogWriter`'s per-append flush has
+        already drained to the file).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._thread is not None:
+            self._queue.put(_Stop())
+            self._thread.join()
+            self._thread = None
+        self._wal = None  # drop the handle without fsync/close bookkeeping
+
+    def __enter__(self) -> "ClusteringEngine":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # ingest path
+    # ------------------------------------------------------------------
+    def submit(
+        self, update: Update, block: bool = True, timeout: Optional[float] = None
+    ) -> None:
+        """Enqueue one update for the writer thread.
+
+        Vertex identifiers are canonicalised first: a numeric string like
+        ``"123"`` becomes ``int`` 123.  The WAL text format cannot tell the
+        two apart, so without this an accepted string vertex would come
+        back as an int after crash recovery and the restored clustering
+        would differ from the pre-crash one.
+
+        Raises :class:`EngineBackpressure` when the queue is full and
+        ``block`` is false (or the timeout elapses), and
+        :class:`EngineClosed` after :meth:`close`.
+        """
+        if self._closed:
+            raise EngineClosed("engine is closed")
+        self._raise_writer_failure()
+        update = _canonical_update(update)
+        try:
+            self._queue.put(update, block=block, timeout=timeout)
+        except queue.Full:
+            self.metrics.add("backpressure")
+            raise EngineBackpressure(
+                f"ingest queue full ({self.config.queue_capacity} updates)"
+            ) from None
+
+    def submit_many(
+        self,
+        updates: Iterable[Update],
+        block: bool = True,
+        timeout: Optional[float] = None,
+    ) -> int:
+        """Enqueue a batch; returns how many were accepted.
+
+        On backpressure with ``block=False`` the remainder is dropped and
+        the accepted prefix count returned — the server's 503 path.
+        """
+        accepted = 0
+        for update in updates:
+            try:
+                self.submit(update, block=block, timeout=timeout)
+            except EngineBackpressure:
+                break
+            accepted += 1
+        return accepted
+
+    def flush(self, timeout: Optional[float] = None) -> bool:
+        """Block until everything submitted before this call is applied.
+
+        Returns true when the flush completed within ``timeout``.  Raises
+        :class:`EngineError` if the writer thread has died — waiting in
+        short slices rather than one long wait, so a writer failure after
+        the marker was enqueued surfaces instead of deadlocking.
+        """
+        if self._thread is None:
+            raise EngineError("engine is not running; call start() first")
+        marker = _Flush()
+        self._queue.put(marker)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            self._raise_writer_failure()
+            slice_timeout = 0.1
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                slice_timeout = min(slice_timeout, remaining)
+            if marker.event.wait(slice_timeout):
+                self._raise_writer_failure()
+                return True
+
+    # ------------------------------------------------------------------
+    # read path (lock-free: all reads go through the published view)
+    # ------------------------------------------------------------------
+    def view(self) -> ClusteringView:
+        """The most recently published immutable view."""
+        return self._view
+
+    def cluster_of(self, v: Vertex) -> Tuple[int, ...]:
+        """Cluster indices of ``v`` in the current view (timed)."""
+        start = time.perf_counter()
+        result = self._view.cluster_of(v)
+        self.metrics.observe_query(time.perf_counter() - start)
+        return result
+
+    def group_by(self, vertices: Iterable[Vertex]):
+        """Snapshot-consistent cluster-group-by over the current view."""
+        start = time.perf_counter()
+        view = self._view
+        result = view.group_by(vertices)
+        self.metrics.observe_query(time.perf_counter() - start)
+        return result
+
+    def stats(self) -> Dict[str, object]:
+        """View statistics plus engine/queue/metrics counters."""
+        view = self._view
+        return {
+            **view.stats(),
+            "applied": self.applied,
+            "queue_depth": self._queue.qsize(),
+            "queue_capacity": self.config.queue_capacity,
+            "recovered_updates": self.recovered_updates,
+            "running": self.running,
+            "metrics": self.metrics.snapshot(),
+        }
+
+    # ------------------------------------------------------------------
+    # writer thread
+    # ------------------------------------------------------------------
+    def _writer_loop(self) -> None:
+        stop = False
+        while not stop:
+            batch, flushes, stop = self._next_batch()
+            try:
+                if batch:
+                    self._apply_batch(batch)
+            except BaseException as exc:  # surface on the next submit/flush
+                self._failure = exc
+                for marker in flushes:
+                    marker.event.set()
+                break
+            for marker in flushes:
+                marker.event.set()
+
+    def _next_batch(self) -> Tuple[List[Update], List[_Flush], bool]:
+        """Collect one micro-batch: up to batch_size updates or one interval."""
+        config = self.config
+        batch: List[Update] = []
+        flushes: List[_Flush] = []
+        deadline: Optional[float] = None
+        while len(batch) < config.batch_size:
+            remaining = None if deadline is None else deadline - time.monotonic()
+            if deadline is not None and remaining is not None and remaining <= 0:
+                break
+            try:
+                item = self._queue.get(timeout=remaining)
+            except queue.Empty:
+                break
+            if isinstance(item, _Stop):
+                return batch, flushes, True
+            if isinstance(item, _Flush):
+                # everything submitted before the marker is already in
+                # `batch` (FIFO queue); close the batch so the caller's
+                # wait covers exactly its prefix
+                flushes.append(item)
+                break
+            batch.append(item)
+            if deadline is None:
+                deadline = time.monotonic() + config.flush_interval
+        return batch, flushes, False
+
+    def _apply_batch(self, batch: List[Update]) -> None:
+        start = time.perf_counter()
+        applied = 0
+        for update in batch:
+            if not self._applicable(update):
+                self.metrics.add("updates_rejected")
+                continue
+            # WAL-before-apply: an accepted update is on disk before it
+            # mutates the maintainer, so recovery can always finish it
+            if self._wal is not None:
+                self._wal.append(update)
+            self.maintainer.apply(update)
+            applied += 1
+        if self._wal is not None and self.config.fsync_each_batch:
+            self._wal.sync()
+        self.applied += applied
+        if applied:
+            self._view = ClusteringView.capture(self.maintainer, self.applied)
+        self.metrics.observe_batch(applied, time.perf_counter() - start)
+        if (
+            self.config.checkpoint_every
+            and self.data_dir is not None
+            and self.applied - self._updates_at_checkpoint >= self.config.checkpoint_every
+        ):
+            self._checkpoint()
+            self.metrics.add("checkpoints")
+
+    def _applicable(self, update: Update) -> bool:
+        """Pre-validate an update against the live graph.
+
+        The WAL must contain exactly the updates that were applied (the
+        recovery arithmetic counts them), so no-op updates — inserting an
+        existing edge, deleting a missing one, self-loops — are rejected
+        before logging instead of failing after.
+        """
+        if update.u == update.v:
+            return False
+        has_edge = self.maintainer.graph.has_edge(update.u, update.v)
+        if update.kind is UpdateKind.INSERT:
+            return not has_edge
+        return has_edge
+
+    def _raise_writer_failure(self) -> None:
+        if self._failure is not None:
+            raise EngineError("writer thread failed") from self._failure
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+    def _checkpoint(self) -> None:
+        """Atomically persist the maintainer state and rotate the WAL."""
+        assert self.data_dir is not None
+        snapshot_path = self.data_dir / SNAPSHOT_FILE
+        tmp_path = self.data_dir / (SNAPSHOT_FILE + ".tmp")
+        document = take_snapshot(self.maintainer).to_json(indent=2)
+        with tmp_path.open("w", encoding="utf-8") as handle:
+            handle.write(document)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, snapshot_path)
+        if self._wal is not None:
+            self._wal.close()  # fsyncs the outgoing segment
+        self._wal = UpdateLogWriter(self.data_dir / WAL_FILE, base=self.applied)
+        self._wal.sync()
+        self._updates_at_checkpoint = self.applied
+
+
+def _canonical_vertex(v: Vertex) -> Vertex:
+    """Collapse numeric strings to ints, matching the WAL text format."""
+    if isinstance(v, str):
+        try:
+            return int(v)
+        except ValueError:
+            return v
+    return v
+
+
+def _canonical_update(update: Update) -> Update:
+    u, v = _canonical_vertex(update.u), _canonical_vertex(update.v)
+    if u is update.u and v is update.v:
+        return update
+    return Update(update.kind, u, v)
+
+
+# ----------------------------------------------------------------------
+# recovery
+# ----------------------------------------------------------------------
+def _recover(
+    data_dir: Path,
+    params: Optional[StrCluParams],
+    connectivity_backend: str,
+) -> Tuple[DynStrClu, int]:
+    """Rebuild the maintainer from ``snapshot + WAL suffix``.
+
+    Returns the maintainer and the number of WAL entries replayed.
+    """
+    snapshot_path = data_dir / SNAPSHOT_FILE
+    wal_path = data_dir / WAL_FILE
+    if snapshot_path.exists():
+        snapshot = load_snapshot(snapshot_path)
+        maintainer = restore_dynstrclu(
+            snapshot, connectivity_backend=connectivity_backend
+        )
+        applied_at_snapshot = snapshot.updates_processed
+    else:
+        if params is None:
+            raise ValueError(
+                f"no snapshot in {data_dir} and no params to start fresh from"
+            )
+        maintainer = DynStrClu(params, connectivity_backend=connectivity_backend)
+        applied_at_snapshot = 0
+
+    replayed = 0
+    if wal_path.exists():
+        reader = UpdateLogReader(wal_path, tolerate_torn_tail=True)
+        base = reader.base()
+        skip = max(0, applied_at_snapshot - base)
+        for index, update in enumerate(reader):
+            if index < skip:
+                continue
+            maintainer.apply(update)
+            replayed += 1
+    return maintainer, replayed

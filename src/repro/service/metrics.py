@@ -1,0 +1,164 @@
+"""Service metrics: latency histograms and throughput counters.
+
+Built on :mod:`repro.instrumentation`: counts go through an
+:class:`~repro.instrumentation.OpCounter`, wall-clock phases through a
+:class:`~repro.instrumentation.Stopwatch`.  On top of those this module adds
+the one primitive a serving layer needs that the benchmark harness does
+not — a fixed-memory latency *histogram* with percentile estimation, so the
+service can report p50/p90/p99 without retaining every sample.
+
+The histogram uses exponentially growing buckets (factor 2) from 1 µs to
+~137 s; percentile estimates interpolate linearly inside the winning bucket,
+giving a relative error bounded by the bucket width (≤ 2×) — the standard
+Prometheus-style trade-off.  All mutators take an internal lock: the
+histogram is shared between the writer thread, server tasks and the load
+generator.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence
+
+from repro.instrumentation import OpCounter
+
+#: Histogram bucket upper bounds in seconds: 1 µs · 2^k, k = 0..27 (~137 s).
+_BUCKET_BOUNDS: Sequence[float] = tuple(1e-6 * (2.0 ** k) for k in range(28))
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with percentile estimation."""
+
+    __slots__ = ("_lock", "_counts", "count", "total", "max_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts: List[int] = [0] * (len(_BUCKET_BOUNDS) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.max_value = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Record one latency sample (in seconds)."""
+        idx = bisect_left(_BUCKET_BOUNDS, seconds)
+        with self._lock:
+            self._counts[idx] += 1
+            self.count += 1
+            self.total += seconds
+            if seconds > self.max_value:
+                self.max_value = seconds
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Estimate the ``p``-th percentile (``p`` in [0, 100])."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        with self._lock:
+            if self.count == 0:
+                return 0.0
+            rank = p / 100.0 * self.count
+            seen = 0.0
+            for idx, bucket_count in enumerate(self._counts):
+                if bucket_count == 0:
+                    continue
+                if seen + bucket_count >= rank:
+                    lower = _BUCKET_BOUNDS[idx - 1] if idx > 0 else 0.0
+                    upper = (
+                        _BUCKET_BOUNDS[idx]
+                        if idx < len(_BUCKET_BOUNDS)
+                        else self.max_value
+                    )
+                    upper = min(upper, self.max_value) if self.max_value else upper
+                    fraction = (rank - seen) / bucket_count
+                    return lower + (upper - lower) * max(0.0, min(1.0, fraction))
+                seen += bucket_count
+            return self.max_value
+
+    def summary(self) -> Dict[str, float]:
+        """JSON-serialisable digest: count, mean, p50/p90/p99, max."""
+        return {
+            "count": self.count,
+            "mean_s": self.mean,
+            "p50_s": self.percentile(50.0),
+            "p90_s": self.percentile(90.0),
+            "p99_s": self.percentile(99.0),
+            "max_s": self.max_value,
+        }
+
+
+class ServiceMetrics:
+    """Aggregated ingest/query metrics for one engine or load generator.
+
+    * ``ingest`` — latency of one micro-batch application (WAL append +
+      maintainer updates + view publication), observed by the writer thread;
+    * ``query`` — latency of one read (group-by / cluster-of / stats);
+    * named counters — ``updates_applied``, ``updates_rejected``,
+      ``batches``, ``queries``, ``checkpoints``, ``backpressure`` …
+    """
+
+    def __init__(self) -> None:
+        self.ingest = LatencyHistogram()
+        self.query = LatencyHistogram()
+        self.counter = OpCounter()
+        self._lock = threading.Lock()
+        self._started_at: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def start_clock(self) -> None:
+        """Mark the beginning of the serving window (for throughput rates)."""
+        with self._lock:
+            if self._started_at is None:
+                self._started_at = time.monotonic()
+
+    def elapsed(self) -> float:
+        """Seconds since :meth:`start_clock` (0 when never started)."""
+        with self._lock:
+            if self._started_at is None:
+                return 0.0
+            return time.monotonic() - self._started_at
+
+    def add(self, name: str, amount: int = 1) -> None:
+        """Increment a named counter (thread-safe)."""
+        with self._lock:
+            self.counter.add(name, amount)
+
+    def get(self, name: str) -> int:
+        with self._lock:
+            return self.counter.get(name)
+
+    # ------------------------------------------------------------------
+    def observe_batch(self, num_updates: int, seconds: float) -> None:
+        """Record one applied micro-batch."""
+        self.ingest.observe(seconds)
+        self.add("batches")
+        self.add("updates_applied", num_updates)
+
+    def observe_query(self, seconds: float) -> None:
+        """Record one read-path request."""
+        self.query.observe(seconds)
+        self.add("queries")
+
+    # ------------------------------------------------------------------
+    def updates_per_second(self) -> float:
+        """Ingest throughput over the serving window so far."""
+        elapsed = self.elapsed()
+        if elapsed <= 0.0:
+            return 0.0
+        return self.get("updates_applied") / elapsed
+
+    def snapshot(self) -> Dict[str, object]:
+        """One JSON-serialisable document with every metric."""
+        with self._lock:
+            counters = self.counter.snapshot()
+        return {
+            "elapsed_s": self.elapsed(),
+            "updates_per_second": self.updates_per_second(),
+            "counters": counters,
+            "ingest": self.ingest.summary(),
+            "query": self.query.summary(),
+        }

@@ -1,0 +1,407 @@
+"""Stdlib-only asyncio JSON-over-HTTP front-end for a clustering engine.
+
+The server is deliberately minimal — ``asyncio.start_server`` plus a small
+HTTP/1.1 request parser — because the container targets environments with
+no third-party web stack.  It exposes five routes:
+
+========  =================  ==================================================
+Method    Path               Semantics
+========  =================  ==================================================
+POST      ``/updates``       Enqueue a batch of edge updates (non-blocking;
+                             503 + partial-accept count under backpressure)
+POST      ``/group-by``      Snapshot-consistent cluster-group-by over a
+                             vertex list
+GET       ``/cluster/{v}``   Cluster indices of one vertex in the current view
+GET       ``/stats``         View statistics + engine metrics
+GET       ``/healthz``       Liveness: engine running, view version, library
+                             version
+========  =================  ==================================================
+
+Request/response bodies are JSON.  Updates use the compact wire form
+``[op, u, v]`` with ``op`` in ``{"+", "-"}``, mirroring the WAL text format.
+All reads are served from the engine's published immutable view, so a slow
+or bursty ingest never blocks a reader and every response is internally
+consistent (it reflects exactly one prefix of the update stream, reported
+as ``view_version``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+import repro
+from repro.core.dynelm import Update, UpdateKind
+from repro.graph.dynamic_graph import Vertex
+from repro.service.engine import ClusteringEngine, EngineError
+
+#: Largest accepted request body (1 MiB keeps parsing trivially safe).
+MAX_BODY_BYTES = 1 << 20
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class BadRequest(ValueError):
+    """Raised by request decoding; mapped to a 400 response."""
+
+
+class _ProtocolError(Exception):
+    """A malformed HTTP request; answered with ``status`` and closed."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def _decode_vertex(value: object) -> Vertex:
+    if isinstance(value, bool) or not isinstance(value, (int, str)):
+        raise BadRequest(f"vertex identifiers must be ints or strings, got {value!r}")
+    if isinstance(value, str):
+        # numeric strings collapse to ints on every route (and in the
+        # engine's WAL), so "123" and 123 always name the same vertex
+        try:
+            return int(value)
+        except ValueError:
+            return value
+    return value
+
+
+def decode_updates(payload: object) -> List[Update]:
+    """Parse the ``/updates`` body: ``{"updates": [["+", u, v], ...]}``."""
+    if not isinstance(payload, dict) or "updates" not in payload:
+        raise BadRequest('body must be {"updates": [[op, u, v], ...]}')
+    entries = payload["updates"]
+    if not isinstance(entries, list):
+        raise BadRequest('"updates" must be a list')
+    updates: List[Update] = []
+    for entry in entries:
+        if not isinstance(entry, (list, tuple)) or len(entry) != 3:
+            raise BadRequest(f"malformed update entry {entry!r}")
+        op, u, v = entry
+        if op == "+":
+            updates.append(Update.insert(_decode_vertex(u), _decode_vertex(v)))
+        elif op == "-":
+            updates.append(Update.delete(_decode_vertex(u), _decode_vertex(v)))
+        else:
+            raise BadRequest(f"unknown update op {op!r} (expected '+' or '-')")
+    return updates
+
+
+def encode_update(update: Update) -> List[object]:
+    """The wire form of one update."""
+    return ["+" if update.kind is UpdateKind.INSERT else "-", update.u, update.v]
+
+
+class ClusteringServiceServer:
+    """Serve a :class:`ClusteringEngine` over JSON/HTTP on asyncio."""
+
+    def __init__(
+        self, engine: ClusteringEngine, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.engine = engine
+        self.host = host
+        self._requested_port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "ClusteringServiceServer":
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self._requested_port
+        )
+        return self
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves port 0 to the kernel-assigned one)."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("server is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        """Start (if needed) and serve until cancelled."""
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await _read_request(reader)
+                except _ProtocolError as exc:
+                    payload = json.dumps({"error": exc.message}).encode("utf-8")
+                    writer.write(_response_bytes(exc.status, payload, keep_alive=False))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                method, path, headers, body = request
+                status, document = self._dispatch(method, path, body)
+                payload = json.dumps(document).encode("utf-8")
+                keep_alive = headers.get("connection", "keep-alive") != "close"
+                writer.write(_response_bytes(status, payload, keep_alive))
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                # CancelledError lands here when the loop shuts down while a
+                # keep-alive connection is parked in readline; the writer is
+                # already closed, so ending the handler quietly is correct
+                pass
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, object]]:
+        try:
+            if path == "/healthz" and method == "GET":
+                return 200, self._healthz()
+            if path == "/stats" and method == "GET":
+                return 200, self.engine.stats()
+            if path.startswith("/cluster/") and method == "GET":
+                return 200, self._cluster_of(path[len("/cluster/"):])
+            if path == "/updates" and method == "POST":
+                return self._post_updates(_parse_json(body))
+            if path == "/group-by" and method == "POST":
+                return 200, self._group_by(_parse_json(body))
+            if path in ("/healthz", "/stats", "/updates", "/group-by") or path.startswith(
+                "/cluster/"
+            ):
+                return 405, {"error": f"method {method} not allowed for {path}"}
+            return 404, {"error": f"no route for {path}"}
+        except BadRequest as exc:
+            return 400, {"error": str(exc)}
+        except EngineError as exc:
+            # engine closed or its writer died: the service is unavailable,
+            # but the connection (and the error) must still reach the client
+            return 503, {"error": f"engine unavailable: {exc}"}
+        except Exception as exc:  # a handler bug must not abort the connection
+            return 500, {"error": f"internal error: {type(exc).__name__}: {exc}"}
+
+    def _healthz(self) -> Dict[str, object]:
+        return {
+            "status": "ok" if self.engine.running else "idle",
+            "version": repro.__version__,
+            "view_version": self.engine.view().version,
+            "applied": self.engine.applied,
+        }
+
+    def _cluster_of(self, raw: str) -> Dict[str, object]:
+        if not raw:
+            raise BadRequest("missing vertex identifier")
+        vertex: Vertex
+        try:
+            vertex = int(raw)
+        except ValueError:
+            vertex = raw
+        view = self.engine.view()
+        start = _now()
+        clusters = view.cluster_of(vertex)
+        self.engine.metrics.observe_query(_now() - start)
+        return {
+            "vertex": vertex,
+            "clusters": list(clusters),
+            "view_version": view.version,
+        }
+
+    def _post_updates(self, payload: object) -> Tuple[int, Dict[str, object]]:
+        updates = decode_updates(payload)
+        accepted = self.engine.submit_many(updates, block=False)
+        document: Dict[str, object] = {
+            "accepted": accepted,
+            "submitted": len(updates),
+        }
+        if accepted < len(updates):
+            document["error"] = "backpressure"
+            return 503, document
+        return 200, document
+
+    def _group_by(self, payload: object) -> Dict[str, object]:
+        if not isinstance(payload, dict) or "vertices" not in payload:
+            raise BadRequest('body must be {"vertices": [...]}')
+        vertices = payload["vertices"]
+        if not isinstance(vertices, list):
+            raise BadRequest('"vertices" must be a list')
+        query = [_decode_vertex(v) for v in vertices]
+        view = self.engine.view()
+        start = _now()
+        result = view.group_by(query)
+        self.engine.metrics.observe_query(_now() - start)
+        return {
+            "view_version": view.version,
+            "groups": {str(gid): sorted(members, key=repr) for gid, members in result.groups.items()},
+        }
+
+
+# ----------------------------------------------------------------------
+# HTTP plumbing
+# ----------------------------------------------------------------------
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+    """Parse one HTTP/1.1 request; None on a cleanly closed connection."""
+    try:
+        request_line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError):
+        return None
+    if not request_line:
+        return None
+    try:
+        method, target, _version = request_line.decode("latin-1").split(None, 2)
+    except ValueError:
+        return None
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    raw_length = headers.get("content-length", "0") or "0"
+    try:
+        length = int(raw_length)
+    except ValueError:
+        raise _ProtocolError(400, f"malformed Content-Length {raw_length!r}") from None
+    if length < 0:
+        raise _ProtocolError(400, f"malformed Content-Length {raw_length!r}")
+    if length > MAX_BODY_BYTES:
+        raise _ProtocolError(
+            413, f"request body of {length} bytes exceeds the {MAX_BODY_BYTES} limit"
+        )
+    body = await reader.readexactly(length) if length else b""
+    path = target.split("?", 1)[0]
+    return method.upper(), path, headers, body
+
+
+def _response_bytes(status: int, payload: bytes, keep_alive: bool) -> bytes:
+    reason = _STATUS_TEXT.get(status, "Unknown")
+    connection = "keep-alive" if keep_alive else "close"
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        f"Connection: {connection}\r\n"
+        f"\r\n"
+    )
+    return head.encode("latin-1") + payload
+
+
+def _parse_json(body: bytes) -> object:
+    try:
+        return json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise BadRequest(f"request body is not valid JSON: {exc}") from exc
+
+
+def _now() -> float:
+    return time.perf_counter()
+
+
+# ----------------------------------------------------------------------
+# background runner (tests, examples, the load generator's HTTP mode)
+# ----------------------------------------------------------------------
+class BackgroundServer:
+    """Run a :class:`ClusteringServiceServer` on a dedicated event-loop thread.
+
+    Usage::
+
+        with BackgroundServer(engine) as server:
+            client = ServiceClient("127.0.0.1", server.port)
+            ...
+    """
+
+    def __init__(
+        self, engine: ClusteringEngine, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.server = ClusteringServiceServer(engine, host=host, port=port)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def start(self) -> "BackgroundServer":
+        self._thread = threading.Thread(
+            target=self._run, name="clustering-service-http", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=10.0)
+        if self._startup_error is not None:
+            raise RuntimeError("server failed to start") from self._startup_error
+        if not self._ready.is_set():
+            raise RuntimeError("server did not start within 10 s")
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self.server.start())
+        except BaseException as exc:  # pragma: no cover - bind failures
+            self._startup_error = exc
+            self._ready.set()
+            loop.close()
+            return
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(self.server.stop())
+            pending = asyncio.all_tasks(loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
+            loop.close()
+
+    def stop(self) -> None:
+        if self._loop is not None and self._thread is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=10.0)
+            self._loop = None
+            self._thread = None
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -130,6 +130,7 @@ class StreamProcessor:
         self._wal: Optional[UpdateLogWriter] = (
             UpdateLogWriter(wal_path) if wal_path is not None else None
         )
+        self._closed = False
 
     # ------------------------------------------------------------------
     # listeners
@@ -157,6 +158,10 @@ class StreamProcessor:
             and self.updates_applied % self.checkpoint_every == 0
         ):
             save_snapshot(self.maintainer, self.checkpoint_path)
+            if self._wal is not None:
+                # a checkpoint is only a recovery point if every WAL entry
+                # up to it is durable — fsync before declaring it written
+                self._wal.sync()
             self.checkpoints_written += 1
         return events
 
@@ -172,11 +177,22 @@ class StreamProcessor:
         report.final_clustering = self.maintainer.clustering()
         return report
 
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run (no WAL configured counts as open)."""
+        return self._closed
+
     def close(self) -> None:
-        """Flush and close the write-ahead log (if any)."""
+        """Fsync and close the write-ahead log (if any).  Idempotent.
+
+        Calling ``close`` twice (or closing a processor that never had a
+        WAL) is a no-op, so teardown paths — context-manager exit, engine
+        shutdown, test fixtures — can all call it unconditionally.
+        """
         if self._wal is not None:
-            self._wal.close()
+            self._wal.close()  # UpdateLogWriter.close fsyncs before closing
             self._wal = None
+        self._closed = True
 
     def __enter__(self) -> "StreamProcessor":
         return self

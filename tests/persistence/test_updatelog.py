@@ -90,6 +90,72 @@ class TestWriterReader:
         assert list(reader) == list(reader)
 
 
+class TestDurability:
+    def test_sync_flushes_to_disk(self, tmp_path):
+        path = tmp_path / "updates.log"
+        writer = UpdateLogWriter(path)
+        writer.append(UPDATES[0])
+        writer.sync()
+        assert read_update_log(path) == UPDATES[:1]
+        writer.close()
+
+    def test_close_is_idempotent(self, tmp_path):
+        writer = UpdateLogWriter(tmp_path / "updates.log")
+        writer.append(UPDATES[0])
+        writer.close()
+        writer.close()
+        assert writer.closed
+        writer.sync()  # syncing a closed writer is a no-op, not an error
+
+    def test_base_marker_round_trips(self, tmp_path):
+        from repro.persistence.updatelog import read_log_base
+
+        path = tmp_path / "updates.log"
+        with UpdateLogWriter(path, base=42) as writer:
+            writer.append(UPDATES[0])
+        assert read_log_base(path) == 42
+        assert UpdateLogReader(path).base() == 42
+        assert read_update_log(path) == UPDATES[:1]
+
+    def test_base_defaults_to_zero(self, tmp_path):
+        path = tmp_path / "updates.log"
+        write_update_log(UPDATES[:2], path)
+        assert UpdateLogReader(path).base() == 0
+
+
+class TestTornTail:
+    def test_unterminated_tail_dropped_when_tolerated(self, tmp_path):
+        path = tmp_path / "updates.log"
+        write_update_log(UPDATES[:3], path)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write("+ 99")  # torn append: no newline
+        assert UpdateLogReader(path, tolerate_torn_tail=True).read_all() == UPDATES[:3]
+
+    def test_malformed_tail_dropped_when_tolerated(self, tmp_path):
+        path = tmp_path / "updates.log"
+        write_update_log(UPDATES[:3], path)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write("garbage line\n")
+        assert UpdateLogReader(path, tolerate_torn_tail=True).read_all() == UPDATES[:3]
+
+    def test_torn_tail_raises_by_default(self, tmp_path):
+        path = tmp_path / "updates.log"
+        write_update_log(UPDATES[:3], path)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write("garbage line\n")
+        with pytest.raises(UpdateLogError):
+            UpdateLogReader(path).read_all()
+
+    def test_mid_file_corruption_always_raises(self, tmp_path):
+        path = tmp_path / "updates.log"
+        write_update_log(UPDATES[:1], path)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write("garbage line\n")
+            handle.write(format_update(UPDATES[1]) + "\n")
+        with pytest.raises(UpdateLogError):
+            UpdateLogReader(path, tolerate_torn_tail=True).read_all()
+
+
 class TestReplay:
     def test_replay_into_maintainer(self, tmp_path):
         path = tmp_path / "updates.log"

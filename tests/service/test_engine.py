@@ -1,0 +1,257 @@
+"""Engine tests: batching, backpressure, durability and crash recovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import StrCluParams
+from repro.core.dynelm import Update
+from repro.core.dynstrclu import DynStrClu
+from repro.core.result import clusterings_equal
+from repro.graph.generators import planted_partition_graph
+from repro.service.engine import (
+    ClusteringEngine,
+    EngineBackpressure,
+    EngineClosed,
+    EngineConfig,
+)
+from repro.workloads.updates import generate_update_sequence
+
+PARAMS = StrCluParams(epsilon=0.5, mu=2, rho=0.0)
+
+TRIANGLES = [
+    Update.insert(1, 2),
+    Update.insert(2, 3),
+    Update.insert(1, 3),
+    Update.insert(4, 5),
+    Update.insert(5, 6),
+    Update.insert(4, 6),
+]
+
+
+def _workload_stream(num_updates=60, seed=5):
+    edges = planted_partition_graph(2, 8, 0.8, 0.1, seed=3)
+    workload = generate_update_sequence(16, edges, num_updates, eta=0.3, seed=seed)
+    return list(workload.all_updates())
+
+
+def _sequential(stream):
+    algo = DynStrClu(PARAMS)
+    for update in stream:
+        algo.apply(update)
+    return algo
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EngineConfig(batch_size=0)
+        with pytest.raises(ValueError):
+            EngineConfig(flush_interval=0.0)
+        with pytest.raises(ValueError):
+            EngineConfig(queue_capacity=0)
+        with pytest.raises(ValueError):
+            EngineConfig(checkpoint_every=-1)
+
+    def test_requires_params_or_snapshot(self):
+        with pytest.raises(ValueError):
+            ClusteringEngine()
+
+
+class TestIngest:
+    def test_micro_batching_matches_sequential(self):
+        stream = _workload_stream()
+        config = EngineConfig(batch_size=7, flush_interval=0.01)
+        with ClusteringEngine(PARAMS, config=config) as engine:
+            for update in stream:
+                engine.submit(update)
+            assert engine.flush(timeout=30)
+            view = engine.view()
+        assert view.version == len(stream)
+        assert clusterings_equal(view.clustering, _sequential(stream).clustering())
+
+    def test_flush_covers_prior_submissions(self):
+        with ClusteringEngine(PARAMS, config=EngineConfig(batch_size=100)) as engine:
+            for update in TRIANGLES:
+                engine.submit(update)
+            assert engine.flush(timeout=10)
+            assert engine.applied == len(TRIANGLES)
+            assert engine.view().version == len(TRIANGLES)
+
+    def test_noop_updates_rejected_not_applied(self):
+        with ClusteringEngine(PARAMS) as engine:
+            engine.submit(Update.insert(1, 2))
+            engine.submit(Update.insert(1, 2))  # duplicate
+            engine.submit(Update.delete(8, 9))  # absent edge
+            engine.submit(Update.insert(3, 3))  # self loop
+            engine.flush(timeout=10)
+            assert engine.applied == 1
+            assert engine.metrics.get("updates_rejected") == 3
+
+    def test_backpressure_when_queue_full(self):
+        config = EngineConfig(queue_capacity=4)
+        engine = ClusteringEngine(PARAMS, config=config)  # writer never started
+        try:
+            for update in TRIANGLES[:4]:
+                engine.submit(update, block=False)
+            with pytest.raises(EngineBackpressure):
+                engine.submit(TRIANGLES[4], block=False)
+            assert engine.metrics.get("backpressure") == 1
+            assert engine.submit_many(TRIANGLES, block=False) == 0
+        finally:
+            engine.close(checkpoint=False)
+
+    def test_submit_after_close_raises(self):
+        engine = ClusteringEngine(PARAMS).start()
+        engine.close()
+        with pytest.raises(EngineClosed):
+            engine.submit(Update.insert(1, 2))
+
+    def test_close_is_idempotent(self):
+        engine = ClusteringEngine(PARAMS).start()
+        engine.close()
+        engine.close()
+        assert not engine.running
+
+
+class TestWriterFailure:
+    def test_flush_raises_instead_of_deadlocking(self):
+        from repro.service.engine import EngineError
+
+        engine = ClusteringEngine(PARAMS).start()
+        try:
+            def _boom(update):
+                raise RuntimeError("injected maintainer failure")
+
+            engine.maintainer.apply = _boom
+            engine.submit(Update.insert(1, 2))
+            with pytest.raises(EngineError):
+                engine.flush(timeout=10)
+        finally:
+            engine.close(checkpoint=False)
+
+
+class TestVertexCanonicalisation:
+    def test_numeric_strings_collapse_to_ints(self):
+        with ClusteringEngine(PARAMS) as engine:
+            engine.submit(Update.insert("1", "2"))
+            engine.submit(Update.insert(2, 3))
+            engine.submit(Update.insert("1", 3))
+            engine.flush(timeout=10)
+            assert engine.applied == 3
+            # the graph holds int vertices only: "1" and 1 were the same id
+            assert engine.cluster_of(1) != ()
+            assert len(engine.view().group_by([1, 2, 3]).as_sets()) == 1
+
+    def test_string_vertices_survive_crash_recovery(self, tmp_path):
+        """The WAL cannot tell "1" from 1 — the engine must not either."""
+        config = EngineConfig(batch_size=2, flush_interval=0.01)
+        engine = ClusteringEngine(PARAMS, config=config, data_dir=tmp_path).start()
+        engine.submit(Update.insert("1", "2"))
+        engine.submit(Update.insert("2", "3"))
+        engine.submit(Update.insert("1", "3"))
+        engine.flush(timeout=10)
+        before = engine.view().clustering
+        engine.kill()
+
+        recovered = ClusteringEngine(PARAMS, config=config, data_dir=tmp_path)
+        try:
+            assert clusterings_equal(recovered.view().clustering, before)
+            assert recovered.view().cluster_of(1) != ()
+        finally:
+            recovered.close(checkpoint=False)
+
+
+class TestRecovery:
+    def test_clean_restart_serves_identical_results(self, tmp_path):
+        stream = _workload_stream()
+        config = EngineConfig(batch_size=8, flush_interval=0.01)
+        with ClusteringEngine(PARAMS, config=config, data_dir=tmp_path) as engine:
+            for update in stream:
+                engine.submit(update)
+            engine.flush(timeout=30)
+            expected = engine.view().clustering
+            applied = engine.applied
+
+        with ClusteringEngine(PARAMS, config=config, data_dir=tmp_path) as restarted:
+            assert restarted.applied == applied
+            assert clusterings_equal(restarted.view().clustering, expected)
+
+    def test_crash_recovery_from_snapshot_plus_wal(self, tmp_path):
+        stream = _workload_stream(num_updates=80)
+        config = EngineConfig(batch_size=7, flush_interval=0.01, checkpoint_every=25)
+        engine = ClusteringEngine(PARAMS, config=config, data_dir=tmp_path).start()
+        for update in stream:
+            engine.submit(update)
+        engine.flush(timeout=30)
+        expected = engine.view().clustering
+        applied = engine.applied
+        engine.kill()  # no final checkpoint, no clean WAL close
+
+        recovered = ClusteringEngine(PARAMS, config=config, data_dir=tmp_path)
+        try:
+            # some updates come from the snapshot, the tail from the WAL
+            assert recovered.recovered_updates > 0
+            assert recovered.applied == applied
+            assert clusterings_equal(recovered.view().clustering, expected)
+            query = sorted(
+                recovered.maintainer.graph.vertices(), key=repr
+            )
+            live = _sequential(stream)
+            assert {frozenset(g) for g in recovered.view().group_by(query).as_sets()} == {
+                frozenset(g) for g in live.group_by(query).as_sets()
+            }
+        finally:
+            recovered.close(checkpoint=False)
+
+    def test_recovery_tolerates_torn_wal_tail(self, tmp_path):
+        stream = _workload_stream()
+        config = EngineConfig(batch_size=8, flush_interval=0.01)
+        engine = ClusteringEngine(PARAMS, config=config, data_dir=tmp_path).start()
+        for update in stream:
+            engine.submit(update)
+        engine.flush(timeout=30)
+        expected = engine.view().clustering
+        applied = engine.applied
+        engine.kill()
+
+        with (tmp_path / "wal.log").open("a", encoding="utf-8") as handle:
+            handle.write("+ 99")  # a torn append: no trailing newline
+
+        recovered = ClusteringEngine(PARAMS, config=config, data_dir=tmp_path)
+        try:
+            assert recovered.applied == applied
+            assert clusterings_equal(recovered.view().clustering, expected)
+        finally:
+            recovered.close(checkpoint=False)
+
+    def test_param_mismatch_on_recovery_warns(self, tmp_path):
+        with ClusteringEngine(PARAMS, data_dir=tmp_path) as engine:
+            engine.submit(Update.insert(1, 2))
+            engine.flush(timeout=10)
+
+        other = StrCluParams(epsilon=0.9, mu=4, rho=0.0)
+        with pytest.warns(UserWarning, match="ignoring the requested"):
+            recovered = ClusteringEngine(other, data_dir=tmp_path)
+        try:
+            # the snapshot's params win: they produced the persisted labels
+            assert recovered.maintainer.params == PARAMS
+        finally:
+            recovered.close(checkpoint=False)
+
+    def test_restart_can_continue_ingesting(self, tmp_path):
+        config = EngineConfig(batch_size=4, flush_interval=0.01)
+        with ClusteringEngine(PARAMS, config=config, data_dir=tmp_path) as engine:
+            for update in TRIANGLES[:3]:
+                engine.submit(update)
+            engine.flush(timeout=10)
+
+        with ClusteringEngine(PARAMS, config=config, data_dir=tmp_path) as engine:
+            for update in TRIANGLES[3:]:
+                engine.submit(update)
+            engine.flush(timeout=10)
+            assert engine.applied == len(TRIANGLES)
+            sequential = _sequential(TRIANGLES)
+            assert clusterings_equal(
+                engine.view().clustering, sequential.clustering()
+            )

@@ -1,0 +1,93 @@
+"""Unit tests for immutable clustering views."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import StrCluParams
+from repro.core.dynstrclu import DynStrClu
+from repro.service.views import ClusteringView
+
+PARAMS = StrCluParams(epsilon=0.5, mu=2, rho=0.0)
+
+TWO_TRIANGLES = [(1, 2), (2, 3), (1, 3), (4, 5), (5, 6), (4, 6)]
+
+
+def _built_maintainer(edges=TWO_TRIANGLES) -> DynStrClu:
+    algo = DynStrClu(PARAMS)
+    for u, v in edges:
+        algo.insert_edge(u, v)
+    return algo
+
+
+class TestCapture:
+    def test_version_and_sizes(self):
+        algo = _built_maintainer()
+        view = ClusteringView.capture(algo, version=6)
+        assert view.version == 6
+        assert view.num_vertices == 6
+        assert view.num_edges == 6
+        assert view.clustering.num_clusters == 2
+
+    def test_empty_view(self):
+        view = ClusteringView.empty()
+        assert view.version == 0
+        assert view.cluster_of(1) == ()
+        assert view.group_by([1, 2]).num_groups == 0
+        assert view.stats()["clusters"] == 0
+
+    def test_view_is_immutable(self):
+        view = ClusteringView.capture(_built_maintainer(), version=6)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            view.version = 7
+
+    def test_view_survives_further_updates(self):
+        """The captured view must not alias the live maintainer's state."""
+        algo = _built_maintainer()
+        view = ClusteringView.capture(algo, version=6)
+        before = view.group_by([1, 2, 3, 4, 5, 6]).as_sets()
+        # merge the two triangles through a new hub
+        algo.insert_edge(3, 4)
+        algo.insert_edge(3, 5)
+        after_live = algo.group_by([1, 2, 3, 4, 5, 6]).as_sets()
+        assert view.group_by([1, 2, 3, 4, 5, 6]).as_sets() == before
+        assert after_live != before
+
+
+class TestQueries:
+    def test_group_by_matches_live_maintainer(self):
+        algo = _built_maintainer()
+        view = ClusteringView.capture(algo, version=6)
+        query = [1, 2, 4, 6]
+        live = {frozenset(g) for g in algo.group_by(query).as_sets()}
+        snap = {frozenset(g) for g in view.group_by(query).as_sets()}
+        assert live == snap == {frozenset({1, 2}), frozenset({4, 6})}
+
+    def test_group_by_ignores_unknown_and_noise(self):
+        algo = _built_maintainer()
+        algo.insert_edge(7, 8)  # an edge far below the core threshold
+        view = ClusteringView.capture(algo, version=7)
+        result = view.group_by([7, 8, 99])
+        assert result.num_groups == 0
+
+    def test_cluster_of_core_and_hub(self):
+        edges = TWO_TRIANGLES + [(3, 7), (4, 7)]
+        algo = _built_maintainer(edges)
+        view = ClusteringView.capture(algo, version=len(edges))
+        # 1 is a core of the first triangle: exactly one cluster
+        assert len(view.cluster_of(1)) == 1
+        # if 7 is similar to cores of both triangles it is a hub (two clusters)
+        hubs = view.clustering.hubs
+        if 7 in hubs:
+            assert len(view.cluster_of(7)) == 2
+
+    def test_stats_document_is_json_friendly(self):
+        import json
+
+        view = ClusteringView.capture(_built_maintainer(), version=6)
+        document = view.stats()
+        assert json.loads(json.dumps(document)) == document
+        assert document["view_version"] == 6
+        assert document["clusters"] == 2

@@ -84,6 +84,46 @@ class TestSnapshotsAndListeners:
         assert events == []  # first snapshot has no previous clustering to diff
 
 
+class TestClose:
+    def test_close_is_idempotent_without_wal(self):
+        processor = StreamProcessor(PARAMS)
+        assert not processor.closed
+        processor.close()
+        processor.close()
+        assert processor.closed
+
+    def test_close_is_idempotent_with_wal(self, tmp_path):
+        wal = tmp_path / "stream.log"
+        processor = StreamProcessor(PARAMS, wal_path=wal)
+        processor.process(TRIANGLE_STREAM[:2])
+        processor.close()
+        processor.close()  # second close must be a harmless no-op
+        assert processor.closed
+        assert UpdateLogReader(wal).read_all() == TRIANGLE_STREAM[:2]
+
+    def test_context_manager_after_explicit_close(self, tmp_path):
+        wal = tmp_path / "stream.log"
+        with StreamProcessor(PARAMS, wal_path=wal) as processor:
+            processor.process(TRIANGLE_STREAM)
+            processor.close()  # __exit__ will close again: must not raise
+
+    def test_checkpoint_leaves_wal_synced_and_parseable(self, tmp_path):
+        wal = tmp_path / "stream.log"
+        checkpoint = tmp_path / "checkpoint.json"
+        processor = StreamProcessor(
+            PARAMS,
+            snapshot_every=10,
+            wal_path=wal,
+            checkpoint_path=checkpoint,
+            checkpoint_every=3,
+        )
+        processor.process(TRIANGLE_STREAM)
+        # WAL is durable at the checkpoint even though close() never ran:
+        # every entry written so far must parse back without a torn tail
+        assert UpdateLogReader(wal).read_all() == TRIANGLE_STREAM
+        processor.close()
+
+
 class TestPersistenceIntegration:
     def test_wal_records_every_update(self, tmp_path):
         wal = tmp_path / "stream.log"

@@ -38,6 +38,47 @@ class TestCluster:
         assert main(["cluster", "--dataset", "email", "--similarity", "cosine"]) == 0
 
 
+class TestVersionAndUsage:
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_dunder_version_exposed(self):
+        import repro
+
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_unknown_subcommand_exits_nonzero_with_usage(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["definitely-not-a-command"])
+        assert excinfo.value.code != 0
+        err = capsys.readouterr().err
+        assert "usage:" in err
+        assert "invalid choice" in err
+
+    def test_service_subcommands_registered(self, capsys):
+        for command in ("serve", "loadgen"):
+            with pytest.raises(SystemExit) as excinfo:
+                main([command, "--help"])
+            assert excinfo.value.code == 0
+            assert command in capsys.readouterr().out
+
+    def test_serve_rejects_invalid_engine_config_cleanly(self, capsys):
+        assert main(["serve", "--batch-size", "0"]) == 2
+        assert "batch_size" in capsys.readouterr().err
+
+    def test_loadgen_reports_unreachable_server_cleanly(self, capsys):
+        # nothing listens on this port: expect a clean exit 2, no traceback
+        assert main(["loadgen", "--port", "1", "--updates", "1"]) == 2
+        err = capsys.readouterr().err
+        assert "no clustering service" in err
+
+
 class TestExperiment:
     def test_registry_covers_every_table_and_figure(self):
         from repro.cli import EXPERIMENTS
