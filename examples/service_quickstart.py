@@ -1,12 +1,13 @@
-"""Service quickstart: the clustering engine as a concurrent service.
+"""Service quickstart: the clustering engine as a concurrent v1 service.
 
 Demonstrates the full serving stack in one process:
 
 1. start a :class:`ClusteringEngine` (micro-batching single writer) with a
    durable data directory,
-2. expose it over JSON/HTTP with :class:`BackgroundServer`,
+2. expose it over the v1 JSON/HTTP API with :class:`BackgroundServer`,
 3. talk to it with :class:`ServiceClient` — ingest a planted two-community
-   graph, run snapshot-consistent group-by queries, read stats,
+   graph, run snapshot-consistent group-by queries, read stats, and spin up
+   a second isolated tenant on a baseline backend,
 4. restart the engine from its snapshot+WAL and show that the recovered
    service answers identically.
 
@@ -64,6 +65,21 @@ def main() -> None:
             engine.flush()
             print("after two deletions, view version:",
                   client.stats()["view_version"])
+
+            # --- v1 multi-tenancy: an isolated sibling tenant ---------------
+            # its own backend *and* its own parameters (mu=2 suits a triangle)
+            client.create_tenant("scratch", backend="pscan", params={"mu": 2})
+            scratch = client.for_tenant("scratch")
+            scratch.submit_updates([Update.insert("x", "y"),
+                                    Update.insert("y", "z"),
+                                    Update.insert("x", "z")])
+            background.manager.get("scratch").flush()
+            print("scratch tenant (pscan backend) groups:",
+                  scratch.group_by(["x", "y", "z"]).as_sets())
+            print("main tenant cannot see them:",
+                  client.group_by(["x", "y", "z"]).as_sets())
+            scratch.close()
+            client.delete_tenant("scratch")
             client.close()
 
         # --- 4: crash-recover the service from snapshot + WAL --------------
@@ -71,7 +87,7 @@ def main() -> None:
         with recovered, BackgroundServer(recovered) as background:
             client = ServiceClient("127.0.0.1", background.port)
             print("\nrecovered engine at version",
-                  client.healthz()["view_version"])
+                  client.stats()["view_version"])
             # re-insert the deleted edges: the stream continues seamlessly
             client.submit_updates([Update.insert(*edges[0]),
                                    Update.insert(*edges[1])])

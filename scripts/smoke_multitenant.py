@@ -1,0 +1,152 @@
+#!/usr/bin/env python
+"""Multi-tenant smoke gate: boot a 2-tenant server, drive it, assert isolation.
+
+The CI counterpart of the v1 API's core promise:
+
+1. start ``repro serve`` as a real subprocess (the v1 JSON/HTTP service);
+2. drive tenants ``alpha`` and ``beta`` concurrently with ``repro loadgen``
+   (``--tenant alpha --tenant beta --create-tenants``), whose multi-tenant
+   mix rewrites each tenant's traffic into a disjoint string vertex space
+   (``alpha:<v>`` / ``beta:<v>``);
+3. assert isolation from the outside: both tenants applied their own
+   updates, tenant A's vertices never appear in tenant B's group-by (and
+   vice versa), and the untouched ``default`` tenant stayed empty.
+
+Exits non-zero (with a diagnostic) on any violation — wired into CI as the
+service smoke gate.  Run locally with::
+
+    PYTHONPATH=src python scripts/smoke_multitenant.py
+"""
+
+from __future__ import annotations
+
+import socket
+import subprocess
+import sys
+import time
+
+from repro.cli import main as repro_main
+from repro.service import ServiceClient, ServiceError
+
+UPDATES_PER_TENANT = 300
+TENANTS = ("alpha", "beta")
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _wait_healthy(port: int, timeout: float = 15.0) -> None:
+    deadline = time.monotonic() + timeout
+    last: Exception | None = None
+    while time.monotonic() < deadline:
+        try:
+            with ServiceClient("127.0.0.1", port, timeout=2.0) as client:
+                client.healthz()
+                return
+        except (OSError, ServiceError) as exc:
+            last = exc
+            time.sleep(0.2)
+    raise RuntimeError(f"server on port {port} never became healthy: {last}")
+
+
+def _fail(message: str) -> None:
+    print(f"SMOKE FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def main() -> int:
+    port = _free_port()
+    server = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            str(port),
+            "--epsilon",
+            "0.3",
+            "--mu",
+            "2",
+            "--rho",
+            "0",
+        ],
+    )
+    try:
+        _wait_healthy(port)
+
+        # drive both tenants through the real CLI (multi-tenant load mix)
+        status = repro_main(
+            [
+                "loadgen",
+                "--port",
+                str(port),
+                "--tenant",
+                "alpha",
+                "--tenant",
+                "beta",
+                "--create-tenants",
+                "--dataset",
+                "email",
+                "--updates",
+                str(UPDATES_PER_TENANT),
+                "--query-ratio",
+                "0.2",
+            ]
+        )
+        if status != 0:
+            _fail(f"repro loadgen exited with status {status}")
+
+        with ServiceClient("127.0.0.1", port) as admin:
+            # wait for both tenants' ingest queues to drain so the asserted
+            # views reflect the whole driven stream
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                rows = {row["tenant"]: row for row in admin.list_tenants()}
+                if all(rows.get(t, {}).get("queue_depth", 1) == 0 for t in TENANTS):
+                    break
+                time.sleep(0.2)
+            tenants = {row["tenant"]: row for row in admin.list_tenants()}
+            for name in TENANTS:
+                if name not in tenants:
+                    _fail(f"tenant {name!r} missing from /v1/tenants: {sorted(tenants)}")
+                if tenants[name]["applied"] <= 0:
+                    _fail(f"tenant {name!r} applied no updates: {tenants[name]}")
+            if tenants["default"]["applied"] != 0:
+                _fail(f"default tenant was polluted: {tenants['default']}")
+
+            # cross-tenant probes: each tenant queried with the *other*
+            # tenant's vertex space must see nothing at all
+            probe_ids = list(range(200))
+            for mine, other in (("alpha", "beta"), ("beta", "alpha")):
+                client = admin.for_tenant(mine)
+                own = client.group_by([f"{mine}:{v}" for v in probe_ids])
+                if not own.groups:
+                    _fail(f"tenant {mine!r} sees none of its own vertices")
+                leaked = client.group_by([f"{other}:{v}" for v in probe_ids])
+                if leaked.groups:
+                    _fail(
+                        f"isolation violated: tenant {mine!r} sees "
+                        f"{other!r}'s vertices: {leaked.groups}"
+                    )
+                client.close()
+
+        print(
+            "SMOKE OK: 2 tenants driven "
+            f"({tenants['alpha']['applied']} + {tenants['beta']['applied']} updates "
+            "applied), no cross-tenant leakage, default tenant untouched"
+        )
+        return 0
+    finally:
+        server.terminate()
+        try:
+            server.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            server.kill()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

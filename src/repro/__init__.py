@@ -21,6 +21,7 @@ Quickstart
 from repro.analysis import ClusterTracker, VertexRole, classify_roles, role_census
 from repro.baselines import ExactDynamicSCAN, IndexedDynamicSCAN, static_scan
 from repro.core import Clustering, DynELM, DynStrClu, EdgeLabel, StrCluParams, compute_clusters
+from repro.core.api import Clusterer, available_backends, make_clusterer, register_backend
 from repro.core.dynelm import Update, UpdateKind
 from repro.graph import DynamicGraph, cosine_similarity, jaccard_similarity
 from repro.graph.similarity import SimilarityKind
@@ -32,7 +33,7 @@ from repro.persistence import (
 )
 from repro.streaming import SlidingWindowClustering, StreamProcessor
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from repro.service import (  # noqa: E402  (needs __version__ for /healthz)
     BackgroundServer,
@@ -40,10 +41,12 @@ from repro.service import (  # noqa: E402  (needs __version__ for /healthz)
     ClusteringServiceServer,
     ClusteringView,
     EngineConfig,
+    EngineManager,
     LoadGenConfig,
     LoadGenerator,
     ServiceClient,
     ServiceMetrics,
+    TenantConfig,
 )
 
 __all__ = [
@@ -72,8 +75,14 @@ __all__ = [
     "restore_dynstrclu",
     "SlidingWindowClustering",
     "StreamProcessor",
+    "Clusterer",
+    "available_backends",
+    "make_clusterer",
+    "register_backend",
     "ClusteringEngine",
     "EngineConfig",
+    "EngineManager",
+    "TenantConfig",
     "ClusteringView",
     "ClusteringServiceServer",
     "BackgroundServer",

@@ -10,11 +10,13 @@ Subcommands
 ``experiment``
     Run one of the table/figure reproductions and print its rows.
 ``serve``
-    Run the concurrent clustering service (micro-batching engine + JSON/HTTP
-    API) until interrupted.
+    Run the multi-tenant clustering service (micro-batching engines behind
+    the versioned ``/v1/tenants/{tenant}/...`` JSON/HTTP API) until
+    interrupted; ``--backend`` selects any registered clustering backend.
 ``loadgen``
     Generate open-loop insert/delete/query traffic against a running service
-    (or an in-process engine) and print the throughput/latency report.
+    (or in-process engines) and print the throughput/latency report;
+    repeat ``--tenant`` for a multi-tenant mix with disjoint vertex spaces.
 
 ``repro --version`` prints the library version.  Unknown subcommands exit
 with status 2 and a usage message (argparse's standard behaviour, locked in
@@ -96,7 +98,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     serve = sub.add_parser(
-        "serve", help="run the concurrent clustering service over JSON/HTTP"
+        "serve", help="run the multi-tenant clustering service over JSON/HTTP (v1 API)"
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8321)
@@ -107,8 +109,26 @@ def _build_parser() -> argparse.ArgumentParser:
         "--similarity", choices=["jaccard", "cosine"], default="jaccard"
     )
     serve.add_argument(
+        "--backend",
+        default="dynstrclu",
+        help="clustering backend of the default tenant "
+        "(dynstrclu, dynelm, scan-exact, pscan, hscan)",
+    )
+    serve.add_argument(
         "--data-dir",
-        help="snapshot+WAL directory; enables durability and crash recovery",
+        help="default tenant's snapshot+WAL directory; enables durability "
+        "and crash recovery (dynstrclu backend only)",
+    )
+    serve.add_argument(
+        "--data-root",
+        help="directory under which dynamically created tenants persist "
+        "(data_root/<tenant>/)",
+    )
+    serve.add_argument(
+        "--max-tenants",
+        type=int,
+        default=64,
+        help="server-wide cap on concurrently hosted tenants",
     )
     serve.add_argument("--batch-size", type=int, default=64)
     serve.add_argument("--flush-interval", type=float, default=0.05)
@@ -120,7 +140,8 @@ def _build_parser() -> argparse.ArgumentParser:
         help="cut a checkpoint every N applied updates (0: only on shutdown)",
     )
     serve.add_argument(
-        "--dataset", help="optionally preload a registry dataset before serving"
+        "--dataset",
+        help="optionally preload a registry dataset into the default tenant",
     )
 
     loadgen = sub.add_parser(
@@ -132,6 +153,24 @@ def _build_parser() -> argparse.ArgumentParser:
         "--in-process",
         action="store_true",
         help="drive a fresh in-process engine instead of a remote server",
+    )
+    loadgen.add_argument(
+        "--tenant",
+        action="append",
+        dest="tenants",
+        metavar="NAME",
+        help="tenant to drive (repeat for a multi-tenant mix; default: default)",
+    )
+    loadgen.add_argument(
+        "--create-tenants",
+        action="store_true",
+        help="create the named tenants on the server first (idempotent)",
+    )
+    loadgen.add_argument(
+        "--vertex-prefix",
+        default="",
+        help="rewrite every vertex id to the string '<prefix><id>' "
+        "(multi-tenant mixes always add a '<tenant>:' prefix per tenant)",
     )
     loadgen.add_argument("--dataset", default="email")
     loadgen.add_argument(
@@ -208,9 +247,15 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
+    from pathlib import Path
 
     from repro.core.dynelm import Update
-    from repro.service import ClusteringEngine, ClusteringServiceServer, EngineConfig
+    from repro.service import (
+        ClusteringEngine,
+        ClusteringServiceServer,
+        EngineConfig,
+        EngineManager,
+    )
 
     try:
         params = StrCluParams(
@@ -225,16 +270,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             queue_capacity=args.queue_capacity,
             checkpoint_every=args.checkpoint_every,
         )
+        engine = ClusteringEngine(
+            params, config=config, data_dir=args.data_dir, backend=args.backend
+        )
     except ValueError as exc:
         print(f"repro serve: {exc}", file=sys.stderr)
         return 2
-    engine = ClusteringEngine(params, config=config, data_dir=args.data_dir)
     if engine.recovered_updates:
         print(
             f"recovered {engine.recovered_updates} WAL updates "
             f"(state at {engine.applied} applied)",
             file=sys.stderr,
         )
+    manager = EngineManager.adopt(engine)
+    manager.max_tenants = args.max_tenants
+    if args.data_root:
+        manager.data_root = Path(args.data_root)
     with engine:
         if args.dataset:
             for u, v in load_dataset(args.dataset):
@@ -246,12 +297,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             )
 
         async def _serve() -> None:
-            server = ClusteringServiceServer(engine, host=args.host, port=args.port)
+            server = ClusteringServiceServer(manager, host=args.host, port=args.port)
             await server.start()
             print(
-                f"repro service listening on http://{args.host}:{server.port} "
-                f"(POST /updates, POST /group-by, GET /cluster/{{v}}, "
-                f"GET /stats, GET /healthz)",
+                f"repro service v1 listening on http://{args.host}:{server.port} "
+                f"(default tenant backend: {args.backend}; "
+                f"GET /v1/healthz, GET|POST /v1/tenants, "
+                f"DELETE /v1/tenants/{{t}}, "
+                f"POST /v1/tenants/{{t}}/updates, POST /v1/tenants/{{t}}/group-by, "
+                f"GET /v1/tenants/{{t}}/cluster/{{v}}, GET /v1/tenants/{{t}}/stats; "
+                f"legacy unversioned routes serve the default tenant)",
                 file=sys.stderr,
             )
             await server.serve_forever()
@@ -260,20 +315,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             asyncio.run(_serve())
         except KeyboardInterrupt:
             print("shutting down (final checkpoint)...", file=sys.stderr)
+        finally:
+            manager.close()
     return 0
 
 
 def _cmd_loadgen(args: argparse.Namespace) -> int:
     from repro.service import (
         ClientTarget,
-        ClusteringEngine,
+        EngineManager,
         EngineTarget,
         LoadGenConfig,
         LoadGenerator,
+        MultiTenantLoadGenerator,
         ServiceClient,
+        ServiceError,
     )
     from repro.workloads.updates import generate_update_sequence
 
+    # dedup while preserving order: a repeated --tenant must not double-count
+    tenants = list(dict.fromkeys(args.tenants)) if args.tenants else ["default"]
     try:
         spec = dataset_spec(args.dataset)
         edges = load_dataset(args.dataset)
@@ -287,66 +348,99 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             query_ratio=args.query_ratio,
             query_size=args.query_size,
             seed=args.seed,
+            vertex_prefix=args.vertex_prefix,
         )
     except (KeyError, ValueError) as exc:
         print(f"repro loadgen: {exc}", file=sys.stderr)
         return 2
 
-    engine = None
-    client = None
+    manager = None
+    clients = []
+    targets = {}
     if args.in_process:
         params = StrCluParams(epsilon=args.epsilon, mu=args.mu, rho=args.rho)
-        engine = ClusteringEngine(params).start()
-        target = EngineTarget(engine)
+        manager = EngineManager(params, create_default=("default" in tenants))
+        for tenant in tenants:
+            if tenant not in manager:
+                manager.create(tenant)
+            targets[tenant] = EngineTarget(manager.get(tenant))
     else:
-        from repro.service import ServiceError
-
-        client = ServiceClient(args.host, args.port)
+        probe = ServiceClient(args.host, args.port)
         try:
-            client.healthz()  # fail fast when no server is listening
+            probe.healthz()  # fail fast when no server is listening
         except (OSError, ServiceError) as exc:
             print(
                 f"repro loadgen: no clustering service at "
                 f"http://{args.host}:{args.port} ({exc})",
                 file=sys.stderr,
             )
+            probe.close()
             return 2
-        target = ClientTarget(client)
+        for tenant in tenants:
+            client = probe if tenant == probe.tenant else probe.for_tenant(tenant)
+            if client is not probe:
+                clients.append(client)
+            if args.create_tenants:
+                try:
+                    client.create_tenant(exist_ok=True)
+                except ServiceError as exc:
+                    print(f"repro loadgen: creating tenant {tenant!r}: {exc}",
+                          file=sys.stderr)
+                    return 2
+            targets[tenant] = ClientTarget(client)
+        clients.append(probe)
 
     try:
-        generator = LoadGenerator(target, stream, config=config)
-        report = generator.run()
-        if engine is not None:
-            engine.flush()
+        if len(tenants) == 1:
+            generator = LoadGenerator(targets[tenants[0]], stream, config=config)
+            reports = {tenants[0]: generator.run()}
+            metrics_by_tenant = {tenants[0]: generator.metrics}
+        else:
+            multi = MultiTenantLoadGenerator(targets, stream, config=config)
+            reports = multi.run()
+            metrics_by_tenant = {
+                name: generator.metrics for name, generator in multi.generators.items()
+            }
+        if manager is not None:
+            for engine in manager.engines():
+                engine.flush()
     finally:
-        if engine is not None:
-            engine.close()
-        if client is not None:
+        if manager is not None:
+            manager.close()
+        for client in clients:
             client.close()
 
-    document = report.as_dict()
-    rows = [
-        {
-            "requests": report.requests,
-            "updates_sent": report.updates_sent,
-            "accepted": report.updates_accepted,
-            "rejected": report.updates_rejected,
-            "offered_upd_s": round(report.offered_updates_per_second, 1),
-            "accepted_upd_s": round(report.accepted_updates_per_second, 1),
-            "query_p50_ms": round(generator.metrics.query.percentile(50) * 1e3, 3),
-            "query_p99_ms": round(generator.metrics.query.percentile(99) * 1e3, 3),
-            "max_lag_s": round(report.max_lag_s, 4),
-        }
-    ]
+    rows = []
+    errors = []
+    for tenant in tenants:
+        report = reports[tenant]
+        metrics = metrics_by_tenant[tenant]
+        errors.extend(report.errors)
+        rows.append(
+            {
+                "tenant": tenant,
+                "requests": report.requests,
+                "updates_sent": report.updates_sent,
+                "accepted": report.updates_accepted,
+                "rejected": report.updates_rejected,
+                "offered_upd_s": round(report.offered_updates_per_second, 1),
+                "accepted_upd_s": round(report.accepted_updates_per_second, 1),
+                "query_p50_ms": round(metrics.query.percentile(50) * 1e3, 3),
+                "query_p99_ms": round(metrics.query.percentile(99) * 1e3, 3),
+                "max_lag_s": round(report.max_lag_s, 4),
+            }
+        )
     print(format_table(rows, title=f"loadgen against {args.dataset}"))
-    if report.errors:
-        print(f"{len(report.errors)} request errors; first: {report.errors[0]}",
-              file=sys.stderr)
+    if errors:
+        print(f"{len(errors)} request errors; first: {errors[0]}", file=sys.stderr)
     if args.json_out:
+        document = {tenant: reports[tenant].as_dict() for tenant in tenants}
+        if len(tenants) == 1:
+            document = document[tenants[0]]
         with open(args.json_out, "w", encoding="utf-8") as handle:
             json.dump(document, handle, indent=2)
         print(f"report written to {args.json_out}", file=sys.stderr)
-    return 0 if not report.errors else 1
+    return 0 if not errors else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -10,6 +10,10 @@ Public entry points:
   cluster-group-by queries (Theorem 7.1).
 * :func:`~repro.core.result.compute_clusters` — Fact 1: StrCluResult from an
   edge labelling in O(n + m) time.
+* :mod:`~repro.core.api` — the :class:`~repro.core.api.Clusterer` protocol
+  and the string-keyed backend registry
+  (:func:`~repro.core.api.make_clusterer`) that make every maintainer in
+  the repository interchangeable behind one surface.
 """
 
 from repro.core.config import StrCluParams
@@ -17,6 +21,12 @@ from repro.core.dynelm import DynELM
 from repro.core.dynstrclu import DynStrClu
 from repro.core.labelling import EdgeLabel
 from repro.core.result import Clustering, compute_clusters
+from repro.core.api import (
+    Clusterer,
+    available_backends,
+    make_clusterer,
+    register_backend,
+)
 
 __all__ = [
     "StrCluParams",
@@ -25,4 +35,8 @@ __all__ = [
     "EdgeLabel",
     "Clustering",
     "compute_clusters",
+    "Clusterer",
+    "available_backends",
+    "make_clusterer",
+    "register_backend",
 ]

@@ -1,0 +1,384 @@
+"""The unified clustering-backend protocol and its string-keyed registry.
+
+The repository grew several maintainers of the same logical object — a
+structural clustering of a dynamic graph — each with a slightly different
+surface: :class:`~repro.core.dynstrclu.DynStrClu` (the paper's ultimate
+algorithm), :class:`~repro.core.dynelm.DynELM` plus
+:func:`~repro.core.result.compute_clusters` (labels without the group-by
+structures), and the three SCAN baselines.  This module is the seam that
+makes them interchangeable:
+
+* :class:`Clusterer` — the protocol every backend satisfies: apply one
+  :class:`~repro.core.dynelm.Update`, insert/delete one edge, retrieve the
+  full :class:`~repro.core.result.Clustering`, answer a cluster-group-by
+  over a vertex set, and report the logical memory footprint;
+* a **string-keyed registry** — ``make_clusterer("pscan", params)`` builds
+  any registered backend from one parameter bundle, so the serving engine,
+  the stream processor, the experiment runner and the CLI all select
+  backends by name instead of hard-wiring a class.
+
+Built-in backends
+-----------------
+==============  ====================================  =========================
+Name            Implementation                        Notes
+==============  ====================================  =========================
+``dynstrclu``   :class:`DynStrClu`                    O(|Q| log n) group-by;
+                                                      the only snapshot-capable
+                                                      backend (durability)
+``dynelm``      :class:`DynELM` + compute_clusters    group-by derived from a
+                                                      full retrieval (O(n + m))
+``scan-exact``  static SCAN re-run per retrieval      exact, trivially correct,
+                                                      O(m^1.5) per retrieval
+``pscan``       :class:`ExactDynamicSCAN`             exact labels maintained,
+                                                      O(n) per update
+``hscan``       :class:`IndexedDynamicSCAN`           similarity index bound to
+                                                      the configured (ε, μ)
+==============  ====================================  =========================
+
+Backends constructed with ``rho == 0`` (exact mode) produce identical
+clusterings on identical update streams — the invariant locked in by
+``tests/property/test_property_backend_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Optional,
+    Protocol,
+    Tuple,
+    runtime_checkable,
+)
+
+from repro.core.config import StrCluParams
+from repro.core.dynelm import DynELM, Update, UpdateKind
+from repro.core.dynstrclu import DynStrClu
+from repro.core.result import Clustering, GroupByResult, group_by_membership
+from repro.graph.dynamic_graph import DynamicGraph, Vertex
+from repro.instrumentation import MemoryModel, NULL_COUNTER, OpCounter
+
+
+@runtime_checkable
+class Clusterer(Protocol):
+    """What every clustering backend exposes to the layers above it.
+
+    Beyond the methods below, a conforming backend also carries three
+    read-only attributes used by views, stats and recovery arithmetic:
+    ``params`` (the :class:`StrCluParams` it was built with), ``graph``
+    (the live :class:`DynamicGraph`) and ``updates_processed`` (how many
+    updates it has applied).
+    """
+
+    def apply(self, update: Update) -> object:
+        """Process one insert/delete update."""
+        ...
+
+    def insert_edge(self, u: Vertex, v: Vertex) -> object:
+        """Insert edge ``(u, v)``."""
+        ...
+
+    def delete_edge(self, u: Vertex, v: Vertex) -> object:
+        """Delete edge ``(u, v)``."""
+        ...
+
+    def clustering(self) -> Clustering:
+        """Retrieve the full clustering of the current graph."""
+        ...
+
+    def group_by(self, query: Iterable[Vertex]) -> GroupByResult:
+        """Partition ``query`` by cluster membership (Definition 3.2)."""
+        ...
+
+    def memory_words(self) -> int:
+        """Logical structure size in machine words (Table 1 memory model)."""
+        ...
+
+
+def _group_by_from_clustering(
+    clustering: Clustering, query: Iterable[Vertex]
+) -> GroupByResult:
+    """Derive a cluster-group-by from a full retrieval.
+
+    The fallback for backends without DynStrClu's maintained group-by
+    structures: costs one O(n + m) retrieval per query instead of
+    O(|Q| log n), but partitions the query set identically because cluster
+    membership in the retrieved :class:`Clustering` is defined by exactly
+    the relation the live query path evaluates.
+    """
+    return group_by_membership(clustering.membership(), query)
+
+
+class DynELMClusterer:
+    """``dynelm`` backend: DynELM labels + clustering retrieval on demand."""
+
+    backend_name = "dynelm"
+
+    def __init__(
+        self,
+        params: StrCluParams,
+        counter: Optional[OpCounter] = None,
+        **_ignored: object,
+    ) -> None:
+        self.elm = DynELM(params, counter=counter)
+
+    @property
+    def params(self) -> StrCluParams:
+        return self.elm.params
+
+    @property
+    def graph(self) -> DynamicGraph:
+        return self.elm.graph
+
+    @property
+    def updates_processed(self) -> int:
+        return self.elm.updates_processed
+
+    def apply(self, update: Update) -> object:
+        return self.elm.apply(update)
+
+    def insert_edge(self, u: Vertex, v: Vertex) -> object:
+        return self.elm.insert_edge(u, v)
+
+    def delete_edge(self, u: Vertex, v: Vertex) -> object:
+        return self.elm.delete_edge(u, v)
+
+    def clustering(self) -> Clustering:
+        return self.elm.clustering()
+
+    def group_by(self, query: Iterable[Vertex]) -> GroupByResult:
+        return _group_by_from_clustering(self.clustering(), query)
+
+    def memory_words(self) -> int:
+        return self.elm.memory_words()
+
+
+class StaticSCANClusterer:
+    """``scan-exact`` backend: maintain only the graph, re-run SCAN per query.
+
+    The from-scratch baseline as a maintainer: updates cost O(1) (a graph
+    mutation), every retrieval re-computes the exact clustering.  Useful as
+    a correctness oracle behind the same service surface as the dynamic
+    backends.
+    """
+
+    backend_name = "scan-exact"
+
+    def __init__(
+        self,
+        params: StrCluParams,
+        counter: Optional[OpCounter] = None,
+        **_ignored: object,
+    ) -> None:
+        self.params = params
+        self.counter = counter if counter is not None else NULL_COUNTER
+        self.graph = DynamicGraph()
+        self.updates_processed = 0
+        self._memory_model = MemoryModel()
+
+    def apply(self, update: Update) -> object:
+        if update.kind is UpdateKind.INSERT:
+            return self.insert_edge(update.u, update.v)
+        return self.delete_edge(update.u, update.v)
+
+    def insert_edge(self, u: Vertex, v: Vertex) -> object:
+        self.updates_processed += 1
+        self.counter.add("update")
+        self.graph.insert_edge(u, v)
+        return None
+
+    def delete_edge(self, u: Vertex, v: Vertex) -> object:
+        self.updates_processed += 1
+        self.counter.add("update")
+        self.graph.delete_edge(u, v)
+        return None
+
+    def clustering(self) -> Clustering:
+        from repro.baselines.scan import static_scan
+
+        return static_scan(
+            self.graph,
+            self.params.epsilon,
+            self.params.mu,
+            self.params.similarity,
+            counter=self.counter,
+        )
+
+    def group_by(self, query: Iterable[Vertex]) -> GroupByResult:
+        return _group_by_from_clustering(self.clustering(), query)
+
+    def memory_words(self) -> int:
+        n = self.graph.num_vertices
+        m = self.graph.num_edges
+        return self._memory_model.words(vertex_record=n, adjacency_entry=2 * m)
+
+
+class PScanClusterer:
+    """``pscan`` backend: exact labels maintained by neighbourhood re-scans."""
+
+    backend_name = "pscan"
+
+    def __init__(
+        self,
+        params: StrCluParams,
+        counter: Optional[OpCounter] = None,
+        **_ignored: object,
+    ) -> None:
+        from repro.baselines.pscan import ExactDynamicSCAN
+
+        self.params = params
+        self.maintainer = ExactDynamicSCAN(
+            params.epsilon, params.mu, params.similarity, counter
+        )
+
+    @property
+    def graph(self) -> DynamicGraph:
+        return self.maintainer.graph
+
+    @property
+    def updates_processed(self) -> int:
+        return self.maintainer.updates_processed
+
+    def apply(self, update: Update) -> object:
+        return self.maintainer.apply(update)
+
+    def insert_edge(self, u: Vertex, v: Vertex) -> object:
+        return self.maintainer.insert_edge(u, v)
+
+    def delete_edge(self, u: Vertex, v: Vertex) -> object:
+        return self.maintainer.delete_edge(u, v)
+
+    def clustering(self) -> Clustering:
+        return self.maintainer.clustering()
+
+    def group_by(self, query: Iterable[Vertex]) -> GroupByResult:
+        return _group_by_from_clustering(self.clustering(), query)
+
+    def memory_words(self) -> int:
+        return self.maintainer.memory_words()
+
+
+class HScanClusterer:
+    """``hscan`` backend: the similarity index bound to one (ε, μ) pair.
+
+    :class:`IndexedDynamicSCAN` answers any (ε, μ) at query time; behind the
+    uniform protocol it is pinned to the configured parameters so all
+    backends answer the same question.
+    """
+
+    backend_name = "hscan"
+
+    def __init__(
+        self,
+        params: StrCluParams,
+        counter: Optional[OpCounter] = None,
+        **_ignored: object,
+    ) -> None:
+        from repro.baselines.hscan import IndexedDynamicSCAN
+
+        self.params = params
+        self.index = IndexedDynamicSCAN(params.similarity, counter)
+
+    @property
+    def graph(self) -> DynamicGraph:
+        return self.index.graph
+
+    @property
+    def updates_processed(self) -> int:
+        return self.index.updates_processed
+
+    def apply(self, update: Update) -> object:
+        return self.index.apply(update)
+
+    def insert_edge(self, u: Vertex, v: Vertex) -> object:
+        return self.index.insert_edge(u, v)
+
+    def delete_edge(self, u: Vertex, v: Vertex) -> object:
+        return self.index.delete_edge(u, v)
+
+    def clustering(self) -> Clustering:
+        return self.index.clustering(self.params.epsilon, self.params.mu)
+
+    def group_by(self, query: Iterable[Vertex]) -> GroupByResult:
+        return _group_by_from_clustering(self.clustering(), query)
+
+    def memory_words(self) -> int:
+        return self.index.memory_words()
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+#: A factory takes ``(params, counter=None, connectivity_backend="hdt")``
+#: and returns a :class:`Clusterer`; unknown keyword arguments are ignored
+#: by backends that have no use for them.
+ClustererFactory = Callable[..., Clusterer]
+
+_BACKENDS: Dict[str, ClustererFactory] = {}
+
+#: Backends whose full state can round-trip through
+#: :mod:`repro.persistence.snapshot` — the ones the serving engine can make
+#: durable (snapshot + WAL checkpointing).
+SNAPSHOT_CAPABLE_BACKENDS = frozenset({"dynstrclu"})
+
+
+def register_backend(
+    name: str, factory: ClustererFactory, replace: bool = False
+) -> None:
+    """Register a backend under ``name`` (lower-case by convention).
+
+    Raises ``ValueError`` when the name is taken and ``replace`` is false,
+    so plugins cannot silently shadow a built-in.
+    """
+    key = name.strip().lower()
+    if not key:
+        raise ValueError("backend name must be non-empty")
+    if key in _BACKENDS and not replace:
+        raise ValueError(f"backend {key!r} is already registered")
+    _BACKENDS[key] = factory
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Sorted names of every registered backend."""
+    return tuple(sorted(_BACKENDS))
+
+
+def make_clusterer(
+    backend: str,
+    params: StrCluParams,
+    counter: Optional[OpCounter] = None,
+    connectivity_backend: str = "hdt",
+) -> Clusterer:
+    """Build the named backend from one parameter bundle.
+
+    Raises ``ValueError`` (listing the registered names) for an unknown
+    backend, so CLI and HTTP layers can surface the typo directly.
+    """
+    key = backend.strip().lower()
+    factory = _BACKENDS.get(key)
+    if factory is None:
+        raise ValueError(
+            f"unknown clustering backend {backend!r}; "
+            f"registered: {', '.join(available_backends())}"
+        )
+    return factory(
+        params, counter=counter, connectivity_backend=connectivity_backend
+    )
+
+
+def _make_dynstrclu(
+    params: StrCluParams,
+    counter: Optional[OpCounter] = None,
+    connectivity_backend: str = "hdt",
+) -> DynStrClu:
+    return DynStrClu(
+        params, counter=counter, connectivity_backend=connectivity_backend
+    )
+
+
+register_backend("dynstrclu", _make_dynstrclu)
+register_backend("dynelm", DynELMClusterer)
+register_backend("scan-exact", StaticSCANClusterer)
+register_backend("pscan", PScanClusterer)
+register_backend("hscan", HScanClusterer)

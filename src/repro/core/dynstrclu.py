@@ -78,6 +78,11 @@ class DynStrClu:
         return self.elm.graph
 
     @property
+    def updates_processed(self) -> int:
+        """Number of updates applied so far (delegated to the ELM stream count)."""
+        return self.elm.updates_processed
+
+    @property
     def labels(self) -> Dict[Edge, EdgeLabel]:
         return self.elm.labels
 

@@ -12,7 +12,7 @@ non-core vertices belonging to none are *noise*.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.connectivity.union_find import UnionFind
 from repro.core.labelling import EdgeLabel
@@ -145,6 +145,24 @@ class GroupByResult:
     def group_of(self, v: Vertex) -> List[int]:
         """Identifiers of every group containing ``v`` (hubs may be in several)."""
         return [gid for gid, members in self.groups.items() if v in members]
+
+
+def group_by_membership(
+    membership: Mapping[Vertex, Iterable[int]], query: Iterable[Vertex]
+) -> GroupByResult:
+    """Cluster-group-by derived from a vertex→cluster-indices map.
+
+    The single definition of the grouping semantics shared by the snapshot
+    views (:meth:`repro.service.views.ClusteringView.group_by`) and the
+    backends that answer group-by from a full retrieval
+    (:mod:`repro.core.api`): vertices absent from every cluster are
+    omitted, hubs land in each of their groups.
+    """
+    groups: Dict[int, Set[Vertex]] = {}
+    for u in query:
+        for idx in membership.get(u, ()):
+            groups.setdefault(idx, set()).add(u)
+    return GroupByResult(groups=groups)
 
 
 def similar_neighbour_counts(

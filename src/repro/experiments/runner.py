@@ -22,6 +22,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from repro.baselines.hscan import IndexedDynamicSCAN
 from repro.baselines.pscan import ExactDynamicSCAN
 from repro.baselines.scan import scan_labelling, static_scan
+from repro.core.api import make_clusterer
 from repro.core.config import StrCluParams
 from repro.core.dynelm import DynELM
 from repro.core.dynstrclu import DynStrClu
@@ -76,21 +77,27 @@ def _make_params(
     )
 
 
+#: Paper algorithm names → backend-registry keys (repro.core.api).
+BACKEND_KEYS = {
+    "DynELM": "dynelm",
+    "DynStrClu": "dynstrclu",
+    "pSCAN": "pscan",
+    "hSCAN": "hscan",
+    "SCAN": "scan-exact",
+}
+
+
 def _make_algorithm(
     name: str,
     params: StrCluParams,
     counter: OpCounter,
 ):
-    """Instantiate one of the four competing algorithms."""
-    if name == "DynELM":
-        return DynELM(params, counter=counter)
-    if name == "DynStrClu":
-        return DynStrClu(params, counter=counter)
-    if name == "pSCAN":
-        return ExactDynamicSCAN(params.epsilon, params.mu, params.similarity, counter)
-    if name == "hSCAN":
-        return IndexedDynamicSCAN(params.similarity, counter)
-    raise ValueError(f"unknown algorithm {name!r}")
+    """Instantiate a competing algorithm through the backend registry."""
+    key = BACKEND_KEYS.get(name, name)
+    try:
+        return make_clusterer(key, params, counter=counter)
+    except ValueError as exc:
+        raise ValueError(f"unknown algorithm {name!r}") from exc
 
 
 def _build_workload(

@@ -2,16 +2,23 @@
 
 The log format is a plain text file, one update per line::
 
-    # repro-update-log v1
+    # repro-update-log v2
     + 17 42
     - 17 42
     + alice bob
+    + ~17 alice
 
 ``+`` is an insertion, ``-`` a deletion, followed by the two endpoint
 identifiers.  Identifiers containing whitespace are not supported (matching
-the SNAP edge-list convention); integer-looking identifiers are parsed back
-to ``int`` so a round trip preserves the vertex type used by the library's
-generators and datasets.
+the SNAP edge-list convention).  Bare integer tokens parse back to ``int``;
+a *string* identifier that would be ambiguous — one that parses as an
+integer, or one starting with ``~`` — is written with a ``~`` escape prefix
+(``"17"`` → ``~17``, ``"~x"`` → ``~~x``), so the round trip is lossless:
+the int ``17`` and the string ``"17"`` are distinct vertices and stay
+distinct through WAL replay.  A log carrying the old ``v1`` header is read
+with the pre-escape rules (tokens verbatim, ints collapsed), so existing
+logs — including ones whose string vertices start with ``~`` — replay
+exactly as they always did.
 
 The combination ``snapshot + log suffix`` reconstructs a maintainer after a
 crash: restore the snapshot, then :func:`replay_updates` over the log
@@ -28,7 +35,16 @@ from repro.core.dynelm import Update, UpdateKind
 from repro.graph.dynamic_graph import Vertex
 
 #: Header line written at the top of every log file.
-LOG_HEADER = "# repro-update-log v1"
+LOG_HEADER = "# repro-update-log v2"
+
+#: Header of the pre-escape format: tokens are read verbatim (no ``~``
+#: unescaping), so a v1 log whose string vertices happen to start with
+#: ``~`` round-trips unchanged.
+LOG_HEADER_V1 = "# repro-update-log v1"
+
+#: Escape prefix marking a token that must parse back as a *string* even
+#: though it looks like an integer (or itself starts with the prefix).
+ESCAPE_PREFIX = "~"
 
 #: Comment prefix recording the stream position at which a log was started
 #: (the total number of updates applied before its first entry).  Used by
@@ -43,32 +59,62 @@ class UpdateLogError(ValueError):
     """Raised when an update-log line cannot be parsed."""
 
 
-def _format_vertex(v: Vertex) -> str:
+def format_vertex_token(v: Vertex) -> str:
+    """The whitespace-free token form of a vertex identifier (lossless).
+
+    Shared by the WAL and the HTTP path segments of ``/cluster/{v}``: a
+    string that could be mistaken for an int (or for an escaped token) is
+    prefixed with :data:`ESCAPE_PREFIX`.
+    """
     text = str(v)
     if not text or any(ch.isspace() for ch in text):
         raise UpdateLogError(
-            f"vertex identifier {v!r} cannot be written to an update log "
+            f"vertex identifier {v!r} cannot be written as a log token "
             "(empty or contains whitespace)"
         )
+    if isinstance(v, str):
+        needs_escape = text.startswith(ESCAPE_PREFIX)
+        if not needs_escape:
+            try:
+                int(text)
+                needs_escape = True
+            except ValueError:
+                pass
+        if needs_escape:
+            return ESCAPE_PREFIX + text
     return text
 
 
-def _parse_vertex(token: str) -> Vertex:
+def parse_vertex_token(token: str, unescape: bool = True) -> Vertex:
+    """Inverse of :func:`format_vertex_token`.
+
+    ``unescape=False`` selects the pre-v2 reading (tokens verbatim, ints
+    collapsed), used when replaying a log written before the escape format.
+    """
+    if unescape and token.startswith(ESCAPE_PREFIX):
+        return token[len(ESCAPE_PREFIX):]
     try:
         return int(token)
     except ValueError:
         return token
 
 
+# retained aliases: the historical private names, used across the test suite
+_format_vertex = format_vertex_token
+_parse_vertex = parse_vertex_token
+
+
 def format_update(update: Update) -> str:
     """One log line (without newline) for an update."""
     return (
         f"{_OP_TO_SYMBOL[update.kind]} "
-        f"{_format_vertex(update.u)} {_format_vertex(update.v)}"
+        f"{format_vertex_token(update.u)} {format_vertex_token(update.v)}"
     )
 
 
-def parse_update_line(line: str, lineno: int = 0) -> Optional[Update]:
+def parse_update_line(
+    line: str, lineno: int = 0, unescape: bool = True
+) -> Optional[Update]:
     """Parse one log line; returns ``None`` for blank lines and comments."""
     stripped = line.strip()
     if not stripped or stripped.startswith("#"):
@@ -77,7 +123,11 @@ def parse_update_line(line: str, lineno: int = 0) -> Optional[Update]:
     if len(parts) != 3 or parts[0] not in _SYMBOL_TO_OP:
         raise UpdateLogError(f"malformed update-log line {lineno}: {line!r}")
     kind = _SYMBOL_TO_OP[parts[0]]
-    return Update(kind, _parse_vertex(parts[1]), _parse_vertex(parts[2]))
+    return Update(
+        kind,
+        parse_vertex_token(parts[1], unescape=unescape),
+        parse_vertex_token(parts[2], unescape=unescape),
+    )
 
 
 class UpdateLogWriter:
@@ -94,6 +144,17 @@ class UpdateLogWriter:
     ) -> None:
         self.path = Path(path)
         mode = "a" if append and self.path.exists() else "w"
+        if mode == "a":
+            # this writer emits v2 (~-escaped) tokens; splicing them into a
+            # pre-escape log would make the reader mis-parse the appended
+            # suffix (the v1 header disables unescaping file-wide)
+            with self.path.open("r", encoding="utf-8") as existing:
+                first = existing.readline().strip()
+            if first == LOG_HEADER_V1:
+                raise UpdateLogError(
+                    f"cannot append v2 entries to the v1-format log {self.path}; "
+                    "rewrite it with write_update_log(read_update_log(path), path) first"
+                )
         self._handle: Optional[IO[str]] = self.path.open(mode, encoding="utf-8")
         if mode == "w":
             self._handle.write(LOG_HEADER + "\n")
@@ -173,9 +234,13 @@ class UpdateLogReader:
         with self.path.open("r", encoding="utf-8") as handle:
             pending: Optional[str] = None
             pending_no = 0
+            unescape = True
             for lineno, line in enumerate(handle, start=1):
+                if lineno == 1 and line.strip() == LOG_HEADER_V1:
+                    # pre-escape log: read its tokens exactly as written
+                    unescape = False
                 if pending is not None:
-                    update = parse_update_line(pending, pending_no)
+                    update = parse_update_line(pending, pending_no, unescape=unescape)
                     if update is not None:
                         yield update
                 pending, pending_no = line, lineno
@@ -184,7 +249,7 @@ class UpdateLogReader:
             if self.tolerate_torn_tail and not pending.endswith("\n"):
                 return  # unterminated tail: the writer died mid-append
             try:
-                update = parse_update_line(pending, pending_no)
+                update = parse_update_line(pending, pending_no, unescape=unescape)
             except UpdateLogError:
                 if self.tolerate_torn_tail:
                     return

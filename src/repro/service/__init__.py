@@ -3,20 +3,29 @@
 The maintainers in :mod:`repro.core` faithfully reproduce the paper's
 single-stream update model; this package is the layer that turns them into
 a *system*.  It decouples the single writer from many readers with the
-read-committed-snapshot discipline of OLTP serving stacks:
+read-committed-snapshot discipline of OLTP serving stacks, and since v1
+hosts many isolated tenants behind one versioned HTTP surface:
 
 * :mod:`repro.service.engine` — :class:`ClusteringEngine`, a single writer
   thread fed by a bounded micro-batching queue (backpressure on overflow),
-  with WAL-before-apply durability and snapshot+WAL crash recovery;
+  running any registered clustering backend
+  (:func:`repro.core.api.make_clusterer`), with WAL-before-apply durability
+  and snapshot+WAL crash recovery;
 * :mod:`repro.service.views` — :class:`ClusteringView`, the immutable
   snapshot published atomically after each batch; all reads are lock-free
   and observe exactly one prefix of the update stream;
+* :mod:`repro.service.manager` — :class:`EngineManager`, many named
+  engines (per-tenant params, backend, queue quota, data directory) with
+  runtime tenant create/delete;
 * :mod:`repro.service.server` / :mod:`repro.service.client` — a
-  stdlib-only asyncio JSON-over-HTTP front-end and its matching client;
+  stdlib-only asyncio JSON-over-HTTP front-end serving the versioned
+  ``/v1/tenants/{tenant}/...`` API (legacy unversioned routes map to the
+  ``default`` tenant for one release) and its matching client;
 * :mod:`repro.service.metrics` — ingest/query latency histograms and
-  throughput counters on top of :mod:`repro.instrumentation`;
+  throughput counters, mergeable across tenants;
 * :mod:`repro.service.loadgen` — an open-loop insert/delete/query load
-  generator over :mod:`repro.workloads.updates` streams.
+  generator over :mod:`repro.workloads.updates` streams, including
+  multi-tenant mixes with disjoint per-tenant vertex spaces.
 
 Exposed on the CLI as ``repro serve`` and ``repro loadgen``.
 """
@@ -35,6 +44,16 @@ from repro.service.loadgen import (
     LoadGenConfig,
     LoadGenerator,
     LoadReport,
+    MultiTenantLoadGenerator,
+)
+from repro.service.manager import (
+    DEFAULT_TENANT,
+    EngineManager,
+    TenantConfig,
+    TenantError,
+    TenantExistsError,
+    TenantLimitError,
+    UnknownTenantError,
 )
 from repro.service.metrics import LatencyHistogram, ServiceMetrics
 from repro.service.server import BackgroundServer, ClusteringServiceServer
@@ -46,6 +65,13 @@ __all__ = [
     "EngineError",
     "EngineBackpressure",
     "EngineClosed",
+    "EngineManager",
+    "TenantConfig",
+    "TenantError",
+    "TenantExistsError",
+    "TenantLimitError",
+    "UnknownTenantError",
+    "DEFAULT_TENANT",
     "ClusteringView",
     "ClusteringServiceServer",
     "BackgroundServer",
@@ -59,4 +85,5 @@ __all__ = [
     "LoadReport",
     "EngineTarget",
     "ClientTarget",
+    "MultiTenantLoadGenerator",
 ]

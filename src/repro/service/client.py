@@ -1,10 +1,18 @@
-"""Stdlib HTTP client for the clustering service.
+"""Stdlib HTTP client for the v1 multi-tenant clustering service.
 
 :class:`ServiceClient` wraps ``http.client`` (no third-party dependencies)
-and mirrors the server's five routes with typed helpers.  One persistent
+and mirrors the server's v1 surface with typed helpers: tenant
+administration (:meth:`list_tenants` / :meth:`create_tenant` /
+:meth:`delete_tenant`) plus the four per-tenant routes, bound to the
+client's ``tenant`` (``"default"`` unless overridden).  One persistent
 keep-alive connection is maintained per client; the client is protected by
 a lock so it can be shared between load-generator threads, and transparently
 reconnects once if the server closed the idle connection.
+
+Errors carry the server's structured envelope: :class:`ServiceError` exposes
+``code`` / ``retryable``, and the 429 backpressure path raises
+:class:`BackpressureError` with the accepted count, the queue depth and the
+server's suggested ``retry_after_ms``.
 """
 
 from __future__ import annotations
@@ -13,30 +21,76 @@ import http.client
 import json
 import threading
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from urllib.parse import quote
 
 from repro.core.dynelm import Update
 from repro.core.result import GroupByResult
 from repro.graph.dynamic_graph import Vertex
+from repro.persistence.updatelog import format_vertex_token
 from repro.service.server import encode_update
 
 
 class ServiceError(RuntimeError):
-    """A non-2xx response from the service."""
+    """A non-2xx response from the service.
+
+    ``code`` and ``retryable`` are parsed from the v1 error envelope
+    (``{"error": {"code", "message", "retryable"}}``); for legacy flat
+    errors they fall back to ``"error"`` / ``False``.
+    """
 
     def __init__(self, status: int, document: object) -> None:
         super().__init__(f"service returned {status}: {document!r}")
         self.status = status
         self.document = document
 
+    @property
+    def _envelope(self) -> Dict[str, object]:
+        if isinstance(self.document, dict):
+            error = self.document.get("error")
+            if isinstance(error, dict):
+                return error
+        return {}
+
+    @property
+    def code(self) -> str:
+        return str(self._envelope.get("code", "error"))
+
+    @property
+    def retryable(self) -> bool:
+        return bool(self._envelope.get("retryable", False))
+
 
 class BackpressureError(ServiceError):
-    """The 503 path: the ingest queue was full; carries the accepted count."""
+    """The ingest queue was full (the v1 429 path).
+
+    Exposes everything the server knows about the shed load: how much of
+    the batch got in (``accepted``), how far behind the writer is
+    (``queue_depth`` of ``queue_capacity``) and when to try again
+    (``retry_after_ms``).
+    """
+
+    def _int_field(self, name: str) -> int:
+        if isinstance(self.document, dict):
+            value = self.document.get(name, 0)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                return int(value)
+        return 0
 
     @property
     def accepted(self) -> int:
-        if isinstance(self.document, dict):
-            return int(self.document.get("accepted", 0))
-        return 0
+        return self._int_field("accepted")
+
+    @property
+    def queue_depth(self) -> int:
+        return self._int_field("queue_depth")
+
+    @property
+    def queue_capacity(self) -> int:
+        return self._int_field("queue_capacity")
+
+    @property
+    def retry_after_ms(self) -> int:
+        return self._int_field("retry_after_ms")
 
 
 class ServiceClient:
@@ -46,17 +100,32 @@ class ServiceClient:
     -------
     ::
 
-        client = ServiceClient("127.0.0.1", 8321)
+        client = ServiceClient("127.0.0.1", 8321, tenant="acme")
+        client.create_tenant("acme", exist_ok=True)
         client.submit_updates([Update.insert(1, 2), Update.insert(2, 3)])
         result = client.group_by([1, 2, 3])
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8321, timeout: float = 10.0) -> None:
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8321,
+        timeout: float = 10.0,
+        tenant: str = "default",
+    ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.tenant = tenant
         self._lock = threading.Lock()
         self._connection: Optional[http.client.HTTPConnection] = None
+
+    def for_tenant(self, tenant: str) -> "ServiceClient":
+        """A new client for another tenant on the same server."""
+        return ServiceClient(self.host, self.port, timeout=self.timeout, tenant=tenant)
+
+    def _tenant_path(self, suffix: str) -> str:
+        return f"/v1/tenants/{self.tenant}{suffix}"
 
     # ------------------------------------------------------------------
     # transport
@@ -91,7 +160,10 @@ class ServiceClient:
 
     def _expect_ok(self, method: str, path: str, payload: Optional[object] = None) -> object:
         status, document = self._request(method, path, payload)
-        if status == 503:
+        if status == 429:
+            # on the v1 surface 429 is the only backpressure status; a 503
+            # means the engine itself is unavailable and must surface as a
+            # plain (retryable) ServiceError, not as load shedding
             raise BackpressureError(status, document)
         if not 200 <= status < 300:
             raise ServiceError(status, document)
@@ -110,29 +182,77 @@ class ServiceClient:
         self.close()
 
     # ------------------------------------------------------------------
-    # routes
+    # service-level routes
     # ------------------------------------------------------------------
     def healthz(self) -> Dict[str, object]:
-        """Liveness document: status, library version, view version."""
-        return self._expect_ok("GET", "/healthz")  # type: ignore[return-value]
+        """Liveness document: status, library version, tenant aggregate."""
+        return self._expect_ok("GET", "/v1/healthz")  # type: ignore[return-value]
 
+    def list_tenants(self) -> List[Dict[str, object]]:
+        """Headline documents for every hosted tenant."""
+        document = self._expect_ok("GET", "/v1/tenants")
+        return list(document["tenants"])  # type: ignore[index]
+
+    def create_tenant(
+        self,
+        name: Optional[str] = None,
+        backend: Optional[str] = None,
+        queue_capacity: Optional[int] = None,
+        params: Optional[Dict[str, object]] = None,
+        exist_ok: bool = False,
+    ) -> Dict[str, object]:
+        """Create a tenant (the client's own tenant when ``name`` is None).
+
+        ``params`` is a partial override of the server's default parameter
+        bundle (e.g. ``{"epsilon": 0.4, "mu": 3}``).  With ``exist_ok`` a
+        409 from an already-existing tenant is swallowed and the existing
+        tenant's description returned.
+        """
+        tenant = name if name is not None else self.tenant
+        payload: Dict[str, object] = {"tenant": tenant}
+        if backend is not None:
+            payload["backend"] = backend
+        if queue_capacity is not None:
+            payload["queue_capacity"] = queue_capacity
+        if params is not None:
+            payload["params"] = params
+        try:
+            return self._expect_ok("POST", "/v1/tenants", payload)  # type: ignore[return-value]
+        except ServiceError as exc:
+            if exist_ok and exc.status == 409 and exc.code == "tenant_exists":
+                return self.describe_tenant(tenant)
+            raise
+
+    def describe_tenant(self, name: Optional[str] = None) -> Dict[str, object]:
+        """One tenant's headline document."""
+        tenant = name if name is not None else self.tenant
+        return self._expect_ok("GET", f"/v1/tenants/{tenant}")  # type: ignore[return-value]
+
+    def delete_tenant(self, name: Optional[str] = None) -> None:
+        """Delete a tenant (the client's own tenant when ``name`` is None)."""
+        tenant = name if name is not None else self.tenant
+        self._expect_ok("DELETE", f"/v1/tenants/{tenant}")
+
+    # ------------------------------------------------------------------
+    # per-tenant routes
+    # ------------------------------------------------------------------
     def stats(self) -> Dict[str, object]:
-        """View statistics plus engine metrics."""
-        return self._expect_ok("GET", "/stats")  # type: ignore[return-value]
+        """View statistics plus engine metrics for this client's tenant."""
+        return self._expect_ok("GET", self._tenant_path("/stats"))  # type: ignore[return-value]
 
     def submit_updates(self, updates: Sequence[Update]) -> int:
         """Submit a batch of updates; returns the accepted count.
 
         Raises :class:`BackpressureError` when the server accepted only a
-        prefix (inspect ``.accepted`` for how much got in).
+        prefix (inspect ``.accepted`` / ``.retry_after_ms``).
         """
         payload = {"updates": [encode_update(u) for u in updates]}
-        document = self._expect_ok("POST", "/updates", payload)
+        document = self._expect_ok("POST", self._tenant_path("/updates"), payload)
         return int(document["accepted"])  # type: ignore[index]
 
     def group_by(self, vertices: Iterable[Vertex]) -> GroupByResult:
         """Snapshot-consistent cluster-group-by over ``vertices``."""
-        document = self._expect_ok("POST", "/group-by", {"vertices": list(vertices)})
+        document = self.group_by_raw(vertices)
         groups = {
             int(gid): set(members)
             for gid, members in document["groups"].items()  # type: ignore[index]
@@ -142,10 +262,17 @@ class ServiceClient:
     def group_by_raw(self, vertices: Iterable[Vertex]) -> Dict[str, object]:
         """Like :meth:`group_by` but returns the raw document (with version)."""
         return self._expect_ok(  # type: ignore[return-value]
-            "POST", "/group-by", {"vertices": list(vertices)}
+            "POST", self._tenant_path("/group-by"), {"vertices": list(vertices)}
         )
 
     def cluster_of(self, vertex: Vertex) -> List[int]:
-        """Cluster indices of one vertex in the current view."""
-        document = self._expect_ok("GET", f"/cluster/{vertex}")
+        """Cluster indices of one vertex in the current view.
+
+        The vertex is encoded with the lossless token convention — the int
+        ``123`` travels as ``/cluster/123``, the string ``"123"`` as
+        ``/cluster/~123`` — then percent-encoded so non-ASCII identifiers
+        survive the URL path (the v1 server percent-decodes the segment).
+        """
+        token = quote(format_vertex_token(vertex), safe="")
+        document = self._expect_ok("GET", self._tenant_path(f"/cluster/{token}"))
         return list(document["clusters"])  # type: ignore[index]

@@ -1,7 +1,9 @@
 """The clustering engine: a single-writer, micro-batching ingest pipeline.
 
-:class:`ClusteringEngine` turns a :class:`~repro.core.dynstrclu.DynStrClu`
-maintainer into a concurrent service component:
+:class:`ClusteringEngine` turns any registered clustering backend (the
+:class:`~repro.core.api.Clusterer` protocol — ``dynstrclu`` by default,
+or ``dynelm`` / ``scan-exact`` / ``pscan`` / ``hscan`` by name) into a
+concurrent service component:
 
 * **Single writer.**  The maintainers are not thread-safe, and the paper's
   model is one update stream.  The engine preserves both: exactly one
@@ -42,6 +44,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
+from repro.core.api import SNAPSHOT_CAPABLE_BACKENDS, Clusterer, make_clusterer
 from repro.core.config import StrCluParams
 from repro.core.dynelm import Update, UpdateKind
 from repro.core.dynstrclu import DynStrClu
@@ -61,7 +64,27 @@ class EngineError(RuntimeError):
 
 
 class EngineBackpressure(EngineError):
-    """Raised when the ingest queue is full and the caller asked not to wait."""
+    """Raised when the ingest queue is full and the caller asked not to wait.
+
+    Carries the load-shedding context a client needs to retry sensibly:
+    ``queue_depth`` / ``queue_capacity`` describe how far behind the writer
+    is, ``retry_after_ms`` is the engine's estimate of when a slot frees up
+    (the time the writer needs to drain the backlog at one batch per flush
+    interval).  The HTTP layer forwards all three in its 429 body and the
+    ``Retry-After`` header.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        queue_depth: int = 0,
+        queue_capacity: int = 0,
+        retry_after_ms: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.queue_depth = queue_depth
+        self.queue_capacity = queue_capacity
+        self.retry_after_ms = retry_after_ms
 
 
 class EngineClosed(EngineError):
@@ -145,10 +168,12 @@ class ClusteringEngine:
         data_dir: Optional[Union[str, Path]] = None,
         connectivity_backend: str = "hdt",
         metrics: Optional[ServiceMetrics] = None,
+        backend: str = "dynstrclu",
     ) -> None:
         self.config = config if config is not None else EngineConfig()
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.data_dir = Path(data_dir) if data_dir is not None else None
+        self.backend = backend.strip().lower()
         self._queue: "queue.Queue[object]" = queue.Queue(
             maxsize=self.config.queue_capacity
         )
@@ -159,6 +184,12 @@ class ClusteringEngine:
         self._updates_at_checkpoint = 0
 
         if self.data_dir is not None:
+            if self.backend not in SNAPSHOT_CAPABLE_BACKENDS:
+                raise ValueError(
+                    f"backend {self.backend!r} does not support durability "
+                    f"(data_dir); snapshot-capable backends: "
+                    f"{', '.join(sorted(SNAPSHOT_CAPABLE_BACKENDS))}"
+                )
             self.data_dir.mkdir(parents=True, exist_ok=True)
             self.maintainer, recovered = _recover(
                 self.data_dir, params, connectivity_backend
@@ -175,10 +206,12 @@ class ClusteringEngine:
         else:
             if params is None:
                 raise ValueError("either params or a data_dir with a snapshot is required")
-            self.maintainer = DynStrClu(params, connectivity_backend=connectivity_backend)
+            self.maintainer: Clusterer = make_clusterer(
+                self.backend, params, connectivity_backend=connectivity_backend
+            )
             self.recovered_updates = 0
 
-        self.applied = self.maintainer.elm.updates_processed
+        self.applied = self.maintainer.updates_processed
         self._updates_at_checkpoint = self.applied
         if self.data_dir is not None:
             # start a fresh WAL segment anchored at the recovered position;
@@ -209,6 +242,11 @@ class ClusteringEngine:
     @property
     def running(self) -> bool:
         return self._thread is not None and self._thread.is_alive()
+
+    @property
+    def queue_depth(self) -> int:
+        """Updates currently waiting in the ingest queue (approximate)."""
+        return self._queue.qsize()
 
     def close(self, checkpoint: bool = True) -> None:
         """Stop the writer, optionally cut a final checkpoint, close the WAL.
@@ -259,11 +297,13 @@ class ClusteringEngine:
     ) -> None:
         """Enqueue one update for the writer thread.
 
-        Vertex identifiers are canonicalised first: a numeric string like
-        ``"123"`` becomes ``int`` 123.  The WAL text format cannot tell the
-        two apart, so without this an accepted string vertex would come
-        back as an int after crash recovery and the restored clustering
-        would differ from the pre-crash one.
+        Vertex identifiers are canonicalised first via
+        :func:`canonicalise_update` — an explicit *validation*, not a
+        conversion: ints and strings pass through unchanged (``123`` and
+        ``"123"`` are distinct vertices, preserved losslessly by the WAL's
+        escaped token format), while identifiers the WAL cannot represent
+        (booleans, non-int/str types, empty or whitespace-bearing strings)
+        are rejected here instead of failing inside the writer thread.
 
         Raises :class:`EngineBackpressure` when the queue is full and
         ``block`` is false (or the timeout elapses), and
@@ -272,14 +312,12 @@ class ClusteringEngine:
         if self._closed:
             raise EngineClosed("engine is closed")
         self._raise_writer_failure()
-        update = _canonical_update(update)
+        update = canonicalise_update(update)
         try:
             self._queue.put(update, block=block, timeout=timeout)
         except queue.Full:
             self.metrics.add("backpressure")
-            raise EngineBackpressure(
-                f"ingest queue full ({self.config.queue_capacity} updates)"
-            ) from None
+            raise self.backpressure_signal() from None
 
     def submit_many(
         self,
@@ -353,13 +391,33 @@ class ClusteringEngine:
         view = self._view
         return {
             **view.stats(),
+            "backend": self.backend,
             "applied": self.applied,
-            "queue_depth": self._queue.qsize(),
+            "queue_depth": self.queue_depth,
             "queue_capacity": self.config.queue_capacity,
             "recovered_updates": self.recovered_updates,
             "running": self.running,
             "metrics": self.metrics.snapshot(),
         }
+
+    def backpressure_signal(self) -> EngineBackpressure:
+        """Build the load-shedding signal with retry guidance attached.
+
+        The writer drains roughly one batch per flush interval, so the
+        time until the backlog clears is ``depth / batch_size`` intervals;
+        the suggestion is clamped to [1 ms, 30 s].
+        """
+        depth = self.queue_depth
+        config = self.config
+        intervals = max(1.0, depth / config.batch_size)
+        retry_after_ms = int(1000.0 * config.flush_interval * intervals)
+        retry_after_ms = max(1, min(retry_after_ms, 30_000))
+        return EngineBackpressure(
+            f"ingest queue full ({config.queue_capacity} updates)",
+            queue_depth=depth,
+            queue_capacity=config.queue_capacity,
+            retry_after_ms=retry_after_ms,
+        )
 
     # ------------------------------------------------------------------
     # writer thread
@@ -473,21 +531,33 @@ class ClusteringEngine:
         self._updates_at_checkpoint = self.applied
 
 
-def _canonical_vertex(v: Vertex) -> Vertex:
-    """Collapse numeric strings to ints, matching the WAL text format."""
-    if isinstance(v, str):
-        try:
-            return int(v)
-        except ValueError:
-            return v
+def canonicalise_vertex(v: Vertex) -> Vertex:
+    """Validate a vertex identifier for service ingestion (lossless).
+
+    The canonical identifier space is exactly what the WAL token format
+    can round-trip: ints, and non-empty strings without whitespace.  Ints
+    and numeric strings are *distinct* vertices (``123`` ≠ ``"123"``) —
+    the WAL escapes ambiguous strings, so nothing needs collapsing.
+    Anything else is rejected up front with ``ValueError`` rather than
+    failing asynchronously inside the writer thread.
+    """
+    if isinstance(v, bool) or not isinstance(v, (int, str)):
+        raise ValueError(
+            f"vertex identifiers must be ints or strings, got {v!r}"
+        )
+    if isinstance(v, str) and (not v or any(ch.isspace() for ch in v)):
+        raise ValueError(
+            f"string vertex identifier {v!r} must be non-empty and "
+            "whitespace-free"
+        )
     return v
 
 
-def _canonical_update(update: Update) -> Update:
-    u, v = _canonical_vertex(update.u), _canonical_vertex(update.v)
-    if u is update.u and v is update.v:
-        return update
-    return Update(update.kind, u, v)
+def canonicalise_update(update: Update) -> Update:
+    """Validate both endpoints of an update (see :func:`canonicalise_vertex`)."""
+    canonicalise_vertex(update.u)
+    canonicalise_vertex(update.v)
+    return update
 
 
 # ----------------------------------------------------------------------

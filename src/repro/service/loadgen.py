@@ -17,8 +17,9 @@ coordinated omission, which a closed loop (wait-for-response) would hide.
 from __future__ import annotations
 
 import random
+import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Protocol, Sequence
 
 from repro.core.dynelm import Update
@@ -88,6 +89,12 @@ class LoadGenConfig:
         Vertices per group-by query.
     seed:
         RNG seed for the insert/query mixture and query-set sampling.
+    vertex_prefix:
+        When non-empty, every vertex identifier in the generated traffic is
+        rewritten to the *string* ``f"{prefix}{v}"``.  Two generators with
+        different prefixes produce disjoint vertex spaces — the isolation
+        probe of the multi-tenant smoke gate (and an exercise of the
+        service's lossless string-ID path).
     """
 
     rate: float = 0.0
@@ -95,6 +102,7 @@ class LoadGenConfig:
     query_ratio: float = 0.2
     query_size: int = 32
     seed: int = 0
+    vertex_prefix: str = ""
 
     def __post_init__(self) -> None:
         if self.rate < 0:
@@ -105,6 +113,8 @@ class LoadGenConfig:
             raise ValueError("query_ratio must be in [0, 1]")
         if self.query_size < 1:
             raise ValueError("query_size must be >= 1")
+        if any(ch.isspace() for ch in self.vertex_prefix):
+            raise ValueError("vertex_prefix must be whitespace-free")
 
 
 @dataclass
@@ -176,11 +186,17 @@ class LoadGenerator:
         config: Optional[LoadGenConfig] = None,
     ) -> None:
         self.target = target
-        self.updates = list(updates)
         self.config = config if config is not None else LoadGenConfig()
+        self.updates = [
+            prefix_update(u, self.config.vertex_prefix) for u in updates
+        ]
         if vertex_pool is None:
             seen = {u.u for u in self.updates} | {u.v for u in self.updates}
             vertex_pool = sorted(seen, key=repr)
+        else:
+            vertex_pool = [
+                prefix_vertex(v, self.config.vertex_prefix) for v in vertex_pool
+            ]
         self.vertex_pool = list(vertex_pool)
         self.metrics = ServiceMetrics()
 
@@ -239,3 +255,93 @@ class LoadGenerator:
         start = time.perf_counter()
         self.target.group_by(query)
         self.metrics.observe_query(time.perf_counter() - start)
+
+
+# ----------------------------------------------------------------------
+# vertex prefixing + multi-tenant mixes
+# ----------------------------------------------------------------------
+def prefix_vertex(v: Vertex, prefix: str) -> Vertex:
+    """Rewrite a vertex into the prefixed (string) identifier space."""
+    if not prefix:
+        return v
+    return f"{prefix}{v}"
+
+
+def prefix_update(update: Update, prefix: str) -> Update:
+    """Rewrite both endpoints of an update (no-op for an empty prefix)."""
+    if not prefix:
+        return update
+    return Update(
+        update.kind, prefix_vertex(update.u, prefix), prefix_vertex(update.v, prefix)
+    )
+
+
+class MultiTenantLoadGenerator:
+    """Drive several tenants concurrently, one open-loop generator each.
+
+    The update stream is partitioned round-robin across tenants; every
+    tenant's traffic is rewritten into its own vertex space
+    (``"{tenant}:"`` prefix by default) so the workloads are disjoint by
+    construction and cross-tenant leakage is detectable from the outside.
+
+    Parameters
+    ----------
+    targets:
+        ``tenant name → LoadTarget`` (typically :class:`ClientTarget`
+        instances bound to per-tenant clients).
+    updates:
+        The combined stream; tenant ``i`` of ``k`` receives updates
+        ``i, i+k, i+2k, ...``.
+    config:
+        Shared traffic shape; each tenant runs with ``seed + its index``
+        and its own ``vertex_prefix`` (an explicit ``vertex_prefix`` in
+        the shared config is prepended to the per-tenant one).
+    """
+
+    def __init__(
+        self,
+        targets: Dict[str, LoadTarget],
+        updates: Sequence[Update],
+        config: Optional[LoadGenConfig] = None,
+    ) -> None:
+        if not targets:
+            raise ValueError("at least one tenant target is required")
+        base = config if config is not None else LoadGenConfig()
+        stream = list(updates)
+        names = list(targets)
+        self.generators: Dict[str, LoadGenerator] = {}
+        for index, name in enumerate(names):
+            tenant_config = replace(
+                base,
+                seed=base.seed + index,
+                vertex_prefix=f"{base.vertex_prefix}{name}:",
+            )
+            slice_ = stream[index::len(names)]
+            self.generators[name] = LoadGenerator(
+                targets[name], slice_, config=tenant_config
+            )
+
+    def run(self) -> Dict[str, LoadReport]:
+        """Run every tenant's generator concurrently; reports by tenant."""
+        reports: Dict[str, LoadReport] = {}
+        errors: List[BaseException] = []
+
+        def _run_one(name: str, generator: LoadGenerator) -> None:
+            try:
+                reports[name] = generator.run()
+            except BaseException as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(
+                target=_run_one, args=(name, generator), name=f"loadgen-{name}"
+            )
+            for name, generator in self.generators.items()
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        return reports

@@ -1,0 +1,415 @@
+"""Multi-tenant engine hosting: many named engines in one server process.
+
+:class:`EngineManager` is the tenancy layer between the HTTP front-end and
+the single-tenant :class:`~repro.service.engine.ClusteringEngine`:
+
+* every tenant owns one engine — its own maintainer, ingest queue, WAL
+  directory and metrics — so tenants are isolated by construction: no
+  update of tenant A can reach tenant B's graph, and a tenant saturating
+  its queue sheds only its own load (the per-tenant ``queue_capacity`` is
+  the tenant's ingest quota);
+* tenants are created/deleted at runtime under a lock, engines start
+  lazily on first use and are closed (final checkpoint included) when the
+  tenant is deleted or the manager shuts down;
+* with a ``data_root``, each durable tenant persists under
+  ``data_root/<tenant>/`` and recovers independently on restart.
+
+The ``default`` tenant is created eagerly (unless disabled) so the legacy
+unversioned HTTP routes — kept for one release — have somewhere to land.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.core.api import SNAPSHOT_CAPABLE_BACKENDS, available_backends
+from repro.core.config import StrCluParams
+from repro.service.engine import ClusteringEngine, EngineConfig
+from repro.service.metrics import ServiceMetrics
+
+#: Tenant names are path segments: one release of URL-safety by construction.
+_TENANT_NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+#: The tenant serving the legacy unversioned routes.
+DEFAULT_TENANT = "default"
+
+
+class _Reserved:
+    """Placeholder registered while a tenant's engine is being built."""
+
+    __slots__ = ()
+
+
+_RESERVED = _Reserved()
+
+
+class TenantError(RuntimeError):
+    """Base class for tenancy failures."""
+
+
+class UnknownTenantError(TenantError):
+    """The named tenant does not exist (HTTP 404)."""
+
+
+class TenantExistsError(TenantError):
+    """A tenant with that name already exists (HTTP 409)."""
+
+
+class TenantLimitError(TenantError):
+    """Creating the tenant would exceed the manager's quota (HTTP 409)."""
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """Everything that shapes one tenant's engine.
+
+    Attributes
+    ----------
+    name:
+        Tenant identifier; must match ``[A-Za-z0-9][A-Za-z0-9._-]{0,63}``
+        (it becomes a URL path segment and a data sub-directory).
+    params:
+        Clustering parameters for the tenant's maintainer.
+    backend:
+        Backend-registry name (see :func:`repro.core.api.available_backends`).
+    engine:
+        Ingest tuning — ``queue_capacity`` doubles as the tenant's quota.
+    durable:
+        When true (and the manager has a ``data_root``) the tenant gets a
+        WAL + snapshot directory; requires a snapshot-capable backend.
+    connectivity_backend:
+        Connectivity structure for backends that take one.
+    """
+
+    name: str
+    params: StrCluParams
+    backend: str = "dynstrclu"
+    engine: EngineConfig = field(default_factory=EngineConfig)
+    durable: bool = True
+    connectivity_backend: str = "hdt"
+
+    def __post_init__(self) -> None:
+        validate_tenant_name(self.name)
+        key = self.backend.strip().lower()
+        if key not in available_backends():
+            raise ValueError(
+                f"unknown clustering backend {self.backend!r}; "
+                f"registered: {', '.join(available_backends())}"
+            )
+        object.__setattr__(self, "backend", key)
+
+
+def validate_tenant_name(name: str) -> str:
+    """Validate a tenant identifier; returns it unchanged."""
+    if not isinstance(name, str) or not _TENANT_NAME.match(name):
+        raise ValueError(
+            f"invalid tenant name {name!r}: expected 1-64 characters from "
+            "[A-Za-z0-9._-], starting with a letter or digit"
+        )
+    return name
+
+
+class EngineManager:
+    """Host many named clustering engines behind one service surface.
+
+    Parameters
+    ----------
+    default_params:
+        Parameters used for tenants created without their own (including
+        the eagerly created ``default`` tenant).
+    default_engine_config:
+        Ingest tuning inherited by tenants that do not override it.
+    default_backend:
+        Backend-registry name inherited by tenants that do not override it.
+    data_root:
+        When set, durable tenants persist under ``data_root/<tenant>/``.
+    max_tenants:
+        Hard cap on concurrently hosted tenants (the server-wide quota).
+    create_default:
+        Create the ``default`` tenant eagerly so the legacy unversioned
+        routes resolve.
+    """
+
+    def __init__(
+        self,
+        default_params: StrCluParams,
+        default_engine_config: Optional[EngineConfig] = None,
+        default_backend: str = "dynstrclu",
+        data_root: Optional[Union[str, Path]] = None,
+        max_tenants: int = 64,
+        create_default: bool = True,
+    ) -> None:
+        if max_tenants < 1:
+            raise ValueError("max_tenants must be >= 1")
+        self.default_params = default_params
+        self.default_engine_config = (
+            default_engine_config if default_engine_config is not None else EngineConfig()
+        )
+        self.default_backend = default_backend.strip().lower()
+        self.data_root = Path(data_root) if data_root is not None else None
+        self.max_tenants = max_tenants
+        self._lock = threading.Lock()
+        # a slot holds either a live engine or the _RESERVED placeholder
+        self._engines: Dict[str, Union[ClusteringEngine, _Reserved]] = {}
+        self._configs: Dict[str, TenantConfig] = {}
+        self._owned: Dict[str, bool] = {}
+        self._closed = False
+        if create_default:
+            self.create(DEFAULT_TENANT)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def adopt(cls, engine: ClusteringEngine, name: str = DEFAULT_TENANT) -> "EngineManager":
+        """Wrap a caller-owned engine as the sole (default) tenant.
+
+        The single-tenant compatibility path: ``BackgroundServer(engine)``
+        and tests that construct an engine directly still work against the
+        multi-tenant server.  The adopted engine's lifecycle stays with the
+        caller — deleting its tenant (or closing the manager) deregisters
+        it without closing it.
+        """
+        manager = cls(
+            default_params=engine.maintainer.params,
+            default_engine_config=engine.config,
+            default_backend=engine.backend,
+            create_default=False,
+        )
+        config = TenantConfig(
+            name=name,
+            params=engine.maintainer.params,
+            backend=engine.backend,
+            engine=engine.config,
+            durable=engine.data_dir is not None,
+        )
+        with manager._lock:
+            manager._engines[name] = engine
+            manager._configs[name] = config
+            manager._owned[name] = False
+        return manager
+
+    # ------------------------------------------------------------------
+    # tenant lifecycle
+    # ------------------------------------------------------------------
+    def create(
+        self,
+        name: str,
+        params: Optional[StrCluParams] = None,
+        backend: Optional[str] = None,
+        engine_config: Optional[EngineConfig] = None,
+        queue_capacity: Optional[int] = None,
+        durable: bool = True,
+    ) -> ClusteringEngine:
+        """Create (and start) a tenant's engine; returns it.
+
+        ``queue_capacity`` is the per-tenant ingest quota shortcut: it
+        overrides just that field of the inherited engine config.
+
+        Raises :class:`TenantExistsError` / :class:`TenantLimitError`, or
+        ``ValueError`` for a bad name, backend or parameter bundle.
+        """
+        config = engine_config if engine_config is not None else self.default_engine_config
+        if queue_capacity is not None:
+            config = replace(config, queue_capacity=queue_capacity)
+        tenant = TenantConfig(
+            name=name,
+            params=params if params is not None else self.default_params,
+            backend=backend if backend is not None else self.default_backend,
+            engine=config,
+            durable=durable,
+        )
+        data_dir: Optional[Path] = None
+        if (
+            self.data_root is not None
+            and tenant.durable
+            and tenant.backend in SNAPSHOT_CAPABLE_BACKENDS
+        ):
+            data_dir = self.data_root / tenant.name
+        # reserve the name under the lock, but build (and possibly crash-
+        # recover) the engine outside it: recovery of a large snapshot+WAL
+        # must not stall every other tenant's request path
+        with self._lock:
+            if self._closed:
+                raise TenantError("engine manager is closed")
+            if tenant.name in self._engines:
+                raise TenantExistsError(f"tenant {tenant.name!r} already exists")
+            if len(self._engines) >= self.max_tenants:
+                raise TenantLimitError(
+                    f"tenant limit reached ({self.max_tenants}); delete one first"
+                )
+            self._engines[tenant.name] = _RESERVED
+            self._configs[tenant.name] = tenant
+            self._owned[tenant.name] = True
+        try:
+            engine = ClusteringEngine(
+                tenant.params,
+                config=tenant.engine,
+                data_dir=data_dir,
+                connectivity_backend=tenant.connectivity_backend,
+                backend=tenant.backend,
+            ).start()
+        except BaseException:
+            with self._lock:
+                self._engines.pop(tenant.name, None)
+                self._configs.pop(tenant.name, None)
+                self._owned.pop(tenant.name, None)
+            raise
+        with self._lock:
+            if self._closed or self._engines.get(tenant.name) is not _RESERVED:
+                # the manager shut down (or the reservation was deleted)
+                # while we were building: don't leak a running engine
+                engine_to_discard = engine
+            else:
+                self._engines[tenant.name] = engine
+                engine_to_discard = None
+        if engine_to_discard is not None:
+            engine_to_discard.close(checkpoint=False)
+            raise TenantError(
+                f"tenant {tenant.name!r} was removed while its engine was starting"
+            )
+        return engine
+
+    def get(self, name: str) -> ClusteringEngine:
+        """The named tenant's engine; raises :class:`UnknownTenantError`.
+
+        A tenant whose engine is still being built (mid-``create``) is
+        reported as unknown — it becomes visible atomically once ready.
+        """
+        with self._lock:
+            engine = self._engines.get(name)
+        if engine is None or isinstance(engine, _Reserved):
+            raise UnknownTenantError(f"no tenant named {name!r}")
+        return engine
+
+    def config_of(self, name: str) -> TenantConfig:
+        """The named tenant's configuration; raises :class:`UnknownTenantError`."""
+        with self._lock:
+            config = self._configs.get(name)
+        if config is None:
+            raise UnknownTenantError(f"no tenant named {name!r}")
+        return config
+
+    def delete(self, name: str, checkpoint: bool = True) -> None:
+        """Delete a tenant: deregister it and close its engine.
+
+        The engine is closed with a final checkpoint (unless disabled), so
+        a durable tenant can be re-created later from its ``data_root``
+        directory.  Adopted engines are deregistered but left running —
+        their lifecycle belongs to the caller.
+        """
+        with self._lock:
+            engine = self._engines.pop(name, None)
+            self._configs.pop(name, None)
+            owned = self._owned.pop(name, False)
+        if engine is None:
+            raise UnknownTenantError(f"no tenant named {name!r}")
+        if isinstance(engine, _Reserved):
+            # mid-create: the builder notices the reservation vanished and
+            # discards its engine; nothing to close here
+            return
+        if owned:
+            engine.close(checkpoint=checkpoint)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._engines
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._engines)
+
+    def names(self) -> List[str]:
+        """Sorted names of the ready tenants (mid-create ones excluded)."""
+        with self._lock:
+            return sorted(
+                name
+                for name, engine in self._engines.items()
+                if not isinstance(engine, _Reserved)
+            )
+
+    def engines(self) -> List[ClusteringEngine]:
+        """Snapshot list of the hosted engines (safe to use without the lock)."""
+        with self._lock:
+            return [
+                engine
+                for engine in self._engines.values()
+                if not isinstance(engine, _Reserved)
+            ]
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def describe(self, name: str) -> Dict[str, object]:
+        """One tenant's headline document (the ``GET /v1/tenants`` row)."""
+        engine = self.get(name)
+        config = self.config_of(name)
+        view = engine.view()
+        return {
+            "tenant": name,
+            "backend": config.backend,
+            "running": engine.running,
+            "applied": engine.applied,
+            "view_version": view.version,
+            "queue_depth": engine.queue_depth,
+            "queue_capacity": engine.config.queue_capacity,
+            "durable": engine.data_dir is not None,
+        }
+
+    def list_tenants(self) -> List[Dict[str, object]]:
+        """Headline documents for every tenant, sorted by name."""
+        return [self.describe(name) for name in self.names()]
+
+    def aggregate(self) -> Dict[str, object]:
+        """Totals across tenants (for ``/v1/healthz`` and capacity planning)."""
+        total_applied = 0
+        total_depth = 0
+        total_capacity = 0
+        running = 0
+        engines = self.engines()
+        for engine in engines:
+            total_applied += engine.applied
+            total_depth += engine.queue_depth
+            total_capacity += engine.config.queue_capacity
+            if engine.running:
+                running += 1
+        merged = ServiceMetrics.merged(engine.metrics for engine in engines)
+        return {
+            "tenants": len(engines),
+            "running": running,
+            "applied": total_applied,
+            "queue_depth": total_depth,
+            "queue_capacity": total_capacity,
+            "ingest": merged.ingest.summary(),
+            "query": merged.query.summary(),
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self, checkpoint: bool = True) -> None:
+        """Close every owned engine (final checkpoints included).  Idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            engines = [
+                (engine, self._owned.get(name, False))
+                for name, engine in self._engines.items()
+            ]
+            self._engines.clear()
+            self._configs.clear()
+            self._owned.clear()
+        for engine, owned in engines:
+            if owned and not isinstance(engine, _Reserved):
+                engine.close(checkpoint=checkpoint)
+
+    def __enter__(self) -> "EngineManager":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

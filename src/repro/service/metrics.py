@@ -20,7 +20,7 @@ from __future__ import annotations
 import threading
 import time
 from bisect import bisect_left
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.instrumentation import OpCounter
 
@@ -89,6 +89,26 @@ class LatencyHistogram:
             "p99_s": self.percentile(99.0),
             "max_s": self.max_value,
         }
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another histogram's samples into this one.
+
+        Used by the multi-tenant aggregation path: per-tenant histograms
+        stay independent, and a fleet-wide percentile view is produced by
+        merging copies on demand (bucket counts are additive).
+        """
+        with other._lock:
+            counts = list(other._counts)
+            count = other.count
+            total = other.total
+            max_value = other.max_value
+        with self._lock:
+            for idx, bucket_count in enumerate(counts):
+                self._counts[idx] += bucket_count
+            self.count += count
+            self.total += total
+            if max_value > self.max_value:
+                self.max_value = max_value
 
 
 class ServiceMetrics:
@@ -162,3 +182,21 @@ class ServiceMetrics:
             "ingest": self.ingest.summary(),
             "query": self.query.summary(),
         }
+
+    @classmethod
+    def merged(cls, all_metrics: Iterable["ServiceMetrics"]) -> "ServiceMetrics":
+        """Fleet-wide aggregate of several tenants' metrics (a fresh copy).
+
+        Histogram buckets and counters are additive; the serving-window
+        clock is left unset (rates are per-tenant concepts — callers read
+        the merged histograms and counters, not ``updates_per_second``).
+        """
+        merged = cls()
+        for metrics in all_metrics:
+            merged.ingest.merge(metrics.ingest)
+            merged.query.merge(metrics.query)
+            with metrics._lock:
+                counters = metrics.counter.snapshot()
+            for name, amount in counters.items():
+                merged.add(name, amount)
+        return merged

@@ -1,55 +1,98 @@
-"""Stdlib-only asyncio JSON-over-HTTP front-end for a clustering engine.
+"""Stdlib-only asyncio JSON-over-HTTP front-end for multi-tenant clustering.
 
 The server is deliberately minimal — ``asyncio.start_server`` plus a small
 HTTP/1.1 request parser — because the container targets environments with
-no third-party web stack.  It exposes five routes:
+no third-party web stack.  Since v1 it hosts an
+:class:`~repro.service.manager.EngineManager` (many named engines) and
+routes by tenant:
 
-========  =================  ==================================================
-Method    Path               Semantics
-========  =================  ==================================================
-POST      ``/updates``       Enqueue a batch of edge updates (non-blocking;
-                             503 + partial-accept count under backpressure)
-POST      ``/group-by``      Snapshot-consistent cluster-group-by over a
-                             vertex list
-GET       ``/cluster/{v}``   Cluster indices of one vertex in the current view
-GET       ``/stats``         View statistics + engine metrics
-GET       ``/healthz``       Liveness: engine running, view version, library
-                             version
-========  =================  ==================================================
+========  ====================================  ============================
+Method    Path                                  Semantics
+========  ====================================  ============================
+GET       ``/v1/healthz``                       Liveness + tenant aggregate
+GET       ``/v1/tenants``                       List tenants
+POST      ``/v1/tenants``                       Create a tenant
+DELETE    ``/v1/tenants/{t}``                   Delete a tenant
+POST      ``/v1/tenants/{t}/updates``           Enqueue edge updates
+                                                (429 + ``Retry-After`` under
+                                                backpressure)
+POST      ``/v1/tenants/{t}/group-by``          Snapshot-consistent group-by
+GET       ``/v1/tenants/{t}/cluster/{v}``       Clusters of one vertex
+GET       ``/v1/tenants/{t}/stats``             View statistics + metrics
+========  ====================================  ============================
+
+The five pre-v1 routes (``/updates``, ``/group-by``, ``/cluster/{v}``,
+``/stats``, ``/healthz``) are still served for one release, mapped to the
+``default`` tenant with their original response shapes (flat errors,
+503 backpressure).  New clients should use ``/v1/...`` only.
+
+Every v1 error body is the structured envelope::
+
+    {"error": {"code": "...", "message": "...", "retryable": true|false}}
+
+optionally with route-specific siblings (the 429 adds ``accepted``,
+``queue_depth`` and ``retry_after_ms`` next to the envelope).
 
 Request/response bodies are JSON.  Updates use the compact wire form
-``[op, u, v]`` with ``op`` in ``{"+", "-"}``, mirroring the WAL text format.
-All reads are served from the engine's published immutable view, so a slow
-or bursty ingest never blocks a reader and every response is internally
-consistent (it reflects exactly one prefix of the update stream, reported
-as ``view_version``).
+``[op, u, v]`` with ``op`` in ``{"+", "-"}``.  Vertex identifiers are
+**lossless**: a JSON int stays an int, a JSON string stays a string (the
+int ``123`` and the string ``"123"`` are distinct vertices), and path
+segments use the WAL's token escaping (``/cluster/123`` is the int,
+``/cluster/~123`` the string).  All reads are served from each engine's
+published immutable view, so a slow or bursty ingest never blocks a reader
+and every response is internally consistent (it reflects exactly one
+prefix of that tenant's update stream, reported as ``view_version``).
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import math
 import threading
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
+
+from urllib.parse import unquote
 
 import repro
 from repro.core.dynelm import Update, UpdateKind
 from repro.graph.dynamic_graph import Vertex
-from repro.service.engine import ClusteringEngine, EngineError
+from repro.persistence.updatelog import format_vertex_token, parse_vertex_token
+from repro.service.engine import (
+    ClusteringEngine,
+    EngineBackpressure,
+    EngineError,
+    canonicalise_vertex,
+)
+from repro.service.manager import (
+    EngineManager,
+    TenantExistsError,
+    TenantLimitError,
+    UnknownTenantError,
+)
 
 #: Largest accepted request body (1 MiB keeps parsing trivially safe).
 MAX_BODY_BYTES = 1 << 20
 
 _STATUS_TEXT = {
     200: "OK",
+    201: "Created",
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    409: "Conflict",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",
 }
+
+#: Extra headers attached to a response (name → value).
+Headers = Dict[str, str]
+
+#: What a route handler produces.
+Response = Tuple[int, Dict[str, object], Headers]
 
 
 class BadRequest(ValueError):
@@ -65,17 +108,27 @@ class _ProtocolError(Exception):
         self.message = message
 
 
+def error_envelope(
+    code: str, message: str, retryable: bool = False
+) -> Dict[str, object]:
+    """The v1 structured error body."""
+    return {"error": {"code": code, "message": message, "retryable": retryable}}
+
+
 def _decode_vertex(value: object) -> Vertex:
-    if isinstance(value, bool) or not isinstance(value, (int, str)):
+    """JSON value → vertex identifier, losslessly.
+
+    Ints stay ints, strings stay strings — ``123`` and ``"123"`` are
+    different vertices.  The canonical identifier space is defined once, by
+    :func:`repro.service.engine.canonicalise_vertex`; anything outside it
+    (bools, floats, empty or whitespace-bearing strings) maps to a 400.
+    """
+    if not isinstance(value, (int, str)):
         raise BadRequest(f"vertex identifiers must be ints or strings, got {value!r}")
-    if isinstance(value, str):
-        # numeric strings collapse to ints on every route (and in the
-        # engine's WAL), so "123" and 123 always name the same vertex
-        try:
-            return int(value)
-        except ValueError:
-            return value
-    return value
+    try:
+        return canonicalise_vertex(value)
+    except ValueError as exc:
+        raise BadRequest(str(exc)) from exc
 
 
 def decode_updates(payload: object) -> List[Update]:
@@ -105,15 +158,30 @@ def encode_update(update: Update) -> List[object]:
 
 
 class ClusteringServiceServer:
-    """Serve a :class:`ClusteringEngine` over JSON/HTTP on asyncio."""
+    """Serve an :class:`EngineManager` over JSON/HTTP on asyncio.
+
+    Accepts either a manager (the multi-tenant path) or a bare
+    :class:`ClusteringEngine`, which is adopted as the ``default`` tenant —
+    the single-tenant compatibility path used by tests and examples.
+    """
 
     def __init__(
-        self, engine: ClusteringEngine, host: str = "127.0.0.1", port: int = 0
+        self,
+        manager: Union[EngineManager, ClusteringEngine],
+        host: str = "127.0.0.1",
+        port: int = 0,
     ) -> None:
-        self.engine = engine
+        if isinstance(manager, ClusteringEngine):
+            manager = EngineManager.adopt(manager)
+        self.manager = manager
         self.host = host
         self._requested_port = port
         self._server: Optional[asyncio.AbstractServer] = None
+
+    @property
+    def engine(self) -> ClusteringEngine:
+        """The ``default`` tenant's engine (legacy single-tenant accessor)."""
+        return self.manager.get("default")
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -154,17 +222,23 @@ class ClusteringServiceServer:
                 try:
                     request = await _read_request(reader)
                 except _ProtocolError as exc:
-                    payload = json.dumps({"error": exc.message}).encode("utf-8")
-                    writer.write(_response_bytes(exc.status, payload, keep_alive=False))
+                    payload = json.dumps(
+                        error_envelope("protocol_error", exc.message)
+                    ).encode("utf-8")
+                    writer.write(
+                        _response_bytes(exc.status, payload, keep_alive=False)
+                    )
                     await writer.drain()
                     break
                 if request is None:
                     break
                 method, path, headers, body = request
-                status, document = self._dispatch(method, path, body)
+                status, document, extra_headers = self._dispatch(method, path, body)
                 payload = json.dumps(document).encode("utf-8")
                 keep_alive = headers.get("connection", "keep-alive") != "close"
-                writer.write(_response_bytes(status, payload, keep_alive))
+                writer.write(
+                    _response_bytes(status, payload, keep_alive, extra_headers)
+                )
                 await writer.drain()
                 if not keep_alive:
                     break
@@ -183,87 +257,256 @@ class ClusteringServiceServer:
     # ------------------------------------------------------------------
     # routing
     # ------------------------------------------------------------------
-    def _dispatch(
-        self, method: str, path: str, body: bytes
-    ) -> Tuple[int, Dict[str, object]]:
+    def _dispatch(self, method: str, path: str, body: bytes) -> Response:
         try:
-            if path == "/healthz" and method == "GET":
-                return 200, self._healthz()
-            if path == "/stats" and method == "GET":
-                return 200, self.engine.stats()
-            if path.startswith("/cluster/") and method == "GET":
-                return 200, self._cluster_of(path[len("/cluster/"):])
-            if path == "/updates" and method == "POST":
-                return self._post_updates(_parse_json(body))
-            if path == "/group-by" and method == "POST":
-                return 200, self._group_by(_parse_json(body))
-            if path in ("/healthz", "/stats", "/updates", "/group-by") or path.startswith(
-                "/cluster/"
-            ):
-                return 405, {"error": f"method {method} not allowed for {path}"}
-            return 404, {"error": f"no route for {path}"}
+            if path.startswith("/v1/"):
+                return self._dispatch_v1(method, path, body)
+            return self._dispatch_legacy(method, path, body)
         except BadRequest as exc:
-            return 400, {"error": str(exc)}
+            return 400, error_envelope("bad_request", str(exc)), {}
+        except UnknownTenantError as exc:
+            return 404, error_envelope("unknown_tenant", str(exc)), {}
+        except TenantExistsError as exc:
+            return 409, error_envelope("tenant_exists", str(exc)), {}
+        except TenantLimitError as exc:
+            return 409, error_envelope("tenant_limit", str(exc)), {}
         except EngineError as exc:
             # engine closed or its writer died: the service is unavailable,
             # but the connection (and the error) must still reach the client
-            return 503, {"error": f"engine unavailable: {exc}"}
+            return (
+                503,
+                error_envelope("engine_unavailable", f"engine unavailable: {exc}", True),
+                {},
+            )
         except Exception as exc:  # a handler bug must not abort the connection
-            return 500, {"error": f"internal error: {type(exc).__name__}: {exc}"}
+            return (
+                500,
+                error_envelope("internal", f"internal error: {type(exc).__name__}: {exc}"),
+                {},
+            )
 
-    def _healthz(self) -> Dict[str, object]:
+    def _dispatch_v1(self, method: str, path: str, body: bytes) -> Response:
+        segments = path[len("/v1/"):].split("/")
+        if segments == ["healthz"]:
+            if method != "GET":
+                return self._method_not_allowed(method, path)
+            return 200, self._healthz_v1(), {}
+        if segments == ["tenants"]:
+            if method == "GET":
+                return 200, {"tenants": self.manager.list_tenants()}, {}
+            if method == "POST":
+                return self._create_tenant(_parse_json(body))
+            return self._method_not_allowed(method, path)
+        if segments[0] == "tenants" and len(segments) >= 2:
+            tenant = segments[1]
+            rest = segments[2:]
+            if not rest:
+                if method == "GET":
+                    return 200, self.manager.describe(tenant), {}
+                if method == "DELETE":
+                    self.manager.delete(tenant)
+                    return 200, {"deleted": tenant}, {}
+                return self._method_not_allowed(method, path)
+            engine = self.manager.get(tenant)
+            if rest == ["updates"] and method == "POST":
+                return self._post_updates_v1(engine, _parse_json(body))
+            if rest == ["group-by"] and method == "POST":
+                return 200, self._group_by(engine, _parse_json(body)), {}
+            if rest[0] == "cluster" and len(rest) >= 2 and method == "GET":
+                # rejoin (a string vertex id may legally contain '/'), then
+                # percent-decode: the v1 segment is defined as URL-encoded
+                raw = unquote("/".join(rest[1:]))
+                return 200, self._cluster_of(engine, raw), {}
+            if rest == ["stats"] and method == "GET":
+                return 200, {"tenant": tenant, **engine.stats()}, {}
+            if rest in (["updates"], ["group-by"], ["stats"]) or (
+                rest and rest[0] == "cluster"
+            ):
+                return self._method_not_allowed(method, path)
+        return 404, error_envelope("not_found", f"no route for {path}"), {}
+
+    def _dispatch_legacy(self, method: str, path: str, body: bytes) -> Response:
+        """The five pre-v1 routes, mapped to the ``default`` tenant.
+
+        Deprecated — response shapes (flat ``{"error": "..."}`` strings,
+        503 backpressure) are frozen for one release so existing clients
+        keep working; the ``Deprecation`` header marks every answer.
+        """
+        deprecated = {"Deprecation": "true"}
+        try:
+            if path == "/healthz" and method == "GET":
+                return 200, self._healthz_legacy(), deprecated
+            if path == "/stats" and method == "GET":
+                return 200, self.manager.get("default").stats(), deprecated
+            if path.startswith("/cluster/") and method == "GET":
+                engine = self.manager.get("default")
+                # frozen pre-v1 semantics: the token is read verbatim (no
+                # ~ unescaping, no percent-decoding), ints collapsed
+                document = self._cluster_of(
+                    engine, path[len("/cluster/"):], unescape=False
+                )
+                return 200, document, deprecated
+            if path == "/updates" and method == "POST":
+                engine = self.manager.get("default")
+                updates = decode_updates(_parse_json(body))
+                accepted = engine.submit_many(updates, block=False)
+                document: Dict[str, object] = {
+                    "accepted": accepted,
+                    "submitted": len(updates),
+                }
+                if accepted < len(updates):
+                    document["error"] = "backpressure"
+                    return 503, document, deprecated
+                return 200, document, deprecated
+            if path == "/group-by" and method == "POST":
+                engine = self.manager.get("default")
+                return 200, self._group_by(engine, _parse_json(body)), deprecated
+            if path in ("/healthz", "/stats", "/updates", "/group-by") or path.startswith(
+                "/cluster/"
+            ):
+                return 405, {"error": f"method {method} not allowed for {path}"}, deprecated
+            return 404, {"error": f"no route for {path}"}, deprecated
+        except BadRequest as exc:
+            return 400, {"error": str(exc)}, deprecated
+        except UnknownTenantError as exc:
+            return 404, {"error": f"legacy routes need the default tenant: {exc}"}, deprecated
+        except EngineError as exc:
+            return 503, {"error": f"engine unavailable: {exc}"}, deprecated
+
+    def _method_not_allowed(self, method: str, path: str) -> Response:
+        return (
+            405,
+            error_envelope("method_not_allowed", f"method {method} not allowed for {path}"),
+            {},
+        )
+
+    # ------------------------------------------------------------------
+    # handlers
+    # ------------------------------------------------------------------
+    def _healthz_v1(self) -> Dict[str, object]:
         return {
-            "status": "ok" if self.engine.running else "idle",
+            "status": "ok",
             "version": repro.__version__,
-            "view_version": self.engine.view().version,
-            "applied": self.engine.applied,
+            "api": "v1",
+            **self.manager.aggregate(),
         }
 
-    def _cluster_of(self, raw: str) -> Dict[str, object]:
+    def _healthz_legacy(self) -> Dict[str, object]:
+        engine = self.manager.get("default")
+        return {
+            "status": "ok" if engine.running else "idle",
+            "version": repro.__version__,
+            "view_version": engine.view().version,
+            "applied": engine.applied,
+        }
+
+    def _create_tenant(self, payload: object) -> Response:
+        if not isinstance(payload, dict) or "tenant" not in payload:
+            raise BadRequest('body must be {"tenant": name, ...}')
+        name = payload["tenant"]
+        if not isinstance(name, str):
+            raise BadRequest(f"tenant name must be a string, got {name!r}")
+        backend = payload.get("backend")
+        if backend is not None and not isinstance(backend, str):
+            raise BadRequest(f'"backend" must be a string, got {backend!r}')
+        queue_capacity = payload.get("queue_capacity")
+        if queue_capacity is not None and (
+            isinstance(queue_capacity, bool) or not isinstance(queue_capacity, int)
+        ):
+            raise BadRequest(f'"queue_capacity" must be an int, got {queue_capacity!r}')
+        params = None
+        if "params" in payload:
+            params = _decode_params(payload["params"], self.manager.default_params)
+        try:
+            self.manager.create(
+                name,
+                params=params,
+                backend=backend,
+                queue_capacity=queue_capacity,
+            )
+        except ValueError as exc:
+            raise BadRequest(str(exc)) from exc
+        return 201, self.manager.describe(name), {}
+
+    def _cluster_of(
+        self, engine: ClusteringEngine, raw: str, unescape: bool = True
+    ) -> Dict[str, object]:
         if not raw:
             raise BadRequest("missing vertex identifier")
-        vertex: Vertex
-        try:
-            vertex = int(raw)
-        except ValueError:
-            vertex = raw
-        view = self.engine.view()
+        vertex = parse_vertex_token(raw, unescape=unescape)
+        view = engine.view()
         start = _now()
         clusters = view.cluster_of(vertex)
-        self.engine.metrics.observe_query(_now() - start)
+        engine.metrics.observe_query(_now() - start)
         return {
             "vertex": vertex,
             "clusters": list(clusters),
             "view_version": view.version,
         }
 
-    def _post_updates(self, payload: object) -> Tuple[int, Dict[str, object]]:
+    def _post_updates_v1(
+        self, engine: ClusteringEngine, payload: object
+    ) -> Response:
         updates = decode_updates(payload)
-        accepted = self.engine.submit_many(updates, block=False)
-        document: Dict[str, object] = {
-            "accepted": accepted,
-            "submitted": len(updates),
-        }
+        accepted = engine.submit_many(updates, block=False)
         if accepted < len(updates):
-            document["error"] = "backpressure"
-            return 503, document
-        return 200, document
+            signal = engine.backpressure_signal()
+            document = {
+                **error_envelope("backpressure", str(signal), retryable=True),
+                "accepted": accepted,
+                "submitted": len(updates),
+                "queue_depth": signal.queue_depth,
+                "queue_capacity": signal.queue_capacity,
+                "retry_after_ms": signal.retry_after_ms,
+            }
+            headers = {
+                "Retry-After": str(max(1, math.ceil(signal.retry_after_ms / 1000.0)))
+            }
+            return 429, document, headers
+        return 200, {"accepted": accepted, "submitted": len(updates)}, {}
 
-    def _group_by(self, payload: object) -> Dict[str, object]:
+    def _group_by(self, engine: ClusteringEngine, payload: object) -> Dict[str, object]:
         if not isinstance(payload, dict) or "vertices" not in payload:
             raise BadRequest('body must be {"vertices": [...]}')
         vertices = payload["vertices"]
         if not isinstance(vertices, list):
             raise BadRequest('"vertices" must be a list')
         query = [_decode_vertex(v) for v in vertices]
-        view = self.engine.view()
+        view = engine.view()
         start = _now()
         result = view.group_by(query)
-        self.engine.metrics.observe_query(_now() - start)
+        engine.metrics.observe_query(_now() - start)
         return {
             "view_version": view.version,
-            "groups": {str(gid): sorted(members, key=repr) for gid, members in result.groups.items()},
+            "groups": {
+                str(gid): sorted(members, key=repr)
+                for gid, members in result.groups.items()
+            },
         }
+
+
+def _decode_params(payload: object, defaults) -> "repro.StrCluParams":
+    """Build tenant params from a JSON object, inheriting missing fields."""
+    from dataclasses import replace
+
+    from repro.graph.similarity import SimilarityKind
+
+    if not isinstance(payload, dict):
+        raise BadRequest('"params" must be an object')
+    allowed = {"epsilon", "mu", "rho", "delta_star", "similarity", "seed", "max_samples"}
+    unknown = set(payload) - allowed
+    if unknown:
+        raise BadRequest(f"unknown params fields: {', '.join(sorted(unknown))}")
+    fields = dict(payload)
+    if "similarity" in fields:
+        try:
+            fields["similarity"] = SimilarityKind(fields["similarity"])
+        except ValueError as exc:
+            raise BadRequest(str(exc)) from exc
+    try:
+        return replace(defaults, **fields)
+    except (TypeError, ValueError) as exc:
+        raise BadRequest(f"invalid params: {exc}") from exc
 
 
 # ----------------------------------------------------------------------
@@ -306,16 +549,23 @@ async def _read_request(
     return method.upper(), path, headers, body
 
 
-def _response_bytes(status: int, payload: bytes, keep_alive: bool) -> bytes:
+def _response_bytes(
+    status: int,
+    payload: bytes,
+    keep_alive: bool,
+    extra_headers: Optional[Headers] = None,
+) -> bytes:
     reason = _STATUS_TEXT.get(status, "Unknown")
     connection = "keep-alive" if keep_alive else "close"
-    head = (
-        f"HTTP/1.1 {status} {reason}\r\n"
-        f"Content-Type: application/json\r\n"
-        f"Content-Length: {len(payload)}\r\n"
-        f"Connection: {connection}\r\n"
-        f"\r\n"
-    )
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(payload)}",
+        f"Connection: {connection}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = "\r\n".join(lines) + "\r\n\r\n"
     return head.encode("latin-1") + payload
 
 
@@ -338,15 +588,18 @@ class BackgroundServer:
 
     Usage::
 
-        with BackgroundServer(engine) as server:
+        with BackgroundServer(engine_or_manager) as server:
             client = ServiceClient("127.0.0.1", server.port)
             ...
     """
 
     def __init__(
-        self, engine: ClusteringEngine, host: str = "127.0.0.1", port: int = 0
+        self,
+        manager: Union[EngineManager, ClusteringEngine],
+        host: str = "127.0.0.1",
+        port: int = 0,
     ) -> None:
-        self.server = ClusteringServiceServer(engine, host=host, port=port)
+        self.server = ClusteringServiceServer(manager, host=host, port=port)
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
         self._ready = threading.Event()
@@ -355,6 +608,10 @@ class BackgroundServer:
     @property
     def port(self) -> int:
         return self.server.port
+
+    @property
+    def manager(self) -> EngineManager:
+        return self.server.manager
 
     def start(self) -> "BackgroundServer":
         self._thread = threading.Thread(

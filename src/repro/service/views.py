@@ -27,7 +27,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Mapping, Tuple
 
-from repro.core.result import Clustering, GroupByResult
+from repro.core.result import Clustering, GroupByResult, group_by_membership
 from repro.graph.dynamic_graph import Vertex
 
 
@@ -101,11 +101,7 @@ class ClusteringView:
         not stable across views (matching the opaque component identifiers
         of the live query path).
         """
-        groups: Dict[int, set] = {}
-        for u in query:
-            for idx in self._membership.get(u, ()):
-                groups.setdefault(idx, set()).add(u)
-        return GroupByResult(groups=groups)
+        return group_by_membership(self._membership, query)
 
     def stats(self) -> Dict[str, object]:
         """Headline statistics of this snapshot (JSON-serialisable)."""

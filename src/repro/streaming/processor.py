@@ -25,8 +25,9 @@ from pathlib import Path
 from typing import Callable, Iterable, List, Optional, Protocol, Union
 
 from repro.analysis.tracking import ClusterEvent, ClusterTracker
+from repro.core.api import Clusterer, DynELMClusterer, make_clusterer
 from repro.core.config import StrCluParams
-from repro.core.dynelm import Update
+from repro.core.dynelm import DynELM, Update
 from repro.core.dynstrclu import DynStrClu
 from repro.core.result import Clustering
 from repro.persistence.snapshot import save_snapshot
@@ -78,8 +79,13 @@ class StreamProcessor:
     params:
         Clustering parameters (used when no ``maintainer`` is supplied).
     maintainer:
-        Optional pre-built maintainer; defaults to a fresh
-        :class:`DynStrClu` (e.g. one restored from a snapshot).
+        Optional pre-built maintainer (any :class:`~repro.core.api.Clusterer`,
+        e.g. one restored from a snapshot); defaults to building the named
+        ``backend`` from ``params``.
+    backend:
+        Registry name of the clustering backend to build when no
+        ``maintainer`` is supplied (``"dynstrclu"`` by default; see
+        :func:`repro.core.api.available_backends`).
     snapshot_every:
         Take a clustering snapshot every this many applied updates.
     wal_path:
@@ -103,21 +109,35 @@ class StreamProcessor:
     def __init__(
         self,
         params: Optional[StrCluParams] = None,
-        maintainer: Optional[DynStrClu] = None,
+        maintainer: Optional[Clusterer] = None,
         snapshot_every: int = 100,
         tracker: Optional[ClusterTracker] = None,
         wal_path: Optional[Union[str, Path]] = None,
         checkpoint_path: Optional[Union[str, Path]] = None,
         checkpoint_every: int = 1000,
+        backend: str = "dynstrclu",
     ) -> None:
         if maintainer is None:
             if params is None:
                 raise ValueError("either params or a maintainer must be provided")
-            maintainer = DynStrClu(params)
+            maintainer = make_clusterer(backend, params)
         if snapshot_every < 1:
             raise ValueError("snapshot_every must be >= 1")
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
+        # checkpoints snapshot the maintainer's logical state; the dynelm
+        # registry backend wraps a DynELM, so checkpoint through the wrapped
+        # instance rather than rejecting it
+        self._checkpoint_target = (
+            maintainer.elm if isinstance(maintainer, DynELMClusterer) else maintainer
+        )
+        if checkpoint_path is not None and not isinstance(
+            self._checkpoint_target, (DynELM, DynStrClu)
+        ):
+            raise ValueError(
+                "checkpoint_path requires a snapshot-capable maintainer "
+                "(DynELM or DynStrClu)"
+            )
         self.maintainer = maintainer
         self.snapshot_every = snapshot_every
         self.tracker = tracker if tracker is not None else ClusterTracker()
@@ -157,7 +177,7 @@ class StreamProcessor:
             self.checkpoint_path is not None
             and self.updates_applied % self.checkpoint_every == 0
         ):
-            save_snapshot(self.maintainer, self.checkpoint_path)
+            save_snapshot(self._checkpoint_target, self.checkpoint_path)
             if self._wal is not None:
                 # a checkpoint is only a recovery point if every WAL entry
                 # up to it is durable — fsync before declaring it written

@@ -1,0 +1,115 @@
+"""Unit tests of the Clusterer protocol and the backend registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.api import (
+    Clusterer,
+    available_backends,
+    make_clusterer,
+    register_backend,
+)
+from repro.core.config import StrCluParams
+from repro.core.dynelm import Update
+from repro.core.dynstrclu import DynStrClu
+from repro.core.result import clusterings_equal
+from repro.instrumentation import OpCounter
+
+PARAMS = StrCluParams(epsilon=0.5, mu=2, rho=0.0)
+
+TRIANGLE_PLUS_TAIL = [
+    Update.insert(1, 2),
+    Update.insert(2, 3),
+    Update.insert(1, 3),
+    Update.insert(3, 4),
+]
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        assert set(available_backends()) >= {
+            "dynstrclu",
+            "dynelm",
+            "scan-exact",
+            "pscan",
+            "hscan",
+        }
+
+    def test_unknown_backend_lists_registered_names(self):
+        with pytest.raises(ValueError, match="dynstrclu"):
+            make_clusterer("nope", PARAMS)
+
+    def test_name_is_case_insensitive(self):
+        assert isinstance(make_clusterer("DynStrClu", PARAMS), DynStrClu)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend("dynstrclu", lambda params, **kw: None)
+
+    def test_replace_allows_override_and_restore(self):
+        original = make_clusterer("dynstrclu", PARAMS)
+        sentinel = object()
+        register_backend("dynstrclu", lambda params, **kw: sentinel, replace=True)
+        try:
+            assert make_clusterer("dynstrclu", PARAMS) is sentinel
+        finally:
+            register_backend(
+                "dynstrclu", lambda params, **kw: DynStrClu(params), replace=True
+            )
+        assert isinstance(make_clusterer("dynstrclu", PARAMS), type(original))
+
+
+class TestProtocolConformance:
+    @pytest.mark.parametrize("name", sorted(["dynstrclu", "dynelm", "scan-exact", "pscan", "hscan"]))
+    def test_backend_satisfies_protocol(self, name):
+        algo = make_clusterer(name, PARAMS)
+        assert isinstance(algo, Clusterer)
+        # the protocol's documented attributes
+        assert algo.params == PARAMS or algo.params is PARAMS
+        assert algo.updates_processed == 0
+        assert algo.graph.num_vertices == 0
+
+    @pytest.mark.parametrize("name", sorted(["dynstrclu", "dynelm", "scan-exact", "pscan", "hscan"]))
+    def test_backend_clusters_the_triangle(self, name):
+        algo = make_clusterer(name, PARAMS)
+        for update in TRIANGLE_PLUS_TAIL:
+            algo.apply(update)
+        assert algo.updates_processed == len(TRIANGLE_PLUS_TAIL)
+        reference = DynStrClu(PARAMS)
+        for update in TRIANGLE_PLUS_TAIL:
+            reference.apply(update)
+        assert clusterings_equal(algo.clustering(), reference.clustering())
+
+    @pytest.mark.parametrize("name", sorted(["dynstrclu", "dynelm", "scan-exact", "pscan", "hscan"]))
+    def test_group_by_matches_dynstrclu(self, name):
+        algo = make_clusterer(name, PARAMS)
+        reference = DynStrClu(PARAMS)
+        for update in TRIANGLE_PLUS_TAIL:
+            algo.apply(update)
+            reference.apply(update)
+        query = [1, 2, 3, 4, 99]
+        assert {frozenset(g) for g in algo.group_by(query).as_sets()} == {
+            frozenset(g) for g in reference.group_by(query).as_sets()
+        }
+
+    @pytest.mark.parametrize("name", sorted(["dynstrclu", "dynelm", "scan-exact", "pscan", "hscan"]))
+    def test_insert_delete_and_memory(self, name):
+        algo = make_clusterer(name, PARAMS)
+        algo.insert_edge(1, 2)
+        algo.insert_edge(2, 3)
+        algo.delete_edge(1, 2)
+        assert algo.updates_processed == 3
+        assert algo.graph.num_edges == 1
+        assert algo.memory_words() > 0
+
+    def test_counter_is_threaded_through(self):
+        counter = OpCounter()
+        algo = make_clusterer("pscan", PARAMS, counter=counter)
+        algo.insert_edge(1, 2)
+        assert counter.get("update") == 1
+
+    def test_dynstrclu_updates_processed_property(self):
+        algo = DynStrClu(PARAMS)
+        algo.insert_edge(1, 2)
+        assert algo.updates_processed == 1

@@ -60,6 +60,50 @@ class TestFormatting:
         assert parsed == Update(UpdateKind.INSERT, 10, 20)
         assert isinstance(parsed.u, int)
 
+    def test_numeric_string_identifiers_round_trip_losslessly(self):
+        """Regression: "10" (string) must not come back as the int 10."""
+        update = Update.insert("10", "-3")
+        line = format_update(update)
+        assert line == "+ ~10 ~-3"
+        parsed = parse_update_line(line)
+        assert parsed == update
+        assert isinstance(parsed.u, str) and isinstance(parsed.v, str)
+        # and a string vertex starting with the escape char double-escapes
+        tilded = Update.insert("~x", 5)
+        parsed = parse_update_line(format_update(tilded))
+        assert parsed == tilded
+
+    def test_v1_header_log_reads_tokens_verbatim(self, tmp_path):
+        """A pre-escape (v1-headered) log must not have '~' stripped."""
+        path = tmp_path / "old.log"
+        path.write_text(
+            "# repro-update-log v1\n+ ~x alice\n+ 1 2\n", encoding="utf-8"
+        )
+        reader = UpdateLogReader(path)
+        assert reader.read_all() == [
+            Update.insert("~x", "alice"),
+            Update.insert(1, 2),
+        ]
+
+    def test_append_to_v1_log_is_refused(self, tmp_path):
+        """Splicing v2 (~-escaped) entries into a v1 log would corrupt it."""
+        path = tmp_path / "old.log"
+        path.write_text("# repro-update-log v1\n+ 1 2\n", encoding="utf-8")
+        with pytest.raises(UpdateLogError, match="v1-format"):
+            UpdateLogWriter(path, append=True)
+        # the log itself is untouched and still readable
+        assert UpdateLogReader(path).read_all() == [Update.insert(1, 2)]
+
+    def test_token_codec_round_trips_every_identifier_shape(self):
+        from repro.persistence.updatelog import format_vertex_token, parse_vertex_token
+
+        for vertex in (0, 7, -7, "alice", "7", "-7", "~", "~7", "~~x", "s:1"):
+            token = format_vertex_token(vertex)
+            assert " " not in token
+            roundtripped = parse_vertex_token(token)
+            assert roundtripped == vertex
+            assert type(roundtripped) is type(vertex)
+
 
 class TestWriterReader:
     def test_write_and_read(self, tmp_path):

@@ -1,0 +1,128 @@
+"""Property test: every registered backend is an equivalence class member.
+
+The backend registry promises that ``make_clusterer(name, params)`` yields
+an interchangeable maintainer.  For random applicable update streams
+(set-toggles over a small vertex universe, exercising deletions,
+re-insertions and core flips):
+
+* **Exact mode (ρ = 0)** — every registered backend produces *exactly* the
+  clustering of sequential DynStrClu, and answers group-by identically.
+* **Approximate mode (ρ > 0)** — ``dynelm`` shares DynStrClu's labelling
+  machinery and must still match it exactly (same params, same seed, same
+  stream ⇒ same sampling decisions), while the sampled labelling itself
+  must stay within the ρ-approximation band of the exact structural
+  similarity: an edge labelled SIMILAR has σ ≥ ε(1−ρ) − slack, an edge
+  labelled DISSIMILAR has σ < ε + slack, where the slack covers the
+  estimator's Hoeffding radius at the configured sample cap.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.api import available_backends, make_clusterer
+from repro.core.config import StrCluParams
+from repro.core.dynelm import Update
+from repro.core.dynstrclu import DynStrClu
+from repro.core.labelling import EdgeLabel
+from repro.core.result import clusterings_equal
+from repro.graph.similarity import structural_similarity
+
+EXACT_PARAMS = StrCluParams(epsilon=0.5, mu=2, rho=0.0)
+
+#: Approximate-mode bundle: a large sample cap keeps the estimator's
+#: Hoeffding radius far below the asserted slack, so the band check is
+#: deterministic for all practical purposes (failure probability per
+#: invocation < 1e-8).
+APPROX_PARAMS = StrCluParams(
+    epsilon=0.5, mu=2, rho=0.4, delta_star=0.001, seed=3, max_samples=4096
+)
+
+#: Estimator slack granted on top of the ρ-band: the Hoeffding radius at
+#: L = 4096 samples and δ = 1e-5 is sqrt(ln(2/δ) / (2 L)) ≈ 0.039.
+BAND_SLACK = math.sqrt(math.log(2.0 / 1e-5) / (2.0 * 4096)) + 0.01
+
+
+@st.composite
+def update_streams(draw):
+    """A random applicable stream: toggles over a small vertex universe."""
+    n = draw(st.integers(min_value=4, max_value=10))
+    length = draw(st.integers(min_value=1, max_value=40))
+    present = set()
+    stream = []
+    for _ in range(length):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u == v:
+            continue
+        edge = (min(u, v), max(u, v))
+        if edge in present:
+            present.discard(edge)
+            stream.append(Update.delete(*edge))
+        else:
+            present.add(edge)
+            stream.append(Update.insert(*edge))
+    return stream
+
+
+@settings(max_examples=20, deadline=None)
+@given(stream=update_streams())
+def test_every_backend_equals_sequential_dynstrclu_in_exact_mode(stream):
+    reference = DynStrClu(EXACT_PARAMS)
+    for update in stream:
+        reference.apply(update)
+    expected_clustering = reference.clustering()
+    query = list(range(12))
+    expected_groups = {
+        frozenset(g) for g in reference.group_by(query).as_sets()
+    }
+
+    for name in available_backends():
+        algo = make_clusterer(name, EXACT_PARAMS)
+        for update in stream:
+            algo.apply(update)
+        assert algo.updates_processed == len(stream), name
+        assert clusterings_equal(algo.clustering(), expected_clustering), name
+        assert {
+            frozenset(g) for g in algo.group_by(query).as_sets()
+        } == expected_groups, name
+
+
+@settings(max_examples=15, deadline=None)
+@given(stream=update_streams())
+def test_dynelm_backend_matches_dynstrclu_in_approximate_mode(stream):
+    """Same params/seed/stream ⇒ the same sampling decisions and clustering."""
+    reference = DynStrClu(APPROX_PARAMS)
+    elm_backend = make_clusterer("dynelm", APPROX_PARAMS)
+    for update in stream:
+        reference.apply(update)
+        elm_backend.apply(update)
+    assert clusterings_equal(elm_backend.clustering(), reference.clustering())
+
+
+@settings(max_examples=15, deadline=None)
+@given(stream=update_streams())
+def test_approximate_labelling_stays_within_rho_band_of_exact(stream):
+    """DynStrClu's ρ-approximate labels vs the exact similarity (tolerance).
+
+    The exact backends (scan-exact / pscan / hscan) answer from the true
+    similarity; the approximate maintainer is allowed to deviate only
+    inside the band [ε(1−ρ), ε).  Assert that every maintained label
+    respects the band (with the estimator slack), which is exactly the
+    sense in which the approximate backend is "equal within tolerance".
+    """
+    approx = DynStrClu(APPROX_PARAMS)
+    for update in stream:
+        approx.apply(update)
+
+    epsilon = APPROX_PARAMS.epsilon
+    lower = epsilon * (1.0 - APPROX_PARAMS.rho)
+    graph = approx.graph
+    for (u, v), label in approx.labels.items():
+        sigma = structural_similarity(graph, u, v, APPROX_PARAMS.similarity)
+        if label is EdgeLabel.SIMILAR:
+            assert sigma >= lower - BAND_SLACK, (u, v, sigma, label)
+        else:
+            assert sigma < epsilon + BAND_SLACK, (u, v, sigma, label)

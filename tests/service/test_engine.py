@@ -132,24 +132,35 @@ class TestWriterFailure:
 
 
 class TestVertexCanonicalisation:
-    def test_numeric_strings_collapse_to_ints(self):
+    def test_numeric_strings_are_distinct_vertices(self):
+        """Lossless IDs: "1" (string) and 1 (int) name different vertices."""
         with ClusteringEngine(PARAMS) as engine:
             engine.submit(Update.insert("1", "2"))
-            engine.submit(Update.insert(2, 3))
-            engine.submit(Update.insert("1", 3))
+            engine.submit(Update.insert("2", "3"))
+            engine.submit(Update.insert("1", "3"))
+            engine.submit(Update.insert(1, 2))
             engine.flush(timeout=10)
-            assert engine.applied == 3
-            # the graph holds int vertices only: "1" and 1 were the same id
-            assert engine.cluster_of(1) != ()
-            assert len(engine.view().group_by([1, 2, 3]).as_sets()) == 1
+            assert engine.applied == 4
+            # the string triangle clusters; the int edge is separate noise
+            assert engine.cluster_of("1") != ()
+            assert engine.cluster_of(1) == ()
+            groups = engine.view().group_by(["1", "2", "3", 1, 2]).as_sets()
+            assert {frozenset(g) for g in groups} == {frozenset({"1", "2", "3"})}
 
-    def test_string_vertices_survive_crash_recovery(self, tmp_path):
-        """The WAL cannot tell "1" from 1 — the engine must not either."""
+    def test_invalid_vertex_identifiers_rejected_on_submit(self):
+        with ClusteringEngine(PARAMS) as engine:
+            for bad in (True, None, 1.5, "", "a b"):
+                with pytest.raises(ValueError):
+                    engine.submit(Update.insert(bad, 7))
+
+    def test_numeric_string_vertices_survive_crash_recovery(self, tmp_path):
+        """The WAL's escaped tokens keep "1" ≠ 1 across crash recovery."""
         config = EngineConfig(batch_size=2, flush_interval=0.01)
         engine = ClusteringEngine(PARAMS, config=config, data_dir=tmp_path).start()
         engine.submit(Update.insert("1", "2"))
         engine.submit(Update.insert("2", "3"))
         engine.submit(Update.insert("1", "3"))
+        engine.submit(Update.insert(1, 2))
         engine.flush(timeout=10)
         before = engine.view().clustering
         engine.kill()
@@ -157,7 +168,10 @@ class TestVertexCanonicalisation:
         recovered = ClusteringEngine(PARAMS, config=config, data_dir=tmp_path)
         try:
             assert clusterings_equal(recovered.view().clustering, before)
-            assert recovered.view().cluster_of(1) != ()
+            assert recovered.view().cluster_of("1") != ()
+            assert recovered.view().cluster_of(1) == ()
+            assert 1 in recovered.maintainer.graph.vertices()
+            assert "1" in recovered.maintainer.graph.vertices()
         finally:
             recovered.close(checkpoint=False)
 

@@ -111,19 +111,30 @@ class TestRoutes:
         assert status == 400
         assert "error" in document
 
-    def test_numeric_string_vertices_agree_across_routes(self, service):
-        """JSON "1" and 1 name the same vertex on every route (and in the WAL)."""
+    def test_numeric_string_vertices_are_lossless_across_routes(self, service):
+        """Regression: JSON "1" and 1 are *distinct* vertices on every route.
+
+        The pre-v1 server collapsed numeric strings to ints on ingest,
+        group-by and the cluster route, so a string vertex silently merged
+        with its int namesake.  Canonicalisation is now explicit and
+        lossless: the string triangle clusters on its own, and the int
+        vertices remain unknown.
+        """
         engine, client = service
         client.submit_updates(
             [Update.insert("1", "2"), Update.insert("2", "3"), Update.insert("1", "3")]
         )
         engine.flush(timeout=10)
-        by_int = client.group_by([1, 2, 3])
         by_str = client.group_by(["1", "2", "3"])
-        assert {frozenset(g) for g in by_int.as_sets()} == {
-            frozenset(g) for g in by_str.as_sets()
-        } == {frozenset({1, 2, 3})}
-        assert client.cluster_of(1) == client.cluster_of("1") != []
+        assert {frozenset(g) for g in by_str.as_sets()} == {frozenset({"1", "2", "3"})}
+        # the ints were never inserted: the same query by int finds nothing
+        assert client.group_by([1, 2, 3]).as_sets() == []
+        # mixed query returns only the string community, types preserved
+        mixed = client.group_by([1, "1", 2, "2"])
+        assert {frozenset(g) for g in mixed.as_sets()} == {frozenset({"1", "2"})}
+        # the cluster route distinguishes the two via the ~ token escape
+        assert client.cluster_of("1") != []
+        assert client.cluster_of(1) == []
 
     def test_malformed_content_length_gets_400_not_reset(self, service):
         import http.client

@@ -1,0 +1,352 @@
+"""End-to-end tests of the v1 multi-tenant HTTP API.
+
+Covers the versioned routes (tenant admin + the four per-tenant routes),
+the structured error envelope, 429 backpressure with Retry-After, tenant
+isolation over the wire, and the legacy unversioned routes' mapping to the
+``default`` tenant.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+import pytest
+
+import repro
+from repro.core.config import StrCluParams
+from repro.core.dynelm import Update
+from repro.service.client import BackpressureError, ServiceClient, ServiceError
+from repro.service.engine import ClusteringEngine, EngineConfig
+from repro.service.manager import EngineManager
+from repro.service.server import BackgroundServer
+
+PARAMS = StrCluParams(epsilon=0.5, mu=2, rho=0.0)
+FAST = EngineConfig(batch_size=8, flush_interval=0.01)
+
+TRIANGLES = [
+    Update.insert(1, 2),
+    Update.insert(2, 3),
+    Update.insert(1, 3),
+    Update.insert(4, 5),
+    Update.insert(5, 6),
+    Update.insert(4, 6),
+]
+
+
+@pytest.fixture
+def service():
+    with EngineManager(PARAMS, default_engine_config=FAST) as manager:
+        with BackgroundServer(manager) as background:
+            client = ServiceClient("127.0.0.1", background.port)
+            yield manager, background, client
+            client.close()
+
+
+def _raw(background, method, path, payload=None):
+    """One raw HTTP request; returns (status, headers, document)."""
+    connection = http.client.HTTPConnection("127.0.0.1", background.port, timeout=5)
+    body = None if payload is None else json.dumps(payload)
+    headers = {"Content-Type": "application/json"} if body is not None else {}
+    connection.request(method, path, body=body, headers=headers)
+    response = connection.getresponse()
+    raw = response.read()
+    document = json.loads(raw) if raw else None
+    result = response.status, dict(response.getheaders()), document
+    connection.close()
+    return result
+
+
+class TestTenantAdmin:
+    def test_healthz_reports_aggregate(self, service):
+        _manager, _background, client = service
+        document = client.healthz()
+        assert document["status"] == "ok"
+        assert document["version"] == repro.__version__
+        assert document["api"] == "v1"
+        assert document["tenants"] == 1
+
+    def test_list_create_describe_delete(self, service):
+        manager, _background, client = service
+        assert [t["tenant"] for t in client.list_tenants()] == ["default"]
+        created = client.create_tenant(
+            "acme", backend="pscan", queue_capacity=32, params={"epsilon": 0.4}
+        )
+        assert created["tenant"] == "acme"
+        assert created["backend"] == "pscan"
+        assert created["queue_capacity"] == 32
+        assert manager.config_of("acme").params.epsilon == 0.4
+        assert [t["tenant"] for t in client.list_tenants()] == ["acme", "default"]
+        assert client.describe_tenant("acme")["backend"] == "pscan"
+        client.delete_tenant("acme")
+        assert [t["tenant"] for t in client.list_tenants()] == ["default"]
+
+    def test_create_conflict_and_exist_ok(self, service):
+        _manager, _background, client = service
+        client.create_tenant("dup")
+        with pytest.raises(ServiceError) as excinfo:
+            client.create_tenant("dup")
+        assert excinfo.value.status == 409
+        assert excinfo.value.code == "tenant_exists"
+        # exist_ok swallows the conflict and returns the description
+        assert client.create_tenant("dup", exist_ok=True)["tenant"] == "dup"
+
+    def test_bad_tenant_payloads_get_400(self, service):
+        _manager, background, client = service
+        for payload in (None, {}, {"tenant": 7}, {"tenant": "x", "backend": 3},
+                        {"tenant": "x", "queue_capacity": "big"},
+                        {"tenant": "bad/name"},
+                        {"tenant": "x", "backend": "nope"},
+                        {"tenant": "x", "params": {"epsilon": 7.0}},
+                        {"tenant": "x", "params": {"bogus": 1}}):
+            status, _headers, document = _raw(background, "POST", "/v1/tenants", payload)
+            assert status == 400, payload
+            assert document["error"]["code"] == "bad_request"
+
+    def test_unknown_tenant_envelope(self, service):
+        _manager, background, client = service
+        status, _headers, document = _raw(background, "GET", "/v1/tenants/ghost/stats")
+        assert status == 404
+        envelope = document["error"]
+        assert envelope["code"] == "unknown_tenant"
+        assert envelope["retryable"] is False
+        assert "ghost" in envelope["message"]
+
+    def test_unknown_v1_route_and_method_not_allowed(self, service):
+        _manager, background, _client = service
+        status, _headers, document = _raw(background, "GET", "/v1/nope")
+        assert status == 404
+        assert document["error"]["code"] == "not_found"
+        status, _headers, document = _raw(background, "DELETE", "/v1/tenants/default/stats")
+        assert status == 405
+        assert document["error"]["code"] == "method_not_allowed"
+
+
+class TestPerTenantRoutes:
+    def test_ingest_query_stats_cluster(self, service):
+        manager, _background, client = service
+        client.create_tenant("acme")
+        acme = client.for_tenant("acme")
+        assert acme.submit_updates(TRIANGLES) == 6
+        manager.get("acme").flush(timeout=10)
+        result = acme.group_by([1, 2, 4, 6])
+        assert {frozenset(g) for g in result.as_sets()} == {
+            frozenset({1, 2}),
+            frozenset({4, 6}),
+        }
+        assert acme.cluster_of(1) != acme.cluster_of(4)
+        stats = acme.stats()
+        assert stats["tenant"] == "acme"
+        assert stats["applied"] == 6
+        assert stats["backend"] == "dynstrclu"
+        acme.close()
+
+    def test_tenants_are_isolated_over_the_wire(self, service):
+        manager, _background, client = service
+        client.create_tenant("a")
+        client.create_tenant("b")
+        a, b = client.for_tenant("a"), client.for_tenant("b")
+        a.submit_updates(TRIANGLES[:3])
+        manager.get("a").flush(timeout=10)
+        assert {frozenset(g) for g in a.group_by([1, 2, 3]).as_sets()} == {
+            frozenset({1, 2, 3})
+        }
+        # tenant a's updates never appear in tenant b's group-by
+        assert b.group_by([1, 2, 3]).as_sets() == []
+        assert b.stats()["applied"] == 0
+        a.close()
+        b.close()
+
+    def test_baseline_backend_serves_the_same_surface(self, service):
+        manager, _background, client = service
+        client.create_tenant("exact", backend="scan-exact")
+        exact = client.for_tenant("exact")
+        exact.submit_updates(TRIANGLES[:3])
+        manager.get("exact").flush(timeout=10)
+        assert {frozenset(g) for g in exact.group_by([1, 2, 3]).as_sets()} == {
+            frozenset({1, 2, 3})
+        }
+        assert exact.stats()["backend"] == "scan-exact"
+        exact.close()
+
+
+class TestBackpressure429:
+    def test_429_envelope_retry_after_and_client_exception(self):
+        # a never-started engine cannot drain its queue: the batch overflows
+        engine = ClusteringEngine(PARAMS, config=EngineConfig(queue_capacity=4))
+        try:
+            with BackgroundServer(engine) as background:
+                status, headers, document = _raw(
+                    background,
+                    "POST",
+                    "/v1/tenants/default/updates",
+                    {"updates": [["+", i, i + 1] for i in range(8)]},
+                )
+                assert status == 429
+                assert int(headers["Retry-After"]) >= 1
+                envelope = document["error"]
+                assert envelope["code"] == "backpressure"
+                assert envelope["retryable"] is True
+                assert document["accepted"] == 4
+                assert document["submitted"] == 8
+                assert document["queue_depth"] == 4
+                assert document["queue_capacity"] == 4
+                assert document["retry_after_ms"] >= 1
+
+                client = ServiceClient("127.0.0.1", background.port)
+                with pytest.raises(BackpressureError) as excinfo:
+                    client.submit_updates([Update.insert(10, 11)])
+                exc = excinfo.value
+                assert exc.status == 429
+                assert exc.code == "backpressure"
+                assert exc.retryable
+                assert exc.queue_depth == 4
+                assert exc.queue_capacity == 4
+                assert exc.retry_after_ms >= 1
+                client.close()
+        finally:
+            engine.close(checkpoint=False)
+
+
+class TestLosslessVertexTokens:
+    def test_cluster_route_distinguishes_int_and_string(self, service):
+        manager, background, client = service
+        client.submit_updates(
+            [Update.insert("7", "8"), Update.insert("8", "9"), Update.insert("7", "9")]
+        )
+        manager.get("default").flush(timeout=10)
+        # the escaped token addresses the string vertex...
+        status, _headers, document = _raw(
+            background, "GET", "/v1/tenants/default/cluster/~7"
+        )
+        assert status == 200
+        assert document["vertex"] == "7"
+        assert document["clusters"] != []
+        # ...the bare token the (absent) int vertex
+        status, _headers, document = _raw(
+            background, "GET", "/v1/tenants/default/cluster/7"
+        )
+        assert document["vertex"] == 7
+        assert document["clusters"] == []
+        # and the typed client round-trips both transparently
+        assert client.cluster_of("7") != []
+        assert client.cluster_of(7) == []
+
+    def test_cluster_route_round_trips_non_ascii_ids(self, service):
+        """The client percent-encodes the token; the v1 server decodes it."""
+        manager, _background, client = service
+        client.submit_updates(
+            [
+                Update.insert("café", "münchen"),
+                Update.insert("münchen", "tōkyō"),
+                Update.insert("café", "tōkyō"),
+            ]
+        )
+        manager.get("default").flush(timeout=10)
+        assert client.cluster_of("café") != []
+        assert client.cluster_of("café") == client.cluster_of("tōkyō")
+
+    def test_legacy_cluster_route_keeps_verbatim_tokens(self, service):
+        """Frozen pre-v1 semantics: no ~ unescaping on /cluster/{v}."""
+        manager, background, client = service
+        client.submit_updates(
+            [Update.insert("~z", "~w"), Update.insert("~w", "~q"), Update.insert("~z", "~q")]
+        )
+        manager.get("default").flush(timeout=10)
+        status, _headers, document = _raw(background, "GET", "/cluster/~z")
+        assert status == 200
+        assert document["vertex"] == "~z"
+        assert document["clusters"] != []
+
+    def test_cluster_route_accepts_slash_bearing_string_ids(self, service):
+        """Any WAL-legal identifier is addressable, '/' included."""
+        manager, background, client = service
+        client.submit_updates(
+            [
+                Update.insert("a/b", "c/d"),
+                Update.insert("c/d", "e/f"),
+                Update.insert("a/b", "e/f"),
+            ]
+        )
+        manager.get("default").flush(timeout=10)
+        status, _headers, document = _raw(
+            background, "GET", "/v1/tenants/default/cluster/a/b"
+        )
+        assert status == 200
+        assert document["vertex"] == "a/b"
+        assert document["clusters"] != []
+        assert client.cluster_of("a/b") != []
+
+
+class TestEngineUnavailable503:
+    def test_closed_engine_is_service_error_not_backpressure(self):
+        """A 503 engine_unavailable must not masquerade as load shedding."""
+        engine = ClusteringEngine(PARAMS, config=FAST).start()
+        engine.close(checkpoint=False)
+        with BackgroundServer(engine) as background:
+            client = ServiceClient("127.0.0.1", background.port)
+            with pytest.raises(ServiceError) as excinfo:
+                client.submit_updates([Update.insert(1, 2)])
+            exc = excinfo.value
+            assert not isinstance(exc, BackpressureError)
+            assert exc.status == 503
+            assert exc.code == "engine_unavailable"
+            assert exc.retryable
+            client.close()
+
+
+class TestLegacyRoutes:
+    def test_legacy_routes_serve_default_tenant(self, service):
+        manager, background, client = service
+        status, headers, document = _raw(
+            background, "POST", "/updates", {"updates": [["+", 1, 2], ["+", 2, 3], ["+", 1, 3]]}
+        )
+        assert status == 200
+        assert document == {"accepted": 3, "submitted": 3}
+        assert headers.get("Deprecation") == "true"
+        manager.get("default").flush(timeout=10)
+
+        status, _headers, document = _raw(background, "GET", "/stats")
+        assert status == 200
+        assert document["applied"] == 3
+
+        status, _headers, document = _raw(
+            background, "POST", "/group-by", {"vertices": [1, 2, 3]}
+        )
+        assert status == 200
+        assert sorted(document["groups"].values()) == [[1, 2, 3]]
+
+        status, _headers, document = _raw(background, "GET", "/cluster/1")
+        assert status == 200
+        assert document["clusters"] != []
+
+        status, _headers, document = _raw(background, "GET", "/healthz")
+        assert status == 200
+        assert document["view_version"] == 3
+        # and the v1 surface sees the same state
+        assert client.stats()["applied"] == 3
+
+    def test_legacy_backpressure_stays_503_flat(self):
+        engine = ClusteringEngine(PARAMS, config=EngineConfig(queue_capacity=2))
+        try:
+            with BackgroundServer(engine) as background:
+                status, _headers, document = _raw(
+                    background,
+                    "POST",
+                    "/updates",
+                    {"updates": [["+", i, i + 1] for i in range(5)]},
+                )
+                assert status == 503
+                assert document["error"] == "backpressure"
+                assert document["accepted"] == 2
+        finally:
+            engine.close(checkpoint=False)
+
+    def test_legacy_errors_stay_flat_strings(self, service):
+        _manager, background, _client = service
+        status, _headers, document = _raw(background, "GET", "/nope")
+        assert status == 404
+        assert isinstance(document["error"], str)
+        status, _headers, document = _raw(background, "GET", "/updates")
+        assert status == 405
+        assert isinstance(document["error"], str)

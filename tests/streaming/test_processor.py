@@ -123,6 +123,28 @@ class TestClose:
         assert UpdateLogReader(wal).read_all() == TRIANGLE_STREAM
         processor.close()
 
+    def test_backend_selection_by_name(self):
+        processor = StreamProcessor(PARAMS, backend="pscan")
+        report = processor.process(TRIANGLE_STREAM)
+        assert report.updates_applied == len(TRIANGLE_STREAM)
+        assert processor.maintainer.updates_processed == len(TRIANGLE_STREAM)
+
+    def test_dynelm_backend_supports_checkpoints(self, tmp_path):
+        checkpoint = tmp_path / "checkpoint.json"
+        processor = StreamProcessor(
+            PARAMS, backend="dynelm", checkpoint_path=checkpoint, checkpoint_every=2
+        )
+        processor.process(TRIANGLE_STREAM)
+        assert processor.checkpoints_written >= 1
+        assert checkpoint.exists()
+        processor.close()
+
+    def test_non_snapshot_backend_rejects_checkpoint_path(self, tmp_path):
+        with pytest.raises(ValueError, match="snapshot-capable"):
+            StreamProcessor(
+                PARAMS, backend="pscan", checkpoint_path=tmp_path / "c.json"
+            )
+
 
 class TestPersistenceIntegration:
     def test_wal_records_every_update(self, tmp_path):
