@@ -22,6 +22,7 @@ from repro.analysis import ClusterTracker, VertexRole, classify_roles, role_cens
 from repro.baselines import ExactDynamicSCAN, IndexedDynamicSCAN, static_scan
 from repro.core import Clustering, DynELM, DynStrClu, EdgeLabel, StrCluParams, compute_clusters
 from repro.core.api import Clusterer, available_backends, make_clusterer, register_backend
+from repro.core.result import ViewDelta
 from repro.core.dynelm import Update, UpdateKind
 from repro.graph import DynamicGraph, cosine_similarity, jaccard_similarity
 from repro.graph.similarity import SimilarityKind
@@ -33,7 +34,7 @@ from repro.persistence import (
 )
 from repro.streaming import SlidingWindowClustering, StreamProcessor
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from repro.service import (  # noqa: E402  (needs __version__ for /healthz)
     BackgroundServer,
@@ -79,6 +80,7 @@ __all__ = [
     "available_backends",
     "make_clusterer",
     "register_backend",
+    "ViewDelta",
     "ClusteringEngine",
     "EngineConfig",
     "EngineManager",

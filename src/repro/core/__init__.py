@@ -20,7 +20,7 @@ from repro.core.config import StrCluParams
 from repro.core.dynelm import DynELM
 from repro.core.dynstrclu import DynStrClu
 from repro.core.labelling import EdgeLabel
-from repro.core.result import Clustering, compute_clusters
+from repro.core.result import Clustering, ViewDelta, compute_clusters
 from repro.core.api import (
     Clusterer,
     available_backends,
@@ -39,4 +39,5 @@ __all__ = [
     "available_backends",
     "make_clusterer",
     "register_backend",
+    "ViewDelta",
 ]

@@ -11,7 +11,10 @@ makes them interchangeable:
 * :class:`Clusterer` — the protocol every backend satisfies: apply one
   :class:`~repro.core.dynelm.Update`, insert/delete one edge, retrieve the
   full :class:`~repro.core.result.Clustering`, answer a cluster-group-by
-  over a vertex set, and report the logical memory footprint;
+  over a vertex set, report the logical memory footprint, and drain the
+  per-batch :class:`~repro.core.result.ViewDelta` (the flip set ``F`` of
+  vertices whose membership changed, or a full-rebuild flag for backends
+  that cannot track it — see :class:`FullRebuildDeltaMixin`);
 * a **string-keyed registry** — ``make_clusterer("pscan", params)`` builds
   any registered backend from one parameter bundle, so the serving engine,
   the stream processor, the experiment runner and the CLI all select
@@ -55,7 +58,7 @@ from typing import (
 from repro.core.config import StrCluParams
 from repro.core.dynelm import DynELM, Update, UpdateKind
 from repro.core.dynstrclu import DynStrClu
-from repro.core.result import Clustering, GroupByResult, group_by_membership
+from repro.core.result import Clustering, GroupByResult, ViewDelta, group_by_membership
 from repro.graph.dynamic_graph import DynamicGraph, Vertex
 from repro.instrumentation import MemoryModel, NULL_COUNTER, OpCounter
 
@@ -95,6 +98,49 @@ class Clusterer(Protocol):
         """Logical structure size in machine words (Table 1 memory model)."""
         ...
 
+    def drain_view_delta(self) -> ViewDelta:
+        """Report (and reset) the flip set accumulated since the last drain.
+
+        The per-batch delta surface of incremental view publication: a
+        backend that tracks which vertices' core status or cluster
+        membership changed returns :meth:`ViewDelta.of` with that flip set;
+        a backend that cannot returns :meth:`ViewDelta.full` and the
+        service layer re-captures the view from scratch.
+
+        Backends reporting tracked deltas must additionally expose the two
+        patch probes ``core_component(v)`` (an opaque, momentarily
+        consistent cluster identifier for a core vertex) and
+        ``core_attachments(v)`` (the vertices attached to a core) plus
+        ``is_core(v)`` — the queries
+        :meth:`repro.service.views.ClusteringView.patched` replays over the
+        flip set's dirty region.
+        """
+        ...
+
+
+class FullRebuildDeltaMixin:
+    """Delta surface of backends that cannot track the flip set.
+
+    Mixing this in satisfies the :class:`Clusterer` delta protocol with the
+    honest answer — "recompute everything" — which the view layer turns
+    into a full :meth:`~repro.service.views.ClusteringView.capture`.
+    """
+
+    def drain_view_delta(self) -> ViewDelta:
+        return ViewDelta.full()
+
+
+def drain_view_delta(maintainer: object) -> ViewDelta:
+    """Drain ``maintainer``'s view delta, tolerating legacy backends.
+
+    Plugin backends registered before the delta surface existed simply
+    lack the method; they behave as full-rebuild backends.
+    """
+    drain = getattr(maintainer, "drain_view_delta", None)
+    if drain is None:
+        return ViewDelta.full()
+    return drain()
+
 
 def _group_by_from_clustering(
     clustering: Clustering, query: Iterable[Vertex]
@@ -110,8 +156,13 @@ def _group_by_from_clustering(
     return group_by_membership(clustering.membership(), query)
 
 
-class DynELMClusterer:
-    """``dynelm`` backend: DynELM labels + clustering retrieval on demand."""
+class DynELMClusterer(FullRebuildDeltaMixin):
+    """``dynelm`` backend: DynELM labels + clustering retrieval on demand.
+
+    No view delta: DynELM reports flipped *edges* but maintains neither
+    SimCnt counters nor ``G_core``, so per-vertex membership changes are
+    not derivable without the full retrieval it would be patching around.
+    """
 
     backend_name = "dynelm"
 
@@ -154,7 +205,7 @@ class DynELMClusterer:
         return self.elm.memory_words()
 
 
-class StaticSCANClusterer:
+class StaticSCANClusterer(FullRebuildDeltaMixin):
     """``scan-exact`` backend: maintain only the graph, re-run SCAN per query.
 
     The from-scratch baseline as a maintainer: updates cost O(1) (a graph
@@ -214,7 +265,7 @@ class StaticSCANClusterer:
         return self._memory_model.words(vertex_record=n, adjacency_entry=2 * m)
 
 
-class PScanClusterer:
+class PScanClusterer(FullRebuildDeltaMixin):
     """``pscan`` backend: exact labels maintained by neighbourhood re-scans."""
 
     backend_name = "pscan"
@@ -259,7 +310,7 @@ class PScanClusterer:
         return self.maintainer.memory_words()
 
 
-class HScanClusterer:
+class HScanClusterer(FullRebuildDeltaMixin):
     """``hscan`` backend: the similarity index bound to one (ε, μ) pair.
 
     :class:`IndexedDynamicSCAN` answers any (ε, μ) at query time; behind the

@@ -28,7 +28,7 @@ from repro.core.config import StrCluParams
 from repro.core.dynelm import DynELM, Update, UpdateKind, UpdateResult
 from repro.core.estimator import SimilarityOracle
 from repro.core.labelling import EdgeLabel
-from repro.core.result import Clustering, GroupByResult
+from repro.core.result import Clustering, GroupByResult, ViewDelta
 from repro.graph.dynamic_graph import DynamicGraph, Vertex, canonical_edge
 from repro.instrumentation import MemoryModel, NULL_COUNTER, OpCounter
 
@@ -65,6 +65,9 @@ class DynStrClu:
         )
         self.cores: Set[Vertex] = set()
         self._memory_model = MemoryModel()
+        # flip set accumulated since the last drain_view_delta() — every
+        # vertex whose core status or cluster membership may have changed
+        self._view_flips: Set[Vertex] = set()
 
     # ------------------------------------------------------------------
     # convenience accessors
@@ -164,6 +167,13 @@ class DynStrClu:
             for x in self.aux.similar_neighbours(v):
                 self.aux.set_neighbour_core_status(x, v, v_is_core)
 
+        # the flip set of this update (paper's F, vertex form): the touched
+        # endpoints, plus every vertex attached to a core whose status
+        # flipped — exactly the vertices whose membership can have changed
+        self._view_flips.update(touched)
+        for v in core_flips:
+            self._view_flips.update(self.aux.similar_neighbours(v))
+
         # --- sim-core edge flips (F') and G_core maintenance ------------------
         candidates: Set[Edge] = {edge for edge, _ in events}
         for v in core_flips:
@@ -199,6 +209,34 @@ class DynStrClu:
                 # all incident sim-core edges were removed above, so v is isolated
                 self.cc.remove_vertex(v)
                 self.counter.add("cc_op")
+
+    # ------------------------------------------------------------------
+    # the per-batch delta surface (incremental view publication)
+    # ------------------------------------------------------------------
+    def drain_view_delta(self) -> ViewDelta:
+        """Return (and reset) the flip set accumulated since the last drain.
+
+        DynStrClu is the one backend that tracks the paper's flip set
+        exactly, so its delta is never a full rebuild.  The service layer
+        drains once per micro-batch and patches the published view with the
+        returned vertices (:meth:`repro.service.views.ClusteringView.patched`).
+        """
+        flips = self._view_flips
+        self._view_flips = set()
+        return ViewDelta.of(flips)
+
+    def core_component(self, v: Vertex) -> int:
+        """Opaque ``G_core`` component identifier of a core vertex.
+
+        Only meaningful for current cores; identifiers are consistent at a
+        single moment (two cores share one iff connected) but not stable
+        across updates — callers must re-key per batch.
+        """
+        return self.cc.component_id(v)
+
+    def core_attachments(self, v: Vertex) -> Set[Vertex]:
+        """Every vertex attached to core ``v``: its similar neighbours."""
+        return self.aux.similar_neighbours(v)
 
     # ------------------------------------------------------------------
     # queries

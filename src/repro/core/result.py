@@ -124,6 +124,66 @@ class Clustering:
         }
 
 
+@dataclass(frozen=True)
+class ViewDelta:
+    """What one backend reports about a batch of updates, for view patching.
+
+    The paper's cost argument is that an update perturbs only a small *flip
+    set* of vertices.  A backend that tracks that set reports it here so the
+    service layer can patch its published membership view instead of
+    re-deriving it from scratch; a backend that cannot raises the
+    ``full_rebuild`` flag and the view falls back to a full capture.
+
+    Attributes
+    ----------
+    full_rebuild:
+        True when the backend cannot (or chose not to) track the flip set
+        for the drained window; ``flips`` is meaningless in that case.
+    flips:
+        Every vertex whose core status or cluster membership may have
+        changed since the previous drain.  The set must be a *superset* of
+        the truly changed vertices — over-reporting costs patch time,
+        under-reporting would corrupt the view (the patcher re-checks the
+        closure invariant and falls back to a full capture if violated).
+    """
+
+    full_rebuild: bool
+    flips: FrozenSet = frozenset()
+
+    @classmethod
+    def full(cls) -> "ViewDelta":
+        """The fallback delta: the whole clustering must be re-derived."""
+        return cls(full_rebuild=True)
+
+    @classmethod
+    def of(cls, flips: Iterable[Vertex]) -> "ViewDelta":
+        """A tracked delta covering exactly ``flips``."""
+        return cls(full_rebuild=False, flips=frozenset(flips))
+
+
+def clustering_from_membership(
+    membership: Mapping[Vertex, Iterable[int]],
+    cores: Set[Vertex],
+    hubs: Set[Vertex],
+    noise: Set[Vertex],
+) -> Clustering:
+    """Rebuild a :class:`Clustering` from a vertex→cluster-keys map.
+
+    The inverse of :meth:`Clustering.membership`, used by the incremental
+    views to materialise a full result object on demand.  Cluster keys are
+    opaque; the rebuilt ``clusters`` list orders them by sorted key so the
+    reconstruction is deterministic.
+    """
+    by_key: Dict[int, Set[Vertex]] = {}
+    for v, keys in membership.items():
+        for key in keys:
+            by_key.setdefault(key, set()).add(v)
+    clusters = [by_key[key] for key in sorted(by_key)]
+    return Clustering(
+        clusters=clusters, cores=set(cores), hubs=set(hubs), noise=set(noise)
+    )
+
+
 @dataclass
 class GroupByResult:
     """Result of a cluster-group-by query (Definition 3.2).

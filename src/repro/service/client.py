@@ -20,6 +20,7 @@ from __future__ import annotations
 import http.client
 import json
 import threading
+import time
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from urllib.parse import quote
 
@@ -38,10 +39,16 @@ class ServiceError(RuntimeError):
     errors they fall back to ``"error"`` / ``False``.
     """
 
-    def __init__(self, status: int, document: object) -> None:
+    def __init__(
+        self,
+        status: int,
+        document: object,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         super().__init__(f"service returned {status}: {document!r}")
         self.status = status
         self.document = document
+        self.headers = headers if headers is not None else {}
 
     @property
     def _envelope(self) -> Dict[str, object]:
@@ -67,7 +74,16 @@ class BackpressureError(ServiceError):
     the batch got in (``accepted``), how far behind the writer is
     (``queue_depth`` of ``queue_capacity``) and when to try again
     (``retry_after_ms``).
+
+    ``total_accepted`` equals ``accepted`` for a single attempt; when
+    :meth:`ServiceClient.submit_updates` retried, it is the sum over every
+    attempt — what actually reached the server before giving up.
     """
+
+    @property
+    def total_accepted(self) -> int:
+        """Updates accepted across all attempts (see class docstring)."""
+        return getattr(self, "_total_accepted", self.accepted)
 
     def _int_field(self, name: str) -> int:
         if isinstance(self.document, dict):
@@ -91,6 +107,26 @@ class BackpressureError(ServiceError):
     @property
     def retry_after_ms(self) -> int:
         return self._int_field("retry_after_ms")
+
+    @property
+    def retry_after_s(self) -> float:
+        """When to retry, in seconds: the *smaller* of body and header.
+
+        The JSON body's ``retry_after_ms`` is the precise hint; the
+        ``Retry-After`` header is its integer-second ceiling (coarser,
+        never earlier).  A well-behaved client therefore honours whichever
+        is smaller, and retries immediately when neither is present.
+        """
+        candidates = []
+        if isinstance(self.document, dict) and "retry_after_ms" in self.document:
+            candidates.append(self.retry_after_ms / 1000.0)
+        header = self.headers.get("retry-after")
+        if header is not None:
+            try:
+                candidates.append(float(header))
+            except ValueError:
+                pass
+        return max(0.0, min(candidates)) if candidates else 0.0
 
 
 class ServiceClient:
@@ -132,7 +168,7 @@ class ServiceClient:
     # ------------------------------------------------------------------
     def _request(
         self, method: str, path: str, payload: Optional[object] = None
-    ) -> Tuple[int, object]:
+    ) -> Tuple[int, object, Dict[str, str]]:
         body = None if payload is None else json.dumps(payload).encode("utf-8")
         headers = {"Content-Type": "application/json"} if body is not None else {}
         with self._lock:
@@ -156,17 +192,20 @@ class ServiceClient:
             document = json.loads(raw.decode("utf-8")) if raw else None
         except (UnicodeDecodeError, json.JSONDecodeError):
             document = raw.decode("utf-8", errors="replace")
-        return response.status, document
+        response_headers = {
+            name.lower(): value for name, value in response.getheaders()
+        }
+        return response.status, document, response_headers
 
     def _expect_ok(self, method: str, path: str, payload: Optional[object] = None) -> object:
-        status, document = self._request(method, path, payload)
+        status, document, headers = self._request(method, path, payload)
         if status == 429:
             # on the v1 surface 429 is the only backpressure status; a 503
             # means the engine itself is unavailable and must surface as a
             # plain (retryable) ServiceError, not as load shedding
-            raise BackpressureError(status, document)
+            raise BackpressureError(status, document, headers)
         if not 200 <= status < 300:
-            raise ServiceError(status, document)
+            raise ServiceError(status, document, headers)
         return document
 
     def close(self) -> None:
@@ -240,15 +279,40 @@ class ServiceClient:
         """View statistics plus engine metrics for this client's tenant."""
         return self._expect_ok("GET", self._tenant_path("/stats"))  # type: ignore[return-value]
 
-    def submit_updates(self, updates: Sequence[Update]) -> int:
-        """Submit a batch of updates; returns the accepted count.
+    def submit_updates(
+        self, updates: Sequence[Update], max_retries: int = 0
+    ) -> int:
+        """Submit a batch of updates; returns the total accepted count.
 
-        Raises :class:`BackpressureError` when the server accepted only a
-        prefix (inspect ``.accepted`` / ``.retry_after_ms``).
+        With ``max_retries == 0`` (the default) a shed batch raises
+        :class:`BackpressureError` immediately (inspect ``.accepted`` /
+        ``.retry_after_ms``).  With retries, the client waits the server's
+        suggestion — :attr:`BackpressureError.retry_after_s`, the smaller
+        of the precise JSON ``retry_after_ms`` and the coarse
+        ``Retry-After`` header — then resubmits the unaccepted suffix, up
+        to ``max_retries`` times; the final :class:`BackpressureError` (if
+        any) carries the last attempt's context plus ``total_accepted``,
+        the cumulative count the server applied across every attempt.
         """
-        payload = {"updates": [encode_update(u) for u in updates]}
-        document = self._expect_ok("POST", self._tenant_path("/updates"), payload)
-        return int(document["accepted"])  # type: ignore[index]
+        remaining = list(updates)
+        total_accepted = 0
+        retries = 0
+        while True:
+            payload = {"updates": [encode_update(u) for u in remaining]}
+            try:
+                document = self._expect_ok(
+                    "POST", self._tenant_path("/updates"), payload
+                )
+                return total_accepted + int(document["accepted"])  # type: ignore[index]
+            except BackpressureError as exc:
+                total_accepted += exc.accepted
+                remaining = remaining[exc.accepted :]
+                if retries >= max_retries:
+                    exc._total_accepted = total_accepted
+                    raise
+                retries += 1
+                if exc.retry_after_s > 0.0:
+                    time.sleep(exc.retry_after_s)
 
     def group_by(self, vertices: Iterable[Vertex]) -> GroupByResult:
         """Snapshot-consistent cluster-group-by over ``vertices``."""

@@ -12,6 +12,14 @@ not slow the schedule down — the generator records how far behind schedule
 it fell (``max_lag_s``) and, through the engine's bounded queue, how often
 ingest was shed (``rejected``).  This is the methodology that exposes
 coordinated omission, which a closed loop (wait-for-response) would hide.
+
+The schedule and every recorded duration run on the monotonic clocks
+(``time.monotonic`` for the open-loop ticks, ``time.perf_counter`` for
+request latencies) so a wall-clock step cannot bend the offered rate or
+the histograms — an invariant pinned by ``tests/service/test_time_sources.py``.
+Shed updates are *not* retried here (that would close the loop); clients
+that want retry-with-backoff use ``ServiceClient.submit_updates(...,
+max_retries=N)``, which honours the server's 429 hints.
 """
 
 from __future__ import annotations

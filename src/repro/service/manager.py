@@ -386,6 +386,7 @@ class EngineManager:
             "queue_capacity": total_capacity,
             "ingest": merged.ingest.summary(),
             "query": merged.query.summary(),
+            "view_capture": merged.view_capture_summary(),
         }
 
     # ------------------------------------------------------------------

@@ -27,9 +27,20 @@ from repro.instrumentation import OpCounter
 #: Histogram bucket upper bounds in seconds: 1 µs · 2^k, k = 0..27 (~137 s).
 _BUCKET_BOUNDS: Sequence[float] = tuple(1e-6 * (2.0 ** k) for k in range(28))
 
+#: Where non-finite / absurd samples are clamped: safely inside the overflow
+#: bucket, and finite — so no inf can propagate into percentiles or JSON.
+_OVERFLOW_CLAMP: float = 2.0 * _BUCKET_BOUNDS[-1]
+
 
 class LatencyHistogram:
-    """Fixed-bucket latency histogram with percentile estimation."""
+    """Fixed-bucket latency histogram with percentile estimation.
+
+    Samples are sanitised on the way in so the exported ``/stats`` JSON is
+    always strictly valid (no ``NaN`` / ``Infinity`` literals): a ``NaN``
+    sample is dropped, a negative one clamps to 0, and anything above the
+    top bucket bound (including ``+inf``) clamps to a finite value inside
+    the overflow bucket.
+    """
 
     __slots__ = ("_lock", "_counts", "count", "total", "max_value")
 
@@ -41,7 +52,13 @@ class LatencyHistogram:
         self.max_value = 0.0
 
     def observe(self, seconds: float) -> None:
-        """Record one latency sample (in seconds)."""
+        """Record one latency sample (in seconds); sanitises bad samples."""
+        if seconds != seconds:  # NaN: no meaningful bucket exists — drop it
+            return
+        if seconds < 0.0:
+            seconds = 0.0
+        elif seconds > _OVERFLOW_CLAMP:  # also catches +inf
+            seconds = _OVERFLOW_CLAMP
         idx = bisect_left(_BUCKET_BOUNDS, seconds)
         with self._lock:
             self._counts[idx] += 1
@@ -55,7 +72,19 @@ class LatencyHistogram:
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, p: float) -> float:
-        """Estimate the ``p``-th percentile (``p`` in [0, 100])."""
+        """Estimate the ``p``-th percentile (``p`` in [0, 100]).
+
+        Pinned edge semantics:
+
+        * an **empty** histogram returns ``0.0`` for every ``p``;
+        * ``p = 0`` returns the lower edge of the first non-empty bucket
+          (a lower bound on the observed minimum);
+        * ``p = 100`` returns exactly ``max_value``;
+        * samples in the **overflow bucket** interpolate between the top
+          bucket bound and ``max_value`` — never beyond it;
+        * every estimate is clamped to ``[0, max_value]``, so the result
+          is always finite and never exceeds an actually observed latency.
+        """
         if not 0.0 <= p <= 100.0:
             raise ValueError(f"percentile must be in [0, 100], got {p}")
         with self._lock:
@@ -73,7 +102,8 @@ class LatencyHistogram:
                         if idx < len(_BUCKET_BOUNDS)
                         else self.max_value
                     )
-                    upper = min(upper, self.max_value) if self.max_value else upper
+                    upper = min(upper, self.max_value)
+                    lower = min(lower, upper)
                     fraction = (rank - seen) / bucket_count
                     return lower + (upper - lower) * max(0.0, min(1.0, fraction))
                 seen += bucket_count
@@ -117,16 +147,28 @@ class ServiceMetrics:
     * ``ingest`` — latency of one micro-batch application (WAL append +
       maintainer updates + view publication), observed by the writer thread;
     * ``query`` — latency of one read (group-by / cluster-of / stats);
+    * ``view_capture`` — latency of one view publication (incremental patch
+      or full capture), plus flip-set-size statistics and the
+      ``view_capture_incremental`` / ``view_capture_full`` counters;
     * named counters — ``updates_applied``, ``updates_rejected``,
       ``batches``, ``queries``, ``checkpoints``, ``backpressure`` …
+
+    All elapsed-time inputs come from the monotonic clocks
+    (``time.monotonic`` / ``time.perf_counter``) — wall-clock time is never
+    part of duration arithmetic anywhere in the service layer.
     """
 
     def __init__(self) -> None:
         self.ingest = LatencyHistogram()
         self.query = LatencyHistogram()
+        self.view_capture = LatencyHistogram()
         self.counter = OpCounter()
         self._lock = threading.Lock()
         self._started_at: Optional[float] = None
+        self._flip_count = 0
+        self._flip_total = 0
+        self._flip_max = 0
+        self._flip_last = 0
 
     # ------------------------------------------------------------------
     def start_clock(self) -> None:
@@ -163,6 +205,48 @@ class ServiceMetrics:
         self.query.observe(seconds)
         self.add("queries")
 
+    def observe_view_capture(
+        self, seconds: float, mode: str, flip_set_size: Optional[int] = None
+    ) -> None:
+        """Record one view publication.
+
+        ``mode`` is ``"incremental"`` (patched from the flip set) or
+        ``"full"`` (complete re-capture); ``flip_set_size`` is ``|F|`` as
+        drained from the backend, when the backend tracked one.
+        """
+        self.view_capture.observe(seconds)
+        self.add(f"view_capture_{mode}")
+        if flip_set_size is not None:
+            with self._lock:
+                self._flip_count += 1
+                self._flip_total += flip_set_size
+                self._flip_last = flip_set_size
+                if flip_set_size > self._flip_max:
+                    self._flip_max = flip_set_size
+
+    def flip_set_stats(self) -> Dict[str, float]:
+        """Aggregate statistics of the drained flip-set sizes.
+
+        ``last`` is a per-engine notion (the most recent batch's ``|F|``);
+        fleet-wide merges keep the additive fields and leave it at 0.
+        """
+        with self._lock:
+            count = self._flip_count
+            return {
+                "count": count,
+                "total": self._flip_total,
+                "mean": (self._flip_total / count) if count else 0.0,
+                "max": self._flip_max,
+                "last": self._flip_last,
+            }
+
+    def view_capture_summary(self) -> Dict[str, object]:
+        """The ``view_capture`` stats document: histogram + flip-set stats."""
+        return {
+            **self.view_capture.summary(),
+            "flip_set_size": self.flip_set_stats(),
+        }
+
     # ------------------------------------------------------------------
     def updates_per_second(self) -> float:
         """Ingest throughput over the serving window so far."""
@@ -181,6 +265,7 @@ class ServiceMetrics:
             "counters": counters,
             "ingest": self.ingest.summary(),
             "query": self.query.summary(),
+            "view_capture": self.view_capture_summary(),
         }
 
     @classmethod
@@ -195,8 +280,16 @@ class ServiceMetrics:
         for metrics in all_metrics:
             merged.ingest.merge(metrics.ingest)
             merged.query.merge(metrics.query)
+            merged.view_capture.merge(metrics.view_capture)
+            flips = metrics.flip_set_stats()
             with metrics._lock:
                 counters = metrics.counter.snapshot()
+            with merged._lock:
+                # additive fields only: "last" has no meaningful fleet-wide
+                # aggregate (per-tenant recency is lost), so it stays 0
+                merged._flip_count += int(flips["count"])
+                merged._flip_total += int(flips["total"])
+                merged._flip_max = max(merged._flip_max, int(flips["max"]))
             for name, amount in counters.items():
                 merged.add(name, amount)
         return merged

@@ -115,6 +115,20 @@ def error_envelope(
     return {"error": {"code": code, "message": message, "retryable": retryable}}
 
 
+def retry_after_header(retry_after_ms: int) -> str:
+    """The ``Retry-After`` header value for a 429, from the body's ms hint.
+
+    ``Retry-After`` only speaks integer seconds, so the header is the
+    *ceiling* of the millisecond hint — a header-only client never retries
+    before the suggested moment — and ``0`` is allowed (retry immediately)
+    rather than being rounded up to a fabricated 1 s stall.  Clients that
+    parse the JSON body should honour the smaller, precise
+    ``retry_after_ms`` (see
+    :attr:`repro.service.client.BackpressureError.retry_after_s`).
+    """
+    return str(max(0, math.ceil(retry_after_ms / 1000.0)))
+
+
 def _decode_vertex(value: object) -> Vertex:
     """JSON value → vertex identifier, losslessly.
 
@@ -459,9 +473,7 @@ class ClusteringServiceServer:
                 "queue_capacity": signal.queue_capacity,
                 "retry_after_ms": signal.retry_after_ms,
             }
-            headers = {
-                "Retry-After": str(max(1, math.ceil(signal.retry_after_ms / 1000.0)))
-            }
+            headers = {"Retry-After": retry_after_header(signal.retry_after_ms)}
             return 429, document, headers
         return 200, {"accepted": accepted, "submitted": len(updates)}, {}
 

@@ -51,6 +51,91 @@ class TestLatencyHistogram:
         assert summary["count"] == 1
 
 
+class TestLatencyHistogramEdgeCases:
+    """Pinned semantics for the degenerate percentile inputs."""
+
+    def test_empty_histogram_returns_zero_everywhere(self):
+        histogram = LatencyHistogram()
+        for p in (0.0, 50.0, 100.0):
+            assert histogram.percentile(p) == 0.0
+
+    def test_p0_is_a_lower_bound_on_the_minimum(self):
+        histogram = LatencyHistogram()
+        histogram.observe(0.003)
+        histogram.observe(0.1)
+        p0 = histogram.percentile(0)
+        assert 0.0 < p0 <= 0.003
+
+    def test_p100_is_exactly_the_maximum(self):
+        histogram = LatencyHistogram()
+        for value in (0.004, 0.019, 0.0077):
+            histogram.observe(value)
+        assert histogram.percentile(100) == pytest.approx(0.019)
+
+    def test_all_zero_samples(self):
+        histogram = LatencyHistogram()
+        for _ in range(10):
+            histogram.observe(0.0)
+        assert histogram.percentile(50) == 0.0
+        assert histogram.percentile(100) == 0.0
+        assert histogram.mean == 0.0
+
+    def test_overflow_bucket_never_exceeds_max(self):
+        histogram = LatencyHistogram()
+        huge = 200.0  # beyond the ~137 s top bucket bound
+        histogram.observe(huge)
+        histogram.observe(150.0)
+        for p in (0.0, 50.0, 99.0, 100.0):
+            assert histogram.percentile(p) <= huge
+        assert histogram.percentile(100) == pytest.approx(huge)
+
+    def test_nan_samples_are_dropped(self):
+        histogram = LatencyHistogram()
+        histogram.observe(float("nan"))
+        assert histogram.count == 0
+        histogram.observe(0.01)
+        assert histogram.count == 1
+
+    def test_negative_samples_clamp_to_zero(self):
+        histogram = LatencyHistogram()
+        histogram.observe(-1.0)
+        assert histogram.count == 1
+        assert histogram.max_value == 0.0
+        assert histogram.percentile(100) == 0.0
+
+    def test_infinite_samples_stay_finite_in_stats_json(self):
+        import json
+        import math
+
+        histogram = LatencyHistogram()
+        histogram.observe(float("inf"))
+        histogram.observe(0.5)
+        summary = histogram.summary()
+        for value in summary.values():
+            assert math.isfinite(value)
+        # allow_nan=False raises on NaN/Infinity: the JSON must be strict
+        json.loads(json.dumps(summary, allow_nan=False))
+
+    def test_service_metrics_snapshot_is_strict_json(self):
+        import json
+
+        metrics = ServiceMetrics()
+        metrics.start_clock()
+        metrics.observe_batch(3, float("inf"))
+        metrics.observe_query(float("nan"))
+        metrics.observe_view_capture(0.001, "incremental", flip_set_size=7)
+        metrics.observe_view_capture(0.25, "full")
+        snapshot = metrics.snapshot()
+        json.loads(json.dumps(snapshot, allow_nan=False))
+        capture = snapshot["view_capture"]
+        assert capture["count"] == 2
+        assert capture["flip_set_size"] == {
+            "count": 1, "total": 7, "mean": 7.0, "max": 7, "last": 7,
+        }
+        assert snapshot["counters"]["view_capture_incremental"] == 1
+        assert snapshot["counters"]["view_capture_full"] == 1
+
+
 class TestServiceMetrics:
     def test_counters_and_throughput(self):
         metrics = ServiceMetrics()

@@ -106,7 +106,7 @@ class TestRoutes:
 
     def test_bad_json_body(self, service):
         _engine, client = service
-        status, document = client._request("POST", "/group-by", payload=None)
+        status, document, _headers = client._request("POST", "/group-by", payload=None)
         # no body at all: the server answers 400, not a connection error
         assert status == 400
         assert "error" in document

@@ -1,0 +1,86 @@
+"""Regression tests: wall-clock time never enters duration arithmetic.
+
+The service layer measures every elapsed time with the monotonic clocks
+(``time.monotonic`` for schedules/deadlines, ``time.perf_counter`` for
+latencies); ``time.time()`` is reserved for *event* timestamps — exactly
+one use, the ``published_at`` field of a view.  A wall-clock step (NTP
+correction, manual clock change) must never distort a latency histogram,
+a flush deadline or a load-generation schedule, so this test audits the
+service modules' sources for ``time.time`` references and pins the one
+legitimate exception.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import time
+
+import repro.service.engine
+import repro.service.loadgen
+import repro.service.manager
+import repro.service.metrics
+import repro.service.server
+import repro.service.views
+from repro.core.config import StrCluParams
+from repro.core.dynstrclu import DynStrClu
+from repro.service.views import ClusteringView
+
+#: Modules that must not reference ``time.time`` at all.
+DURATION_ONLY_MODULES = [
+    repro.service.engine,
+    repro.service.metrics,
+    repro.service.loadgen,
+    repro.service.manager,
+    repro.service.server,
+]
+
+
+def _wall_clock_references(module) -> list:
+    """Line numbers of every ``time.time`` attribute reference in a module."""
+    tree = ast.parse(inspect.getsource(module))
+    return [
+        node.lineno
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Attribute)
+        and node.attr == "time"
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "time"
+    ]
+
+
+class TestNoWallClockInDurationMath:
+    def test_service_modules_never_touch_wall_clock(self):
+        for module in DURATION_ONLY_MODULES:
+            references = _wall_clock_references(module)
+            assert references == [], (
+                f"{module.__name__} references time.time at lines {references}; "
+                "elapsed-time measurement must use time.monotonic/perf_counter"
+            )
+
+    def test_views_use_wall_clock_only_for_published_at(self):
+        references = _wall_clock_references(repro.service.views)
+        assert len(references) == 1, (
+            "views.py should reference time.time exactly once "
+            f"(the published_at default), found lines {references}"
+        )
+
+
+class TestPublishedAtStaysWallClock:
+    def test_published_at_is_a_wall_clock_timestamp(self):
+        algo = DynStrClu(StrCluParams(epsilon=0.5, mu=2, rho=0.0))
+        algo.insert_edge(1, 2)
+        before = time.time()
+        view = ClusteringView.capture(algo, version=1)
+        after = time.time()
+        assert before <= view.published_at <= after
+
+    def test_patched_views_get_fresh_timestamps(self):
+        algo = DynStrClu(StrCluParams(epsilon=0.5, mu=2, rho=0.0))
+        algo.insert_edge(1, 2)
+        algo.drain_view_delta()
+        view = ClusteringView.capture(algo, version=1)
+        algo.insert_edge(2, 3)
+        patched = view.patched(algo, algo.drain_view_delta().flips, version=2)
+        assert patched is not None
+        assert patched.published_at >= view.published_at
