@@ -115,6 +115,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "(dynstrclu, dynelm, scan-exact, pscan, hscan)",
     )
     serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="hash partitions of the default tenant's vertex space "
+        "(1: single engine; N > 1: sharded engine with scatter-gather reads)",
+    )
+    serve.add_argument(
         "--data-dir",
         help="default tenant's snapshot+WAL directory; enables durability "
         "and crash recovery (dynstrclu backend only)",
@@ -165,6 +172,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--create-tenants",
         action="store_true",
         help="create the named tenants on the server first (idempotent)",
+    )
+    loadgen.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="shard count for tenants created by --create-tenants or "
+        "--in-process (1: single engine; omitted: the server default)",
     )
     loadgen.add_argument(
         "--vertex-prefix",
@@ -251,10 +265,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.core.dynelm import Update
     from repro.service import (
-        ClusteringEngine,
         ClusteringServiceServer,
         EngineConfig,
         EngineManager,
+        make_engine,
     )
 
     try:
@@ -269,8 +283,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             flush_interval=args.flush_interval,
             queue_capacity=args.queue_capacity,
             checkpoint_every=args.checkpoint_every,
+            shards=args.shards,
         )
-        engine = ClusteringEngine(
+        engine = make_engine(
             params, config=config, data_dir=args.data_dir, backend=args.backend
         )
     except ValueError as exc:
@@ -299,9 +314,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         async def _serve() -> None:
             server = ClusteringServiceServer(manager, host=args.host, port=args.port)
             await server.start()
+            shape = (
+                f"{args.shards} shards" if args.shards > 1 else "single engine"
+            )
             print(
                 f"repro service v1 listening on http://{args.host}:{server.port} "
-                f"(default tenant backend: {args.backend}; "
+                f"(default tenant backend: {args.backend}, {shape}; "
                 f"GET /v1/healthz, GET|POST /v1/tenants, "
                 f"DELETE /v1/tenants/{{t}}, "
                 f"POST /v1/tenants/{{t}}/updates, POST /v1/tenants/{{t}}/group-by, "
@@ -323,6 +341,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_loadgen(args: argparse.Namespace) -> int:
     from repro.service import (
         ClientTarget,
+        EngineConfig,
         EngineManager,
         EngineTarget,
         LoadGenConfig,
@@ -357,12 +376,28 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     manager = None
     clients = []
     targets = {}
+    if args.shards is not None:
+        try:
+            EngineConfig(shards=args.shards)  # the one validation authority
+        except ValueError as exc:
+            print(f"repro loadgen: {exc}", file=sys.stderr)
+            return 2
+    shards = args.shards  # None: inherit the server/manager default
     if args.in_process:
         params = StrCluParams(epsilon=args.epsilon, mu=args.mu, rho=args.rho)
-        manager = EngineManager(params, create_default=("default" in tenants))
+        # the default tenant is built eagerly by the manager itself, so the
+        # requested shard count must be in the inherited config — not only
+        # in the explicit create() calls below
+        manager = EngineManager(
+            params,
+            default_engine_config=(
+                EngineConfig(shards=shards) if shards is not None else None
+            ),
+            create_default=("default" in tenants),
+        )
         for tenant in tenants:
             if tenant not in manager:
-                manager.create(tenant)
+                manager.create(tenant, shards=shards)
             targets[tenant] = EngineTarget(manager.get(tenant))
     else:
         probe = ServiceClient(args.host, args.port)
@@ -382,7 +417,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                 clients.append(client)
             if args.create_tenants:
                 try:
-                    client.create_tenant(exist_ok=True)
+                    client.create_tenant(exist_ok=True, shards=shards)
                 except ServiceError as exc:
                     print(f"repro loadgen: creating tenant {tenant!r}: {exc}",
                           file=sys.stderr)

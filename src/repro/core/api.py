@@ -170,9 +170,10 @@ class DynELMClusterer(FullRebuildDeltaMixin):
         self,
         params: StrCluParams,
         counter: Optional[OpCounter] = None,
+        scope: Optional[Callable[..., bool]] = None,
         **_ignored: object,
     ) -> None:
-        self.elm = DynELM(params, counter=counter)
+        self.elm = DynELM(params, counter=counter, scope=scope)
 
     @property
     def params(self) -> StrCluParams:
@@ -400,8 +401,14 @@ def make_clusterer(
     params: StrCluParams,
     counter: Optional[OpCounter] = None,
     connectivity_backend: str = "hdt",
+    scope: Optional[Callable[..., bool]] = None,
 ) -> Clusterer:
     """Build the named backend from one parameter bundle.
+
+    ``scope`` is the optional edge-labelling scope predicate used by the
+    sharded engine (see :class:`repro.core.dynelm.DynELM`); backends that
+    do not support scoped labelling ignore it — their shard-local results
+    are never consulted for out-of-scope edges by the merge layer.
 
     Raises ``ValueError`` (listing the registered names) for an unknown
     backend, so CLI and HTTP layers can surface the typo directly.
@@ -413,18 +420,22 @@ def make_clusterer(
             f"unknown clustering backend {backend!r}; "
             f"registered: {', '.join(available_backends())}"
         )
-    return factory(
-        params, counter=counter, connectivity_backend=connectivity_backend
-    )
+    kwargs = {"counter": counter, "connectivity_backend": connectivity_backend}
+    if scope is not None:
+        # only forwarded when set, so legacy plugin factories that predate
+        # scoped labelling keep working in the unsharded configuration
+        kwargs["scope"] = scope
+    return factory(params, **kwargs)
 
 
 def _make_dynstrclu(
     params: StrCluParams,
     counter: Optional[OpCounter] = None,
     connectivity_backend: str = "hdt",
+    scope: Optional[Callable[..., bool]] = None,
 ) -> DynStrClu:
     return DynStrClu(
-        params, counter=counter, connectivity_backend=connectivity_backend
+        params, counter=counter, connectivity_backend=connectivity_backend, scope=scope
     )
 
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.affordability import tracking_threshold
 from repro.core.config import StrCluParams
@@ -123,6 +123,18 @@ class DynELM:
         :class:`SamplingSimilarityOracle` (or an exact oracle in exact mode).
     counter:
         Optional :class:`OpCounter` receiving instrumentation events.
+    scope:
+        Optional predicate over edges (``scope(u, v) -> bool``).  An edge
+        outside the scope is maintained as a *graph-only* edge: it enters
+        and leaves :attr:`graph` (so the closed neighbourhoods — and hence
+        the similarities of in-scope edges — stay exact), it still counts
+        as an affecting update at both endpoints, but it is never labelled
+        and never tracked by a DT instance.  This is the primitive behind
+        the sharded engine: a shard labels only the edges it owns while
+        holding the replicated boundary edges for neighbourhood accuracy,
+        and the scatter-gather merge resolves the unlabelled boundary
+        edges from the owning shards' neighbourhoods.  ``None`` (the
+        default) labels every edge — the single-engine behaviour.
 
     Example
     -------
@@ -140,8 +152,10 @@ class DynELM:
         oracle: Optional[SimilarityOracle] = None,
         counter: Optional[OpCounter] = None,
         graph: Optional[DynamicGraph] = None,
+        scope: Optional[Callable[[Vertex, Vertex], bool]] = None,
     ) -> None:
         self.params = params
+        self.scope = scope
         self.counter = counter if counter is not None else NULL_COUNTER
         self.graph = graph if graph is not None else DynamicGraph()
         self.rng = random.Random(params.seed)
@@ -203,6 +217,12 @@ class DynELM:
         self.tracker.increment(w)
         # Step 2 (Case 1): insert, label the new edge, start its DT instance
         self.graph.insert_edge(u, w)
+        if self.scope is not None and not self.scope(u, w):
+            # graph-only edge: it affects the neighbourhoods (hence the
+            # shared counters above and the drain below) but carries no
+            # label and no DT instance of its own
+            flips, relabelled = self._drain(u, w)
+            return UpdateResult(update, EdgeLabel.DISSIMILAR, flips, relabelled)
         label = self.strategy.label(u, w)
         self.labels[update.edge] = label
         tau = tracking_threshold(self.graph, u, w, self.params)
@@ -221,8 +241,14 @@ class DynELM:
         # Step 1
         self.tracker.increment(u)
         self.tracker.increment(w)
-        # Step 2 (Case 2): remember the old label, drop edge, label and DT
-        old_label = self.labels.pop(update.edge)
+        # Step 2 (Case 2): remember the old label, drop edge, label and DT.
+        # A graph-only edge (out of ``scope``) legitimately has neither, so
+        # only that case may default — an in-scope edge missing its label
+        # must still fail loudly (the bookkeeping invariant).
+        if self.scope is not None and not self.scope(u, w):
+            old_label = self.labels.pop(update.edge, EdgeLabel.DISSIMILAR)
+        else:
+            old_label = self.labels.pop(update.edge)
         self.graph.delete_edge(u, w)
         self.tracker.untrack(u, w)
         # Steps 3 and 4

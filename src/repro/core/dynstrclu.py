@@ -19,7 +19,7 @@ identifiers of its sim-core neighbours' components.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.connectivity import make_connectivity
 from repro.connectivity.base import ConnectivityStructure
@@ -56,9 +56,10 @@ class DynStrClu:
         counter: Optional[OpCounter] = None,
         connectivity: Optional[ConnectivityStructure] = None,
         connectivity_backend: str = "hdt",
+        scope: Optional[Callable[[Vertex, Vertex], bool]] = None,
     ) -> None:
         self.counter = counter if counter is not None else NULL_COUNTER
-        self.elm = DynELM(params, oracle=oracle, counter=self.counter)
+        self.elm = DynELM(params, oracle=oracle, counter=self.counter, scope=scope)
         self.aux = VertexAuxInfo()
         self.cc = connectivity if connectivity is not None else make_connectivity(
             connectivity_backend
@@ -88,6 +89,11 @@ class DynStrClu:
     @property
     def labels(self) -> Dict[Edge, EdgeLabel]:
         return self.elm.labels
+
+    @property
+    def scope(self) -> Optional[Callable[[Vertex, Vertex], bool]]:
+        """The edge-labelling scope predicate (``None``: label everything)."""
+        return self.elm.scope
 
     def is_core(self, u: Vertex) -> bool:
         """True when ``u`` currently has at least μ similar neighbours."""

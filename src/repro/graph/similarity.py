@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 from enum import Enum
-from typing import Tuple
+from typing import AbstractSet, Tuple
 
 from repro.graph.dynamic_graph import DynamicGraph, Vertex
 
@@ -90,4 +90,31 @@ def structural_similarity(
         return jaccard_similarity(graph, u, v)
     if kind is SimilarityKind.COSINE:
         return cosine_similarity(graph, u, v)
+    raise ValueError(f"unknown similarity kind: {kind!r}")
+
+
+def pair_similarity(
+    closed_u: AbstractSet[Vertex],
+    closed_v: AbstractSet[Vertex],
+    kind: SimilarityKind = SimilarityKind.JACCARD,
+) -> float:
+    """The same similarities, computed from two *closed* neighbourhoods.
+
+    The set-based form of :func:`structural_similarity` for callers that
+    hold ``N[u]`` / ``N[v]`` without a graph object — the sharded read
+    path resolves boundary-edge similarities from the owner shards'
+    exported neighbourhoods this way.  Kept in this module so the two
+    forms cannot silently diverge (the cosine denominator follows the
+    same closed-size convention documented on :func:`cosine_similarity`;
+    the property suite pins agreement with the graph-based functions).
+    The adjacency-of-the-pair convention is the caller's: this function
+    does not check ``has_edge``.
+    """
+    inter = len(closed_u & closed_v)
+    if kind is SimilarityKind.JACCARD:
+        union = len(closed_u) + len(closed_v) - inter
+        return inter / union if union else 0.0
+    if kind is SimilarityKind.COSINE:
+        denom = math.sqrt(len(closed_u) * len(closed_v))
+        return inter / denom if denom else 0.0
     raise ValueError(f"unknown similarity kind: {kind!r}")

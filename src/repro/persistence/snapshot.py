@@ -57,7 +57,10 @@ class StateSnapshot:
     vertices:
         Every vertex of the graph (including isolated ones).
     labelled_edges:
-        Every edge together with its maintained label.
+        Every edge together with its maintained label.  A *graph-only*
+        edge (outside the instance's labelling scope — see
+        :class:`repro.core.dynelm.DynELM`) is stored with label ``None``
+        and restored without a label or DT instance.
     updates_processed:
         Number of updates the snapshotted instance had processed; restored
         instances continue the count (it feeds the δ_i schedule bookkeeping
@@ -66,7 +69,9 @@ class StateSnapshot:
 
     params: StrCluParams
     vertices: List[Vertex] = field(default_factory=list)
-    labelled_edges: List[Tuple[Vertex, Vertex, EdgeLabel]] = field(default_factory=list)
+    labelled_edges: List[Tuple[Vertex, Vertex, Optional[EdgeLabel]]] = field(
+        default_factory=list
+    )
     updates_processed: int = 0
 
     # ------------------------------------------------------------------
@@ -81,7 +86,11 @@ class StateSnapshot:
             "updates_processed": self.updates_processed,
             "vertices": [_vertex_to_json(v) for v in self.vertices],
             "edges": [
-                [_vertex_to_json(u), _vertex_to_json(v), label.value]
+                [
+                    _vertex_to_json(u),
+                    _vertex_to_json(v),
+                    None if label is None else label.value,
+                ]
                 for u, v, label in self.labelled_edges
             ],
         }
@@ -106,7 +115,7 @@ class StateSnapshot:
                 (
                     _vertex_from_json(entry[0]),
                     _vertex_from_json(entry[1]),
-                    EdgeLabel(entry[2]),
+                    None if entry[2] is None else EdgeLabel(entry[2]),
                 )
                 for entry in document.get("edges", [])
             ]
@@ -145,9 +154,11 @@ class StateSnapshot:
         return len(self.labelled_edges)
 
     def labels(self) -> Dict[Edge, EdgeLabel]:
-        """Edge-label mapping keyed by canonical edges."""
+        """Edge-label mapping keyed by canonical edges (graph-only edges omitted)."""
         return {
-            canonical_edge(u, v): label for u, v, label in self.labelled_edges
+            canonical_edge(u, v): label
+            for u, v, label in self.labelled_edges
+            if label is not None
         }
 
 
@@ -169,10 +180,15 @@ def take_snapshot(algo: Union[DynELM, DynStrClu]) -> StateSnapshot:
     """
     elm = algo.elm if isinstance(algo, DynStrClu) else algo
     vertices = sorted(elm.graph.vertices(), key=repr)
-    edges = [
-        (u, v, elm.labels[canonical_edge(u, v)])
-        for u, v in sorted(elm.graph.edges(), key=repr)
-    ]
+    edges = []
+    for u, v in sorted(elm.graph.edges(), key=repr):
+        edge = canonical_edge(u, v)
+        if elm.scope is not None and not elm.scope(u, v):
+            edges.append((u, v, elm.labels.get(edge)))  # graph-only edge
+        else:
+            # an in-scope edge missing its label is a bookkeeping bug and
+            # must fail the checkpoint loudly, not persist as unlabelled
+            edges.append((u, v, elm.labels[edge]))
     return StateSnapshot(
         params=elm.params,
         vertices=vertices,
@@ -211,6 +227,8 @@ def restore_dynelm(snapshot: StateSnapshot, **kwargs) -> DynELM:
     for u, v, _label in snapshot.labelled_edges:
         graph.insert_edge(u, v)
     for u, v, label in snapshot.labelled_edges:
+        if label is None:  # graph-only edge (out of labelling scope)
+            continue
         edge = canonical_edge(u, v)
         elm.labels[edge] = label
         tau = tracking_threshold(graph, u, v, snapshot.params)
@@ -242,8 +260,13 @@ def restore_dynstrclu(
     algo = DynStrClu(
         snapshot.params, connectivity_backend=connectivity_backend, **kwargs
     )
-    # --- ELM ---------------------------------------------------------------
-    restored_elm = restore_dynelm(snapshot)
+    # --- ELM (kwargs forwarded so a ``scope`` predicate survives restore) ---
+    elm_kwargs = {
+        key: value
+        for key, value in kwargs.items()
+        if key in ("oracle", "counter", "scope", "graph")
+    }
+    restored_elm = restore_dynelm(snapshot, **elm_kwargs)
     algo.elm = restored_elm
 
     # --- vAuxInfo and the core set ------------------------------------------

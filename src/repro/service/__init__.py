@@ -14,9 +14,15 @@ hosts many isolated tenants behind one versioned HTTP surface:
 * :mod:`repro.service.views` — :class:`ClusteringView`, the immutable
   snapshot published atomically after each batch; all reads are lock-free
   and observe exactly one prefix of the update stream;
+* :mod:`repro.service.sharding` — :class:`ShardedEngine`, ``N`` inner
+  engines over a stable hash partition of the vertex space: cross-shard
+  edges replicated to both endpoint shards (graph-only, so owned
+  neighbourhoods stay exact), per-shard scoped labelling, scatter-gather
+  merged reads (:class:`ShardedView`) memoised per view tuple, and
+  per-shard WAL/snapshot durability;
 * :mod:`repro.service.manager` — :class:`EngineManager`, many named
-  engines (per-tenant params, backend, queue quota, data directory) with
-  runtime tenant create/delete;
+  engines (per-tenant params, backend, queue quota, shard count, data
+  directory) with runtime tenant create/delete;
 * :mod:`repro.service.server` / :mod:`repro.service.client` — a
   stdlib-only asyncio JSON-over-HTTP front-end serving the versioned
   ``/v1/tenants/{tenant}/...`` API (legacy unversioned routes map to the
@@ -50,6 +56,7 @@ from repro.service.manager import (
     DEFAULT_TENANT,
     EngineManager,
     TenantConfig,
+    TenantDeleteError,
     TenantError,
     TenantExistsError,
     TenantLimitError,
@@ -57,16 +64,29 @@ from repro.service.manager import (
 )
 from repro.service.metrics import LatencyHistogram, ServiceMetrics
 from repro.service.server import BackgroundServer, ClusteringServiceServer
+from repro.service.sharding import (
+    ShardedEngine,
+    ShardedView,
+    ShardExport,
+    make_engine,
+    shard_of,
+)
 from repro.service.views import ClusteringView
 
 __all__ = [
     "ClusteringEngine",
+    "ShardedEngine",
+    "ShardedView",
+    "ShardExport",
+    "make_engine",
+    "shard_of",
     "EngineConfig",
     "EngineError",
     "EngineBackpressure",
     "EngineClosed",
     "EngineManager",
     "TenantConfig",
+    "TenantDeleteError",
     "TenantError",
     "TenantExistsError",
     "TenantLimitError",

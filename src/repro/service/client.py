@@ -239,13 +239,16 @@ class ServiceClient:
         queue_capacity: Optional[int] = None,
         params: Optional[Dict[str, object]] = None,
         exist_ok: bool = False,
+        shards: Optional[int] = None,
     ) -> Dict[str, object]:
         """Create a tenant (the client's own tenant when ``name`` is None).
 
         ``params`` is a partial override of the server's default parameter
-        bundle (e.g. ``{"epsilon": 0.4, "mu": 3}``).  With ``exist_ok`` a
-        409 from an already-existing tenant is swallowed and the existing
-        tenant's description returned.
+        bundle (e.g. ``{"epsilon": 0.4, "mu": 3}``).  ``shards`` selects
+        the tenant's engine shape: ``1`` (or ``None``, the server default)
+        is a single engine, ``N > 1`` a hash-partitioned sharded engine.
+        With ``exist_ok`` a 409 from an already-existing tenant is
+        swallowed and the existing tenant's description returned.
         """
         tenant = name if name is not None else self.tenant
         payload: Dict[str, object] = {"tenant": tenant}
@@ -255,6 +258,8 @@ class ServiceClient:
             payload["queue_capacity"] = queue_capacity
         if params is not None:
             payload["params"] = params
+        if shards is not None:
+            payload["shards"] = shards
         try:
             return self._expect_ok("POST", "/v1/tenants", payload)  # type: ignore[return-value]
         except ServiceError as exc:

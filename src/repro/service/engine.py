@@ -49,7 +49,7 @@ import time
 import warnings
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.core.api import (
     SNAPSHOT_CAPABLE_BACKENDS,
@@ -69,6 +69,11 @@ from repro.service.views import ClusteringView
 #: File names inside an engine's data directory.
 SNAPSHOT_FILE = "snapshot.json"
 WAL_FILE = "wal.log"
+
+#: Upper bound on hash partitions per engine: every shard is a maintainer
+#: plus a writer thread and queues, so an unbounded request-supplied value
+#: would let one tenant-create exhaust the process (threads, memory).
+MAX_SHARDS = 64
 
 
 class EngineError(RuntimeError):
@@ -118,6 +123,65 @@ class _Stop:
     __slots__ = ()
 
 
+def retry_hint_ms(queue_depth: int, config: "EngineConfig") -> int:
+    """Backpressure retry suggestion shared by both engine shapes.
+
+    The writer drains roughly one batch per flush interval, so the time
+    until a backlog clears is ``depth / batch_size`` intervals; the
+    suggestion is clamped to [1 ms, 30 s].
+    """
+    intervals = max(1.0, queue_depth / config.batch_size)
+    hint = int(1000.0 * config.flush_interval * intervals)
+    return max(1, min(hint, 30_000))
+
+
+def put_control(
+    q: "queue.Queue[object]",
+    item: object,
+    thread: Optional[threading.Thread],
+) -> bool:
+    """Enqueue a control sentinel without blocking on a dead consumer.
+
+    A writer/router that died with its queue full would otherwise hang the
+    closing thread forever on a blocking put.  Returns true when the item
+    was enqueued; false when the consumer thread is (or became) not alive
+    — the caller just joins it and moves on.
+    """
+    while True:
+        if thread is None or not thread.is_alive():
+            return False
+        try:
+            q.put(item, timeout=0.1)
+            return True
+        except queue.Full:
+            continue
+
+
+def await_flush_marker(
+    marker: _Flush,
+    raise_failure: Callable[[], None],
+    timeout: Optional[float],
+) -> bool:
+    """Wait for a flush marker in short slices (shared by both shapes).
+
+    Returns true when the marker was set within ``timeout``; re-checks the
+    pipeline's failure probe every slice so a writer/router death after
+    the marker was enqueued surfaces instead of deadlocking.
+    """
+    deadline = None if timeout is None else time.monotonic() + timeout
+    while True:
+        raise_failure()
+        slice_timeout = 0.1
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return False
+            slice_timeout = min(slice_timeout, remaining)
+        if marker.event.wait(slice_timeout):
+            raise_failure()
+            return True
+
+
 @dataclass(frozen=True)
 class EngineConfig:
     """Tuning knobs of the ingest pipeline.
@@ -149,6 +213,15 @@ class EngineConfig:
         exceeds this fraction of the graph's vertices — beyond that point
         the full retrieval is cheaper than patching.  (A small absolute
         floor keeps tiny graphs on the incremental path.)
+    shards:
+        How many hash partitions the vertex space is split into.  ``1``
+        (the default) is the single-writer engine described above; ``> 1``
+        selects the sharded composition
+        (:class:`repro.service.sharding.ShardedEngine`) when the engine is
+        built through :func:`repro.service.sharding.make_engine` or the
+        tenant manager.  A :class:`ClusteringEngine` constructed directly
+        ignores the field — it is a deployment-shape knob, not an inner
+        engine tuning knob.
     """
 
     batch_size: int = 64
@@ -158,6 +231,7 @@ class EngineConfig:
     fsync_each_batch: bool = False
     incremental_views: bool = True
     view_rebuild_fraction: float = 0.5
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
@@ -170,6 +244,8 @@ class EngineConfig:
             raise ValueError("checkpoint_every must be >= 0")
         if not 0.0 <= self.view_rebuild_fraction <= 1.0:
             raise ValueError("view_rebuild_fraction must be in [0, 1]")
+        if not 1 <= self.shards <= MAX_SHARDS:
+            raise ValueError(f"shards must be in [1, {MAX_SHARDS}]")
 
 
 class ClusteringEngine:
@@ -195,16 +271,19 @@ class ClusteringEngine:
         connectivity_backend: str = "hdt",
         metrics: Optional[ServiceMetrics] = None,
         backend: str = "dynstrclu",
+        label_scope: Optional[Callable[[Vertex, Vertex], bool]] = None,
     ) -> None:
         self.config = config if config is not None else EngineConfig()
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.data_dir = Path(data_dir) if data_dir is not None else None
         self.backend = backend.strip().lower()
+        self.label_scope = label_scope
         self._queue: "queue.Queue[object]" = queue.Queue(
             maxsize=self.config.queue_capacity
         )
         self._thread: Optional[threading.Thread] = None
         self._closed = False
+        self._close_lock = threading.Lock()
         self._failure: Optional[BaseException] = None
         self._wal: Optional[UpdateLogWriter] = None
         self._updates_at_checkpoint = 0
@@ -218,7 +297,7 @@ class ClusteringEngine:
                 )
             self.data_dir.mkdir(parents=True, exist_ok=True)
             self.maintainer, recovered = _recover(
-                self.data_dir, params, connectivity_backend
+                self.data_dir, params, connectivity_backend, label_scope
             )
             self.recovered_updates = recovered
             if params is not None and self.maintainer.params != params:
@@ -233,7 +312,10 @@ class ClusteringEngine:
             if params is None:
                 raise ValueError("either params or a data_dir with a snapshot is required")
             self.maintainer: Clusterer = make_clusterer(
-                self.backend, params, connectivity_backend=connectivity_backend
+                self.backend,
+                params,
+                connectivity_backend=connectivity_backend,
+                scope=label_scope,
             )
             self.recovered_updates = 0
 
@@ -280,24 +362,66 @@ class ClusteringEngine:
         return self._thread is not None and self._thread.is_alive()
 
     @property
+    def params(self) -> StrCluParams:
+        """The maintainer's parameter bundle (shared engine-shape surface)."""
+        return self.maintainer.params
+
+    @property
     def queue_depth(self) -> int:
         """Updates currently waiting in the ingest queue (approximate)."""
         return self._queue.qsize()
 
+    @property
+    def total_queue_capacity(self) -> int:
+        """Upper bound of :attr:`queue_depth` (shared engine-shape surface)."""
+        return self.config.queue_capacity
+
     def close(self, checkpoint: bool = True) -> None:
         """Stop the writer, optionally cut a final checkpoint, close the WAL.
 
-        Idempotent: a second call is a no-op.
+        Idempotent: a second call is a no-op.  The engine only counts as
+        closed once everything — final checkpoint included — succeeded: if
+        the checkpoint raises (disk full, permissions), the writer thread
+        is restarted and the engine stays fully open, so callers that
+        promised a clean failure (``EngineManager.delete``) can really
+        retry the close and ingestion keeps working in the meantime.
+
+        Serialised: a concurrent ``close()`` waits for the in-flight one
+        rather than observing its half-latched state as success — if the
+        first attempt fails and reverts, the second runs its own full
+        attempt (this is what makes concurrent tenant deletes sound).
         """
+        with self._close_lock:
+            self._close_locked(checkpoint)
+
+    def _close_locked(self, checkpoint: bool) -> None:
         if self._closed:
             return
+        # latch first so new submits are rejected loudly; a submit that
+        # already passed the check and lands behind the stop marker is
+        # still applied by the writer's final drain (see _next_batch) —
+        # between the two, an accepted update is never silently lost.
+        # The flag is reverted below if the final checkpoint fails.
         self._closed = True
+        was_running = self._thread is not None
         if self._thread is not None:
-            self._queue.put(_Stop())
+            put_control(self._queue, _Stop(), self._thread)
             self._thread.join()
             self._thread = None
         if checkpoint and self.data_dir is not None and self._failure is None:
-            self._checkpoint()
+            try:
+                self._checkpoint()
+            except BaseException:
+                # reopen for business: the close did not happen
+                if was_running:
+                    self._thread = threading.Thread(
+                        target=self._writer_loop,
+                        name="clustering-engine-writer",
+                        daemon=True,
+                    )
+                    self._thread.start()
+                self._closed = False
+                raise
         if self._wal is not None:
             self._wal.close()
             self._wal = None
@@ -314,7 +438,7 @@ class ClusteringEngine:
             return
         self._closed = True
         if self._thread is not None:
-            self._queue.put(_Stop())
+            put_control(self._queue, _Stop(), self._thread)
             self._thread.join()
             self._thread = None
         self._wal = None  # drop the handle without fsync/close bookkeeping
@@ -386,19 +510,10 @@ class ClusteringEngine:
         if self._thread is None:
             raise EngineError("engine is not running; call start() first")
         marker = _Flush()
-        self._queue.put(marker)
-        deadline = None if timeout is None else time.monotonic() + timeout
-        while True:
+        if not put_control(self._queue, marker, self._thread):
             self._raise_writer_failure()
-            slice_timeout = 0.1
-            if deadline is not None:
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    return False
-                slice_timeout = min(slice_timeout, remaining)
-            if marker.event.wait(slice_timeout):
-                self._raise_writer_failure()
-                return True
+            raise EngineError("engine writer is not running")
+        return await_flush_marker(marker, self._raise_writer_failure, timeout)
 
     # ------------------------------------------------------------------
     # read path (lock-free: all reads go through the published view)
@@ -406,6 +521,11 @@ class ClusteringEngine:
     def view(self) -> ClusteringView:
         """The most recently published immutable view."""
         return self._view
+
+    @property
+    def view_version(self) -> int:
+        """Version of the current view — O(1), shared engine-shape surface."""
+        return self._view.version
 
     def cluster_of(self, v: Vertex) -> Tuple[int, ...]:
         """Cluster indices of ``v`` in the current view (timed)."""
@@ -445,14 +565,11 @@ class ClusteringEngine:
         """
         depth = self.queue_depth
         config = self.config
-        intervals = max(1.0, depth / config.batch_size)
-        retry_after_ms = int(1000.0 * config.flush_interval * intervals)
-        retry_after_ms = max(1, min(retry_after_ms, 30_000))
         return EngineBackpressure(
             f"ingest queue full ({config.queue_capacity} updates)",
             queue_depth=depth,
             queue_capacity=config.queue_capacity,
-            retry_after_ms=retry_after_ms,
+            retry_after_ms=retry_hint_ms(depth, config),
         )
 
     # ------------------------------------------------------------------
@@ -488,6 +605,20 @@ class ClusteringEngine:
             except queue.Empty:
                 break
             if isinstance(item, _Stop):
+                # drain the close/submit race window: a submit that passed
+                # the _closed check just before close() latched it may have
+                # enqueued behind the stop marker — an accepted update (or
+                # a waiting flush marker) must be honoured, not silently
+                # dropped with the writer's exit
+                while True:
+                    try:
+                        tail = self._queue.get_nowait()
+                    except queue.Empty:
+                        break
+                    if isinstance(tail, _Flush):
+                        flushes.append(tail)
+                    elif not isinstance(tail, _Stop):
+                        batch.append(tail)
                 return batch, flushes, True
             if isinstance(item, _Flush):
                 # everything submitted before the marker is already in
@@ -557,10 +688,19 @@ class ClusteringEngine:
         if view is None:
             mode = "full"
             view = ClusteringView.capture(self.maintainer, self.applied)
+        self._decorate_view(view, delta, mode)
         self._view = view
         self.metrics.observe_view_capture(
             time.perf_counter() - start, mode, flip_set_size
         )
+
+    def _decorate_view(self, view: ClusteringView, delta, mode: str) -> None:
+        """Hook run (in the writer thread) just before a view is published.
+
+        The base engine publishes views as-is; the sharded composition
+        overrides this to capture the shard's export (owned adjacency and
+        similar-neighbour maps) atomically with the view it describes.
+        """
 
     def _applicable(self, update: Update) -> bool:
         """Pre-validate an update against the live graph.
@@ -638,17 +778,22 @@ def _recover(
     data_dir: Path,
     params: Optional[StrCluParams],
     connectivity_backend: str,
+    label_scope: Optional[Callable[[Vertex, Vertex], bool]] = None,
 ) -> Tuple[DynStrClu, int]:
     """Rebuild the maintainer from ``snapshot + WAL suffix``.
 
-    Returns the maintainer and the number of WAL entries replayed.
+    Returns the maintainer and the number of WAL entries replayed.  The
+    ``label_scope`` predicate (per-shard labelling scope) must be supplied
+    *before* the WAL replay so replayed out-of-scope edges stay graph-only.
     """
     snapshot_path = data_dir / SNAPSHOT_FILE
     wal_path = data_dir / WAL_FILE
     if snapshot_path.exists():
         snapshot = load_snapshot(snapshot_path)
         maintainer = restore_dynstrclu(
-            snapshot, connectivity_backend=connectivity_backend
+            snapshot,
+            connectivity_backend=connectivity_backend,
+            scope=label_scope,
         )
         applied_at_snapshot = snapshot.updates_processed
     else:
@@ -656,7 +801,9 @@ def _recover(
             raise ValueError(
                 f"no snapshot in {data_dir} and no params to start fresh from"
             )
-        maintainer = DynStrClu(params, connectivity_backend=connectivity_backend)
+        maintainer = DynStrClu(
+            params, connectivity_backend=connectivity_backend, scope=label_scope
+        )
         applied_at_snapshot = 0
 
     replayed = 0

@@ -35,6 +35,7 @@ from repro.graph.dynamic_graph import Vertex
 from repro.service.client import BackpressureError, ServiceClient
 from repro.service.engine import ClusteringEngine, EngineBackpressure
 from repro.service.metrics import ServiceMetrics
+from repro.service.sharding import AnyEngine
 
 
 class LoadTarget(Protocol):
@@ -50,9 +51,9 @@ class LoadTarget(Protocol):
 
 @dataclass
 class EngineTarget:
-    """Drive an in-process engine directly (no HTTP)."""
+    """Drive an in-process engine (either shape) directly, no HTTP."""
 
-    engine: ClusteringEngine
+    engine: AnyEngine
 
     def submit_updates(self, updates: Sequence[Update]) -> int:
         try:

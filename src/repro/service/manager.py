@@ -30,6 +30,7 @@ from repro.core.api import SNAPSHOT_CAPABLE_BACKENDS, available_backends
 from repro.core.config import StrCluParams
 from repro.service.engine import ClusteringEngine, EngineConfig
 from repro.service.metrics import ServiceMetrics
+from repro.service.sharding import AnyEngine, ShardedEngine, make_engine
 
 #: Tenant names are path segments: one release of URL-safety by construction.
 _TENANT_NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
@@ -63,6 +64,20 @@ class TenantLimitError(TenantError):
     """Creating the tenant would exceed the manager's quota (HTTP 409)."""
 
 
+class TenantDeleteError(TenantError):
+    """Deleting the tenant failed because its engine refused to close.
+
+    The tenant stays fully registered (no half-deleted state): its engine,
+    config and ownership records are all still in place and reads keep
+    working against the published views.  A plain engine whose final
+    checkpoint failed reopens its writer, so its ingestion continues too;
+    a sharded engine whose close partially succeeded rejects new submits
+    with ``EngineClosed`` (loudly — never a silent black hole) until a
+    later :meth:`EngineManager.delete` retry completes the close (HTTP
+    500, retryable).
+    """
+
+
 @dataclass(frozen=True)
 class TenantConfig:
     """Everything that shapes one tenant's engine.
@@ -77,7 +92,11 @@ class TenantConfig:
     backend:
         Backend-registry name (see :func:`repro.core.api.available_backends`).
     engine:
-        Ingest tuning — ``queue_capacity`` doubles as the tenant's quota.
+        Ingest tuning — ``queue_capacity`` doubles as the tenant's quota,
+        and ``engine.shards`` selects the tenant's engine shape (1: a
+        single :class:`ClusteringEngine`; N > 1: a
+        :class:`~repro.service.sharding.ShardedEngine` over N hash
+        partitions, exposed via the :attr:`shards` convenience property).
     durable:
         When true (and the manager has a ``data_root``) the tenant gets a
         WAL + snapshot directory; requires a snapshot-capable backend.
@@ -101,6 +120,11 @@ class TenantConfig:
                 f"registered: {', '.join(available_backends())}"
             )
         object.__setattr__(self, "backend", key)
+
+    @property
+    def shards(self) -> int:
+        """Number of hash partitions of this tenant's engine (1: unsharded)."""
+        return self.engine.shards
 
 
 def validate_tenant_name(name: str) -> str:
@@ -158,6 +182,7 @@ class EngineManager:
         self._configs: Dict[str, TenantConfig] = {}
         self._owned: Dict[str, bool] = {}
         self._closed = False
+        self._close_completed = False
         if create_default:
             self.create(DEFAULT_TENANT)
 
@@ -165,24 +190,30 @@ class EngineManager:
     # construction helpers
     # ------------------------------------------------------------------
     @classmethod
-    def adopt(cls, engine: ClusteringEngine, name: str = DEFAULT_TENANT) -> "EngineManager":
+    def adopt(cls, engine: AnyEngine, name: str = DEFAULT_TENANT) -> "EngineManager":
         """Wrap a caller-owned engine as the sole (default) tenant.
 
         The single-tenant compatibility path: ``BackgroundServer(engine)``
         and tests that construct an engine directly still work against the
-        multi-tenant server.  The adopted engine's lifecycle stays with the
-        caller — deleting its tenant (or closing the manager) deregisters
-        it without closing it.
+        multi-tenant server.  Both engine shapes are adoptable — ``repro
+        serve --shards N`` adopts a :class:`ShardedEngine` this way.  The
+        adopted engine's lifecycle stays with the caller — deleting its
+        tenant (or closing the manager) deregisters it without closing it.
+
+        The adopted engine's shard count is *not* inherited as the default
+        for dynamically created tenants: `repro serve --shards 4` shards
+        the default tenant, while `POST /v1/tenants` keeps its documented
+        default of a single engine unless the payload asks for shards.
         """
         manager = cls(
-            default_params=engine.maintainer.params,
-            default_engine_config=engine.config,
+            default_params=engine.params,
+            default_engine_config=replace(engine.config, shards=1),
             default_backend=engine.backend,
             create_default=False,
         )
         config = TenantConfig(
             name=name,
-            params=engine.maintainer.params,
+            params=engine.params,
             backend=engine.backend,
             engine=engine.config,
             durable=engine.data_dir is not None,
@@ -204,18 +235,26 @@ class EngineManager:
         engine_config: Optional[EngineConfig] = None,
         queue_capacity: Optional[int] = None,
         durable: bool = True,
-    ) -> ClusteringEngine:
+        shards: Optional[int] = None,
+    ) -> AnyEngine:
         """Create (and start) a tenant's engine; returns it.
 
         ``queue_capacity`` is the per-tenant ingest quota shortcut: it
         overrides just that field of the inherited engine config.
+        ``shards`` likewise overrides the config's shard count — ``1``
+        builds today's single engine, ``N > 1`` a hash-partitioned
+        :class:`~repro.service.sharding.ShardedEngine` whose shards
+        persist under ``data_root/<tenant>/shard-<i>/``.
 
         Raises :class:`TenantExistsError` / :class:`TenantLimitError`, or
-        ``ValueError`` for a bad name, backend or parameter bundle.
+        ``ValueError`` for a bad name, backend, shard count or parameter
+        bundle.
         """
         config = engine_config if engine_config is not None else self.default_engine_config
         if queue_capacity is not None:
             config = replace(config, queue_capacity=queue_capacity)
+        if shards is not None:
+            config = replace(config, shards=shards)
         tenant = TenantConfig(
             name=name,
             params=params if params is not None else self.default_params,
@@ -246,7 +285,7 @@ class EngineManager:
             self._configs[tenant.name] = tenant
             self._owned[tenant.name] = True
         try:
-            engine = ClusteringEngine(
+            engine = make_engine(
                 tenant.params,
                 config=tenant.engine,
                 data_dir=data_dir,
@@ -274,7 +313,7 @@ class EngineManager:
             )
         return engine
 
-    def get(self, name: str) -> ClusteringEngine:
+    def get(self, name: str) -> AnyEngine:
         """The named tenant's engine; raises :class:`UnknownTenantError`.
 
         A tenant whose engine is still being built (mid-``create``) is
@@ -295,25 +334,47 @@ class EngineManager:
         return config
 
     def delete(self, name: str, checkpoint: bool = True) -> None:
-        """Delete a tenant: deregister it and close its engine.
+        """Delete a tenant: close its engine, *then* deregister it.
 
         The engine is closed with a final checkpoint (unless disabled), so
         a durable tenant can be re-created later from its ``data_root``
         directory.  Adopted engines are deregistered but left running —
         their lifecycle belongs to the caller.
+
+        Close-before-deregister makes deletion fail *cleanly*: if the
+        engine (or, for a sharded tenant, any inner shard engine) refuses
+        to close, :class:`TenantDeleteError` is raised and the tenant stays
+        fully registered — never a half-deleted ghost whose engine still
+        runs.  A retry re-attempts the close (closing twice is a no-op).
         """
         with self._lock:
-            engine = self._engines.pop(name, None)
-            self._configs.pop(name, None)
-            owned = self._owned.pop(name, False)
-        if engine is None:
-            raise UnknownTenantError(f"no tenant named {name!r}")
-        if isinstance(engine, _Reserved):
-            # mid-create: the builder notices the reservation vanished and
-            # discards its engine; nothing to close here
-            return
+            engine = self._engines.get(name)
+            if engine is None:
+                raise UnknownTenantError(f"no tenant named {name!r}")
+            owned = self._owned.get(name, False)
+            if isinstance(engine, _Reserved):
+                # mid-create: deregister the reservation; the builder
+                # notices it vanished and discards its engine
+                self._engines.pop(name, None)
+                self._configs.pop(name, None)
+                self._owned.pop(name, None)
+                return
         if owned:
-            engine.close(checkpoint=checkpoint)
+            try:
+                engine.close(checkpoint=checkpoint)
+            except BaseException as exc:
+                raise TenantDeleteError(
+                    f"tenant {name!r} was not deleted: its engine failed to "
+                    f"close ({exc}); the tenant remains registered — retry "
+                    "the delete"
+                ) from exc
+        with self._lock:
+            # deregister only the engine we closed (a concurrent
+            # delete+recreate must not have its fresh tenant removed)
+            if self._engines.get(name) is engine:
+                self._engines.pop(name, None)
+                self._configs.pop(name, None)
+                self._owned.pop(name, None)
 
     def __contains__(self, name: str) -> bool:
         with self._lock:
@@ -332,7 +393,7 @@ class EngineManager:
                 if not isinstance(engine, _Reserved)
             )
 
-    def engines(self) -> List[ClusteringEngine]:
+    def engines(self) -> List[AnyEngine]:
         """Snapshot list of the hosted engines (safe to use without the lock)."""
         with self._lock:
             return [
@@ -341,6 +402,16 @@ class EngineManager:
                 if not isinstance(engine, _Reserved)
             ]
 
+    def items(self) -> List[tuple]:
+        """Snapshot ``(name, engine)`` pairs of the ready tenants, sorted."""
+        with self._lock:
+            pairs = [
+                (name, engine)
+                for name, engine in self._engines.items()
+                if not isinstance(engine, _Reserved)
+            ]
+        return sorted(pairs, key=lambda pair: pair[0])
+
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
@@ -348,16 +419,18 @@ class EngineManager:
         """One tenant's headline document (the ``GET /v1/tenants`` row)."""
         engine = self.get(name)
         config = self.config_of(name)
-        view = engine.view()
         return {
             "tenant": name,
             "backend": config.backend,
             "running": engine.running,
             "applied": engine.applied,
-            "view_version": view.version,
+            # O(1) on both engine shapes: the listing and describe must
+            # never force a sharded tenant's scatter-gather merge
+            "view_version": engine.view_version,
             "queue_depth": engine.queue_depth,
-            "queue_capacity": engine.config.queue_capacity,
+            "queue_capacity": engine.total_queue_capacity,
             "durable": engine.data_dir is not None,
+            "shards": getattr(engine, "num_shards", 1),
         }
 
     def list_tenants(self) -> List[Dict[str, object]]:
@@ -365,25 +438,46 @@ class EngineManager:
         return [self.describe(name) for name in self.names()]
 
     def aggregate(self) -> Dict[str, object]:
-        """Totals across tenants (for ``/v1/healthz`` and capacity planning)."""
+        """Totals across tenants (for ``/v1/healthz`` and capacity planning).
+
+        The ``shards`` sub-document surfaces the partitioned tenants:
+        total inner engines hosted and the per-shard queue depths of every
+        sharded tenant (a hot shard is visible from the health endpoint
+        without a per-tenant stats round-trip).
+        """
         total_applied = 0
         total_depth = 0
         total_capacity = 0
         running = 0
-        engines = self.engines()
-        for engine in engines:
+        total_engines = 0
+        shard_depths: Dict[str, List[int]] = {}
+        pairs = self.items()
+        all_metrics: List[ServiceMetrics] = []
+        for name, engine in pairs:
             total_applied += engine.applied
             total_depth += engine.queue_depth
-            total_capacity += engine.config.queue_capacity
+            total_capacity += engine.total_queue_capacity
             if engine.running:
                 running += 1
-        merged = ServiceMetrics.merged(engine.metrics for engine in engines)
+            all_metrics.append(engine.metrics)
+            inner = getattr(engine, "shards", None)
+            if isinstance(inner, list):  # a ShardedEngine's inner engines
+                total_engines += len(inner)
+                shard_depths[name] = [shard.queue_depth for shard in inner]
+                all_metrics.extend(shard.metrics for shard in inner)
+            else:
+                total_engines += 1
+        merged = ServiceMetrics.merged(all_metrics)
         return {
-            "tenants": len(engines),
+            "tenants": len(pairs),
             "running": running,
             "applied": total_applied,
             "queue_depth": total_depth,
             "queue_capacity": total_capacity,
+            "shards": {
+                "engines": total_engines,
+                "queue_depths": shard_depths,
+            },
             "ingest": merged.ingest.summary(),
             "query": merged.query.summary(),
             "view_capture": merged.view_capture_summary(),
@@ -393,21 +487,37 @@ class EngineManager:
     # lifecycle
     # ------------------------------------------------------------------
     def close(self, checkpoint: bool = True) -> None:
-        """Close every owned engine (final checkpoints included).  Idempotent."""
+        """Close every owned engine (final checkpoints included).  Idempotent.
+
+        Every engine gets its close attempt even when an earlier one fails;
+        the first failure is re-raised afterwards.  The registry is only
+        cleared once *every* close succeeded — a failed final checkpoint
+        (which reopens its engine) leaves the engine reachable through the
+        manager and a ``close()`` retry re-attempts it, mirroring
+        :meth:`delete`'s close-before-deregister discipline.
+        """
         with self._lock:
-            if self._closed:
+            if self._close_completed:
                 return
-            self._closed = True
+            self._closed = True  # no new tenants from here on
             engines = [
                 (engine, self._owned.get(name, False))
                 for name, engine in self._engines.items()
             ]
+        failures: List[BaseException] = []
+        for engine, owned in engines:
+            if owned and not isinstance(engine, _Reserved):
+                try:
+                    engine.close(checkpoint=checkpoint)
+                except BaseException as exc:
+                    failures.append(exc)
+        if failures:
+            raise failures[0]
+        with self._lock:
             self._engines.clear()
             self._configs.clear()
             self._owned.clear()
-        for engine, owned in engines:
-            if owned and not isinstance(engine, _Reserved):
-                engine.close(checkpoint=checkpoint)
+            self._close_completed = True
 
     def __enter__(self) -> "EngineManager":
         return self

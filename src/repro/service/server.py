@@ -67,10 +67,12 @@ from repro.service.engine import (
 )
 from repro.service.manager import (
     EngineManager,
+    TenantDeleteError,
     TenantExistsError,
     TenantLimitError,
     UnknownTenantError,
 )
+from repro.service.sharding import ShardedEngine
 
 #: Largest accepted request body (1 MiB keeps parsing trivially safe).
 MAX_BODY_BYTES = 1 << 20
@@ -181,11 +183,11 @@ class ClusteringServiceServer:
 
     def __init__(
         self,
-        manager: Union[EngineManager, ClusteringEngine],
+        manager: Union[EngineManager, ClusteringEngine, ShardedEngine],
         host: str = "127.0.0.1",
         port: int = 0,
     ) -> None:
-        if isinstance(manager, ClusteringEngine):
+        if isinstance(manager, (ClusteringEngine, ShardedEngine)):
             manager = EngineManager.adopt(manager)
         self.manager = manager
         self.host = host
@@ -284,6 +286,11 @@ class ClusteringServiceServer:
             return 409, error_envelope("tenant_exists", str(exc)), {}
         except TenantLimitError as exc:
             return 409, error_envelope("tenant_limit", str(exc)), {}
+        except TenantDeleteError as exc:
+            # the engine refused to close: the tenant is still fully
+            # registered (no half-deleted state) and the delete is safe to
+            # retry — a structured, retryable server-side failure
+            return 500, error_envelope("tenant_delete_failed", str(exc), True), {}
         except EngineError as exc:
             # engine closed or its writer died: the service is unavailable,
             # but the connection (and the error) must still reach the client
@@ -428,6 +435,11 @@ class ClusteringServiceServer:
             isinstance(queue_capacity, bool) or not isinstance(queue_capacity, int)
         ):
             raise BadRequest(f'"queue_capacity" must be an int, got {queue_capacity!r}')
+        shards = payload.get("shards")
+        if shards is not None and (
+            isinstance(shards, bool) or not isinstance(shards, int)
+        ):
+            raise BadRequest(f'"shards" must be an int, got {shards!r}')
         params = None
         if "params" in payload:
             params = _decode_params(payload["params"], self.manager.default_params)
@@ -437,6 +449,7 @@ class ClusteringServiceServer:
                 params=params,
                 backend=backend,
                 queue_capacity=queue_capacity,
+                shards=shards,
             )
         except ValueError as exc:
             raise BadRequest(str(exc)) from exc
@@ -607,7 +620,7 @@ class BackgroundServer:
 
     def __init__(
         self,
-        manager: Union[EngineManager, ClusteringEngine],
+        manager: Union[EngineManager, ClusteringEngine, ShardedEngine],
         host: str = "127.0.0.1",
         port: int = 0,
     ) -> None:

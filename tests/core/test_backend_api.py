@@ -48,15 +48,19 @@ class TestRegistry:
             register_backend("dynstrclu", lambda params, **kw: None)
 
     def test_replace_allows_override_and_restore(self):
+        from repro.core.api import _BACKENDS
+
         original = make_clusterer("dynstrclu", PARAMS)
+        factory = _BACKENDS["dynstrclu"]
         sentinel = object()
         register_backend("dynstrclu", lambda params, **kw: sentinel, replace=True)
         try:
             assert make_clusterer("dynstrclu", PARAMS) is sentinel
         finally:
-            register_backend(
-                "dynstrclu", lambda params, **kw: DynStrClu(params), replace=True
-            )
+            # restore the *genuine* factory: a lossy lambda would drop
+            # keyword plumbing (scope, connectivity_backend) for every
+            # later test in the process
+            register_backend("dynstrclu", factory, replace=True)
         assert isinstance(make_clusterer("dynstrclu", PARAMS), type(original))
 
 

@@ -113,3 +113,34 @@ class TestDispatch:
     def test_kind_enum_from_string(self):
         assert SimilarityKind("jaccard") is SimilarityKind.JACCARD
         assert SimilarityKind("cosine") is SimilarityKind.COSINE
+
+
+class TestPairSimilarityAgreement:
+    def test_set_based_form_matches_graph_based_form(self):
+        """pair_similarity (the sharded merge's form) must agree exactly
+        with structural_similarity for every edge and both kinds."""
+        import random
+
+        from repro.graph.dynamic_graph import DynamicGraph
+        from repro.graph.similarity import (
+            SimilarityKind,
+            pair_similarity,
+            structural_similarity,
+        )
+
+        rng = random.Random(13)
+        graph = DynamicGraph()
+        for _ in range(120):
+            u, v = rng.randrange(18), rng.randrange(18)
+            if u == v or graph.has_edge(u, v):
+                continue
+            graph.insert_edge(u, v)
+        for u, v in graph.edges():
+            for kind in (SimilarityKind.JACCARD, SimilarityKind.COSINE):
+                expected = structural_similarity(graph, u, v, kind)
+                got = pair_similarity(
+                    graph.closed_neighbourhood(u),
+                    graph.closed_neighbourhood(v),
+                    kind,
+                )
+                assert got == expected, (u, v, kind)

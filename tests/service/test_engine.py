@@ -269,3 +269,62 @@ class TestRecovery:
             assert clusterings_equal(
                 engine.view().clustering, sequential.clustering()
             )
+
+
+class TestFailedFinalCheckpoint:
+    def test_close_reopens_the_writer_when_the_checkpoint_fails(
+        self, tmp_path, monkeypatch
+    ):
+        """A failed final checkpoint must not latch the engine closed:
+        the writer reopens, ingest keeps working, and a retried close
+        really re-attempts (and completes) the checkpoint."""
+        engine = ClusteringEngine(
+            PARAMS,
+            config=EngineConfig(batch_size=8, flush_interval=0.005),
+            data_dir=tmp_path,
+        ).start()
+        for update in TRIANGLES:
+            engine.submit(update)
+        engine.flush(timeout=10)
+
+        import repro.service.engine as engine_module
+
+        def boom(algo):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(engine_module, "take_snapshot", boom)
+        with pytest.raises(OSError, match="disk full"):
+            engine.close()
+        # the engine is NOT closed: ingestion still works end to end
+        assert engine.running
+        engine.submit(Update.insert(7, 8))
+        assert engine.flush(timeout=10)
+        assert engine.applied == len(TRIANGLES) + 1
+
+        monkeypatch.undo()
+        engine.close()  # the retry cuts the real final checkpoint
+        assert not engine.running
+        assert (tmp_path / "snapshot.json").exists()
+
+        recovered = ClusteringEngine(PARAMS, data_dir=tmp_path)
+        assert recovered.applied == len(TRIANGLES) + 1
+        recovered.close(checkpoint=False)
+
+
+class TestCloseRaceWindow:
+    def test_update_enqueued_behind_the_stop_marker_is_applied(self):
+        """A submit that passed the closed check just before close() must
+        not be acknowledged-then-lost: the writer drains past _Stop."""
+        from repro.service.engine import _Stop
+
+        engine = ClusteringEngine(
+            PARAMS, config=EngineConfig(batch_size=8, flush_interval=0.005)
+        ).start()
+        for update in TRIANGLES[:3]:
+            engine.submit(update)
+        engine.flush(timeout=10)
+        engine._queue.put(_Stop())
+        engine._queue.put(Update.insert(7, 8))  # the racing submit
+        engine.close(checkpoint=False)
+        assert engine.applied == 4
+        assert engine.view().version == 4

@@ -10,11 +10,13 @@ from repro.service.engine import ClusteringEngine, EngineConfig
 from repro.service.manager import (
     EngineManager,
     TenantConfig,
+    TenantDeleteError,
     TenantExistsError,
     TenantLimitError,
     UnknownTenantError,
     validate_tenant_name,
 )
+from repro.service.sharding import ShardedEngine
 
 PARAMS = StrCluParams(epsilon=0.5, mu=2, rho=0.0)
 FAST = EngineConfig(batch_size=8, flush_interval=0.01)
@@ -146,6 +148,140 @@ class TestAdoption:
         engine.close(checkpoint=False)
 
 
+class TestShardedTenants:
+    def test_create_builds_a_sharded_engine(self, manager):
+        engine = manager.create("wide", shards=3)
+        assert isinstance(engine, ShardedEngine)
+        assert engine.num_shards == 3
+        assert manager.config_of("wide").shards == 3
+        for update in TRIANGLE:
+            engine.submit(update)
+        engine.flush(timeout=10)
+        row = manager.describe("wide")
+        assert row["shards"] == 3
+        assert row["applied"] == 3
+        manager.delete("wide")
+        assert "wide" not in manager
+
+    def test_unsharded_tenants_report_one_shard(self, manager):
+        assert manager.describe("default")["shards"] == 1
+
+    def test_adopting_a_sharded_engine_keeps_single_shard_defaults(self):
+        """Regression: `serve --shards 4` shards the adopted default
+        tenant, but dynamically created tenants keep the documented
+        default of a single engine."""
+        engine = ShardedEngine(PARAMS, config=EngineConfig(shards=4)).start()
+        try:
+            manager = EngineManager.adopt(engine)
+            assert manager.describe("default")["shards"] == 4
+            created = manager.create("plain")
+            assert not isinstance(created, ShardedEngine)
+            assert manager.describe("plain")["shards"] == 1
+            sharded = manager.create("wide", shards=2)
+            assert isinstance(sharded, ShardedEngine)
+            manager.close()
+        finally:
+            engine.close(checkpoint=False)
+
+    def test_sharded_tenants_persist_under_data_root(self, tmp_path):
+        with EngineManager(
+            PARAMS, default_engine_config=FAST, data_root=tmp_path
+        ) as m:
+            engine = m.create("wide", shards=2)
+            for update in TRIANGLE:
+                engine.submit(update)
+            engine.flush(timeout=10)
+            m.delete("wide")  # closes with a final checkpoint
+            assert (tmp_path / "wide" / "shard-0" / "snapshot.json").exists()
+            assert (tmp_path / "wide" / "shard-1" / "snapshot.json").exists()
+            revived = m.create("wide", shards=2)
+            assert revived.applied == 3
+            groups = revived.group_by([1, 2, 3]).as_sets()
+            assert sorted(map(sorted, groups)) == [[1, 2, 3]]
+
+    def test_delete_fails_cleanly_when_a_shard_refuses_to_close(
+        self, manager, monkeypatch
+    ):
+        """Regression (sharded tenant): a failed close must not leave a
+        half-deleted tenant — the registration survives, reads keep
+        working, and a retry completes the delete."""
+        engine = manager.create("wide", shards=3)
+        for update in TRIANGLE:
+            engine.submit(update)
+        engine.flush(timeout=10)
+
+        original = ClusteringEngine.close
+
+        def failing_close(self, checkpoint=True):
+            if self is engine.shards[1]:
+                raise RuntimeError("shard 1 refuses to close")
+            return original(self, checkpoint=checkpoint)
+
+        monkeypatch.setattr(ClusteringEngine, "close", failing_close)
+        with pytest.raises(TenantDeleteError, match="remains registered"):
+            manager.delete("wide")
+        # no half-deleted state: still registered, still readable
+        assert "wide" in manager
+        assert manager.get("wide") is engine
+        assert manager.config_of("wide").shards == 3
+        assert manager.describe("wide")["tenant"] == "wide"
+        groups = engine.group_by([1, 2, 3]).as_sets()
+        assert sorted(map(sorted, groups)) == [[1, 2, 3]]
+        # writes are rejected *loudly* while the engine is mid-close —
+        # never silently swallowed into a stopped router
+        from repro.service.engine import EngineClosed
+
+        with pytest.raises(EngineClosed):
+            engine.submit(Update.insert(7, 8))
+
+        monkeypatch.setattr(ClusteringEngine, "close", original)
+        manager.delete("wide")  # the retry completes
+        assert "wide" not in manager
+        with pytest.raises(UnknownTenantError):
+            manager.get("wide")
+
+    def test_manager_close_failure_keeps_engines_reachable_and_retryable(
+        self, monkeypatch
+    ):
+        """A failed engine close during manager shutdown must not orphan a
+        running engine behind a cleared registry — the tenant stays
+        reachable and a close() retry completes."""
+        manager = EngineManager(PARAMS, default_engine_config=FAST)
+        engine = manager.get("default")
+        original = ClusteringEngine.close
+
+        def failing_close(self, checkpoint=True):
+            raise RuntimeError("checkpoint broke")
+
+        monkeypatch.setattr(ClusteringEngine, "close", failing_close)
+        with pytest.raises(RuntimeError, match="checkpoint broke"):
+            manager.close()
+        # still reachable, still running, not half-shut-down
+        assert "default" in manager
+        assert manager.get("default") is engine
+        assert engine.running
+        monkeypatch.setattr(ClusteringEngine, "close", original)
+        manager.close()  # the retry completes
+        assert len(manager) == 0
+        assert not engine.running
+
+    def test_delete_failure_of_a_plain_tenant_is_also_clean(
+        self, manager, monkeypatch
+    ):
+        engine = manager.create("solo")
+        monkeypatch.setattr(
+            engine, "close", lambda checkpoint=True: (_ for _ in ()).throw(
+                RuntimeError("stuck")
+            )
+        )
+        with pytest.raises(TenantDeleteError):
+            manager.delete("solo")
+        assert "solo" in manager
+        monkeypatch.undo()
+        manager.delete("solo")
+        assert "solo" not in manager
+
+
 class TestIntrospection:
     def test_describe_and_aggregate(self, manager):
         manager.create("a", queue_capacity=16)
@@ -163,3 +299,16 @@ class TestIntrospection:
         assert aggregate["ingest"]["count"] >= 1
         listing = manager.list_tenants()
         assert [row["tenant"] for row in listing] == ["a", "default"]
+
+    def test_aggregate_exposes_per_shard_depths(self, manager):
+        manager.create("wide", shards=2)
+        engine = manager.get("wide")
+        for update in TRIANGLE:
+            engine.submit(update)
+        engine.flush(timeout=10)
+        aggregate = manager.aggregate()
+        shards = aggregate["shards"]
+        # default (1 engine) + wide (2 inner engines)
+        assert shards["engines"] == 3
+        assert shards["queue_depths"]["wide"] == [0, 0]
+        assert "default" not in shards["queue_depths"]

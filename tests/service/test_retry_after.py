@@ -15,6 +15,7 @@ from repro.core.dynelm import Update
 from repro.service.client import BackpressureError, ServiceClient
 from repro.service.engine import ClusteringEngine, EngineConfig
 from repro.service.server import BackgroundServer, retry_after_header
+from repro.service.sharding import ShardedEngine
 
 PARAMS = StrCluParams(epsilon=0.5, mu=2, rho=0.0)
 
@@ -154,3 +155,71 @@ class TestClientRetries:
     def test_total_accepted_defaults_to_accepted(self):
         exc = BackpressureError(429, {"accepted": 5})
         assert exc.total_accepted == 5
+
+
+class TestShardedBackpressure:
+    """The sharded engine's merged load-shedding contract.
+
+    A partially accepted submit must report the *exact* accepted prefix
+    (the router queue is the single admission point — no update is ever
+    half-replicated), and the merged ``retry_after_ms`` is the max over
+    the per-shard signals: the slowest shard gates the retry.
+    """
+
+    def test_partial_accept_reports_exact_prefix_and_merged_hint(self):
+        # a never-started sharded engine: the router queue (capacity 6) is
+        # the precise admission boundary
+        engine = ShardedEngine(
+            PARAMS, config=EngineConfig(shards=3, queue_capacity=6)
+        )
+        try:
+            updates = [Update.insert(i, i + 1) for i in range(15)]
+            accepted = engine.submit_many(updates, block=False)
+            assert accepted == 6
+            signal = engine.backpressure_signal()
+            per_shard = [
+                shard.backpressure_signal().retry_after_ms
+                for shard in engine.shards
+            ]
+            assert signal.retry_after_ms >= max(per_shard)
+            # capacity reports the whole pipeline bound: router + 3 shards
+            assert signal.queue_capacity == engine.total_queue_capacity == 24
+        finally:
+            engine.close(checkpoint=False)
+
+    def test_merged_retry_after_tracks_the_slowest_shard(self):
+        engine = ShardedEngine(
+            PARAMS,
+            config=EngineConfig(shards=2, queue_capacity=128, batch_size=4),
+        )
+        try:
+            slow = engine.shards[0]
+            for i in range(128):
+                slow.submit(Update.insert(i, i + 1), block=False)
+            per_shard = [
+                shard.backpressure_signal().retry_after_ms
+                for shard in engine.shards
+            ]
+            assert engine.backpressure_signal().retry_after_ms == max(per_shard)
+        finally:
+            engine.close(checkpoint=False)
+
+    def test_http_429_carries_the_merged_hint(self):
+        engine = ShardedEngine(
+            PARAMS, config=EngineConfig(shards=2, queue_capacity=4)
+        )
+        try:
+            with BackgroundServer(engine) as background:
+                client = ServiceClient("127.0.0.1", background.port)
+                with pytest.raises(BackpressureError) as excinfo:
+                    client.submit_updates(
+                        [Update.insert(i, i + 1) for i in range(10, 30)]
+                    )
+                exc = excinfo.value
+                assert exc.accepted == 4  # the exact admitted prefix
+                assert exc.retry_after_ms >= 1
+                header = int(exc.headers["retry-after"])
+                assert header == -(-exc.retry_after_ms // 1000)  # ceil
+                client.close()
+        finally:
+            engine.close(checkpoint=False)

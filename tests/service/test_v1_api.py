@@ -350,3 +350,56 @@ class TestLegacyRoutes:
         status, _headers, document = _raw(background, "GET", "/updates")
         assert status == 405
         assert isinstance(document["error"], str)
+
+
+class TestShardedTenantsOverHTTP:
+    """The sharded engine behind the unchanged v1 surface."""
+
+    def test_create_drive_and_inspect_a_sharded_tenant(self, service):
+        _manager, background, client = service
+        row = client.create_tenant("wide", shards=2)
+        assert row["shards"] == 2
+        wide = client.for_tenant("wide")
+        assert wide.submit_updates(TRIANGLES) == len(TRIANGLES)
+        _manager.get("wide").flush(timeout=10)
+
+        stats = wide.stats()
+        assert stats["num_shards"] == 2
+        assert [s["shard"] for s in stats["shards"]] == [0, 1]
+        assert all("queue_depth" in s for s in stats["shards"])
+        assert stats["applied"] == len(TRIANGLES)
+
+        groups = wide.group_by([1, 2, 3, 4, 5, 6])
+        assert sorted(sorted(g) for g in groups.as_sets()) == [
+            [1, 2, 3],
+            [4, 5, 6],
+        ]
+        assert wide.cluster_of(1) == wide.cluster_of(2)
+
+        health = client.healthz()
+        assert health["shards"]["engines"] >= 3  # default + 2 inner engines
+        assert health["shards"]["queue_depths"]["wide"] == [0, 0]
+        wide.close()
+
+    def test_invalid_shards_payload_is_a_400(self, service):
+        _manager, background, _client = service
+        status, _headers, document = _raw(
+            background, "POST", "/v1/tenants", {"tenant": "x", "shards": "four"}
+        )
+        assert status == 400
+        assert document["error"]["code"] == "bad_request"
+        status, _headers, document = _raw(
+            background, "POST", "/v1/tenants", {"tenant": "x", "shards": 0}
+        )
+        assert status == 400
+
+    def test_sharded_tenant_isolation_over_the_wire(self, service):
+        _manager, background, client = service
+        client.create_tenant("wide", shards=3)
+        wide = client.for_tenant("wide")
+        wide.submit_updates(TRIANGLES)
+        _manager.get("wide").flush(timeout=10)
+        # the default tenant saw nothing
+        assert client.stats()["applied"] == 0
+        assert client.group_by([1, 2, 3]).as_sets() == []
+        wide.close()

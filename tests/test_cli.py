@@ -96,3 +96,54 @@ class TestExperiment:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestLoadgenSharding:
+    def test_in_process_shards_apply_to_every_tenant_including_default(
+        self, monkeypatch
+    ):
+        """Regression: --in-process --shards N must shape the eagerly
+        created default tenant too, not only explicitly created ones."""
+        import repro.service as service_module
+
+        engine_types = {}
+        original = service_module.EngineManager
+
+        class SpyManager(original):
+            def create(self, name, *args, **kwargs):
+                engine = super().create(name, *args, **kwargs)
+                engine_types[name] = type(engine).__name__
+                return engine
+
+        monkeypatch.setattr(service_module, "EngineManager", SpyManager)
+        status = main(
+            [
+                "loadgen",
+                "--in-process",
+                "--shards",
+                "2",
+                "--tenant",
+                "default",
+                "--tenant",
+                "other",
+                "--dataset",
+                "email",
+                "--updates",
+                "40",
+                "--query-ratio",
+                "0",
+            ]
+        )
+        assert status == 0
+        assert engine_types == {
+            "default": "ShardedEngine",
+            "other": "ShardedEngine",
+        }
+
+    def test_invalid_shard_count_is_rejected(self, capsys):
+        for bad in ("0", "100000"):
+            status = main(
+                ["loadgen", "--in-process", "--shards", bad, "--dataset", "email"]
+            )
+            assert status == 2
+            assert "shards must be in [1, 64]" in capsys.readouterr().err
