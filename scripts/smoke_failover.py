@@ -1,0 +1,394 @@
+#!/usr/bin/env python
+"""Failover smoke gate: kill the primary mid-stream, promote the standby.
+
+The CI counterpart of the replication subsystem's core promise, exercised
+end-to-end through real processes:
+
+1. start a **primary** ``repro serve`` subprocess with a data root and
+   create two durable tenants on it: ``solo`` (1 shard) and ``wide``
+   (4 shards);
+2. start a **standby** ``repro serve`` subprocess and create both tenants
+   there as ``replica_of`` the primary — WAL shippers begin replaying;
+3. drive the primary with ``repro loadgen`` (a mixed two-tenant stream)
+   and ``SIGKILL`` the primary mid-stream once the standby has replicated
+   a minimum prefix;
+4. **promote** both standby tenants (one through ``repro promote``, one
+   through the client API) — the primary being dead, fencing is skipped;
+5. assert **exact cluster equivalence at the acked WAL position**: for
+   each tenant, rebuild the primary's state from its on-disk snapshot +
+   WAL truncated to the standby's acked per-shard positions, and require
+   the promoted standby to partition a probe set identically;
+6. assert **post-promotion writes succeed** against both promoted tenants.
+
+Exits non-zero (with a diagnostic) on any violation — wired into CI as
+the ``failover-smoke`` job.  Run locally with::
+
+    PYTHONPATH=src python scripts/smoke_failover.py
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.dynelm import Update
+from repro.persistence.snapshot import load_snapshot, restore_dynstrclu
+from repro.persistence.updatelog import UpdateLogReader, list_wal_segments
+from repro.service import EngineConfig, ServiceClient, ServiceError
+from repro.service.sharding import ShardedEngine
+
+SOLO, WIDE = "solo", "wide"
+UPDATES = 12000
+MIN_REPLICATED = 300  # positions each tenant must reach before the kill
+PROBE = [f"{tenant}:{i}" for tenant in (SOLO, WIDE) for i in range(120)]
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _fail(message: str) -> None:
+    print(f"SMOKE FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def _wait_healthy(port: int, timeout: float = 20.0) -> None:
+    deadline = time.monotonic() + timeout
+    last: Exception | None = None
+    while time.monotonic() < deadline:
+        try:
+            with ServiceClient("127.0.0.1", port, timeout=2.0) as client:
+                client.healthz()
+                return
+        except (OSError, ServiceError) as exc:
+            last = exc
+            time.sleep(0.2)
+    _fail(f"server on port {port} never became healthy: {last}")
+
+
+def _serve(port: int, data_root: Path) -> subprocess.Popen:
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            str(port),
+            "--data-root",
+            str(data_root),
+            "--epsilon",
+            "0.3",
+            "--mu",
+            "2",
+            "--rho",
+            "0",
+        ],
+    )
+
+
+def _loadgen(port: int) -> subprocess.Popen:
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "loadgen",
+            "--port",
+            str(port),
+            "--tenant",
+            SOLO,
+            "--tenant",
+            WIDE,
+            "--dataset",
+            "email",
+            "--updates",
+            str(UPDATES),
+            "--query-ratio",
+            "0.02",
+            "--seed",
+            "0",
+        ],
+    )
+
+
+def _standby_positions(client: ServiceClient) -> list[int]:
+    block = client.stats().get("replication")
+    if not isinstance(block, dict):
+        _fail(f"tenant {client.tenant!r} has no replication stats block")
+    return [int(row["position"]) for row in block["shards"]]
+
+
+def _groups(document: dict) -> set:
+    return {
+        frozenset(members)
+        for members in (
+            group for group in (v for v in document["groups"].values())
+        )
+        if members
+    }
+
+
+def _solo_reference(tenant_dir: Path, position: int, probe) -> tuple:
+    """Sequential replay of the primary's snapshot + WAL prefix [0, P).
+
+    Returns ``(groups, num_edges)`` — the edge count makes the
+    equivalence check meaningful even when the prefix happens to hold no
+    clusters over the probe set.
+    """
+    snapshot = load_snapshot(tenant_dir / "snapshot.json")
+    algo = restore_dynstrclu(snapshot)
+    replayed = snapshot.updates_processed
+    for segment in list_wal_segments(tenant_dir, active_name="wal.log"):
+        if replayed >= position:
+            break
+        reader = UpdateLogReader(segment.path, tolerate_torn_tail=True)
+        cursor = segment.base
+        for update in reader:
+            if cursor >= replayed and replayed < position:
+                algo.apply(update)
+                replayed += 1
+            cursor += 1
+    if replayed != position:
+        _fail(
+            f"primary WAL of {tenant_dir} only rebuilds to {replayed}, "
+            f"but the standby acked {position}"
+        )
+    groups = {frozenset(group) for group in algo.group_by(probe).as_sets() if group}
+    return groups, algo.graph.num_edges
+
+
+def _truncate_wal(path: Path, keep_entries: int) -> None:
+    """Rewrite a WAL keeping its header block and the first N entries."""
+    kept: list[str] = []
+    entries = 0
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            stripped = line.strip()
+            if stripped and not stripped.startswith("#"):
+                if entries >= keep_entries or not line.endswith("\n"):
+                    continue
+                entries += 1
+            kept.append(line)
+    if entries < keep_entries:
+        _fail(f"{path} holds only {entries} entries, needed {keep_entries}")
+    path.write_text("".join(kept), encoding="utf-8")
+
+
+def _wide_reference(tenant_dir: Path, positions: list[int], probe) -> tuple:
+    """The primary's merged clustering at the standby's per-shard positions.
+
+    Each shard's copied WAL is truncated to the acked prefix and the
+    sharded engine re-opened (reconciliation off: the acked cut is
+    per-shard exact and must not be "repaired").
+    """
+    copy = Path(tempfile.mkdtemp(prefix="failover-ref-")) / "wide"
+    shutil.copytree(tenant_dir, copy)
+    for index, position in enumerate(positions):
+        shard_dir = copy / f"shard-{index}"
+        base = 0
+        snapshot_path = shard_dir / "snapshot.json"
+        if snapshot_path.exists():
+            base = json.loads(snapshot_path.read_text(encoding="utf-8")).get(
+                "updates_processed", 0
+            )
+        _truncate_wal(shard_dir / "wal.log", position - base)
+    engine = ShardedEngine(
+        config=EngineConfig(shards=len(positions)), data_dir=copy, reconcile=False
+    )
+    try:
+        groups = {
+            frozenset(group)
+            for group in engine.group_by(probe).as_sets()
+            if group
+        }
+        return groups, engine.view().stats()["num_edges"]
+    finally:
+        engine.kill()
+
+
+def main() -> int:
+    tmp = Path(tempfile.mkdtemp(prefix="failover-smoke-"))
+    primary_root = tmp / "primary"
+    standby_root = tmp / "standby"
+    primary_port, standby_port = _free_port(), _free_port()
+    primary = _serve(primary_port, primary_root)
+    standby = _serve(standby_port, standby_root)
+    loadgen: subprocess.Popen | None = None
+    try:
+        _wait_healthy(primary_port)
+        _wait_healthy(standby_port)
+        with ServiceClient("127.0.0.1", primary_port) as admin:
+            solo_row = admin.create_tenant(SOLO, shards=1)
+            wide_row = admin.create_tenant(WIDE, shards=4)
+            if solo_row["shards"] != 1 or wide_row["shards"] != 4:
+                _fail(f"unexpected tenant shapes: {solo_row} / {wide_row}")
+
+        standby_admin = ServiceClient("127.0.0.1", standby_port)
+        solo_client = standby_admin.for_tenant(SOLO)
+        wide_client = standby_admin.for_tenant(WIDE)
+        for name in (SOLO, WIDE):
+            row = standby_admin.create_tenant(
+                name, replica_of=f"127.0.0.1:{primary_port}"
+            )
+            if row.get("replica_of") != f"127.0.0.1:{primary_port}":
+                _fail(f"standby tenant {name!r} not marked as a replica: {row}")
+
+        # --- drive the primary, kill it mid-stream ---------------------
+        loadgen = _loadgen(primary_port)
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            solo_done = min(_standby_positions(solo_client), default=0)
+            wide_done = min(_standby_positions(wide_client), default=0)
+            if solo_done >= MIN_REPLICATED and wide_done >= MIN_REPLICATED // 4:
+                break
+            if loadgen.poll() is not None and solo_done and wide_done:
+                break  # stream ended before the threshold: proceed anyway
+            time.sleep(0.1)
+        else:
+            _fail("standby never replicated the minimum prefix")
+        mid_stream = loadgen.poll() is None
+        primary.send_signal(signal.SIGKILL)
+        primary.wait(timeout=30)
+        print(
+            f"primary killed ({'mid-stream' if mid_stream else 'after stream end'}); "
+            f"solo at {_standby_positions(solo_client)}, "
+            f"wide at {_standby_positions(wide_client)}",
+        )
+        loadgen.wait(timeout=120)  # it will error out against the dead server
+        loadgen = None
+
+        # positions must stabilise once the shippers lose the primary
+        stable_deadline = time.monotonic() + 30.0
+        previous: tuple | None = None
+        while time.monotonic() < stable_deadline:
+            state = (
+                tuple(_standby_positions(solo_client)),
+                tuple(_standby_positions(wide_client)),
+            )
+            if state == previous:
+                break
+            previous = state
+            time.sleep(0.3)
+        else:
+            _fail(f"standby positions never stabilised: {previous}")
+        solo_positions, wide_positions = previous
+        if solo_positions[0] < 1 or min(wide_positions) < 1:
+            _fail(f"nothing replicated: {previous}")
+
+        # --- promote both tenants --------------------------------------
+        promote_cli = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "promote",
+                "--port",
+                str(standby_port),
+                "--tenant",
+                SOLO,
+            ],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        if promote_cli.returncode != 0:
+            _fail(f"repro promote failed: {promote_cli.stderr}")
+        wide_promotion = wide_client.promote_tenant()
+        if not wide_promotion.get("promoted") or wide_promotion.get("epoch", 0) < 1:
+            _fail(f"wide promotion incomplete: {wide_promotion}")
+
+        # --- exact cluster equivalence at the acked positions ----------
+        solo_groups = _groups(solo_client.group_by_raw(PROBE))
+        solo_reference, solo_edges = _solo_reference(
+            primary_root / SOLO, solo_positions[0], PROBE
+        )
+        if solo_groups != solo_reference:
+            _fail(
+                f"solo clustering diverged at acked position "
+                f"{solo_positions[0]}: {len(solo_groups ^ solo_reference)} "
+                "differing groups"
+            )
+        if solo_client.stats()["num_edges"] != solo_edges:
+            _fail(
+                f"solo graph diverged at acked position {solo_positions[0]}: "
+                f"standby has {solo_client.stats()['num_edges']} edges, "
+                f"reference {solo_edges}"
+            )
+        wide_groups = _groups(wide_client.group_by_raw(PROBE))
+        wide_reference, wide_edges = _wide_reference(
+            primary_root / WIDE, list(wide_positions), PROBE
+        )
+        if wide_groups != wide_reference:
+            _fail(
+                f"wide clustering diverged at acked positions "
+                f"{wide_positions}: {len(wide_groups ^ wide_reference)} "
+                "differing groups"
+            )
+        if wide_client.stats()["num_edges"] != wide_edges:
+            _fail(
+                f"wide graph diverged at acked positions {wide_positions}: "
+                f"standby has {wide_client.stats()['num_edges']} edges, "
+                f"reference {wide_edges}"
+            )
+        print(
+            f"cluster equivalence holds: solo at {solo_positions[0]} "
+            f"({len(solo_groups)} groups, {solo_edges} edges), "
+            f"wide at {list(wide_positions)} "
+            f"({len(wide_groups)} groups, {wide_edges} edges)"
+        )
+
+        # --- post-promotion writes -------------------------------------
+        for name, client in ((SOLO, solo_client), (WIDE, wide_client)):
+            before = client.stats()["applied"]
+            fresh = [
+                Update.insert(f"{name}:new0", f"{name}:new1"),
+                Update.insert(f"{name}:new1", f"{name}:new2"),
+                Update.insert(f"{name}:new0", f"{name}:new2"),
+            ]
+            accepted = client.submit_updates(fresh, max_retries=5)
+            if accepted != len(fresh):
+                _fail(f"post-promotion write shed on {name!r}: {accepted}")
+            triangle = frozenset(f"{name}:new{i}" for i in range(3))
+            ingest_deadline = time.monotonic() + 20.0
+            clustered = False
+            while time.monotonic() < ingest_deadline:
+                # `applied` advances at admission for sharded tenants, so
+                # poll the *published clustering* for the new triangle
+                if client.stats()["applied"] >= before + len(fresh):
+                    groups = _groups(client.group_by_raw(sorted(triangle)))
+                    if triangle in groups:
+                        clustered = True
+                        break
+                time.sleep(0.1)
+            if not clustered:
+                _fail(f"post-promotion triangle never clustered on {name!r}")
+        print("post-promotion ingest works on both promoted tenants")
+
+        solo_client.close()
+        wide_client.close()
+        standby_admin.close()
+        print("failover smoke passed")
+        return 0
+    finally:
+        for proc in (loadgen, primary, standby):
+            if proc is not None and proc.poll() is None:
+                proc.terminate()
+                try:
+                    proc.wait(timeout=15)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

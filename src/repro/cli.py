@@ -12,7 +12,12 @@ Subcommands
 ``serve``
     Run the multi-tenant clustering service (micro-batching engines behind
     the versioned ``/v1/tenants/{tenant}/...`` JSON/HTTP API) until
-    interrupted; ``--backend`` selects any registered clustering backend.
+    interrupted; ``--backend`` selects any registered clustering backend,
+    ``--replica-of URL`` runs the default tenant as a warm standby of the
+    same-named tenant on another server.
+``promote``
+    Promote a standby tenant on a running service to primary (fence the
+    old primary, drain the replay queue, flip writable).
 ``loadgen``
     Generate open-loop insert/delete/query traffic against a running service
     (or in-process engines) and print the throughput/latency report;
@@ -127,6 +132,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "and crash recovery (dynstrclu backend only)",
     )
     serve.add_argument(
+        "--replica-of",
+        metavar="URL",
+        help="run the default tenant as a warm standby of the same-named "
+        "tenant at URL (host:port or http://host:port): shape and state "
+        "are discovered from the primary, its WAL is replayed "
+        "continuously, and writes are rejected until 'repro promote'; "
+        "requires --data-dir",
+    )
+    serve.add_argument(
         "--data-root",
         help="directory under which dynamically created tenants persist "
         "(data_root/<tenant>/)",
@@ -149,6 +163,17 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--dataset",
         help="optionally preload a registry dataset into the default tenant",
+    )
+
+    promote = sub.add_parser(
+        "promote",
+        help="promote a standby tenant on a running service to primary "
+        "(fences the old primary, drains the replay queue, flips writable)",
+    )
+    promote.add_argument("--host", default="127.0.0.1")
+    promote.add_argument("--port", type=int, default=8321)
+    promote.add_argument(
+        "--tenant", default="default", help="standby tenant to promote"
     )
 
     loadgen = sub.add_parser(
@@ -285,10 +310,40 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             checkpoint_every=args.checkpoint_every,
             shards=args.shards,
         )
-        engine = make_engine(
-            params, config=config, data_dir=args.data_dir, backend=args.backend
-        )
-    except ValueError as exc:
+        if args.replica_of:
+            from repro.service import EngineError, ServiceError, StandbyEngine
+
+            if not args.data_dir:
+                print(
+                    "repro serve: --replica-of requires --data-dir "
+                    "(the standby keeps its own durable snapshot + WAL)",
+                    file=sys.stderr,
+                )
+                return 2
+            if args.dataset:
+                print(
+                    "repro serve: --dataset cannot be combined with "
+                    "--replica-of (a standby is read-only until promoted)",
+                    file=sys.stderr,
+                )
+                return 2
+            try:
+                engine = StandbyEngine(
+                    args.replica_of,
+                    "default",
+                    data_dir=args.data_dir,
+                    config=config,
+                )
+            except (EngineError, ServiceError) as exc:
+                # primary refused replication (non-durable tenant, 404,
+                # chained standby): a clean message, not a traceback
+                print(f"repro serve: {exc}", file=sys.stderr)
+                return 2
+        else:
+            engine = make_engine(
+                params, config=config, data_dir=args.data_dir, backend=args.backend
+            )
+    except (ValueError, OSError) as exc:
         print(f"repro serve: {exc}", file=sys.stderr)
         return 2
     if engine.recovered_updates:
@@ -314,9 +369,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         async def _serve() -> None:
             server = ClusteringServiceServer(manager, host=args.host, port=args.port)
             await server.start()
-            shape = (
-                f"{args.shards} shards" if args.shards > 1 else "single engine"
-            )
+            if args.replica_of:
+                shape = f"standby of {args.replica_of}"
+            elif args.shards > 1:
+                shape = f"{args.shards} shards"
+            else:
+                shape = "single engine"
             print(
                 f"repro service v1 listening on http://{args.host}:{server.port} "
                 f"(default tenant backend: {args.backend}, {shape}; "
@@ -335,6 +393,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print("shutting down (final checkpoint)...", file=sys.stderr)
         finally:
             manager.close()
+    return 0
+
+
+def _cmd_promote(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.host, args.port, tenant=args.tenant)
+    try:
+        document = client.promote_tenant()
+    except (OSError, ServiceError) as exc:
+        print(f"repro promote: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        client.close()
+    print(
+        f"tenant {args.tenant!r} promoted: epoch {document.get('epoch')}, "
+        f"applied {document.get('applied')}, "
+        f"old primary fenced: {document.get('fenced_primary')}"
+    )
     return 0
 
 
@@ -490,6 +567,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_experiment(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "promote":
+        return _cmd_promote(args)
     if args.command == "loadgen":
         return _cmd_loadgen(args)
     parser.error(f"unknown command {args.command!r}")

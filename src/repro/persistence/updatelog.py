@@ -28,6 +28,8 @@ entries recorded after the snapshot was taken.
 from __future__ import annotations
 
 import os
+import re
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, IO, Iterable, Iterator, List, Optional, Union
 
@@ -50,6 +52,13 @@ ESCAPE_PREFIX = "~"
 #: (the total number of updates applied before its first entry).  Used by
 #: crash recovery to line a rotated log up against a state snapshot.
 BASE_PREFIX = "# base "
+
+#: File-name pattern of a *retained* (rotated-out) WAL segment.  The base
+#: position is zero-padded into the name so a lexicographic directory
+#: listing is also the stream order; the ``# base`` marker inside the file
+#: stays the source of truth.
+SEGMENT_NAME_FORMAT = "wal-{base:012d}.log"
+SEGMENT_NAME_RE = re.compile(r"^wal-(\d{12})\.log$")
 
 _OP_TO_SYMBOL = {UpdateKind.INSERT: "+", UpdateKind.DELETE: "-"}
 _SYMBOL_TO_OP = {"+": UpdateKind.INSERT, "-": UpdateKind.DELETE}
@@ -168,6 +177,15 @@ class UpdateLogWriter:
     def closed(self) -> bool:
         return self._handle is None
 
+    @property
+    def position(self) -> int:
+        """The stream position after the last appended entry.
+
+        ``base + entries_written`` — the logical update-stream coordinate a
+        WAL shipper resumes from, and the ``from`` a replica acks up to.
+        """
+        return self.base + self.entries_written
+
     def append(self, update: Update) -> None:
         """Append one update and flush it to disk."""
         if self._handle is None:
@@ -216,9 +234,16 @@ class UpdateLogReader:
         The log file to read.
     tolerate_torn_tail:
         When true, a final entry that is unterminated (no trailing newline)
-        or unparseable is silently dropped instead of raising — the shape a
-        log takes when the writer crashed mid-append.  Corruption anywhere
+        or unparseable is dropped instead of raising — the shape a log
+        takes when the writer crashed mid-append.  Corruption anywhere
         *before* the last line still raises :class:`UpdateLogError`.
+
+    A tolerated torn tail is *reported*, never silently swallowed: after
+    (or during) iteration :attr:`torn_tail` is true and
+    :attr:`entries_read` counts the entries actually yielded, so a caller
+    that needs the distinction — a WAL shipper deciding between "clean end
+    of segment" and "this segment is damaged, re-seed from a snapshot" —
+    can make it deterministically.
     """
 
     def __init__(
@@ -226,11 +251,37 @@ class UpdateLogReader:
     ) -> None:
         self.path = Path(path)
         self.tolerate_torn_tail = tolerate_torn_tail
+        #: True once iteration dropped an unterminated/unparseable tail.
+        self.torn_tail = False
+        #: Entries yielded by the most recent iteration.
+        self.entries_read = 0
+        #: Entries skipped (counted but not parsed) by the most recent
+        #: :meth:`iter_from` iteration.
+        self.entries_skipped = 0
 
     def __iter__(self) -> Iterator[Update]:
-        # stream with one line of lookahead: only the final line may be a
-        # torn tail, and buffering one line keeps recovery O(1) in memory
-        # even for a WAL that was never rotated
+        return self.iter_from(0)
+
+    def iter_from(self, skip: int) -> Iterator[Update]:
+        """Iterate the log, cheaply jumping over the first ``skip`` entries.
+
+        Skipped entries are *counted* at line granularity (comments and
+        blanks excluded) but never tokenised — this is the WAL-serving
+        hot path seeking to a stream position, where re-parsing the whole
+        prefix on every replica poll would be pure waste.  Note the
+        trade-off: a malformed line inside the skipped prefix is counted
+        as an entry instead of raising (full-strictness readers use
+        ``skip=0``, the default iteration).
+
+        Streams with one line of lookahead: only the final line may be a
+        torn tail, and buffering one line keeps recovery O(1) in memory
+        even for a WAL that was never rotated.  The tail line is always
+        parsed (even inside the skip range) so torn-tail detection stays
+        exact.
+        """
+        self.torn_tail = False
+        self.entries_read = 0
+        self.entries_skipped = 0
         with self.path.open("r", encoding="utf-8") as handle:
             pending: Optional[str] = None
             pending_no = 0
@@ -240,22 +291,36 @@ class UpdateLogReader:
                     # pre-escape log: read its tokens exactly as written
                     unescape = False
                 if pending is not None:
-                    update = parse_update_line(pending, pending_no, unescape=unescape)
-                    if update is not None:
-                        yield update
+                    stripped = pending.strip()
+                    if stripped and not stripped.startswith("#"):
+                        if self.entries_skipped < skip:
+                            self.entries_skipped += 1
+                        else:
+                            update = parse_update_line(
+                                pending, pending_no, unescape=unescape
+                            )
+                            if update is not None:
+                                self.entries_read += 1
+                                yield update
                 pending, pending_no = line, lineno
             if pending is None:
                 return
             if self.tolerate_torn_tail and not pending.endswith("\n"):
+                self.torn_tail = True
                 return  # unterminated tail: the writer died mid-append
             try:
                 update = parse_update_line(pending, pending_no, unescape=unescape)
             except UpdateLogError:
                 if self.tolerate_torn_tail:
+                    self.torn_tail = True
                     return
                 raise
             if update is not None:
-                yield update
+                if self.entries_skipped < skip:
+                    self.entries_skipped += 1
+                else:
+                    self.entries_read += 1
+                    yield update
 
     def base(self) -> int:
         """The stream position recorded when this log was started (0 if none)."""
@@ -279,6 +344,64 @@ def read_log_base(path: Union[str, Path]) -> int:
             if stripped and not stripped.startswith("#"):
                 break  # past the header block: no marker present
     return 0
+
+
+@dataclass(frozen=True)
+class WalSegment:
+    """One WAL segment on disk: ``[base, base + entries)`` of the stream.
+
+    ``active`` marks the segment currently being appended to; retained
+    (rotated-out) segments are immutable.  ``entries`` is computed lazily
+    by :func:`segment_entry_count` when a reader needs the upper bound.
+    """
+
+    path: Path
+    base: int
+    active: bool = False
+
+
+def segment_file_name(base: int) -> str:
+    """The retained-segment file name for a segment starting at ``base``."""
+    return SEGMENT_NAME_FORMAT.format(base=base)
+
+
+def list_wal_segments(
+    directory: Union[str, Path], active_name: Optional[str] = None
+) -> List[WalSegment]:
+    """Every WAL segment under ``directory``, sorted by base position.
+
+    Retained segments are discovered by their ``wal-<base>.log`` names
+    (the base taken from the name — the rotation writes both, and the
+    ``# base`` marker inside stays the recovery-path source of truth);
+    the *active* segment, named ``active_name``, is appended last with
+    its marker-derived base.  The shipping layer walks this list to
+    serve any still-retained suffix of the stream.
+    """
+    directory = Path(directory)
+    segments: List[WalSegment] = []
+    if directory.is_dir():
+        for entry in sorted(directory.iterdir()):
+            match = SEGMENT_NAME_RE.match(entry.name)
+            if match is None:
+                continue
+            segments.append(WalSegment(path=entry, base=int(match.group(1))))
+    segments.sort(key=lambda segment: segment.base)
+    if active_name is not None:
+        active_path = directory / active_name
+        if active_path.exists():
+            segments.append(
+                WalSegment(path=active_path, base=read_log_base(active_path), active=True)
+            )
+    return segments
+
+
+def segment_entry_count(segment: WalSegment) -> int:
+    """Number of (whole) entries stored in a segment, torn tail excluded."""
+    reader = UpdateLogReader(segment.path, tolerate_torn_tail=True)
+    count = 0
+    for _update in reader:
+        count += 1
+    return count
 
 
 def write_update_log(updates: Iterable[Update], path: Union[str, Path]) -> int:

@@ -20,9 +20,14 @@ hosts many isolated tenants behind one versioned HTTP surface:
   neighbourhoods stay exact), per-shard scoped labelling, scatter-gather
   merged reads (:class:`ShardedView`) memoised per view tuple, and
   per-shard WAL/snapshot durability;
+* :mod:`repro.service.replication` — :class:`StandbyEngine`, a warm
+  replica that tails a primary tenant's WAL over HTTP
+  (:class:`WalShipper`, one per shard) and replays it continuously into a
+  live read-only engine, with snapshot re-seed on WAL gaps and an
+  epoch-fenced :meth:`~repro.service.replication.StandbyEngine.promote`;
 * :mod:`repro.service.manager` — :class:`EngineManager`, many named
-  engines (per-tenant params, backend, queue quota, shard count, data
-  directory) with runtime tenant create/delete;
+  engines (per-tenant params, backend, queue quota, shard count, replica
+  source, data directory) with runtime tenant create/delete/promote;
 * :mod:`repro.service.server` / :mod:`repro.service.client` — a
   stdlib-only asyncio JSON-over-HTTP front-end serving the versioned
   ``/v1/tenants/{tenant}/...`` API (legacy unversioned routes map to the
@@ -43,6 +48,8 @@ from repro.service.engine import (
     EngineClosed,
     EngineConfig,
     EngineError,
+    EngineFenced,
+    ReadOnlyEngineError,
 )
 from repro.service.loadgen import (
     ClientTarget,
@@ -55,12 +62,19 @@ from repro.service.loadgen import (
 from repro.service.manager import (
     DEFAULT_TENANT,
     EngineManager,
+    NotAStandbyError,
     TenantConfig,
     TenantDeleteError,
     TenantError,
     TenantExistsError,
     TenantLimitError,
     UnknownTenantError,
+)
+from repro.service.replication import (
+    ReplicationError,
+    StandbyEngine,
+    WalGapError,
+    WalShipper,
 )
 from repro.service.metrics import LatencyHistogram, ServiceMetrics
 from repro.service.server import BackgroundServer, ClusteringServiceServer
@@ -78,13 +92,20 @@ __all__ = [
     "ShardedEngine",
     "ShardedView",
     "ShardExport",
+    "StandbyEngine",
+    "WalShipper",
     "make_engine",
     "shard_of",
     "EngineConfig",
     "EngineError",
     "EngineBackpressure",
     "EngineClosed",
+    "EngineFenced",
+    "ReadOnlyEngineError",
+    "ReplicationError",
+    "WalGapError",
     "EngineManager",
+    "NotAStandbyError",
     "TenantConfig",
     "TenantDeleteError",
     "TenantError",

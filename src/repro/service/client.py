@@ -240,6 +240,7 @@ class ServiceClient:
         params: Optional[Dict[str, object]] = None,
         exist_ok: bool = False,
         shards: Optional[int] = None,
+        replica_of: Optional[str] = None,
     ) -> Dict[str, object]:
         """Create a tenant (the client's own tenant when ``name`` is None).
 
@@ -247,8 +248,12 @@ class ServiceClient:
         bundle (e.g. ``{"epsilon": 0.4, "mu": 3}``).  ``shards`` selects
         the tenant's engine shape: ``1`` (or ``None``, the server default)
         is a single engine, ``N > 1`` a hash-partitioned sharded engine.
-        With ``exist_ok`` a 409 from an already-existing tenant is
-        swallowed and the existing tenant's description returned.
+        ``replica_of`` (``host:port`` of the primary server) creates the
+        tenant as a warm *standby* replica of the same-named tenant there:
+        shape and state are discovered from the primary, reads are served
+        locally, writes are rejected until ``promote_tenant``.  With
+        ``exist_ok`` a 409 from an already-existing tenant is swallowed
+        and the existing tenant's description returned.
         """
         tenant = name if name is not None else self.tenant
         payload: Dict[str, object] = {"tenant": tenant}
@@ -260,6 +265,8 @@ class ServiceClient:
             payload["params"] = params
         if shards is not None:
             payload["shards"] = shards
+        if replica_of is not None:
+            payload["replica_of"] = replica_of
         try:
             return self._expect_ok("POST", "/v1/tenants", payload)  # type: ignore[return-value]
         except ServiceError as exc:
@@ -276,6 +283,61 @@ class ServiceClient:
         """Delete a tenant (the client's own tenant when ``name`` is None)."""
         tenant = name if name is not None else self.tenant
         self._expect_ok("DELETE", f"/v1/tenants/{tenant}")
+
+    # ------------------------------------------------------------------
+    # replication routes
+    # ------------------------------------------------------------------
+    def promote_tenant(self, name: Optional[str] = None) -> Dict[str, object]:
+        """Promote a standby tenant to primary; returns the promotion document.
+
+        The server fences the old primary (best effort — an unreachable
+        one is presumed dead), drains the standby's replay queue and flips
+        it writable; the response carries the new ``epoch`` and the
+        ``applied`` position at promotion.
+        """
+        tenant = name if name is not None else self.tenant
+        return self._expect_ok(  # type: ignore[return-value]
+            "POST", f"/v1/tenants/{tenant}/promote"
+        )
+
+    def fence_tenant(self, epoch: int, name: Optional[str] = None) -> Dict[str, object]:
+        """Fence a (primary) tenant at ``epoch``: it rejects writes from now on."""
+        tenant = name if name is not None else self.tenant
+        return self._expect_ok(  # type: ignore[return-value]
+            "POST", f"/v1/tenants/{tenant}/fence", {"epoch": epoch}
+        )
+
+    def fetch_wal(
+        self,
+        from_position: int,
+        shard: Optional[int] = None,
+        max_records: Optional[int] = None,
+        ack: Optional[int] = None,
+    ) -> Dict[str, object]:
+        """Fetch a WAL range of this client's tenant (the shipping protocol).
+
+        Returns the raw document: ``records`` (wire-form updates starting
+        at ``from``), the primary's ``applied`` position and ``epoch``,
+        and ``torn`` when the served segment chain is damaged.  A request
+        below the retained horizon raises a ``wal_gap``
+        :class:`ServiceError` carrying ``min_position`` in its document.
+        """
+        query = [f"from={int(from_position)}"]
+        if shard is not None:
+            query.append(f"shard={int(shard)}")
+        if max_records is not None:
+            query.append(f"max={int(max_records)}")
+        if ack is not None:
+            query.append(f"ack={int(ack)}")
+        path = self._tenant_path("/wal") + "?" + "&".join(query)
+        return self._expect_ok("GET", path)  # type: ignore[return-value]
+
+    def fetch_snapshot(self, shard: Optional[int] = None) -> Dict[str, object]:
+        """Fetch the last checkpointed snapshot document (the re-seed payload)."""
+        path = self._tenant_path("/snapshot")
+        if shard is not None:
+            path += f"?shard={int(shard)}"
+        return self._expect_ok("GET", path)  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
     # per-tenant routes

@@ -42,6 +42,7 @@ rotation, and after both — resolve correctly under that arithmetic.
 
 from __future__ import annotations
 
+import json
 import os
 import queue
 import threading
@@ -61,7 +62,13 @@ from repro.core.config import StrCluParams
 from repro.core.dynelm import Update, UpdateKind
 from repro.core.dynstrclu import DynStrClu
 from repro.persistence.snapshot import load_snapshot, restore_dynstrclu, take_snapshot
-from repro.persistence.updatelog import UpdateLogReader, UpdateLogWriter
+from repro.persistence.updatelog import (
+    UpdateLogReader,
+    UpdateLogWriter,
+    WalSegment,
+    list_wal_segments,
+    segment_file_name,
+)
 from repro.graph.dynamic_graph import Vertex
 from repro.service.metrics import ServiceMetrics
 from repro.service.views import ClusteringView
@@ -69,6 +76,12 @@ from repro.service.views import ClusteringView
 #: File names inside an engine's data directory.
 SNAPSHOT_FILE = "snapshot.json"
 WAL_FILE = "wal.log"
+
+#: Per-engine replication manifest: the fencing epoch and whether this
+#: engine has been fenced off by a promoted standby.  Sharded engines
+#: keep one per shard directory (the epoch is manifest-pinned per shard).
+REPLICATION_FILE = "replication.json"
+REPLICATION_FORMAT = "repro-replication-manifest"
 
 #: Upper bound on hash partitions per engine: every shard is a maintainer
 #: plus a writer thread and queues, so an unbounded request-supplied value
@@ -106,6 +119,29 @@ class EngineBackpressure(EngineError):
 
 class EngineClosed(EngineError):
     """Raised when submitting to an engine that has been closed."""
+
+
+class EngineFenced(EngineError):
+    """Raised when submitting to an engine fenced off by a newer epoch.
+
+    After a standby was promoted at epoch ``E`` it fences the old primary:
+    the demoted engine persists ``E`` and rejects every subsequent write
+    with this error (HTTP 409 ``tenant_fenced``), so a half-dead primary
+    can never split-brain the stream.  Reads keep working.
+    """
+
+    def __init__(self, message: str, epoch: int = 0) -> None:
+        super().__init__(message)
+        self.epoch = epoch
+
+
+class ReadOnlyEngineError(EngineError):
+    """Raised when writing to a standby engine that was not promoted yet.
+
+    Standby tenants replay their primary's WAL continuously and serve
+    snapshot-isolated reads; direct client writes are rejected (HTTP 409
+    ``tenant_read_only``) until an explicit ``promote()``.
+    """
 
 
 class _Flush:
@@ -222,6 +258,12 @@ class EngineConfig:
         tenant manager.  A :class:`ClusteringEngine` constructed directly
         ignores the field — it is a deployment-shape knob, not an inner
         engine tuning knob.
+    wal_retain_segments:
+        How many rotated-out WAL segments to keep on disk after a
+        checkpoint (the replication horizon: a standby that lags by less
+        than the retained suffix catches up by tailing; one that lags past
+        it falls back to a snapshot re-seed).  ``0`` restores the
+        pre-replication behaviour of discarding the outgoing segment.
     """
 
     batch_size: int = 64
@@ -232,6 +274,7 @@ class EngineConfig:
     incremental_views: bool = True
     view_rebuild_fraction: float = 0.5
     shards: int = 1
+    wal_retain_segments: int = 2
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
@@ -246,6 +289,8 @@ class EngineConfig:
             raise ValueError("view_rebuild_fraction must be in [0, 1]")
         if not 1 <= self.shards <= MAX_SHARDS:
             raise ValueError(f"shards must be in [1, {MAX_SHARDS}]")
+        if self.wal_retain_segments < 0:
+            raise ValueError("wal_retain_segments must be >= 0")
 
 
 class ClusteringEngine:
@@ -287,6 +332,8 @@ class ClusteringEngine:
         self._failure: Optional[BaseException] = None
         self._wal: Optional[UpdateLogWriter] = None
         self._updates_at_checkpoint = 0
+        self.epoch = 0
+        self._fenced = False
 
         if self.data_dir is not None:
             if self.backend not in SNAPSHOT_CAPABLE_BACKENDS:
@@ -296,6 +343,7 @@ class ClusteringEngine:
                     f"{', '.join(sorted(SNAPSHOT_CAPABLE_BACKENDS))}"
                 )
             self.data_dir.mkdir(parents=True, exist_ok=True)
+            self.epoch, self._fenced = _load_replication_manifest(self.data_dir)
             self.maintainer, recovered = _recover(
                 self.data_dir, params, connectivity_backend, label_scope
             )
@@ -471,6 +519,12 @@ class ClusteringEngine:
         """
         if self._closed:
             raise EngineClosed("engine is closed")
+        if self._fenced:
+            raise EngineFenced(
+                f"engine is fenced at epoch {self.epoch}: a standby was "
+                "promoted; writes must go to the new primary",
+                epoch=self.epoch,
+            )
         self._raise_writer_failure()
         update = canonicalise_update(update)
         try:
@@ -553,6 +607,8 @@ class ClusteringEngine:
             "queue_capacity": self.config.queue_capacity,
             "recovered_updates": self.recovered_updates,
             "running": self.running,
+            "epoch": self.epoch,
+            "fenced": self._fenced,
             "metrics": self.metrics.snapshot(),
         }
 
@@ -722,6 +778,66 @@ class ClusteringEngine:
             raise EngineError("writer thread failed") from self._failure
 
     # ------------------------------------------------------------------
+    # replication surface (fencing + WAL shipping)
+    # ------------------------------------------------------------------
+    @property
+    def fenced(self) -> bool:
+        """True once a promoted standby fenced this engine off."""
+        return self._fenced
+
+    def fence(self, epoch: int) -> None:
+        """Fence this engine at ``epoch``: reject all writes from now on.
+
+        Called (over HTTP) by a standby about to promote itself.  The
+        epoch must be strictly newer than the engine's own — a stale fence
+        request from an abandoned promotion attempt must not fence a
+        primary that has since been legitimately re-promoted — and is
+        persisted before taking effect, so the fence survives restarts.
+        """
+        if epoch <= self.epoch:
+            raise ValueError(
+                f"stale fence epoch {epoch}: engine is already at {self.epoch}"
+            )
+        if self.data_dir is not None:
+            _store_replication_manifest(self.data_dir, epoch, True)
+        self.epoch = epoch
+        self._fenced = True
+
+    def set_epoch(self, epoch: int) -> None:
+        """Adopt ``epoch`` as this engine's own (promotion path, un-fenced)."""
+        if epoch < self.epoch:
+            raise ValueError(
+                f"epoch must not move backwards: {epoch} < {self.epoch}"
+            )
+        if self.data_dir is not None:
+            _store_replication_manifest(self.data_dir, epoch, False)
+        self.epoch = epoch
+        self._fenced = False
+
+    @property
+    def wal_position(self) -> int:
+        """Logical stream position covered by the WAL (== ``applied``)."""
+        return self.applied
+
+    def wal_segments(self) -> List[WalSegment]:
+        """Retained + active WAL segments, sorted by base stream position."""
+        if self.data_dir is None:
+            return []
+        return list_wal_segments(self.data_dir, active_name=WAL_FILE)
+
+    def read_snapshot_document(self) -> Dict[str, object]:
+        """The last checkpointed snapshot document (the re-seed payload).
+
+        Read from disk, not captured live: the maintainer belongs to the
+        writer thread, while this is called from the serving thread.  A
+        durable engine always has one — a checkpoint is cut at startup.
+        """
+        if self.data_dir is None:
+            raise EngineError("engine has no data_dir; nothing to re-seed from")
+        path = self.data_dir / SNAPSHOT_FILE
+        return json.loads(path.read_text(encoding="utf-8"))
+
+    # ------------------------------------------------------------------
     # durability
     # ------------------------------------------------------------------
     def _checkpoint(self) -> None:
@@ -737,9 +853,36 @@ class ClusteringEngine:
         os.replace(tmp_path, snapshot_path)
         if self._wal is not None:
             self._wal.close()  # fsyncs the outgoing segment
+        self._rotate_wal_segment()
         self._wal = UpdateLogWriter(self.data_dir / WAL_FILE, base=self.applied)
         self._wal.sync()
         self._updates_at_checkpoint = self.applied
+
+    def _rotate_wal_segment(self) -> None:
+        """Retain the outgoing WAL as ``wal-<base>.log``; prune old ones.
+
+        The retained suffix is what a lagging standby tails across a
+        checkpoint without a snapshot re-seed.  A segment is only retained
+        when it has entries (an empty segment covers no stream positions)
+        and retention is enabled; pruning keeps the newest
+        ``wal_retain_segments`` retained segments.
+        """
+        wal_path = self.data_dir / WAL_FILE
+        if self.config.wal_retain_segments < 1 or not wal_path.exists():
+            return
+        reader = UpdateLogReader(wal_path, tolerate_torn_tail=True)
+        base = reader.base()
+        entries = sum(1 for _update in reader)
+        if entries < 1:
+            return
+        os.replace(wal_path, self.data_dir / segment_file_name(base))
+        retained = [
+            segment
+            for segment in list_wal_segments(self.data_dir)
+            if not segment.active
+        ]
+        for segment in retained[: -self.config.wal_retain_segments]:
+            segment.path.unlink(missing_ok=True)
 
 
 def canonicalise_vertex(v: Vertex) -> Vertex:
@@ -769,6 +912,37 @@ def canonicalise_update(update: Update) -> Update:
     canonicalise_vertex(update.u)
     canonicalise_vertex(update.v)
     return update
+
+
+# ----------------------------------------------------------------------
+# replication manifest
+# ----------------------------------------------------------------------
+def _load_replication_manifest(data_dir: Path) -> Tuple[int, bool]:
+    """Read ``(epoch, fenced)`` from the replication manifest (0/False when absent)."""
+    path = data_dir / REPLICATION_FILE
+    if not path.exists():
+        return 0, False
+    document = json.loads(path.read_text(encoding="utf-8"))
+    if document.get("format") != REPLICATION_FORMAT:
+        raise ValueError(f"{path} is not a replication manifest")
+    return int(document.get("epoch", 0)), bool(document.get("fenced", False))
+
+
+def _store_replication_manifest(data_dir: Path, epoch: int, fenced: bool) -> None:
+    """Atomically persist the replication manifest (tmp + fsync + rename).
+
+    The fence must hold across restarts — a demoted primary that forgot it
+    was fenced would split-brain the stream — so the write is durable
+    before the in-memory flag flips.
+    """
+    path = data_dir / REPLICATION_FILE
+    tmp_path = data_dir / (REPLICATION_FILE + ".tmp")
+    document = {"format": REPLICATION_FORMAT, "epoch": epoch, "fenced": fenced}
+    with tmp_path.open("w", encoding="utf-8") as handle:
+        handle.write(json.dumps(document, indent=2))
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
 
 
 # ----------------------------------------------------------------------

@@ -30,6 +30,7 @@ from repro.core.api import SNAPSHOT_CAPABLE_BACKENDS, available_backends
 from repro.core.config import StrCluParams
 from repro.service.engine import ClusteringEngine, EngineConfig
 from repro.service.metrics import ServiceMetrics
+from repro.service.replication import StandbyEngine
 from repro.service.sharding import AnyEngine, ShardedEngine, make_engine
 
 #: Tenant names are path segments: one release of URL-safety by construction.
@@ -62,6 +63,10 @@ class TenantExistsError(TenantError):
 
 class TenantLimitError(TenantError):
     """Creating the tenant would exceed the manager's quota (HTTP 409)."""
+
+
+class NotAStandbyError(TenantError):
+    """Promotion was requested for a tenant that is not a standby (HTTP 409)."""
 
 
 class TenantDeleteError(TenantError):
@@ -102,6 +107,13 @@ class TenantConfig:
         WAL + snapshot directory; requires a snapshot-capable backend.
     connectivity_backend:
         Connectivity structure for backends that take one.
+    replica_of:
+        When set (``host:port`` of the primary server), the tenant is a
+        warm **standby** replica of the same-named tenant there: its
+        shape, backend and parameters are discovered from the primary, a
+        WAL shipper replays the primary's stream continuously, and writes
+        are rejected until the tenant is promoted.  Requires the manager
+        to have a ``data_root`` (the replica keeps its own durable state).
     """
 
     name: str
@@ -110,6 +122,7 @@ class TenantConfig:
     engine: EngineConfig = field(default_factory=EngineConfig)
     durable: bool = True
     connectivity_backend: str = "hdt"
+    replica_of: Optional[str] = None
 
     def __post_init__(self) -> None:
         validate_tenant_name(self.name)
@@ -181,6 +194,9 @@ class EngineManager:
         self._engines: Dict[str, Union[ClusteringEngine, _Reserved]] = {}
         self._configs: Dict[str, TenantConfig] = {}
         self._owned: Dict[str, bool] = {}
+        # per-tenant standby acks observed on the WAL-serving route:
+        # {tenant: {shard: acked position}} — lag telemetry for primaries
+        self._acks: Dict[str, Dict[int, int]] = {}
         self._closed = False
         self._close_completed = False
         if create_default:
@@ -236,6 +252,7 @@ class EngineManager:
         queue_capacity: Optional[int] = None,
         durable: bool = True,
         shards: Optional[int] = None,
+        replica_of: Optional[str] = None,
     ) -> AnyEngine:
         """Create (and start) a tenant's engine; returns it.
 
@@ -244,7 +261,12 @@ class EngineManager:
         ``shards`` likewise overrides the config's shard count — ``1``
         builds today's single engine, ``N > 1`` a hash-partitioned
         :class:`~repro.service.sharding.ShardedEngine` whose shards
-        persist under ``data_root/<tenant>/shard-<i>/``.
+        persist under ``data_root/<tenant>/shard-<i>/``.  ``replica_of``
+        (``host:port`` of a primary server) instead builds a warm
+        :class:`~repro.service.replication.StandbyEngine` of the
+        same-named tenant there — shape and parameters are discovered
+        from the primary, so ``params`` / ``backend`` / ``shards`` must
+        not be combined with it.
 
         Raises :class:`TenantExistsError` / :class:`TenantLimitError`, or
         ``ValueError`` for a bad name, backend, shard count or parameter
@@ -255,15 +277,30 @@ class EngineManager:
             config = replace(config, queue_capacity=queue_capacity)
         if shards is not None:
             config = replace(config, shards=shards)
+        if replica_of is not None and (
+            params is not None or backend is not None or shards is not None
+        ):
+            raise ValueError(
+                "a standby tenant's params/backend/shards are discovered "
+                "from its primary; do not combine them with replica_of"
+            )
         tenant = TenantConfig(
             name=name,
             params=params if params is not None else self.default_params,
             backend=backend if backend is not None else self.default_backend,
             engine=config,
             durable=durable,
+            replica_of=replica_of,
         )
         data_dir: Optional[Path] = None
-        if (
+        if tenant.replica_of is not None:
+            if self.data_root is None:
+                raise ValueError(
+                    "standby tenants (replica_of) need a data_root: the "
+                    "replica keeps its own durable snapshot + WAL"
+                )
+            data_dir = self.data_root / tenant.name
+        elif (
             self.data_root is not None
             and tenant.durable
             and tenant.backend in SNAPSHOT_CAPABLE_BACKENDS
@@ -285,13 +322,26 @@ class EngineManager:
             self._configs[tenant.name] = tenant
             self._owned[tenant.name] = True
         try:
-            engine = make_engine(
-                tenant.params,
-                config=tenant.engine,
-                data_dir=data_dir,
-                connectivity_backend=tenant.connectivity_backend,
-                backend=tenant.backend,
-            ).start()
+            if tenant.replica_of is not None:
+                engine: AnyEngine = StandbyEngine(
+                    tenant.replica_of,
+                    tenant.name,
+                    data_dir=data_dir,
+                    config=tenant.engine,
+                    connectivity_backend=tenant.connectivity_backend,
+                ).start()
+                # record the discovered shape (the primary's, not ours)
+                tenant = replace(
+                    tenant, backend=engine.backend, engine=engine.config
+                )
+            else:
+                engine = make_engine(
+                    tenant.params,
+                    config=tenant.engine,
+                    data_dir=data_dir,
+                    connectivity_backend=tenant.connectivity_backend,
+                    backend=tenant.backend,
+                ).start()
         except BaseException:
             with self._lock:
                 self._engines.pop(tenant.name, None)
@@ -305,6 +355,7 @@ class EngineManager:
                 engine_to_discard = engine
             else:
                 self._engines[tenant.name] = engine
+                self._configs[tenant.name] = tenant  # incl. discovered shape
                 engine_to_discard = None
         if engine_to_discard is not None:
             engine_to_discard.close(checkpoint=False)
@@ -375,6 +426,34 @@ class EngineManager:
                 self._engines.pop(name, None)
                 self._configs.pop(name, None)
                 self._owned.pop(name, None)
+                self._acks.pop(name, None)
+
+    def promote(self, name: str) -> Dict[str, object]:
+        """Promote a standby tenant to primary; returns the promotion document.
+
+        Fences the old primary (best effort), drains the standby's replay
+        queue and flips it writable — see
+        :meth:`repro.service.replication.StandbyEngine.promote`.
+        Idempotent; raises :class:`NotAStandbyError` for regular tenants.
+        """
+        engine = self.get(name)
+        if not isinstance(engine, StandbyEngine):
+            raise NotAStandbyError(
+                f"tenant {name!r} is not a standby; only replica_of tenants "
+                "can be promoted"
+            )
+        return engine.promote()
+
+    def record_ack(self, name: str, shard: int, position: int) -> None:
+        """Record a standby's acked position (WAL-serving telemetry)."""
+        with self._lock:
+            if name in self._engines:
+                self._acks.setdefault(name, {})[shard] = position
+
+    def acks(self, name: str) -> Dict[int, int]:
+        """Last acked position per shard for one (primary) tenant."""
+        with self._lock:
+            return dict(self._acks.get(name, {}))
 
     def __contains__(self, name: str) -> bool:
         with self._lock:
@@ -419,7 +498,7 @@ class EngineManager:
         """One tenant's headline document (the ``GET /v1/tenants`` row)."""
         engine = self.get(name)
         config = self.config_of(name)
-        return {
+        row: Dict[str, object] = {
             "tenant": name,
             "backend": config.backend,
             "running": engine.running,
@@ -432,6 +511,10 @@ class EngineManager:
             "durable": engine.data_dir is not None,
             "shards": getattr(engine, "num_shards", 1),
         }
+        if isinstance(engine, StandbyEngine):
+            row["replica_of"] = engine.replica_of
+            row["promoted"] = engine.promoted
+        return row
 
     def list_tenants(self) -> List[Dict[str, object]]:
         """Headline documents for every tenant, sorted by name."""
@@ -450,6 +533,9 @@ class EngineManager:
         total_capacity = 0
         running = 0
         total_engines = 0
+        standbys = 0
+        max_lag = 0
+        lag_by_tenant: Dict[str, int] = {}
         shard_depths: Dict[str, List[int]] = {}
         pairs = self.items()
         all_metrics: List[ServiceMetrics] = []
@@ -460,7 +546,16 @@ class EngineManager:
             if engine.running:
                 running += 1
             all_metrics.append(engine.metrics)
-            inner = getattr(engine, "shards", None)
+            shape = engine
+            if isinstance(engine, StandbyEngine):
+                shape = engine.engine
+                if not engine.promoted:
+                    standbys += 1
+                    status = engine.replication_status()
+                    lag = int(status.get("lag", 0))
+                    lag_by_tenant[name] = lag
+                    max_lag = max(max_lag, lag)
+            inner = getattr(shape, "shards", None)
             if isinstance(inner, list):  # a ShardedEngine's inner engines
                 total_engines += len(inner)
                 shard_depths[name] = [shard.queue_depth for shard in inner]
@@ -477,6 +572,11 @@ class EngineManager:
             "shards": {
                 "engines": total_engines,
                 "queue_depths": shard_depths,
+            },
+            "replication": {
+                "standbys": standbys,
+                "max_lag": max_lag,
+                "lag": lag_by_tenant,
             },
             "ingest": merged.ingest.summary(),
             "query": merged.query.summary(),

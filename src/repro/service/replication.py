@@ -1,0 +1,821 @@
+"""WAL-shipping replication: warm standby engines with promote-on-failure.
+
+A durable tenant's WAL is an exact, ordered record of every applied update
+(PR 1's WAL-before-apply discipline), which makes it a replication stream
+for free.  This module turns that observation into an availability story:
+
+* **Pull-based shipping.**  A :class:`WalShipper` (one per tenant, one per
+  shard for sharded tenants) runs *next to the standby* and tails the
+  primary's WAL segments over the existing stdlib HTTP stack —
+  ``GET /v1/tenants/{t}/wal?from=N`` — resuming from the standby's own
+  applied position.  The primary serves the requested range straight from
+  its retained + active segment files
+  (:func:`repro.persistence.updatelog.list_wal_segments`).
+* **Positive-ack flow control.**  The shipper only advances ``from`` after
+  the fetched records are applied *and locally durable* on the standby
+  (they go through the standby engine's normal submit path, so they are
+  WAL-logged before they mutate the replica), and every fetch carries an
+  ``ack`` of that position; a standby that cannot keep up simply stops
+  fetching — the primary is never asked to buffer in memory.
+* **Continuous replay into a live engine.**  The :class:`StandbyEngine`
+  replays into a real :class:`~repro.service.engine.ClusteringEngine` (or
+  a :class:`~repro.service.sharding.ShardedEngine` with per-shard
+  shippers), so views are published through the normal incremental-capture
+  path and standby reads are snapshot-isolated and cheap.  Client writes
+  are rejected with :class:`~repro.service.engine.ReadOnlyEngineError`
+  until promotion.
+* **Gap and torn-tail handling.**  When the standby lags past the
+  primary's retained WAL horizon (``wal_gap``), or a retained segment is
+  damaged (torn short of the next segment's base), the standby falls back
+  to a **snapshot re-seed**: it discards its local state, downloads the
+  primary's last checkpoint per shard and resumes tailing from there.
+* **Promotion with epoch fencing.**  ``promote()`` stops the shippers
+  (draining the replay queue), fences the old primary at a strictly newer
+  epoch — persisted in the replication manifest on *both* sides, per
+  shard for sharded tenants — and flips the standby writable.  A fenced
+  primary rejects every subsequent write with
+  :class:`~repro.service.engine.EngineFenced`, so a half-dead primary
+  cannot split-brain the stream; fencing an unreachable (dead) primary is
+  best-effort and promotion proceeds.
+
+Consistency claim (locked in by the property suite): at every acked
+position ``P``, the standby's clustering is exactly the primary's
+clustering after the first ``P`` updates of the (per-shard) stream — the
+replay is the same deterministic sequence through the same maintainer.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import threading
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.core.dynelm import Update
+from repro.persistence.updatelog import UpdateLogReader, WalSegment
+from repro.service.engine import (
+    SNAPSHOT_FILE,
+    EngineConfig,
+    EngineError,
+    ReadOnlyEngineError,
+)
+from repro.service.metrics import ServiceMetrics
+from repro.service.sharding import (
+    MANIFEST_FILE,
+    SHARD_DIR_FORMAT,
+    AnyEngine,
+    make_engine,
+)
+
+#: How many records one WAL fetch returns at most (server-side clamp too).
+DEFAULT_FETCH_RECORDS = 512
+MAX_FETCH_RECORDS = 4096
+
+#: Default seconds a shipper sleeps when the primary has nothing new.
+DEFAULT_POLL_INTERVAL = 0.05
+
+#: Standby-local manifest: everything needed to rebuild the standby's
+#: engine when the primary is unreachable at restart (the failover case).
+STANDBY_FILE = "standby.json"
+STANDBY_FORMAT = "repro-standby-manifest"
+
+
+class ReplicationError(EngineError):
+    """Base class for replication failures."""
+
+
+class WalGapError(ReplicationError):
+    """The requested WAL position is older than the retained horizon.
+
+    Carries ``min_position``, the earliest position still served; the
+    standby answers it with a snapshot re-seed.
+    """
+
+    def __init__(self, message: str, min_position: int = 0) -> None:
+        super().__init__(message)
+        self.min_position = min_position
+
+
+def parse_primary_url(url: str) -> Tuple[str, int]:
+    """``host:port`` or ``http://host:port`` → ``(host, port)``.
+
+    The service stack is plain HTTP (stdlib only), so an ``https://``
+    primary is rejected loudly rather than silently downgraded.
+    """
+    target = url.strip()
+    if target.startswith("https://"):
+        raise ValueError(f"https primaries are not supported: {url!r}")
+    if target.startswith("http://"):
+        target = target[len("http://"):]
+    target = target.rstrip("/")
+    host, sep, port_text = target.rpartition(":")
+    if not sep or not host:
+        raise ValueError(
+            f"replica_of must be 'host:port' or 'http://host:port', got {url!r}"
+        )
+    try:
+        port = int(port_text)
+    except ValueError as exc:
+        raise ValueError(f"invalid primary port in {url!r}") from exc
+    return host, port
+
+
+# ----------------------------------------------------------------------
+# primary side: serving a WAL range from the on-disk segments
+# ----------------------------------------------------------------------
+@dataclass
+class WalChunk:
+    """One served slice of the stream: ``records`` starting at ``start``.
+
+    ``torn`` marks a *damaged* retained segment — it ended (torn tail or
+    short) before reaching the next segment's base, so the positions in
+    between are unrecoverable from the log and the standby must re-seed.
+    A benign torn tail on the **active** segment (the writer is mid-append
+    right now) is not reported: those records simply arrive on the next
+    poll.
+    """
+
+    start: int
+    records: List[Update]
+    torn: bool
+
+
+def read_wal_range(
+    segments: List[WalSegment],
+    start: int,
+    max_records: int,
+    limit_position: int,
+) -> WalChunk:
+    """Read up to ``max_records`` updates beginning at stream position ``start``.
+
+    ``limit_position`` caps the range at the engine's applied count — the
+    WAL may momentarily hold an entry that is flushed but not yet applied,
+    and a replica must only ever see the applied prefix.  Raises
+    :class:`WalGapError` when ``start`` predates the earliest retained
+    segment.
+    """
+    if start >= limit_position:
+        return WalChunk(start=start, records=[], torn=False)
+    segments = sorted(segments, key=lambda segment: (segment.base, segment.active))
+    if not segments or start < segments[0].base:
+        earliest = segments[0].base if segments else limit_position
+        raise WalGapError(
+            f"position {start} is below the retained WAL horizon {earliest}",
+            min_position=earliest,
+        )
+    records: List[Update] = []
+    position = start
+    for index, segment in enumerate(segments):
+        if segment.base > position:
+            # discontinuity between retained segments: the log cannot
+            # produce the positions in between (a pruned or lost segment)
+            raise WalGapError(
+                f"positions [{position}, {segment.base}) are not retained",
+                min_position=segment.base,
+            )
+        next_base = (
+            segments[index + 1].base if index + 1 < len(segments) else None
+        )
+        if next_base is not None and next_base <= position:
+            continue  # already past this segment
+        reader = UpdateLogReader(segment.path, tolerate_torn_tail=True)
+        # jump over the already-served prefix without parsing it — the
+        # replica polls this route continuously, and re-tokenising the
+        # whole segment up to `from` on every poll would be O(stream)
+        # parse work per poll instead of a line skip
+        for update in reader.iter_from(position - segment.base):
+            records.append(update)
+            position += 1
+            if len(records) >= max_records or position >= limit_position:
+                return WalChunk(start=start, records=records, torn=False)
+        cursor = segment.base + reader.entries_skipped + reader.entries_read
+        if next_base is not None and cursor < next_base:
+            # a *closed* segment ended short of its successor — the
+            # reader's torn-tail reporting makes the two causes
+            # distinguishable instead of silently serving a stream with a
+            # hole: a torn tail is damage (report it), a cleanly-ended
+            # short segment means the positions in between were pruned
+            if reader.torn_tail:
+                return WalChunk(start=start, records=records, torn=True)
+            raise WalGapError(
+                f"positions [{cursor}, {next_base}) are not retained",
+                min_position=next_base,
+            )
+    return WalChunk(start=start, records=records, torn=False)
+
+
+# ----------------------------------------------------------------------
+# standby side: the shipper
+# ----------------------------------------------------------------------
+class WalShipper(threading.Thread):
+    """Tail one (tenant, shard) WAL of the primary into the standby.
+
+    The loop is deliberately simple: fetch from the standby's current
+    position, apply through the standby's guarded apply path, repeat;
+    sleep ``poll_interval`` when the primary has nothing new; on a
+    reported gap or damaged segment, trigger the standby's re-seed.  All
+    shared state is owned by the :class:`StandbyEngine` (the shipper holds
+    no positions of its own), which is what makes re-seeds and promotion
+    race-free: the standby serialises every state transition behind one
+    lock and the shipper re-reads the position after each one.
+    """
+
+    def __init__(
+        self,
+        standby: "StandbyEngine",
+        slot: int,
+        poll_interval: float = DEFAULT_POLL_INTERVAL,
+        max_records: int = DEFAULT_FETCH_RECORDS,
+    ) -> None:
+        name = f"wal-shipper-{standby.tenant}-{slot}"
+        super().__init__(name=name, daemon=True)
+        self.standby = standby
+        self.slot = slot
+        self.poll_interval = poll_interval
+        self.max_records = max_records
+        self.last_primary_position = 0
+        self.last_error: Optional[str] = None
+        self.connected = False
+        self._stop_event = threading.Event()
+
+    def stop(self) -> None:
+        """Ask the shipper to exit after the in-flight fetch/apply."""
+        self._stop_event.set()
+
+    @property
+    def stopping(self) -> bool:
+        return self._stop_event.is_set()
+
+    def _reseed(self, reason: str) -> None:
+        """Trigger a re-seed; a primary dying mid-re-seed is just a retry.
+
+        The standby stages the download before touching local state, so a
+        failure here leaves it serving its last replayed position and the
+        next loop iteration tries again.
+        """
+        from repro.service.client import ServiceError
+
+        try:
+            self.standby.reseed(reason=reason)
+        except (OSError, ServiceError) as exc:
+            self.connected = False
+            self.last_error = f"re-seed failed ({reason}): {exc}"
+            self._stop_event.wait(self.poll_interval)
+
+    def run(self) -> None:
+        from repro.service.client import ServiceError
+
+        while not self._stop_event.is_set():
+            try:
+                position = self.standby.position(self.slot)
+                document = self.standby.fetch_wal(
+                    self.slot, position, self.max_records
+                )
+            except ServiceError as exc:
+                if exc.code == "wal_gap":
+                    self.connected = True
+                    self.last_error = None
+                    self._reseed(f"wal gap at shard {self.slot}")
+                    continue
+                self.connected = False
+                self.last_error = f"{exc.code}: {exc}"
+                self._stop_event.wait(self.poll_interval)
+                continue
+            except OSError as exc:
+                # primary unreachable (crashed, restarting): keep retrying
+                # — the warm standby keeps serving its last replayed state
+                self.connected = False
+                self.last_error = str(exc)
+                self._stop_event.wait(self.poll_interval)
+                continue
+            self.connected = True
+            self.last_error = None
+            self.last_primary_position = int(document.get("applied", 0))
+            self.standby.note_epoch(int(document.get("epoch", 0)))
+            if document.get("torn"):
+                self._reseed(f"damaged primary segment at shard {self.slot}")
+                continue
+            records = document.get("records", [])
+            if not records:
+                self._stop_event.wait(self.poll_interval)
+                continue
+            updates = _decode_records(records)
+            self.standby.apply_chunk(self.slot, position, updates)
+
+
+def _decode_records(records: List[object]) -> List[Update]:
+    """Wire records ``[[op, u, v], ...]`` → updates (lossless, validated)."""
+    from repro.service.server import decode_updates
+
+    return decode_updates({"updates": records})
+
+
+# ----------------------------------------------------------------------
+# the standby engine
+# ----------------------------------------------------------------------
+class StandbyEngine:
+    """A warm replica of one remote tenant, promotable to primary.
+
+    Mirrors the read surface of both engine shapes (``view`` /
+    ``group_by`` / ``cluster_of`` / ``stats`` plus the ``applied`` /
+    ``queue_depth`` / ``running`` properties), so the tenant manager and
+    the HTTP server host it unchanged; the write surface raises
+    :class:`~repro.service.engine.ReadOnlyEngineError` until
+    :meth:`promote` flips it.
+
+    Construction contacts the primary: the tenant's shape (shard count,
+    backend) is discovered from its headline document, and — when the
+    local ``data_dir`` holds no previous standby state — the initial state
+    is seeded from the primary's last checkpoint per shard.  A restarted
+    standby recovers from its *own* snapshot + WAL and resumes tailing
+    from its recovered position.
+    """
+
+    def __init__(
+        self,
+        replica_of: str,
+        tenant: str,
+        data_dir: Union[str, Path],
+        config: Optional[EngineConfig] = None,
+        connectivity_backend: str = "hdt",
+        poll_interval: float = DEFAULT_POLL_INTERVAL,
+        client_factory: Optional[Callable[[], object]] = None,
+    ) -> None:
+        self.replica_of = replica_of
+        self.tenant = tenant
+        self.data_dir = Path(data_dir)
+        self.connectivity_backend = connectivity_backend
+        self.poll_interval = poll_interval
+        self._lock = threading.RLock()
+        self._closed = False
+        self._promoted = False
+        self._promotion: Optional[Dict[str, object]] = None
+        self._seen_epoch = 0
+        self._reseeds = 0
+        self._replayed_logical = 0
+
+        if client_factory is None:
+            host, port = parse_primary_url(replica_of)
+
+            def client_factory() -> object:
+                from repro.service.client import ServiceClient
+
+                return ServiceClient(host, port, tenant=tenant)
+
+        self._client_factory = client_factory
+        self._client = client_factory()
+
+        try:
+            row = self._client.describe_tenant(tenant)
+        except OSError as exc:
+            # the primary is unreachable — exactly the situation a warm
+            # standby must survive: a restart with local state falls back
+            # to its own manifest (and can still be promoted); only a
+            # *first* seed genuinely needs the primary
+            row = self._local_manifest()
+            if row is None:
+                raise ReplicationError(
+                    f"primary {replica_of} is unreachable and {self.data_dir} "
+                    f"holds no previous standby state: {exc}"
+                ) from exc
+        else:
+            if not row.get("durable", False):
+                raise ReplicationError(
+                    f"tenant {tenant!r} on {replica_of} is not durable; only "
+                    "durable (WAL-backed) tenants can be replicated"
+                )
+            if row.get("replica_of") and not row.get("promoted"):
+                raise ReplicationError(
+                    f"tenant {tenant!r} on {replica_of} is an un-promoted "
+                    "standby; chained replicas are not supported yet"
+                )
+        self.num_shards = int(row.get("shards", 1))
+        self.backend = str(row.get("backend", "dynstrclu"))
+        base_config = config if config is not None else EngineConfig()
+        self.config = replace(base_config, shards=self.num_shards)
+
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+        self._store_local_manifest()
+        if not self._has_local_state():
+            self._seed_from_primary()
+        self._engine = self._build_engine()
+        self.recovered_updates = self._engine.recovered_updates
+        self._shippers: List[WalShipper] = []
+        self._spawn_shippers()
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def _spawn_shippers(self) -> None:
+        """(Re-)create the shipper threads, one per shard (not started)."""
+        self._shippers = [
+            WalShipper(self, slot, poll_interval=self.poll_interval)
+            for slot in range(self.num_shards)
+        ]
+
+    def _local_manifest(self) -> Optional[Dict[str, object]]:
+        """The persisted shape of this standby (None when never seeded)."""
+        path = self.data_dir / STANDBY_FILE
+        if not path.exists():
+            return None
+        document = json.loads(path.read_text(encoding="utf-8"))
+        if document.get("format") != STANDBY_FORMAT:
+            return None
+        return document
+
+    def _store_local_manifest(self) -> None:
+        (self.data_dir / STANDBY_FILE).write_text(
+            json.dumps(
+                {
+                    "format": STANDBY_FORMAT,
+                    "replica_of": self.replica_of,
+                    "tenant": self.tenant,
+                    "shards": self.num_shards,
+                    "backend": self.backend,
+                    "durable": True,
+                },
+                indent=2,
+            ),
+            encoding="utf-8",
+        )
+
+    def _has_local_state(self) -> bool:
+        if self.num_shards == 1:
+            return (self.data_dir / SNAPSHOT_FILE).exists()
+        return (self.data_dir / MANIFEST_FILE).exists()
+
+    def _shard_dir(self, slot: int) -> Path:
+        if self.num_shards == 1:
+            return self.data_dir
+        return self.data_dir / SHARD_DIR_FORMAT.format(index=slot)
+
+    def _fetch_seed(self) -> List[Dict[str, object]]:
+        """Download the primary's last checkpoint per shard (network only).
+
+        Kept separate from writing so a re-seed can stage the download
+        *before* destroying local state — a primary that dies mid-fetch
+        must leave the standby serving its last replayed state.
+        """
+        documents = []
+        for slot in range(self.num_shards):
+            document = self._client.fetch_snapshot(
+                shard=slot if self.num_shards > 1 else None
+            )
+            self.note_epoch(int(document.get("epoch", 0)))
+            documents.append(document)
+        return documents
+
+    def _write_seed(self, documents: List[Dict[str, object]]) -> None:
+        for slot, document in enumerate(documents):
+            directory = self._shard_dir(slot)
+            directory.mkdir(parents=True, exist_ok=True)
+            (directory / SNAPSHOT_FILE).write_text(
+                json.dumps(document["snapshot"], indent=2), encoding="utf-8"
+            )
+
+    def _seed_from_primary(self) -> None:
+        """Download and install the primary's last checkpoint per shard."""
+        self._write_seed(self._fetch_seed())
+
+    def _build_engine(self) -> AnyEngine:
+        # params come from the seeded/recovered snapshots; reconcile is
+        # off because a standby replays each shard's WAL verbatim and a
+        # reconciliation repair would shift the position arithmetic
+        return make_engine(
+            params=None,
+            config=self.config,
+            data_dir=self.data_dir,
+            connectivity_backend=self.connectivity_backend,
+            backend=self.backend,
+            reconcile=False,
+        )
+
+    # ------------------------------------------------------------------
+    # shipper-facing surface (all state transitions behind the lock)
+    # ------------------------------------------------------------------
+    def position(self, slot: int) -> int:
+        """The standby's applied position of one shard stream (the ack)."""
+        with self._lock:
+            if self.num_shards == 1:
+                return self._engine.applied
+            return self._engine.shards[slot].applied
+
+    def fetch_wal(self, slot: int, position: int, max_records: int) -> Dict[str, object]:
+        """One primary fetch (kept here so the client is shared/lockable)."""
+        return self._client.fetch_wal(
+            from_position=position,
+            shard=slot if self.num_shards > 1 else None,
+            max_records=max_records,
+            ack=position,
+        )
+
+    def note_epoch(self, epoch: int) -> None:
+        """Remember the highest primary epoch observed on the wire."""
+        with self._lock:
+            if epoch > self._seen_epoch:
+                self._seen_epoch = epoch
+
+    def apply_chunk(self, slot: int, start: int, updates: List[Update]) -> bool:
+        """Apply one fetched chunk; returns false when it raced a re-seed.
+
+        The chunk is only valid if it still begins exactly at the shard's
+        current position — a re-seed (or a competing apply) in between
+        invalidates it and the shipper simply re-fetches.  Records go
+        through the engine's normal submit path (WAL-before-apply on the
+        standby too) and the flush makes the advanced position — the next
+        ack — cover only locally-durable records.
+        """
+        with self._lock:
+            if self._closed or self._promoted:
+                return False
+            if self.position(slot) != start:
+                return False
+            target = (
+                self._engine if self.num_shards == 1 else self._engine.shards[slot]
+            )
+            for update in updates:
+                target.submit(update)
+                if self.num_shards > 1 and self._engine._owner(update.u) == slot:
+                    # logical count: a cross-shard update appears in both
+                    # endpoint shards' WALs; count it once, at u's owner
+                    self._replayed_logical += 1
+            target.flush()
+            return True
+
+    def reseed(self, reason: str = "") -> None:
+        """Discard local state, re-download the primary's checkpoint, rebuild.
+
+        The fallback path for WAL gaps (standby lagged past the retained
+        horizon) and damaged segments.  Serialised behind the lock; the
+        published views of the *old* engine keep serving readers until the
+        rebuilt engine publishes its first view — readers never observe a
+        half-seeded replica.  The download is staged *before* any local
+        state is destroyed, so a primary that dies mid-re-seed (raising
+        here, caught by the shipper, retried later) costs nothing.
+        """
+        with self._lock:
+            if self._closed or self._promoted:
+                return
+            staged = self._fetch_seed()  # may raise; local state untouched
+            old = self._engine
+            old.kill()
+            for entry in list(self.data_dir.iterdir()):
+                if entry.is_dir():
+                    shutil.rmtree(entry)
+                else:
+                    entry.unlink()
+            self._store_local_manifest()
+            self._write_seed(staged)
+            engine = self._build_engine()
+            self._engine = engine
+            self._replayed_logical = 0
+            self._reseeds += 1
+            engine.start()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "StandbyEngine":
+        """Start the inner engine and (unless promoted) the shippers."""
+        self._engine.start()
+        if not self._promoted:
+            for shipper in self._shippers:
+                if not shipper.is_alive() and not shipper.stopping:
+                    shipper.start()
+        return self
+
+    def close(self, checkpoint: bool = True) -> None:
+        """Stop the shippers, settle the applied count, close the engine."""
+        self._stop_shippers()
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if self.num_shards > 1:
+                # fold the replayed logical count into the engine before
+                # its manifest is written (see ShardedEngine.close)
+                self._engine.applied = self.applied
+                self._replayed_logical = 0
+            self._engine.close(checkpoint=checkpoint)
+        self._client.close()
+
+    def kill(self) -> None:
+        """Crash-stop: shippers down, engine killed without checkpoint."""
+        self._stop_shippers()
+        with self._lock:
+            self._closed = True
+            self._engine.kill()
+        self._client.close()
+
+    def _stop_shippers(self) -> None:
+        for shipper in self._shippers:
+            shipper.stop()
+        for shipper in self._shippers:
+            if shipper.is_alive():
+                shipper.join()
+
+    def __enter__(self) -> "StandbyEngine":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # promotion
+    # ------------------------------------------------------------------
+    @property
+    def promoted(self) -> bool:
+        return self._promoted
+
+    def promote(self) -> Dict[str, object]:
+        """Fence the old primary, drain the replay queue, flip writable.
+
+        Idempotent: a second call returns the recorded promotion document.
+        Fencing is *ordered before* the flip — the old primary is told to
+        reject writes at the new epoch first, so even a promotion that
+        crashes half-way leaves the system safe (no writer accepts): the
+        demoted primary is already fenced and the standby, still
+        read-only, re-runs the promotion when asked again.  An
+        *unreachable* primary (the failover case) is presumed dead and
+        skipped — but a primary that is alive and **refuses the fence as
+        stale** (it sits at a newer epoch than this standby ever saw,
+        e.g. another standby already won the promotion) aborts with
+        :class:`ReplicationError` after re-fencing above the learned
+        epoch was also refused: flipping writable against a live,
+        writable primary would split the brain.  On abort the shippers
+        are restarted and the standby keeps replicating.
+        """
+        if self._closed:
+            raise EngineError("standby is closed")
+        with self._lock:
+            if self._promoted:
+                return dict(self._promotion or {})
+        # stop the shippers *outside* the lock: an in-flight apply_chunk
+        # holds the lock and must be allowed to finish before join()
+        self._stop_shippers()
+        from repro.service.client import ServiceError
+
+        with self._lock:
+            if self._promoted:
+                return dict(self._promotion or {})
+            new_epoch = max(self._seen_epoch, self._engine.epoch) + 1
+            fenced_primary = False
+            for _attempt in range(3):
+                try:
+                    self._client.fence_tenant(new_epoch)
+                    fenced_primary = True
+                    break
+                except OSError:
+                    break  # unreachable: presumed dead, promotion proceeds
+                except ServiceError as exc:
+                    if exc.code != "stale_epoch":
+                        break  # tenant gone / refused otherwise: proceed
+                    # the primary is ALIVE and ahead of everything this
+                    # standby has seen: learn its epoch and fence above it
+                    try:
+                        current = int(self._client.stats().get("epoch", new_epoch))
+                    except (OSError, ServiceError, TypeError, ValueError):
+                        current = new_epoch
+                    new_epoch = max(new_epoch, current) + 1
+            else:
+                self._spawn_shippers()
+                self.start()
+                raise ReplicationError(
+                    f"promotion aborted: primary {self.replica_of} is alive "
+                    f"and kept refusing the fence as stale (last tried epoch "
+                    f"{new_epoch}); promoting anyway would split the brain"
+                )
+            if self._engine.running:
+                self._engine.flush()
+            if self.num_shards > 1:
+                self._engine.applied = self.applied
+                self._replayed_logical = 0
+                self._engine._rebuild_router_state()
+            self._engine.set_epoch(new_epoch)
+            self._promoted = True
+            self._promotion = {
+                "promoted": True,
+                "epoch": new_epoch,
+                "applied": self.applied,
+                "fenced_primary": fenced_primary,
+            }
+            return dict(self._promotion)
+
+    # ------------------------------------------------------------------
+    # engine surface (reads delegate; writes are gated on promotion)
+    # ------------------------------------------------------------------
+    @property
+    def engine(self) -> AnyEngine:
+        """The inner engine (the promoted survivor keeps using it)."""
+        return self._engine
+
+    @property
+    def params(self):
+        return self._engine.params
+
+    @property
+    def metrics(self) -> ServiceMetrics:
+        return self._engine.metrics
+
+    @property
+    def applied(self) -> int:
+        if self.num_shards == 1:
+            return self._engine.applied
+        return self._engine.applied + self._replayed_logical
+
+    @property
+    def queue_depth(self) -> int:
+        return self._engine.queue_depth
+
+    @property
+    def total_queue_capacity(self) -> int:
+        return self._engine.total_queue_capacity
+
+    @property
+    def running(self) -> bool:
+        return self._engine.running
+
+    @property
+    def epoch(self) -> int:
+        return self._engine.epoch
+
+    @property
+    def fenced(self) -> bool:
+        return self._engine.fenced
+
+    def fence(self, epoch: int) -> None:
+        """Fence the (possibly promoted) standby — chained failover safety."""
+        self._engine.fence(epoch)
+
+    @property
+    def view_version(self) -> int:
+        return self._engine.view_version
+
+    def view(self):
+        return self._engine.view()
+
+    def group_by(self, vertices):
+        return self._engine.group_by(vertices)
+
+    def cluster_of(self, v):
+        return self._engine.cluster_of(v)
+
+    def submit(self, update: Update, block: bool = True, timeout: Optional[float] = None) -> None:
+        if not self._promoted:
+            raise ReadOnlyEngineError(
+                f"tenant {self.tenant!r} is a standby of {self.replica_of}; "
+                "promote it before writing"
+            )
+        self._engine.submit(update, block=block, timeout=timeout)
+
+    def submit_many(self, updates, block: bool = True, timeout: Optional[float] = None) -> int:
+        if not self._promoted:
+            raise ReadOnlyEngineError(
+                f"tenant {self.tenant!r} is a standby of {self.replica_of}; "
+                "promote it before writing"
+            )
+        return self._engine.submit_many(updates, block=block, timeout=timeout)
+
+    def backpressure_signal(self):
+        return self._engine.backpressure_signal()
+
+    def flush(self, timeout: Optional[float] = None) -> bool:
+        return self._engine.flush(timeout=timeout)
+
+    def stats(self) -> Dict[str, object]:
+        document = self._engine.stats()
+        document["applied"] = self.applied
+        document["replication"] = self.replication_status()
+        return document
+
+    def replication_status(self) -> Dict[str, object]:
+        """The ``replication`` stats block of this tenant."""
+        shards: List[Dict[str, object]] = []
+        total_lag = 0
+        for shipper in self._shippers:
+            position = self.position(shipper.slot)
+            primary_position = max(shipper.last_primary_position, position)
+            lag = primary_position - position
+            total_lag += lag
+            row: Dict[str, object] = {
+                "shard": shipper.slot,
+                "position": position,
+                "primary_position": primary_position,
+                "lag": lag,
+                "connected": shipper.connected,
+            }
+            if shipper.last_error is not None:
+                row["last_error"] = shipper.last_error
+            shards.append(row)
+        return {
+            "role": "primary" if self._promoted else "standby",
+            "promoted": self._promoted,
+            "replica_of": self.replica_of,
+            "epoch": self._engine.epoch,
+            "primary_epoch": self._seen_epoch,
+            "lag": total_lag,
+            "reseeds": self._reseeds,
+            "shards": shards,
+        }

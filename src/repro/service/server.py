@@ -53,7 +53,7 @@ import threading
 import time
 from typing import Dict, List, Optional, Tuple, Union
 
-from urllib.parse import unquote
+from urllib.parse import parse_qs, unquote
 
 import repro
 from repro.core.dynelm import Update, UpdateKind
@@ -63,14 +63,25 @@ from repro.service.engine import (
     ClusteringEngine,
     EngineBackpressure,
     EngineError,
+    EngineFenced,
+    ReadOnlyEngineError,
     canonicalise_vertex,
 )
 from repro.service.manager import (
     EngineManager,
+    NotAStandbyError,
     TenantDeleteError,
     TenantExistsError,
     TenantLimitError,
     UnknownTenantError,
+)
+from repro.service.replication import (
+    DEFAULT_FETCH_RECORDS,
+    MAX_FETCH_RECORDS,
+    ReplicationError,
+    StandbyEngine,
+    WalGapError,
+    read_wal_range,
 )
 from repro.service.sharding import ShardedEngine
 
@@ -248,8 +259,10 @@ class ClusteringServiceServer:
                     break
                 if request is None:
                     break
-                method, path, headers, body = request
-                status, document, extra_headers = self._dispatch(method, path, body)
+                method, path, query, headers, body = request
+                status, document, extra_headers = self._dispatch(
+                    method, path, body, query
+                )
                 payload = json.dumps(document).encode("utf-8")
                 keep_alive = headers.get("connection", "keep-alive") != "close"
                 writer.write(
@@ -273,10 +286,12 @@ class ClusteringServiceServer:
     # ------------------------------------------------------------------
     # routing
     # ------------------------------------------------------------------
-    def _dispatch(self, method: str, path: str, body: bytes) -> Response:
+    def _dispatch(
+        self, method: str, path: str, body: bytes, query: str = ""
+    ) -> Response:
         try:
             if path.startswith("/v1/"):
-                return self._dispatch_v1(method, path, body)
+                return self._dispatch_v1(method, path, body, query)
             return self._dispatch_legacy(method, path, body)
         except BadRequest as exc:
             return 400, error_envelope("bad_request", str(exc)), {}
@@ -286,6 +301,29 @@ class ClusteringServiceServer:
             return 409, error_envelope("tenant_exists", str(exc)), {}
         except TenantLimitError as exc:
             return 409, error_envelope("tenant_limit", str(exc)), {}
+        except NotAStandbyError as exc:
+            return 409, error_envelope("not_a_standby", str(exc)), {}
+        except ReadOnlyEngineError as exc:
+            # a standby tenant sheds *writes* only; not retryable against
+            # this server — the client must target the primary or promote
+            return 409, error_envelope("tenant_read_only", str(exc)), {}
+        except EngineFenced as exc:
+            document = {
+                **error_envelope("tenant_fenced", str(exc)),
+                "epoch": exc.epoch,
+            }
+            return 409, document, {}
+        except WalGapError as exc:
+            # the replica asked for a position below the retained WAL
+            # horizon: re-seed from /snapshot (min_position says where
+            # the log picks up again)
+            document = {
+                **error_envelope("wal_gap", str(exc)),
+                "min_position": exc.min_position,
+            }
+            return 409, document, {}
+        except ReplicationError as exc:
+            return 409, error_envelope("replication_error", str(exc)), {}
         except TenantDeleteError as exc:
             # the engine refused to close: the tenant is still fully
             # registered (no half-deleted state) and the delete is safe to
@@ -306,7 +344,9 @@ class ClusteringServiceServer:
                 {},
             )
 
-    def _dispatch_v1(self, method: str, path: str, body: bytes) -> Response:
+    def _dispatch_v1(
+        self, method: str, path: str, body: bytes, query: str = ""
+    ) -> Response:
         segments = path[len("/v1/"):].split("/")
         if segments == ["healthz"]:
             if method != "GET":
@@ -339,10 +379,24 @@ class ClusteringServiceServer:
                 raw = unquote("/".join(rest[1:]))
                 return 200, self._cluster_of(engine, raw), {}
             if rest == ["stats"] and method == "GET":
-                return 200, {"tenant": tenant, **engine.stats()}, {}
-            if rest in (["updates"], ["group-by"], ["stats"]) or (
-                rest and rest[0] == "cluster"
-            ):
+                return 200, self._stats_v1(tenant, engine), {}
+            if rest == ["wal"] and method == "GET":
+                return self._get_wal(tenant, engine, _parse_query(query))
+            if rest == ["snapshot"] and method == "GET":
+                return 200, self._get_snapshot(tenant, engine, _parse_query(query)), {}
+            if rest == ["fence"] and method == "POST":
+                return self._post_fence(tenant, engine, _parse_json(body))
+            if rest == ["promote"] and method == "POST":
+                return 200, {"tenant": tenant, **self.manager.promote(tenant)}, {}
+            if rest in (
+                ["updates"],
+                ["group-by"],
+                ["stats"],
+                ["wal"],
+                ["snapshot"],
+                ["fence"],
+                ["promote"],
+            ) or (rest and rest[0] == "cluster"):
                 return self._method_not_allowed(method, path)
         return 404, error_envelope("not_found", f"no route for {path}"), {}
 
@@ -440,6 +494,9 @@ class ClusteringServiceServer:
             isinstance(shards, bool) or not isinstance(shards, int)
         ):
             raise BadRequest(f'"shards" must be an int, got {shards!r}')
+        replica_of = payload.get("replica_of")
+        if replica_of is not None and not isinstance(replica_of, str):
+            raise BadRequest(f'"replica_of" must be a string, got {replica_of!r}')
         params = None
         if "params" in payload:
             params = _decode_params(payload["params"], self.manager.default_params)
@@ -450,9 +507,51 @@ class ClusteringServiceServer:
                 backend=backend,
                 queue_capacity=queue_capacity,
                 shards=shards,
+                replica_of=replica_of,
             )
         except ValueError as exc:
             raise BadRequest(str(exc)) from exc
+        except OSError as exc:
+            # the standby's primary is unreachable: a clean, retryable 409
+            return (
+                409,
+                error_envelope(
+                    "primary_unreachable",
+                    f"cannot reach primary {replica_of!r}: {exc}",
+                    retryable=True,
+                ),
+                {},
+            )
+        except Exception as exc:
+            from repro.service.client import ServiceError
+
+            if isinstance(exc, ReplicationError) and isinstance(
+                exc.__cause__, OSError
+            ):
+                # an unreachable primary surfaces wrapped (first seed with
+                # no local state): same clean, retryable 409 as a raw one
+                return (
+                    409,
+                    error_envelope(
+                        "primary_unreachable",
+                        f"cannot reach primary {replica_of!r}: {exc}",
+                        retryable=True,
+                    ),
+                    {},
+                )
+            if isinstance(exc, ServiceError):
+                # the primary answered but refused (unknown tenant there,
+                # not durable, ...): forward the context as a clean 409
+                return (
+                    409,
+                    error_envelope(
+                        "primary_rejected",
+                        f"primary {replica_of!r} rejected replication: {exc}",
+                        retryable=exc.retryable,
+                    ),
+                    {},
+                )
+            raise
         return 201, self.manager.describe(name), {}
 
     def _cluster_of(
@@ -489,6 +588,110 @@ class ClusteringServiceServer:
             headers = {"Retry-After": retry_after_header(signal.retry_after_ms)}
             return 429, document, headers
         return 200, {"accepted": accepted, "submitted": len(updates)}, {}
+
+    def _stats_v1(self, tenant: str, engine: ClusteringEngine) -> Dict[str, object]:
+        """Per-tenant stats plus the ``replication`` block.
+
+        Standby tenants bring their own block (role, lag, per-shard
+        positions); for regular tenants the server composes the primary
+        view: epoch, fence state and the positions its standbys acked on
+        the WAL-serving route.
+        """
+        document = {"tenant": tenant, **engine.stats()}
+        if "replication" not in document:
+            acked = self.manager.acks(tenant)
+            document["replication"] = {
+                "role": "primary",
+                "epoch": getattr(engine, "epoch", 0),
+                "fenced": getattr(engine, "fenced", False),
+                "acked": {str(shard): position for shard, position in sorted(acked.items())},
+            }
+        return document
+
+    def _wal_target(
+        self, tenant: str, engine: ClusteringEngine, query: Dict[str, str]
+    ) -> Tuple[int, ClusteringEngine]:
+        """Resolve the ``shard`` query param to the engine serving that WAL."""
+        if isinstance(engine, StandbyEngine):
+            if not engine.promoted:
+                raise BadRequest(
+                    f"tenant {tenant!r} is an un-promoted standby; chained "
+                    "replication is not supported — ship from its primary"
+                )
+            # a promoted standby IS the primary now: serve from its engine
+            # so the post-failover survivor can in turn feed new standbys
+            engine = engine.engine
+        shard = _query_int(query, "shard", 0)
+        if isinstance(engine, ShardedEngine):
+            if not 0 <= shard < engine.num_shards:
+                raise BadRequest(
+                    f"shard must be in [0, {engine.num_shards}), got {shard}"
+                )
+            target = engine.shards[shard]
+        else:
+            if shard != 0:
+                raise BadRequest(f"tenant {tenant!r} is unsharded; shard must be 0")
+            target = engine
+        if target.data_dir is None:
+            raise BadRequest(
+                f"tenant {tenant!r} is not durable; there is no WAL to ship"
+            )
+        return shard, target
+
+    def _get_wal(
+        self, tenant: str, engine: ClusteringEngine, query: Dict[str, str]
+    ) -> Response:
+        shard, target = self._wal_target(tenant, engine, query)
+        start = _query_int(query, "from", 0)
+        if start < 0:
+            raise BadRequest(f"from must be >= 0, got {start}")
+        max_records = min(
+            max(1, _query_int(query, "max", DEFAULT_FETCH_RECORDS)),
+            MAX_FETCH_RECORDS,
+        )
+        if "ack" in query:
+            self.manager.record_ack(tenant, shard, _query_int(query, "ack", 0))
+        chunk = read_wal_range(
+            target.wal_segments(), start, max_records, target.wal_position
+        )
+        document = {
+            "tenant": tenant,
+            "shard": shard,
+            "from": start,
+            "records": [encode_update(update) for update in chunk.records],
+            "position": start + len(chunk.records),
+            "applied": target.wal_position,
+            "epoch": target.epoch,
+            "torn": chunk.torn,
+        }
+        return 200, document, {}
+
+    def _get_snapshot(
+        self, tenant: str, engine: ClusteringEngine, query: Dict[str, str]
+    ) -> Dict[str, object]:
+        shard, target = self._wal_target(tenant, engine, query)
+        snapshot = target.read_snapshot_document()
+        return {
+            "tenant": tenant,
+            "shard": shard,
+            "position": int(snapshot.get("updates_processed", 0)),
+            "epoch": target.epoch,
+            "snapshot": snapshot,
+        }
+
+    def _post_fence(
+        self, tenant: str, engine: ClusteringEngine, payload: object
+    ) -> Response:
+        if not isinstance(payload, dict) or "epoch" not in payload:
+            raise BadRequest('body must be {"epoch": N}')
+        epoch = payload["epoch"]
+        if isinstance(epoch, bool) or not isinstance(epoch, int):
+            raise BadRequest(f'"epoch" must be an int, got {epoch!r}')
+        try:
+            engine.fence(epoch)
+        except ValueError as exc:
+            return 409, error_envelope("stale_epoch", str(exc)), {}
+        return 200, {"tenant": tenant, "epoch": epoch, "fenced": True}, {}
 
     def _group_by(self, engine: ClusteringEngine, payload: object) -> Dict[str, object]:
         if not isinstance(payload, dict) or "vertices" not in payload:
@@ -539,7 +742,7 @@ def _decode_params(payload: object, defaults) -> "repro.StrCluParams":
 # ----------------------------------------------------------------------
 async def _read_request(
     reader: asyncio.StreamReader,
-) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+) -> Optional[Tuple[str, str, str, Dict[str, str], bytes]]:
     """Parse one HTTP/1.1 request; None on a cleanly closed connection."""
     try:
         request_line = await reader.readline()
@@ -570,8 +773,8 @@ async def _read_request(
             413, f"request body of {length} bytes exceeds the {MAX_BODY_BYTES} limit"
         )
     body = await reader.readexactly(length) if length else b""
-    path = target.split("?", 1)[0]
-    return method.upper(), path, headers, body
+    path, _, query = target.partition("?")
+    return method.upper(), path, query, headers, body
 
 
 def _response_bytes(
@@ -599,6 +802,24 @@ def _parse_json(body: bytes) -> object:
         return json.loads(body.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise BadRequest(f"request body is not valid JSON: {exc}") from exc
+
+
+def _parse_query(query: str) -> Dict[str, str]:
+    """Query string → {name: last value} (the replication routes' params)."""
+    return {
+        name: values[-1]
+        for name, values in parse_qs(query, keep_blank_values=True).items()
+    }
+
+
+def _query_int(query: Dict[str, str], name: str, default: int) -> int:
+    value = query.get(name)
+    if value is None:
+        return default
+    try:
+        return int(value)
+    except ValueError:
+        raise BadRequest(f"query parameter {name!r} must be an int, got {value!r}") from None
 
 
 def _now() -> float:

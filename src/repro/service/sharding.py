@@ -81,6 +81,7 @@ from repro.service.engine import (
     EngineClosed,
     EngineConfig,
     EngineError,
+    EngineFenced,
     _Flush,
     _Stop,
     await_flush_marker,
@@ -587,6 +588,7 @@ class ShardedEngine:
         connectivity_backend: str = "hdt",
         metrics: Optional[ServiceMetrics] = None,
         backend: str = "dynstrclu",
+        reconcile: bool = True,
     ) -> None:
         self.config = config if config is not None else EngineConfig(shards=2)
         if self.config.shards < 2:
@@ -649,25 +651,39 @@ class ShardedEngine:
             raise
 
         self.recovered_updates = sum(s.recovered_updates for s in self.shards)
+        # cached fence flag: the admission check runs per submitted update
+        # and must not iterate the shards on the hot path
+        self._fenced = any(shard.fenced for shard in self.shards)
         # the logical count is exact after a clean close (manifest); after a
         # crash the manifest is stale, so fall back to the tightest lower
         # bound the shards can back: no shard applies a logical update twice
         self.applied = max(
             [manifest_applied] + [s.applied for s in self.shards]
         )
-        # the graph of record for no-op filtering: the union of the shard
-        # graphs (every edge lives in at least its owners' shards)
+        self._rebuild_router_state()
+        # a standby replays each shard's WAL verbatim — reconciliation
+        # would splice extra (locally-logged) records into the shard
+        # streams and break the position arithmetic, so it is skippable
+        self._repairs = self._reconcile() if reconcile else []
+
+    def _rebuild_router_state(self) -> None:
+        """Recompute the no-op filter and degree bookkeeping from the shards.
+
+        The graph of record for no-op filtering is the union of the shard
+        graphs (every edge lives in at least its owners' shards); live
+        degrees drive ``_OwnerMap`` eviction — a vertex whose last edge is
+        deleted drops out of the shared memo with it.  Called at
+        construction and again when a promoted standby re-arms the router
+        after bypassing it during replay.
+        """
         self._edges: Set[Tuple[Vertex, Vertex]] = set()
         for shard in self.shards:
             for u, v in shard.maintainer.graph.edges():
                 self._edges.add(canonical_edge(u, v))
-        # live degrees drive _OwnerMap eviction: a vertex whose last edge
-        # is deleted drops out of the shared memo with it
         self._degrees: Dict[Vertex, int] = {}
         for u, v in self._edges:
             self._degrees[u] = self._degrees.get(u, 0) + 1
             self._degrees[v] = self._degrees.get(v, 0) + 1
-        self._repairs = self._reconcile()
 
     # ------------------------------------------------------------------
     # durability bookkeeping
@@ -847,6 +863,43 @@ class ShardedEngine:
         self.close()
 
     # ------------------------------------------------------------------
+    # replication surface (fencing per shard)
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """The engine's fencing epoch: the maximum over the shards'."""
+        return max(shard.epoch for shard in self.shards)
+
+    @property
+    def fenced(self) -> bool:
+        """True once any shard was fenced (writes are all-or-nothing)."""
+        return self._fenced
+
+    def fence(self, epoch: int) -> None:
+        """Fence every shard at ``epoch`` (manifest-pinned per shard).
+
+        Validated against the engine-level epoch first so a stale request
+        fails atomically instead of fencing a prefix of the shards.
+        """
+        if epoch <= self.epoch:
+            raise ValueError(
+                f"stale fence epoch {epoch}: engine is already at {self.epoch}"
+            )
+        for shard in self.shards:
+            shard.fence(epoch)
+        self._fenced = True
+
+    def set_epoch(self, epoch: int) -> None:
+        """Adopt ``epoch`` on every shard (promotion path, un-fenced)."""
+        if epoch < self.epoch:
+            raise ValueError(
+                f"epoch must not move backwards: {epoch} < {self.epoch}"
+            )
+        for shard in self.shards:
+            shard.set_epoch(epoch)
+        self._fenced = False
+
+    # ------------------------------------------------------------------
     # ingest path
     # ------------------------------------------------------------------
     def submit(
@@ -855,6 +908,12 @@ class ShardedEngine:
         """Enqueue one update for routing (same contract as the base engine)."""
         if self._closed:
             raise EngineClosed("engine is closed")
+        if self.fenced:
+            raise EngineFenced(
+                f"engine is fenced at epoch {self.epoch}: a standby was "
+                "promoted; writes must go to the new primary",
+                epoch=self.epoch,
+            )
         self._raise_router_failure()
         update = canonicalise_update(update)
         try:
@@ -1066,6 +1125,8 @@ class ShardedEngine:
             "queue_capacity": self.total_queue_capacity,
             "recovered_updates": self.recovered_updates,
             "running": self.running,
+            "epoch": self.epoch,
+            "fenced": self.fenced,
             "cross_shard_updates": self.metrics.get("cross_shard_updates"),
             "shards": shard_rows,
             "metrics": merged_metrics.snapshot(),
@@ -1083,6 +1144,7 @@ def make_engine(
     connectivity_backend: str = "hdt",
     metrics: Optional[ServiceMetrics] = None,
     backend: str = "dynstrclu",
+    reconcile: bool = True,
 ) -> AnyEngine:
     """Build the engine shape ``config.shards`` asks for.
 
@@ -1117,4 +1179,5 @@ def make_engine(
         connectivity_backend=connectivity_backend,
         metrics=metrics,
         backend=backend,
+        reconcile=reconcile,
     )

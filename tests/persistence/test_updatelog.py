@@ -14,9 +14,12 @@ from repro.persistence.updatelog import (
     UpdateLogReader,
     UpdateLogWriter,
     format_update,
+    list_wal_segments,
     parse_update_line,
     read_update_log,
     replay_updates,
+    segment_entry_count,
+    segment_file_name,
     write_update_log,
 )
 
@@ -198,6 +201,100 @@ class TestTornTail:
             handle.write(format_update(UPDATES[1]) + "\n")
         with pytest.raises(UpdateLogError):
             UpdateLogReader(path, tolerate_torn_tail=True).read_all()
+
+    def test_tolerated_torn_tail_is_reported_not_swallowed(self, tmp_path):
+        """Regression: a dropped tail must set ``torn_tail`` on the reader.
+
+        The WAL shipper distinguishes "clean end of segment" from "this
+        segment is damaged, re-seed the standby from a snapshot" — a
+        silently swallowed tail made that decision impossible.
+        """
+        path = tmp_path / "updates.log"
+        write_update_log(UPDATES[:3], path)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write("+ 99")  # torn append: no newline
+        reader = UpdateLogReader(path, tolerate_torn_tail=True)
+        assert reader.read_all() == UPDATES[:3]
+        assert reader.torn_tail is True
+        assert reader.entries_read == 3
+
+    def test_clean_log_reports_no_torn_tail(self, tmp_path):
+        path = tmp_path / "updates.log"
+        write_update_log(UPDATES[:3], path)
+        reader = UpdateLogReader(path, tolerate_torn_tail=True)
+        assert reader.read_all() == UPDATES[:3]
+        assert reader.torn_tail is False
+        assert reader.entries_read == 3
+
+    def test_torn_flag_resets_between_iterations(self, tmp_path):
+        path = tmp_path / "updates.log"
+        write_update_log(UPDATES[:2], path)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write("+ 99")
+        reader = UpdateLogReader(path, tolerate_torn_tail=True)
+        reader.read_all()
+        assert reader.torn_tail is True
+        # repair the tail and re-iterate the same reader object
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write(" 100\n")
+        assert reader.read_all() == UPDATES[:2] + [Update.insert(99, 100)]
+        assert reader.torn_tail is False
+
+
+class TestIterFrom:
+    def test_skip_jumps_entries_without_parsing(self, tmp_path):
+        path = tmp_path / "updates.log"
+        write_update_log(UPDATES, path)
+        reader = UpdateLogReader(path)
+        assert list(reader.iter_from(2)) == UPDATES[2:]
+        assert reader.entries_skipped == 2
+        assert reader.entries_read == len(UPDATES) - 2
+
+    def test_skip_beyond_the_log_yields_nothing(self, tmp_path):
+        path = tmp_path / "updates.log"
+        write_update_log(UPDATES[:3], path)
+        reader = UpdateLogReader(path)
+        assert list(reader.iter_from(10)) == []
+        assert reader.entries_skipped == 3  # what was actually there
+
+    def test_torn_tail_detected_even_inside_the_skip_range(self, tmp_path):
+        path = tmp_path / "updates.log"
+        write_update_log(UPDATES[:2], path)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write("+ 99")  # torn final line
+        reader = UpdateLogReader(path, tolerate_torn_tail=True)
+        assert list(reader.iter_from(5)) == []
+        assert reader.torn_tail is True
+
+
+class TestSegments:
+    def test_writer_position_is_base_plus_entries(self, tmp_path):
+        path = tmp_path / "updates.log"
+        with UpdateLogWriter(path, base=7) as writer:
+            assert writer.position == 7
+            writer.extend(UPDATES[:3])
+            assert writer.position == 10
+
+    def test_list_wal_segments_orders_by_base(self, tmp_path):
+        write_update_log(UPDATES[:2], tmp_path / segment_file_name(0))
+        with UpdateLogWriter(tmp_path / segment_file_name(2), base=2) as writer:
+            writer.extend(UPDATES[2:4])
+        with UpdateLogWriter(tmp_path / "wal.log", base=4) as writer:
+            writer.append(UPDATES[4])
+        segments = list_wal_segments(tmp_path, active_name="wal.log")
+        assert [segment.base for segment in segments] == [0, 2, 4]
+        assert [segment.active for segment in segments] == [False, False, True]
+        assert [segment_entry_count(segment) for segment in segments] == [2, 2, 1]
+
+    def test_list_wal_segments_without_active_file(self, tmp_path):
+        write_update_log(UPDATES[:2], tmp_path / segment_file_name(0))
+        segments = list_wal_segments(tmp_path, active_name="wal.log")
+        assert [segment.base for segment in segments] == [0]
+
+    def test_unrelated_files_are_ignored(self, tmp_path):
+        (tmp_path / "snapshot.json").write_text("{}", encoding="utf-8")
+        (tmp_path / "wal-xyz.log").write_text("junk", encoding="utf-8")
+        assert list_wal_segments(tmp_path) == []
 
 
 class TestReplay:

@@ -20,6 +20,7 @@ import repro.service.engine
 import repro.service.loadgen
 import repro.service.manager
 import repro.service.metrics
+import repro.service.replication
 import repro.service.server
 import repro.service.views
 from repro.core.config import StrCluParams
@@ -32,6 +33,7 @@ DURATION_ONLY_MODULES = [
     repro.service.metrics,
     repro.service.loadgen,
     repro.service.manager,
+    repro.service.replication,
     repro.service.server,
 ]
 

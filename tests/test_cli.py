@@ -62,7 +62,7 @@ class TestVersionAndUsage:
         assert "invalid choice" in err
 
     def test_service_subcommands_registered(self, capsys):
-        for command in ("serve", "loadgen"):
+        for command in ("serve", "loadgen", "promote"):
             with pytest.raises(SystemExit) as excinfo:
                 main([command, "--help"])
             assert excinfo.value.code == 0
@@ -77,6 +77,128 @@ class TestVersionAndUsage:
         assert main(["loadgen", "--port", "1", "--updates", "1"]) == 2
         err = capsys.readouterr().err
         assert "no clustering service" in err
+
+
+class TestReplicationCli:
+    def test_serve_replica_of_requires_data_dir(self, capsys):
+        assert main(["serve", "--replica-of", "127.0.0.1:1"]) == 2
+        assert "--data-dir" in capsys.readouterr().err
+
+    def test_serve_replica_of_rejects_dataset_preload(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "serve",
+                    "--replica-of",
+                    "127.0.0.1:1",
+                    "--data-dir",
+                    str(tmp_path),
+                    "--dataset",
+                    "email",
+                ]
+            )
+            == 2
+        )
+        assert "read-only" in capsys.readouterr().err
+
+    def test_serve_unreachable_primary_exits_cleanly(self, tmp_path, capsys):
+        # nothing listens on port 1: a clean exit 2, no traceback
+        assert (
+            main(
+                [
+                    "serve",
+                    "--replica-of",
+                    "127.0.0.1:1",
+                    "--data-dir",
+                    str(tmp_path),
+                ]
+            )
+            == 2
+        )
+        assert "repro serve:" in capsys.readouterr().err
+
+    def test_serve_primary_refusal_exits_cleanly(self, tmp_path, capsys):
+        # the primary answers but refuses replication (its default tenant
+        # is not durable): a clean exit 2 with the reason, no traceback
+        from repro.core.config import StrCluParams
+        from repro.service import BackgroundServer, EngineManager
+
+        manager = EngineManager(StrCluParams(epsilon=0.5, mu=2, rho=0.0))
+        with BackgroundServer(manager) as server:
+            assert (
+                main(
+                    [
+                        "serve",
+                        "--replica-of",
+                        f"127.0.0.1:{server.port}",
+                        "--data-dir",
+                        str(tmp_path),
+                    ]
+                )
+                == 2
+            )
+            assert "not durable" in capsys.readouterr().err
+        manager.close()
+
+    def test_promote_reports_unreachable_server_cleanly(self, capsys):
+        assert main(["promote", "--port", "1", "--tenant", "t"]) == 1
+        assert "repro promote:" in capsys.readouterr().err
+
+    def test_promote_round_trip_against_a_live_standby(self, tmp_path, capsys):
+        from repro.core.config import StrCluParams
+        from repro.core.dynelm import Update
+        from repro.service import (
+            BackgroundServer,
+            EngineConfig,
+            EngineManager,
+            StandbyEngine,
+        )
+
+        params = StrCluParams(epsilon=0.5, mu=2, rho=0.0)
+        fast = EngineConfig(batch_size=8, flush_interval=0.005)
+        manager = EngineManager(
+            params,
+            default_engine_config=fast,
+            data_root=tmp_path / "primary",
+            create_default=False,
+        )
+        manager.create("t")
+        engine = manager.get("t")
+        for update in [Update.insert(1, 2), Update.insert(2, 3), Update.insert(1, 3)]:
+            engine.submit(update)
+        engine.flush()
+        with BackgroundServer(manager) as primary_server:
+            standby = StandbyEngine(
+                f"127.0.0.1:{primary_server.port}",
+                "t",
+                data_dir=tmp_path / "standby" / "t",
+                config=fast,
+                poll_interval=0.01,
+            )
+            standby_manager = EngineManager.adopt(standby, name="t")
+            with standby:
+                with BackgroundServer(standby_manager) as standby_server:
+                    import time
+
+                    deadline = time.monotonic() + 10.0
+                    while time.monotonic() < deadline and standby.applied < 3:
+                        time.sleep(0.02)
+                    assert (
+                        main(
+                            [
+                                "promote",
+                                "--port",
+                                str(standby_server.port),
+                                "--tenant",
+                                "t",
+                            ]
+                        )
+                        == 0
+                    )
+                    out = capsys.readouterr().out
+                    assert "promoted" in out and "epoch 1" in out
+                    assert standby.promoted
+        manager.close()
 
 
 class TestExperiment:
