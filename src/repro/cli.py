@@ -71,6 +71,19 @@ EXPERIMENTS = {
 }
 
 
+#: ``serve`` defaults for everything a standby discovers from its primary —
+#: shared by the argument definitions and the ``--replica-of`` guard in
+#: ``cmd_serve`` so the two can never drift apart.
+SERVE_SHAPE_DEFAULTS = {
+    "backend": "dynstrclu",
+    "shards": 1,
+    "epsilon": 0.5,
+    "mu": 3,
+    "rho": 0.01,
+    "similarity": "jaccard",
+}
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -107,22 +120,26 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8321)
-    serve.add_argument("--epsilon", type=float, default=0.5)
-    serve.add_argument("--mu", type=int, default=3)
-    serve.add_argument("--rho", type=float, default=0.01)
     serve.add_argument(
-        "--similarity", choices=["jaccard", "cosine"], default="jaccard"
+        "--epsilon", type=float, default=SERVE_SHAPE_DEFAULTS["epsilon"]
+    )
+    serve.add_argument("--mu", type=int, default=SERVE_SHAPE_DEFAULTS["mu"])
+    serve.add_argument("--rho", type=float, default=SERVE_SHAPE_DEFAULTS["rho"])
+    serve.add_argument(
+        "--similarity",
+        choices=["jaccard", "cosine"],
+        default=SERVE_SHAPE_DEFAULTS["similarity"],
     )
     serve.add_argument(
         "--backend",
-        default="dynstrclu",
+        default=SERVE_SHAPE_DEFAULTS["backend"],
         help="clustering backend of the default tenant "
         "(dynstrclu, dynelm, scan-exact, pscan, hscan)",
     )
     serve.add_argument(
         "--shards",
         type=int,
-        default=1,
+        default=SERVE_SHAPE_DEFAULTS["shards"],
         help="hash partitions of the default tenant's vertex space "
         "(1: single engine; N > 1: sharded engine with scatter-gather reads)",
     )
@@ -324,6 +341,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 print(
                     "repro serve: --dataset cannot be combined with "
                     "--replica-of (a standby is read-only until promoted)",
+                    file=sys.stderr,
+                )
+                return 2
+            # mirror EngineManager.create's refusal instead of silently
+            # discarding tuning the operator believes applied (a standby
+            # discovers shape, backend and params from its primary)
+            overridden = [
+                f"--{name}"
+                for name, default in SERVE_SHAPE_DEFAULTS.items()
+                if getattr(args, name) != default
+            ]
+            if overridden:
+                print(
+                    "repro serve: a standby's shape, backend and params are "
+                    "discovered from its primary; "
+                    f"{', '.join(overridden)} cannot be combined with "
+                    "--replica-of",
                     file=sys.stderr,
                 )
                 return 2

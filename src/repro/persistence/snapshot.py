@@ -23,6 +23,7 @@ longevity and debuggability over pickling live objects.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
@@ -44,6 +45,23 @@ SNAPSHOT_VERSION = 1
 
 class SnapshotError(ValueError):
     """Raised when a snapshot document is malformed or has the wrong version."""
+
+
+def write_durable(path: Union[str, Path], text: str) -> None:
+    """Write ``text`` to ``path`` atomically and durably (tmp + fsync + rename).
+
+    The one shared discipline for every persisted state file — snapshots,
+    shard/replication manifests, standby seeds: a crash at any point
+    leaves either the old whole file or the new whole file on disk, never
+    a torn one that bricks the next recovery's parse.
+    """
+    path = Path(path)
+    tmp_path = path.with_name(path.name + ".tmp")
+    with tmp_path.open("w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
 
 
 @dataclass

@@ -258,6 +258,13 @@ class UpdateLogReader:
         #: Entries skipped (counted but not parsed) by the most recent
         #: :meth:`iter_from` iteration.
         self.entries_skipped = 0
+        #: The ``# base N`` marker streamed past during the most recent
+        #: iteration (0 when the file carries none).  Because the writer
+        #: emits the marker before any entry, this is always set before
+        #: the first yield — letting a caller that opened the file through
+        #: a racy path (the active WAL can be rotated between listing and
+        #: opening) verify it is reading the segment it thinks it is.
+        self.observed_base = 0
 
     def __iter__(self) -> Iterator[Update]:
         return self.iter_from(0)
@@ -282,6 +289,7 @@ class UpdateLogReader:
         self.torn_tail = False
         self.entries_read = 0
         self.entries_skipped = 0
+        self.observed_base = 0
         with self.path.open("r", encoding="utf-8") as handle:
             pending: Optional[str] = None
             pending_no = 0
@@ -292,6 +300,8 @@ class UpdateLogReader:
                     unescape = False
                 if pending is not None:
                     stripped = pending.strip()
+                    if stripped.startswith(BASE_PREFIX):
+                        self._note_base(stripped)
                     if stripped and not stripped.startswith("#"):
                         if self.entries_skipped < skip:
                             self.entries_skipped += 1
@@ -308,6 +318,9 @@ class UpdateLogReader:
             if self.tolerate_torn_tail and not pending.endswith("\n"):
                 self.torn_tail = True
                 return  # unterminated tail: the writer died mid-append
+            if pending.strip().startswith(BASE_PREFIX):
+                # an empty just-rotated segment: the marker is the last line
+                self._note_base(pending.strip())
             try:
                 update = parse_update_line(pending, pending_no, unescape=unescape)
             except UpdateLogError:
@@ -321,6 +334,15 @@ class UpdateLogReader:
                 else:
                     self.entries_read += 1
                     yield update
+
+    def _note_base(self, stripped: str) -> None:
+        """Record the first ``# base N`` marker seen while streaming."""
+        if self.observed_base:
+            return
+        try:
+            self.observed_base = int(stripped[len(BASE_PREFIX):])
+        except ValueError:
+            pass  # malformed marker: leave 0, matching a marker-less file
 
     def base(self) -> int:
         """The stream position recorded when this log was started (0 if none)."""
@@ -376,8 +398,28 @@ def list_wal_segments(
     the *active* segment, named ``active_name``, is appended last with
     its marker-derived base.  The shipping layer walks this list to
     serve any still-retained suffix of the stream.
+
+    The active base is read *before* the directory scan: a concurrent
+    rotation (active renamed to retained, new active created at a higher
+    base) can then only make the listing cover some positions twice —
+    benign, the serving layer skips past-the-cursor segments and
+    re-verifies the active base at open time — never leave a hole
+    between the retained set and the active segment, which would be
+    misreported as a pruned gap and trigger a needless snapshot re-seed.
     """
     directory = Path(directory)
+    active: Optional[WalSegment] = None
+    if active_name is not None:
+        active_path = directory / active_name
+        try:
+            base = read_log_base(active_path)
+        except FileNotFoundError:
+            # the writer is mid-rotation (the active log was renamed and
+            # not yet recreated): list without it; the caller's next poll
+            # sees the rotated layout
+            pass
+        else:
+            active = WalSegment(path=active_path, base=base, active=True)
     segments: List[WalSegment] = []
     if directory.is_dir():
         for entry in sorted(directory.iterdir()):
@@ -386,12 +428,8 @@ def list_wal_segments(
                 continue
             segments.append(WalSegment(path=entry, base=int(match.group(1))))
     segments.sort(key=lambda segment: segment.base)
-    if active_name is not None:
-        active_path = directory / active_name
-        if active_path.exists():
-            segments.append(
-                WalSegment(path=active_path, base=read_log_base(active_path), active=True)
-            )
+    if active is not None:
+        segments.append(active)
     return segments
 
 

@@ -61,7 +61,12 @@ from repro.core.api import (
 from repro.core.config import StrCluParams
 from repro.core.dynelm import Update, UpdateKind
 from repro.core.dynstrclu import DynStrClu
-from repro.persistence.snapshot import load_snapshot, restore_dynstrclu, take_snapshot
+from repro.persistence.snapshot import (
+    load_snapshot,
+    restore_dynstrclu,
+    take_snapshot,
+    write_durable,
+)
 from repro.persistence.updatelog import (
     UpdateLogReader,
     UpdateLogWriter,
@@ -843,14 +848,10 @@ class ClusteringEngine:
     def _checkpoint(self) -> None:
         """Atomically persist the maintainer state and rotate the WAL."""
         assert self.data_dir is not None
-        snapshot_path = self.data_dir / SNAPSHOT_FILE
-        tmp_path = self.data_dir / (SNAPSHOT_FILE + ".tmp")
-        document = take_snapshot(self.maintainer).to_json(indent=2)
-        with tmp_path.open("w", encoding="utf-8") as handle:
-            handle.write(document)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_path, snapshot_path)
+        write_durable(
+            self.data_dir / SNAPSHOT_FILE,
+            take_snapshot(self.maintainer).to_json(indent=2),
+        )
         if self._wal is not None:
             self._wal.close()  # fsyncs the outgoing segment
         self._rotate_wal_segment()
@@ -870,9 +871,18 @@ class ClusteringEngine:
         wal_path = self.data_dir / WAL_FILE
         if self.config.wal_retain_segments < 1 or not wal_path.exists():
             return
-        reader = UpdateLogReader(wal_path, tolerate_torn_tail=True)
-        base = reader.base()
-        entries = sum(1 for _update in reader)
+        if self._wal is not None:
+            # the just-closed writer knows the outgoing segment's shape;
+            # it wrote the file from scratch, so re-parsing it here would
+            # double every checkpoint's cost for nothing
+            base = self._wal.base
+            entries = self._wal.entries_written
+        else:
+            # startup: the segment is a recovered WAL from a previous
+            # process (torn tail possible) — count it from disk
+            reader = UpdateLogReader(wal_path, tolerate_torn_tail=True)
+            base = reader.base()
+            entries = sum(1 for _update in reader)
         if entries < 1:
             return
         os.replace(wal_path, self.data_dir / segment_file_name(base))
@@ -935,14 +945,8 @@ def _store_replication_manifest(data_dir: Path, epoch: int, fenced: bool) -> Non
     was fenced would split-brain the stream — so the write is durable
     before the in-memory flag flips.
     """
-    path = data_dir / REPLICATION_FILE
-    tmp_path = data_dir / (REPLICATION_FILE + ".tmp")
     document = {"format": REPLICATION_FORMAT, "epoch": epoch, "fenced": fenced}
-    with tmp_path.open("w", encoding="utf-8") as handle:
-        handle.write(json.dumps(document, indent=2))
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(tmp_path, path)
+    write_durable(data_dir / REPLICATION_FILE, json.dumps(document, indent=2))
 
 
 # ----------------------------------------------------------------------

@@ -54,6 +54,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.core.dynelm import Update
+from repro.persistence.snapshot import write_durable
 from repro.persistence.updatelog import UpdateLogReader, WalSegment
 from repro.service.engine import (
     SNAPSHOT_FILE,
@@ -185,11 +186,40 @@ def read_wal_range(
         # replica polls this route continuously, and re-tokenising the
         # whole segment up to `from` on every poll would be O(stream)
         # parse work per poll instead of a line skip
-        for update in reader.iter_from(position - segment.base):
-            records.append(update)
-            position += 1
-            if len(records) >= max_records or position >= limit_position:
+        try:
+            for update in reader.iter_from(position - segment.base):
+                if segment.active and reader.observed_base != segment.base:
+                    # the writer rotated the active log between the listing
+                    # and this open: the file on disk now starts at a
+                    # different stream position, so the skip arithmetic
+                    # above counted lines of the *wrong* file — serving
+                    # them would hand the replica records mislabelled with
+                    # positions they do not hold.  Stop with whatever the
+                    # still-immutable earlier segments yielded; the next
+                    # poll lists the rotated layout and resumes exactly
+                    return WalChunk(start=start, records=records, torn=False)
+                records.append(update)
+                position += 1
+                if len(records) >= max_records or position >= limit_position:
+                    return WalChunk(start=start, records=records, torn=False)
+        except FileNotFoundError:
+            if segment.active:
+                # rotation gap: the active log was renamed away and not yet
+                # recreated — transient, the next poll sees the new layout
                 return WalChunk(start=start, records=records, torn=False)
+            # a retained segment pruned between listing and opening: the
+            # positions it held are gone for good — report the structured
+            # gap (not a raw 500) so the standby re-seeds immediately
+            resume = next_base if next_base is not None else limit_position
+            raise WalGapError(
+                f"retained segment {segment.path.name} was pruned while "
+                f"being served; positions [{position}, {resume}) are "
+                "no longer retained",
+                min_position=resume,
+            )
+        if segment.active and reader.observed_base != segment.base:
+            # same race, observed after a fetch that yielded nothing new
+            return WalChunk(start=start, records=records, torn=False)
         cursor = segment.base + reader.entries_skipped + reader.entries_read
         if next_base is not None and cursor < next_base:
             # a *closed* segment ended short of its successor — the
@@ -301,8 +331,18 @@ class WalShipper(threading.Thread):
             if not records:
                 self._stop_event.wait(self.poll_interval)
                 continue
-            updates = _decode_records(records)
-            self.standby.apply_chunk(self.slot, position, updates)
+            try:
+                updates = _decode_records(records)
+                self.standby.apply_chunk(self.slot, position, updates)
+            except Exception as exc:
+                # a malformed record, the standby's engine dying, or an
+                # apply racing a re-seed (the old engine is killed under
+                # it): the shipper must never die silently while the
+                # stats keep reporting a healthy, lag-free standby —
+                # surface the error and retry from the re-read position
+                self.connected = False
+                self.last_error = f"apply failed: {exc}"
+                self._stop_event.wait(self.poll_interval)
 
 
 def _decode_records(records: List[object]) -> List[Update]:
@@ -426,7 +466,8 @@ class StandbyEngine:
         return document
 
     def _store_local_manifest(self) -> None:
-        (self.data_dir / STANDBY_FILE).write_text(
+        write_durable(
+            self.data_dir / STANDBY_FILE,
             json.dumps(
                 {
                     "format": STANDBY_FORMAT,
@@ -438,7 +479,6 @@ class StandbyEngine:
                 },
                 indent=2,
             ),
-            encoding="utf-8",
         )
 
     def _has_local_state(self) -> bool:
@@ -468,11 +508,16 @@ class StandbyEngine:
         return documents
 
     def _write_seed(self, documents: List[Dict[str, object]]) -> None:
+        # atomic (tmp + fsync + rename), like every other persisted file:
+        # a crash mid-seed must leave either no snapshot (re-seeded on the
+        # next start) or a whole one — a torn snapshot.json would make
+        # every subsequent restart fail its recovery parse
         for slot, document in enumerate(documents):
             directory = self._shard_dir(slot)
             directory.mkdir(parents=True, exist_ok=True)
-            (directory / SNAPSHOT_FILE).write_text(
-                json.dumps(document["snapshot"], indent=2), encoding="utf-8"
+            write_durable(
+                directory / SNAPSHOT_FILE,
+                json.dumps(document["snapshot"], indent=2),
             )
 
     def _seed_from_primary(self) -> None:
@@ -526,23 +571,36 @@ class StandbyEngine:
         through the engine's normal submit path (WAL-before-apply on the
         standby too) and the flush makes the advanced position — the next
         ack — cover only locally-durable records.
+
+        The blocking part (submit + flush of up to a full fetch) runs
+        *outside* the state lock: ``/stats`` and ``/v1/healthz`` read
+        positions through that lock and must not stall behind a replay
+        burst.  The races this opens are benign — promotion and close
+        stop (join) this shipper before touching the engine, and a
+        re-seed triggered by another shard's shipper kills the engine
+        mid-apply, which surfaces as an exception the shipper's loop
+        reports and retries; the killed engine's state is discarded
+        wholesale, so the partial apply costs nothing.
         """
         with self._lock:
             if self._closed or self._promoted:
                 return False
             if self.position(slot) != start:
                 return False
-            target = (
-                self._engine if self.num_shards == 1 else self._engine.shards[slot]
-            )
-            for update in updates:
-                target.submit(update)
-                if self.num_shards > 1 and self._engine._owner(update.u) == slot:
-                    # logical count: a cross-shard update appears in both
-                    # endpoint shards' WALs; count it once, at u's owner
-                    self._replayed_logical += 1
-            target.flush()
-            return True
+            engine = self._engine
+        target = engine if self.num_shards == 1 else engine.shards[slot]
+        replayed = 0
+        for update in updates:
+            target.submit(update)
+            if self.num_shards > 1 and engine._owner(update.u) == slot:
+                # logical count: a cross-shard update appears in both
+                # endpoint shards' WALs; count it once, at u's owner
+                replayed += 1
+        target.flush()
+        with self._lock:
+            if self._engine is engine:
+                self._replayed_logical += replayed
+        return True
 
     def reseed(self, reason: str = "") -> None:
         """Discard local state, re-download the primary's checkpoint, rebuild.
@@ -639,13 +697,14 @@ class StandbyEngine:
         demoted primary is already fenced and the standby, still
         read-only, re-runs the promotion when asked again.  An
         *unreachable* primary (the failover case) is presumed dead and
-        skipped — but a primary that is alive and **refuses the fence as
-        stale** (it sits at a newer epoch than this standby ever saw,
-        e.g. another standby already won the promotion) aborts with
-        :class:`ReplicationError` after re-fencing above the learned
-        epoch was also refused: flipping writable against a live,
-        writable primary would split the brain.  On abort the shippers
-        are restarted and the standby keeps replicating.
+        skipped, and one whose tenant is gone has nothing left to fence —
+        but a primary that is alive and **fails the fence** aborts with
+        :class:`ReplicationError`: whether it refuses as stale even after
+        re-fencing above its learned epoch (another standby already won
+        the promotion) or errors unexpectedly (e.g. persisting the fence
+        failed server-side), it may still be writable, and flipping this
+        standby writable next to it would split the brain.  On abort the
+        shippers are restarted and the standby keeps replicating.
         """
         if self._closed:
             raise EngineError("standby is closed")
@@ -670,8 +729,23 @@ class StandbyEngine:
                 except OSError:
                     break  # unreachable: presumed dead, promotion proceeds
                 except ServiceError as exc:
+                    if exc.code == "unknown_tenant":
+                        break  # tenant gone on the primary: nothing to fence
                     if exc.code != "stale_epoch":
-                        break  # tenant gone / refused otherwise: proceed
+                        # the primary is ALIVE but the fence failed for an
+                        # unexpected reason (an internal error persisting
+                        # it, an unrecognised refusal): it may well still
+                        # be writable, and only a *confirmed* fence — or a
+                        # dead/absent primary — makes flipping this
+                        # standby safe.  Abort and keep replicating.
+                        self._spawn_shippers()
+                        self.start()
+                        raise ReplicationError(
+                            f"promotion aborted: primary {self.replica_of} "
+                            f"failed the fence with {exc.code!r} ({exc}); "
+                            "promoting against a possibly-writable live "
+                            "primary would split the brain"
+                        )
                     # the primary is ALIVE and ahead of everything this
                     # standby has seen: learn its epoch and fence above it
                     try:

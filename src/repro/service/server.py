@@ -81,6 +81,7 @@ from repro.service.replication import (
     ReplicationError,
     StandbyEngine,
     WalGapError,
+    parse_primary_url,
     read_wal_range,
 )
 from repro.service.sharding import ShardedEngine
@@ -260,9 +261,20 @@ class ClusteringServiceServer:
                 if request is None:
                     break
                 method, path, query, headers, body = request
-                status, document, extra_headers = self._dispatch(
-                    method, path, body, query
-                )
+                if self._is_blocking_route(method, path):
+                    # tenant lifecycle can block for seconds (standby
+                    # seeding over HTTP, fence attempts against a dead
+                    # primary, final checkpoints): run it in a worker
+                    # thread so every other tenant's requests keep flowing
+                    status, document, extra_headers = (
+                        await asyncio.get_running_loop().run_in_executor(
+                            None, self._dispatch, method, path, body, query
+                        )
+                    )
+                else:
+                    status, document, extra_headers = self._dispatch(
+                        method, path, body, query
+                    )
                 payload = json.dumps(document).encode("utf-8")
                 keep_alive = headers.get("connection", "keep-alive") != "close"
                 writer.write(
@@ -286,6 +298,35 @@ class ClusteringServiceServer:
     # ------------------------------------------------------------------
     # routing
     # ------------------------------------------------------------------
+    @staticmethod
+    def _is_blocking_route(method: str, path: str) -> bool:
+        """Routes whose handlers may block for seconds, not microseconds.
+
+        Tenant creation can crash-recover a large snapshot+WAL or seed a
+        standby over HTTP from its primary (one snapshot download per
+        shard), deletion cuts a final checkpoint, promotion retries a
+        fence against a possibly-dead primary with full network timeouts,
+        and the WAL/snapshot serving routes read segment/checkpoint files
+        from disk on every replica poll — none of which may stall the
+        event loop every tenant shares.
+        """
+        segments = [segment for segment in path.split("/") if segment]
+        if method == "POST":
+            # fence belongs here too: it fsyncs a manifest per shard
+            return segments == ["v1", "tenants"] or (
+                len(segments) == 4
+                and segments[:2] == ["v1", "tenants"]
+                and segments[3] in ("promote", "fence")
+            )
+        if method == "DELETE":
+            return len(segments) == 3 and segments[:2] == ["v1", "tenants"]
+        return (
+            method == "GET"
+            and len(segments) == 4
+            and segments[:2] == ["v1", "tenants"]
+            and segments[3] in ("wal", "snapshot")
+        )
+
     def _dispatch(
         self, method: str, path: str, body: bytes, query: str = ""
     ) -> Response:
@@ -475,6 +516,32 @@ class ClusteringServiceServer:
             "applied": engine.applied,
         }
 
+    def _points_at_self(self, replica_of: str) -> bool:
+        """Best-effort check that ``replica_of`` names this very server.
+
+        Self-replication is always a misconfiguration (the standby would
+        try to discover its shape from the very tenant slot it is
+        reserving).  Comparing addresses is inherently approximate — this
+        catches the same host string and the loopback spellings, which is
+        where the mistake actually happens.
+        """
+        try:
+            host, port = parse_primary_url(replica_of)
+        except ValueError:
+            return False  # manager.create reports the malformed URL
+        try:
+            own_port = self.port
+        except RuntimeError:
+            return False  # not started yet: nothing is bound to compare
+        if port != own_port:
+            return False
+        loopback = {"localhost", "127.0.0.1", "::1"}
+        if host == self.host:
+            return True
+        return host in loopback and (
+            self.host in loopback or self.host in ("0.0.0.0", "::")
+        )
+
     def _create_tenant(self, payload: object) -> Response:
         if not isinstance(payload, dict) or "tenant" not in payload:
             raise BadRequest('body must be {"tenant": name, ...}')
@@ -497,6 +564,11 @@ class ClusteringServiceServer:
         replica_of = payload.get("replica_of")
         if replica_of is not None and not isinstance(replica_of, str):
             raise BadRequest(f'"replica_of" must be a string, got {replica_of!r}')
+        if replica_of is not None and self._points_at_self(replica_of):
+            raise BadRequest(
+                f"replica_of {replica_of!r} points at this server itself; "
+                "a tenant cannot be a standby of its own server"
+            )
         params = None
         if "params" in payload:
             params = _decode_params(payload["params"], self.manager.default_params)

@@ -52,7 +52,6 @@ the cost of possibly resurrecting an edge whose delete was mid-replication.
 from __future__ import annotations
 
 import json
-import os
 import queue
 import threading
 import time
@@ -72,6 +71,7 @@ from repro.core.result import (
 )
 from repro.graph.dynamic_graph import Vertex, canonical_edge
 from repro.graph.similarity import SimilarityKind, pair_similarity
+from repro.persistence.snapshot import write_durable
 from repro.persistence.updatelog import format_vertex_token
 from repro.service.engine import (
     SNAPSHOT_FILE,
@@ -725,8 +725,6 @@ class ShardedEngine:
         that bricks recovery while the shards' WAL+snapshots are intact —
         the same discipline as the engine's snapshot checkpoint.
         """
-        path = self.data_dir / MANIFEST_FILE
-        tmp_path = self.data_dir / (MANIFEST_FILE + ".tmp")
         document = {
             "format": MANIFEST_FORMAT,
             "version": MANIFEST_VERSION,
@@ -734,11 +732,7 @@ class ShardedEngine:
             "backend": self.backend,
             "applied": applied,
         }
-        with tmp_path.open("w", encoding="utf-8") as handle:
-            handle.write(json.dumps(document, indent=2))
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_path, path)
+        write_durable(self.data_dir / MANIFEST_FILE, json.dumps(document, indent=2))
 
     def _reconcile(self) -> List[Tuple[int, Update]]:
         """Repair replicas lost to a crash between the two WAL appends.
@@ -879,14 +873,24 @@ class ShardedEngine:
         """Fence every shard at ``epoch`` (manifest-pinned per shard).
 
         Validated against the engine-level epoch first so a stale request
-        fails atomically instead of fencing a prefix of the shards.
+        fails atomically instead of fencing a prefix of the shards.  An
+        I/O failure persisting a later shard's manifest fails *closed*:
+        with a prefix of the shards durably fenced, admitting more writes
+        would poison the router the moment an update routes to a fenced
+        shard — so the whole engine starts rejecting writes, matching the
+        restart semantics (any fenced shard fences the engine).
         """
         if epoch <= self.epoch:
             raise ValueError(
                 f"stale fence epoch {epoch}: engine is already at {self.epoch}"
             )
-        for shard in self.shards:
-            shard.fence(epoch)
+        for index, shard in enumerate(self.shards):
+            try:
+                shard.fence(epoch)
+            except BaseException:
+                if index:
+                    self._fenced = True
+                raise
         self._fenced = True
 
     def set_epoch(self, epoch: int) -> None:

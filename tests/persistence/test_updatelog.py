@@ -266,6 +266,37 @@ class TestIterFrom:
         assert list(reader.iter_from(5)) == []
         assert reader.torn_tail is True
 
+    def test_observed_base_is_set_before_the_first_yield(self, tmp_path):
+        """WAL serving verifies mid-iteration that the file it opened is
+        the segment it listed, so the marker must be visible by the time
+        the first entry comes out."""
+        path = tmp_path / "updates.log"
+        with UpdateLogWriter(path, base=42) as writer:
+            writer.extend(UPDATES[:3])
+        reader = UpdateLogReader(path)
+        iterator = iter(reader)
+        first = next(iterator)
+        assert first == UPDATES[0]
+        assert reader.observed_base == 42
+        list(iterator)
+        assert reader.observed_base == 42 == reader.base()
+
+    def test_observed_base_defaults_to_zero_without_a_marker(self, tmp_path):
+        path = tmp_path / "updates.log"
+        write_update_log(UPDATES[:2], path)
+        reader = UpdateLogReader(path)
+        list(reader)
+        assert reader.observed_base == 0
+
+    def test_observed_base_on_an_empty_rotated_segment(self, tmp_path):
+        # the marker is the file's last line: still reported
+        path = tmp_path / "updates.log"
+        with UpdateLogWriter(path, base=7):
+            pass
+        reader = UpdateLogReader(path)
+        assert list(reader) == []
+        assert reader.observed_base == 7
+
 
 class TestSegments:
     def test_writer_position_is_base_plus_entries(self, tmp_path):

@@ -141,6 +141,62 @@ class TestReadWalRange:
         chunk = read_wal_range(segments, 3, 100, 3)
         assert chunk.records == [] and chunk.torn is False
 
+    def test_active_rotation_between_list_and_open_is_transient(self, tmp_path):
+        """The writer can rotate wal.log between list_wal_segments() and
+        the open; serving with the stale base would relabel records with
+        stream positions they do not hold (silent, permanent replica
+        divergence).  The read must stop at the rotation instead and let
+        the next poll list the rotated layout."""
+        import os
+
+        from repro.persistence.updatelog import UpdateLogWriter
+
+        stream = chain(0, 10)
+        segments = self._segments(
+            tmp_path,
+            ("wal-000000000000.log", 0, stream[:4]),
+            ("wal.log", 4, stream[4:8]),
+        )
+        # a checkpoint rotates the active log after the listing was taken
+        os.replace(tmp_path / "wal.log", tmp_path / "wal-000000000004.log")
+        with UpdateLogWriter(tmp_path / "wal.log", base=8) as writer:
+            writer.extend(stream[8:])
+        chunk = read_wal_range(segments, 2, 100, 10)
+        # only the still-immutable retained prefix — never records from
+        # the new active file mislabelled with pre-rotation positions
+        assert chunk.records == stream[2:4]
+        assert chunk.torn is False
+        # the next poll's fresh listing serves the rest, exactly
+        fresh = list_wal_segments(tmp_path, active_name="wal.log")
+        assert read_wal_range(fresh, 4, 100, 10).records == stream[4:]
+
+    def test_vanished_active_segment_is_transient(self, tmp_path):
+        stream = chain(0, 6)
+        segments = self._segments(
+            tmp_path,
+            ("wal-000000000000.log", 0, stream[:4]),
+            ("wal.log", 4, stream[4:]),
+        )
+        # mid-rotation gap: wal.log renamed away, not yet recreated
+        (tmp_path / "wal.log").unlink()
+        chunk = read_wal_range(segments, 1, 100, 6)
+        assert chunk.records == stream[1:4]
+        assert chunk.torn is False
+
+    def test_pruned_retained_segment_reports_gap_not_an_error(self, tmp_path):
+        stream = chain(0, 9)
+        segments = self._segments(
+            tmp_path,
+            ("wal-000000000000.log", 0, stream[:3]),
+            ("wal-000000000003.log", 3, stream[3:6]),
+            ("wal.log", 6, stream[6:]),
+        )
+        # pruned by a concurrent checkpoint after the listing was taken
+        (tmp_path / "wal-000000000000.log").unlink()
+        with pytest.raises(WalGapError) as excinfo:
+            read_wal_range(segments, 0, 100, 9)
+        assert excinfo.value.min_position == 3
+
 
 class TestWalRetention:
     def test_checkpoints_rotate_and_prune_segments(self, tmp_path):
@@ -263,6 +319,30 @@ class TestFencing:
         finally:
             engine.close()
 
+    def test_sharded_partial_fence_failure_fails_closed(self, tmp_path):
+        """An I/O failure fencing a later shard must leave the engine
+        rejecting writes (a prefix of the shards is durably fenced; more
+        writes would poison the router), not half-open."""
+        from repro.service import make_engine
+
+        engine = make_engine(
+            PARAMS,
+            config=EngineConfig(batch_size=8, flush_interval=0.005, shards=3),
+            data_dir=tmp_path,
+        ).start()
+        try:
+            def failing_fence(epoch):
+                raise OSError("disk full persisting the fence")
+
+            engine.shards[1].fence = failing_fence
+            with pytest.raises(OSError):
+                engine.fence(4)
+            assert engine.fenced  # fail closed
+            with pytest.raises(EngineFenced):
+                engine.submit(Update.insert(1, 2))
+        finally:
+            engine.close()
+
 
 # ----------------------------------------------------------------------
 # HTTP surface + standby lifecycle
@@ -348,6 +428,13 @@ class TestReplicationRoutes:
         assert excinfo.value.code == "not_a_standby"
         with pytest.raises(NotAStandbyError):
             manager.promote("t")
+
+    def test_create_rejects_a_self_referential_replica(self, primary):
+        _manager, server, client, _tmp = primary
+        with pytest.raises(ServiceError) as excinfo:
+            client.create_tenant("loopy", replica_of=f"127.0.0.1:{server.port}")
+        assert excinfo.value.status == 400
+        assert excinfo.value.code == "bad_request"
 
     def test_primary_stats_report_standby_acks(self, primary):
         _manager, _server, client, _tmp = primary
@@ -597,6 +684,77 @@ class TestPromotion:
             assert info["fenced_primary"] is True
             assert info["epoch"] == 6  # learned 5, fenced strictly above
             assert engine.epoch == 6 and engine.fenced
+        finally:
+            standby.close()
+
+    def test_promote_aborts_when_a_live_primary_fails_the_fence(self, primary):
+        """A live primary whose fence errors unexpectedly (e.g. it could
+        not persist the fence) may still be writable — promotion must
+        abort and the standby keep replicating, never split the brain."""
+        from repro.service import ReplicationError
+
+        manager, server, client, tmp = primary
+        engine = manager.get("t")
+        standby = make_standby(server, tmp).start()
+        try:
+            assert wait_until(lambda: standby.applied >= engine.applied)
+
+            def failing_fence(epoch, name=None):
+                raise ServiceError(
+                    500,
+                    {
+                        "error": {
+                            "code": "internal",
+                            "message": "fence persist failed",
+                            "retryable": False,
+                        }
+                    },
+                )
+
+            standby._client.fence_tenant = failing_fence
+            with pytest.raises(ReplicationError):
+                standby.promote()
+            assert standby.promoted is False
+            with pytest.raises(ReadOnlyEngineError):
+                standby.submit(Update.insert(1, 99))
+            # the primary was never fenced and still takes writes...
+            client.submit_updates([Update.insert(600, 601)])
+            engine.flush()
+            # ...and the aborted promotion restarted the shippers
+            assert wait_until(lambda: standby.applied >= engine.applied)
+            assert groups_of(standby, range(600, 602)) == groups_of(
+                engine, range(600, 602)
+            )
+        finally:
+            standby.close()
+
+    def test_promote_proceeds_when_the_primary_tenant_is_gone(self, primary):
+        """unknown_tenant proves the fence is moot: there is nothing left
+        on the primary to split the brain with."""
+        manager, server, _client, tmp = primary
+        engine = manager.get("t")
+        standby = make_standby(server, tmp).start()
+        try:
+            assert wait_until(lambda: standby.applied >= engine.applied)
+
+            def tenant_gone(epoch, name=None):
+                raise ServiceError(
+                    404,
+                    {
+                        "error": {
+                            "code": "unknown_tenant",
+                            "message": "no tenant named 't'",
+                            "retryable": False,
+                        }
+                    },
+                )
+
+            standby._client.fence_tenant = tenant_gone
+            info = standby.promote()
+            assert info["promoted"] is True
+            assert info["fenced_primary"] is False
+            standby.submit(Update.insert(700, 701))
+            standby.flush()
         finally:
             standby.close()
 

@@ -101,6 +101,29 @@ class TestReplicationCli:
         )
         assert "read-only" in capsys.readouterr().err
 
+    def test_serve_replica_of_rejects_shape_overrides(self, tmp_path, capsys):
+        # a standby discovers backend/shards/params from its primary: the
+        # CLI must refuse the combination (like the HTTP API does), never
+        # silently discard tuning the operator believes applied
+        assert (
+            main(
+                [
+                    "serve",
+                    "--replica-of",
+                    "127.0.0.1:1",
+                    "--data-dir",
+                    str(tmp_path),
+                    "--shards",
+                    "4",
+                    "--epsilon",
+                    "0.9",
+                ]
+            )
+            == 2
+        )
+        err = capsys.readouterr().err
+        assert "--shards" in err and "--epsilon" in err
+
     def test_serve_unreachable_primary_exits_cleanly(self, tmp_path, capsys):
         # nothing listens on port 1: a clean exit 2, no traceback
         assert (
