@@ -1,0 +1,370 @@
+#!/usr/bin/env python
+"""Time-travel smoke gate: historical ``as_of`` reads against a live service.
+
+The CI counterpart of the time-travel subsystem's core promise, exercised
+end-to-end through real processes:
+
+1. start a ``repro serve`` subprocess with a data root and a checkpoint
+   cadence, and create two durable tenants: ``solo`` (1 shard) and
+   ``wide`` (4 shards);
+2. drive it with ``repro loadgen`` (a mixed two-tenant stream), recording
+   the ``solo`` tenant's applied positions mid-run;
+3. query **three historical positions** plus ``as_of=latest`` on ``solo``
+   and assert each equals an **offline truncated-WAL replay**: restore the
+   newest retained snapshot anchor at or below the position and apply the
+   on-disk WAL sequentially up to it;
+4. assert the ``wide`` tenant's per-shard ``as_of`` tuple (recorded at a
+   quiescent boundary, then overtaken by fresh writes) equals a fresh
+   engine recovered from a copy of its directory with each shard's WAL
+   truncated to the tuple;
+5. assert a repeated query is served from the **materialised-view LRU**
+   (hit counter up, replay count unchanged) and that history pruned past
+   the retention horizon answers a structured **410 as_of_unavailable**
+   carrying the oldest replayable position.
+
+Exits non-zero (with a diagnostic) on any violation — wired into CI as
+the ``timetravel-smoke`` job.  Run locally with::
+
+    PYTHONPATH=src python scripts/smoke_timetravel.py
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.dynelm import Update
+from repro.persistence.snapshot import list_retained_snapshots, load_snapshot, restore_dynstrclu
+from repro.persistence.updatelog import UpdateLogReader, list_wal_segments
+from repro.service import EngineConfig, ServiceClient, ServiceError
+from repro.service.sharding import ShardedEngine
+
+SOLO, WIDE = "solo", "wide"
+UPDATES = 6000
+CHECKPOINT_EVERY = 150
+PROBE = [f"{tenant}:{i}" for tenant in (SOLO, WIDE) for i in range(120)]
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _fail(message: str) -> None:
+    print(f"SMOKE FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def _wait_healthy(port: int, timeout: float = 20.0) -> None:
+    deadline = time.monotonic() + timeout
+    last: Exception | None = None
+    while time.monotonic() < deadline:
+        try:
+            with ServiceClient("127.0.0.1", port, timeout=2.0) as client:
+                client.healthz()
+                return
+        except (OSError, ServiceError) as exc:
+            last = exc
+            time.sleep(0.2)
+    _fail(f"server on port {port} never became healthy: {last}")
+
+
+def _serve(port: int, data_root: Path) -> subprocess.Popen:
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            str(port),
+            "--data-root",
+            str(data_root),
+            "--checkpoint-every",
+            str(CHECKPOINT_EVERY),
+            "--epsilon",
+            "0.3",
+            "--mu",
+            "2",
+            "--rho",
+            "0",
+        ],
+    )
+
+
+def _loadgen(port: int) -> subprocess.Popen:
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "loadgen",
+            "--port",
+            str(port),
+            "--tenant",
+            SOLO,
+            "--tenant",
+            WIDE,
+            "--dataset",
+            "email",
+            "--updates",
+            str(UPDATES),
+            "--query-ratio",
+            "0.02",
+            "--seed",
+            "0",
+        ],
+    )
+
+
+def _groups(document: dict) -> set:
+    return {
+        frozenset(members)
+        for members in document["groups"].values()
+        if members
+    }
+
+
+def _solo_reference(tenant_dir: Path, position: int, probe) -> tuple:
+    """Offline truncated-WAL replay: anchor ≤ P, then sequential WAL to P.
+
+    Returns ``(groups, num_edges)`` — the edge count makes the equivalence
+    check meaningful even when the prefix holds no clusters over the probe.
+    """
+    anchors = [
+        anchor
+        for anchor in list_retained_snapshots(tenant_dir)
+        if anchor.position <= position
+    ]
+    if not anchors:
+        _fail(f"no retained snapshot anchor at or below {position} in {tenant_dir}")
+    snapshot = load_snapshot(anchors[-1].path)
+    algo = restore_dynstrclu(snapshot)
+    replayed = snapshot.updates_processed
+    for segment in list_wal_segments(tenant_dir, active_name="wal.log"):
+        if replayed >= position:
+            break
+        reader = UpdateLogReader(segment.path, tolerate_torn_tail=True)
+        cursor = segment.base
+        for update in reader:
+            if cursor >= replayed and replayed < position:
+                algo.apply(update)
+                replayed += 1
+            cursor += 1
+    if replayed != position:
+        _fail(
+            f"offline WAL replay of {tenant_dir} only rebuilds to {replayed}, "
+            f"asked for {position}"
+        )
+    groups = {frozenset(group) for group in algo.group_by(probe).as_sets() if group}
+    return groups, algo.graph.num_edges
+
+
+def _truncate_wal(path: Path, keep_entries: int) -> None:
+    """Rewrite a WAL keeping its header block and the first N entries."""
+    kept: list[str] = []
+    entries = 0
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            stripped = line.strip()
+            if stripped and not stripped.startswith("#"):
+                if entries >= keep_entries or not line.endswith("\n"):
+                    continue
+                entries += 1
+            kept.append(line)
+    if entries < keep_entries:
+        _fail(f"{path} holds only {entries} entries, needed {keep_entries}")
+    path.write_text("".join(kept), encoding="utf-8")
+
+
+def _wide_reference(tenant_dir: Path, positions: list[int], probe) -> tuple:
+    """A fresh engine recovered from a copy truncated to the position tuple."""
+    copy = Path(tempfile.mkdtemp(prefix="timetravel-ref-")) / "wide"
+    shutil.copytree(tenant_dir, copy)
+    for index, position in enumerate(positions):
+        shard_dir = copy / f"shard-{index}"
+        base = 0
+        snapshot_path = shard_dir / "snapshot.json"
+        if snapshot_path.exists():
+            base = json.loads(snapshot_path.read_text(encoding="utf-8")).get(
+                "updates_processed", 0
+            )
+        _truncate_wal(shard_dir / "wal.log", position - base)
+    engine = ShardedEngine(
+        config=EngineConfig(shards=len(positions)), data_dir=copy, reconcile=False
+    )
+    try:
+        groups = {
+            frozenset(group)
+            for group in engine.group_by(probe).as_sets()
+            if group
+        }
+        return groups, engine.view().stats()["num_edges"]
+    finally:
+        engine.kill()
+        shutil.rmtree(copy.parent, ignore_errors=True)
+
+
+def main() -> int:
+    tmp = Path(tempfile.mkdtemp(prefix="timetravel-smoke-"))
+    data_root = tmp / "data"
+    port = _free_port()
+    server = _serve(port, data_root)
+    loadgen: subprocess.Popen | None = None
+    try:
+        _wait_healthy(port)
+        admin = ServiceClient("127.0.0.1", port)
+        solo_client = admin.for_tenant(SOLO)
+        wide_client = admin.for_tenant(WIDE)
+        solo_row = admin.create_tenant(SOLO, shards=1)
+        wide_row = admin.create_tenant(WIDE, shards=4)
+        if solo_row["shards"] != 1 or wide_row["shards"] != 4:
+            _fail(f"unexpected tenant shapes: {solo_row} / {wide_row}")
+
+        # --- drive the service, recording positions mid-run -------------
+        loadgen = _loadgen(port)
+        recorded: list[int] = []
+        while loadgen.poll() is None:
+            applied = int(solo_client.stats()["applied"])
+            if applied and (not recorded or applied > recorded[-1]):
+                recorded.append(applied)
+            time.sleep(0.25)
+        if loadgen.wait(timeout=60) != 0:
+            _fail("repro loadgen exited non-zero")
+        loadgen = None
+        if not recorded:
+            _fail("no positions were recorded mid-run")
+
+        # let the tail of the stream drain (positions stabilise)
+        deadline = time.monotonic() + 30.0
+        previous = -1
+        while time.monotonic() < deadline:
+            applied = int(solo_client.stats()["applied"])
+            if applied == previous:
+                break
+            previous = applied
+            time.sleep(0.3)
+        solo_applied = previous
+        print(f"stream drained: solo at {solo_applied}, "
+              f"{len(recorded)} mid-run positions recorded")
+
+        # --- three historical positions + latest on the solo tenant -----
+        stats = solo_client.stats()
+        horizon = stats["wal"]
+        oldest = int(horizon["oldest_replayable"])
+        if horizon["durable"] is not True or horizon["segments"] < 1:
+            _fail(f"solo horizon looks wrong: {horizon}")
+        replayable = [p for p in recorded if oldest <= p < solo_applied]
+        positions = sorted(set(replayable))[-3:]
+        while len(positions) < 3:  # thin recording: synthesise nearby cuts
+            positions.append(max(oldest, solo_applied - 7 * (len(positions) + 1)))
+        for position in sorted(set(positions)):
+            document = solo_client.group_by_raw(PROBE, as_of=position)
+            if document["view_version"] != position or document["as_of"] != [position]:
+                _fail(f"as_of={position} answered {document['view_version']}")
+            reference, edges = _solo_reference(data_root / SOLO, position, PROBE)
+            if _groups(document) != reference:
+                _fail(
+                    f"solo as_of={position} diverged from the offline "
+                    f"truncated-WAL replay: "
+                    f"{len(_groups(document) ^ reference)} differing groups"
+                )
+            historical_stats = solo_client.stats(as_of=position)
+            if historical_stats["num_edges"] != edges:
+                _fail(
+                    f"solo as_of={position} graph diverged: view has "
+                    f"{historical_stats['num_edges']} edges, reference {edges}"
+                )
+            print(f"solo as_of={position} matches offline replay "
+                  f"({len(reference)} groups, {edges} edges)")
+        latest = solo_client.group_by_raw(PROBE, as_of="latest")
+        live = solo_client.group_by_raw(PROBE)
+        if latest["as_of"] != "latest" or _groups(latest) != _groups(live):
+            _fail("as_of=latest does not serve the live view")
+        print("solo as_of=latest serves the live view")
+
+        # --- LRU: a repeated query must not replay again -----------------
+        repeat = sorted(set(positions))[-1]
+        before = solo_client.stats()["timetravel"]
+        solo_client.group_by_raw(PROBE, as_of=repeat)
+        after = solo_client.stats()["timetravel"]
+        if after["hits"] <= before["hits"]:
+            _fail(f"repeated as_of={repeat} was not an LRU hit: {before} -> {after}")
+        if after["replay"]["count"] != before["replay"]["count"]:
+            _fail(f"repeated as_of={repeat} re-replayed: {before} -> {after}")
+        print(
+            f"LRU serves repeats without replaying "
+            f"(hits {after['hits']}, replays {after['replay']['count']})"
+        )
+
+        # --- pruned history answers a structured 410 ---------------------
+        if oldest <= 1:
+            _fail(f"retention never pruned (oldest replayable {oldest}); "
+                  "the 410 path was not exercised")
+        try:
+            solo_client.group_by_raw(PROBE, as_of=1)
+            _fail("as_of=1 below the horizon did not fail")
+        except ServiceError as exc:
+            if exc.status != 410 or exc.code != "as_of_unavailable":
+                _fail(f"expected 410 as_of_unavailable, got {exc.status} {exc.code}")
+            if exc.document.get("oldest_position") != oldest:
+                _fail(f"410 oldest_position {exc.document.get('oldest_position')} "
+                      f"!= horizon {oldest}")
+        print(f"pruned history answers 410 with oldest_position={oldest}")
+
+        # --- sharded tuple on the wide tenant ----------------------------
+        tuple_positions = [
+            int(row["applied"]) for row in wide_client.stats()["shards"]
+        ]
+        fresh = [
+            Update.insert(f"{WIDE}:new0", f"{WIDE}:new1"),
+            Update.insert(f"{WIDE}:new1", f"{WIDE}:new2"),
+            Update.insert(f"{WIDE}:new0", f"{WIDE}:new2"),
+        ]
+        if wide_client.submit_updates(fresh, max_retries=5) != len(fresh):
+            _fail("post-run writes to the wide tenant were shed")
+        write_deadline = time.monotonic() + 20.0
+        while time.monotonic() < write_deadline:
+            rows = [int(row["applied"]) for row in wide_client.stats()["shards"]]
+            if sum(rows) >= sum(tuple_positions) + len(fresh):
+                break
+            time.sleep(0.1)
+        else:
+            _fail("post-run wide writes never applied")
+        document = wide_client.group_by_raw(PROBE, as_of=tuple_positions)
+        reference, edges = _wide_reference(
+            data_root / WIDE, tuple_positions, PROBE
+        )
+        if _groups(document) != reference:
+            _fail(
+                f"wide as_of={tuple_positions} diverged from the truncated "
+                f"recovery: {len(_groups(document) ^ reference)} differing groups"
+            )
+        print(f"wide as_of={tuple_positions} matches truncated recovery "
+              f"({len(reference)} groups, {edges} edges)")
+
+        solo_client.close()
+        wide_client.close()
+        admin.close()
+        print("timetravel smoke passed")
+        return 0
+    finally:
+        for proc in (loadgen, server):
+            if proc is not None and proc.poll() is None:
+                proc.terminate()
+                try:
+                    proc.wait(timeout=15)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,6 +18,10 @@ Subcommands
 ``promote``
     Promote a standby tenant on a running service to primary (fence the
     old primary, drain the replay queue, flip writable).
+``query``
+    Group-by query against a running service — current view by default,
+    or a *historical* one with ``--as-of <position>`` (time-travel read
+    over the tenant's retained snapshots + WAL).
 ``loadgen``
     Generate open-loop insert/delete/query traffic against a running service
     (or in-process engines) and print the throughput/latency report;
@@ -191,6 +195,31 @@ def _build_parser() -> argparse.ArgumentParser:
     promote.add_argument("--port", type=int, default=8321)
     promote.add_argument(
         "--tenant", default="default", help="standby tenant to promote"
+    )
+
+    query = sub.add_parser(
+        "query",
+        help="group-by query against a running service (current view, or "
+        "a historical one with --as-of)",
+    )
+    query.add_argument("--host", default="127.0.0.1")
+    query.add_argument("--port", type=int, default=8321)
+    query.add_argument("--tenant", default="default", help="tenant to query")
+    query.add_argument(
+        "--as-of",
+        dest="as_of",
+        metavar="POSITION",
+        help="serve the historical view at this applied position instead "
+        "of the live one: an integer for unsharded tenants, a "
+        "comma-separated per-shard tuple for sharded ones, or 'latest' "
+        "(positions come from the tenant's stats document)",
+    )
+    query.add_argument(
+        "vertices",
+        nargs="+",
+        metavar="VERTEX",
+        help="vertices to group (digits are int ids; prefix with '~' to "
+        "force a string id, matching the WAL token convention)",
     )
 
     loadgen = sub.add_parser(
@@ -449,6 +478,39 @@ def _cmd_promote(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.persistence.updatelog import parse_vertex_token
+    from repro.service import ServiceClient, ServiceError
+
+    try:
+        vertices = [parse_vertex_token(token) for token in args.vertices]
+    except ValueError as exc:
+        print(f"repro query: {exc}", file=sys.stderr)
+        return 2
+    client = ServiceClient(args.host, args.port, tenant=args.tenant)
+    try:
+        document = client.group_by_raw(vertices, as_of=args.as_of)
+    except (OSError, ServiceError) as exc:
+        if isinstance(exc, ServiceError) and exc.code == "as_of_unavailable":
+            oldest = (
+                exc.document.get("oldest_position")
+                if isinstance(exc.document, dict)
+                else None
+            )
+            print(
+                f"repro query: history at --as-of {args.as_of} is no longer "
+                f"retained (oldest replayable position: {oldest})",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"repro query: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        client.close()
+    print(json.dumps(document, indent=2, default=repr))
+    return 0
+
+
 def _cmd_loadgen(args: argparse.Namespace) -> int:
     from repro.service import (
         ClientTarget,
@@ -603,6 +665,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_serve(args)
     if args.command == "promote":
         return _cmd_promote(args)
+    if args.command == "query":
+        return _cmd_query(args)
     if args.command == "loadgen":
         return _cmd_loadgen(args)
     parser.error(f"unknown command {args.command!r}")

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import json
 import os
+import re
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
@@ -41,6 +42,14 @@ Edge = Tuple[Vertex, Vertex]
 #: Identifies the snapshot JSON documents produced by this module.
 SNAPSHOT_FORMAT = "repro-strclu-snapshot"
 SNAPSHOT_VERSION = 1
+
+#: Position-stamped snapshot files retained alongside the WAL segments as
+#: time-travel replay anchors: ``snapshot-<position:012d>.json``.  The fixed
+#: 12-digit zero-padded position makes lexicographic order equal numeric
+#: order, mirroring the WAL segment naming in
+#: :mod:`repro.persistence.updatelog`.
+RETAINED_SNAPSHOT_FORMAT = "snapshot-{position:012d}.json"
+RETAINED_SNAPSHOT_RE = re.compile(r"^snapshot-(\d{12})\.json$")
 
 
 class SnapshotError(ValueError):
@@ -225,6 +234,43 @@ def save_snapshot(algo: Union[DynELM, DynStrClu], path: Union[str, Path]) -> Sta
 def load_snapshot(path: Union[str, Path]) -> StateSnapshot:
     """Read a snapshot document from ``path``."""
     return StateSnapshot.from_json(Path(path).read_text(encoding="utf-8"))
+
+
+# ----------------------------------------------------------------------
+# retained (position-stamped) snapshots: the time-travel replay anchors
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RetainedSnapshot:
+    """One position-stamped snapshot file: the anchor for replay-to-``position``."""
+
+    position: int
+    path: Path
+
+
+def retained_snapshot_name(position: int) -> str:
+    """File name of the retained snapshot taken at applied ``position``."""
+    if position < 0:
+        raise ValueError(f"snapshot position must be >= 0, got {position}")
+    return RETAINED_SNAPSHOT_FORMAT.format(position=position)
+
+
+def list_retained_snapshots(directory: Union[str, Path]) -> List[RetainedSnapshot]:
+    """Every retained snapshot in ``directory``, sorted by position.
+
+    This listing *is* the snapshot position manifest: the file names carry
+    the applied position each snapshot was cut at, so no separate index
+    file can drift out of sync with the snapshots actually on disk.
+    """
+    directory = Path(directory)
+    retained: List[RetainedSnapshot] = []
+    if not directory.is_dir():
+        return retained
+    for entry in directory.iterdir():
+        match = RETAINED_SNAPSHOT_RE.match(entry.name)
+        if match:
+            retained.append(RetainedSnapshot(position=int(match.group(1)), path=entry))
+    retained.sort(key=lambda snapshot: snapshot.position)
+    return retained
 
 
 # ----------------------------------------------------------------------

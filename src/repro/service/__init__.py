@@ -25,6 +25,13 @@ hosts many isolated tenants behind one versioned HTTP surface:
   (:class:`WalShipper`, one per shard) and replays it continuously into a
   live read-only engine, with snapshot re-seed on WAL gaps and an
   epoch-fenced :meth:`~repro.service.replication.StandbyEngine.promote`;
+* :mod:`repro.service.timetravel` — :class:`HistoricalViewStore`,
+  time-travel (``as_of``) reads: any retained historical position is
+  answered by restoring the newest position-stamped snapshot anchor at or
+  below it and replaying retained WAL forward through the same range
+  reader the standbys use, with cached replayers, a size-bounded
+  materialised-view LRU and retention pins so pruning never races a
+  replay;
 * :mod:`repro.service.manager` — :class:`EngineManager`, many named
   engines (per-tenant params, backend, queue quota, shard count, replica
   source, data directory) with runtime tenant create/delete/promote;
@@ -85,6 +92,10 @@ from repro.service.sharding import (
     make_engine,
     shard_of,
 )
+from repro.service.timetravel import (
+    AsOfUnavailableError,
+    HistoricalViewStore,
+)
 from repro.service.views import ClusteringView
 
 __all__ = [
@@ -104,6 +115,8 @@ __all__ = [
     "ReadOnlyEngineError",
     "ReplicationError",
     "WalGapError",
+    "HistoricalViewStore",
+    "AsOfUnavailableError",
     "EngineManager",
     "NotAStandbyError",
     "TenantConfig",

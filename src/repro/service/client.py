@@ -21,7 +21,7 @@ import http.client
 import json
 import threading
 import time
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 from urllib.parse import quote
 
 from repro.core.dynelm import Update
@@ -29,6 +29,28 @@ from repro.core.result import GroupByResult
 from repro.graph.dynamic_graph import Vertex
 from repro.persistence.updatelog import format_vertex_token
 from repro.service.server import encode_update
+
+#: An ``as_of`` argument: one applied position (unsharded tenants), a
+#: per-shard position sequence (sharded tenants), or the string
+#: ``"latest"`` (the live view — useful to echo which view was served).
+AsOf = Union[int, str, Sequence[int]]
+
+
+def format_as_of(as_of: AsOf) -> str:
+    """The wire form of an ``as_of`` argument (see :data:`AsOf`)."""
+    if isinstance(as_of, str):
+        return as_of
+    if isinstance(as_of, bool):
+        raise ValueError(f"as_of must be a position, tuple or 'latest', got {as_of!r}")
+    if isinstance(as_of, int):
+        return str(as_of)
+    try:
+        return ",".join(str(int(position)) for position in as_of)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"as_of must be a position, a per-shard position sequence or "
+            f"'latest', got {as_of!r}"
+        ) from None
 
 
 class ServiceError(RuntimeError):
@@ -160,8 +182,11 @@ class ServiceClient:
         """A new client for another tenant on the same server."""
         return ServiceClient(self.host, self.port, timeout=self.timeout, tenant=tenant)
 
-    def _tenant_path(self, suffix: str) -> str:
-        return f"/v1/tenants/{self.tenant}{suffix}"
+    def _tenant_path(self, suffix: str, as_of: Optional[AsOf] = None) -> str:
+        path = f"/v1/tenants/{self.tenant}{suffix}"
+        if as_of is not None:
+            path += f"?as_of={quote(format_as_of(as_of), safe=',')}"
+        return path
 
     # ------------------------------------------------------------------
     # transport
@@ -342,9 +367,19 @@ class ServiceClient:
     # ------------------------------------------------------------------
     # per-tenant routes
     # ------------------------------------------------------------------
-    def stats(self) -> Dict[str, object]:
-        """View statistics plus engine metrics for this client's tenant."""
-        return self._expect_ok("GET", self._tenant_path("/stats"))  # type: ignore[return-value]
+    def stats(self, as_of: Optional[AsOf] = None) -> Dict[str, object]:
+        """View statistics plus engine metrics for this client's tenant.
+
+        With ``as_of`` (an applied position, a per-shard position sequence
+        for sharded tenants, or ``"latest"``), the view-statistics portion
+        describes the tenant's *historical* view at that position instead
+        of the live one; pruned history raises a 410
+        ``as_of_unavailable`` :class:`ServiceError` whose document carries
+        ``oldest_position``.
+        """
+        return self._expect_ok(  # type: ignore[return-value]
+            "GET", self._tenant_path("/stats", as_of=as_of)
+        )
 
     def submit_updates(
         self, updates: Sequence[Update], max_retries: int = 0
@@ -381,29 +416,46 @@ class ServiceClient:
                 if exc.retry_after_s > 0.0:
                     time.sleep(exc.retry_after_s)
 
-    def group_by(self, vertices: Iterable[Vertex]) -> GroupByResult:
-        """Snapshot-consistent cluster-group-by over ``vertices``."""
-        document = self.group_by_raw(vertices)
+    def group_by(
+        self, vertices: Iterable[Vertex], as_of: Optional[AsOf] = None
+    ) -> GroupByResult:
+        """Snapshot-consistent cluster-group-by over ``vertices``.
+
+        With ``as_of``, the group-by is answered from the tenant's
+        historical view at that position (see :meth:`stats` for the
+        argument forms and failure modes) — a time-travel read.
+        """
+        document = self.group_by_raw(vertices, as_of=as_of)
         groups = {
             int(gid): set(members)
             for gid, members in document["groups"].items()  # type: ignore[index]
         }
         return GroupByResult(groups=groups)
 
-    def group_by_raw(self, vertices: Iterable[Vertex]) -> Dict[str, object]:
+    def group_by_raw(
+        self, vertices: Iterable[Vertex], as_of: Optional[AsOf] = None
+    ) -> Dict[str, object]:
         """Like :meth:`group_by` but returns the raw document (with version)."""
         return self._expect_ok(  # type: ignore[return-value]
-            "POST", self._tenant_path("/group-by"), {"vertices": list(vertices)}
+            "POST",
+            self._tenant_path("/group-by", as_of=as_of),
+            {"vertices": list(vertices)},
         )
 
-    def cluster_of(self, vertex: Vertex) -> List[int]:
+    def cluster_of(
+        self, vertex: Vertex, as_of: Optional[AsOf] = None
+    ) -> List[int]:
         """Cluster indices of one vertex in the current view.
 
         The vertex is encoded with the lossless token convention — the int
         ``123`` travels as ``/cluster/123``, the string ``"123"`` as
         ``/cluster/~123`` — then percent-encoded so non-ASCII identifiers
         survive the URL path (the v1 server percent-decodes the segment).
+        With ``as_of``, answered from the historical view at that position
+        (see :meth:`stats`).
         """
         token = quote(format_vertex_token(vertex), safe="")
-        document = self._expect_ok("GET", self._tenant_path(f"/cluster/{token}"))
+        document = self._expect_ok(
+            "GET", self._tenant_path(f"/cluster/{token}", as_of=as_of)
+        )
         return list(document["clusters"])  # type: ignore[index]

@@ -62,8 +62,10 @@ from repro.core.config import StrCluParams
 from repro.core.dynelm import Update, UpdateKind
 from repro.core.dynstrclu import DynStrClu
 from repro.persistence.snapshot import (
+    list_retained_snapshots,
     load_snapshot,
     restore_dynstrclu,
+    retained_snapshot_name,
     take_snapshot,
     write_durable,
 )
@@ -327,6 +329,7 @@ class ClusteringEngine:
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.data_dir = Path(data_dir) if data_dir is not None else None
         self.backend = backend.strip().lower()
+        self.connectivity_backend = connectivity_backend
         self.label_scope = label_scope
         self._queue: "queue.Queue[object]" = queue.Queue(
             maxsize=self.config.queue_capacity
@@ -339,6 +342,14 @@ class ClusteringEngine:
         self._updates_at_checkpoint = 0
         self.epoch = 0
         self._fenced = False
+        # retention floor inputs (see retention_floor): time-travel pins
+        # keyed by token, plus the last standby ack observed on the
+        # WAL-serving route — all read by the writer thread at prune time
+        # and written by serving threads, hence the dedicated lock
+        self._retention_lock = threading.Lock()
+        self._pins: Dict[int, int] = {}
+        self._pin_seq = 0
+        self._standby_ack: Optional[int] = None
 
         if self.data_dir is not None:
             if self.backend not in SNAPSHOT_CAPABLE_BACKENDS:
@@ -848,10 +859,18 @@ class ClusteringEngine:
     def _checkpoint(self) -> None:
         """Atomically persist the maintainer state and rotate the WAL."""
         assert self.data_dir is not None
-        write_durable(
-            self.data_dir / SNAPSHOT_FILE,
-            take_snapshot(self.maintainer).to_json(indent=2),
-        )
+        snapshot = take_snapshot(self.maintainer)
+        text = snapshot.to_json(indent=2)
+        write_durable(self.data_dir / SNAPSHOT_FILE, text)
+        if self.config.wal_retain_segments >= 1:
+            # the same document again, position-stamped: the time-travel
+            # replay anchor for this checkpoint's stream position.  Every
+            # retained WAL segment base thus has a matching anchor, and
+            # both are pruned in lockstep (_prune_segments).
+            write_durable(
+                self.data_dir / retained_snapshot_name(snapshot.updates_processed),
+                text,
+            )
         if self._wal is not None:
             self._wal.close()  # fsyncs the outgoing segment
         self._rotate_wal_segment()
@@ -886,13 +905,128 @@ class ClusteringEngine:
         if entries < 1:
             return
         os.replace(wal_path, self.data_dir / segment_file_name(base))
+        self._prune_segments()
+
+    def _prune_segments(self) -> None:
+        """Prune retained WAL segments (and their snapshot anchors).
+
+        ``wal_retain_segments`` is a *ceiling*, not the only rule: a
+        segment beyond the newest-N window survives while anything still
+        needs it — a standby that acked a position inside it, or an
+        in-flight time-travel read that pinned it
+        (:meth:`retention_floor`).  Pruning goes oldest-first and stops at
+        the first segment still needed, so the retained run stays
+        contiguous (no gaps for :func:`read_wal_range` to trip over).
+
+        Retained snapshot anchors are pruned in lockstep: every anchor at
+        or above the oldest surviving segment base is kept, so the oldest
+        replayable position is always anchored.
+        """
         retained = [
             segment
             for segment in list_wal_segments(self.data_dir)
             if not segment.active
         ]
-        for segment in retained[: -self.config.wal_retain_segments]:
+        floor = self.retention_floor()
+        # a segment covers [base, next_base); it is prunable only when it
+        # falls outside the newest-N count window AND nothing at or above
+        # the retention floor still lives inside it
+        for segment, successor in zip(
+            retained[: -self.config.wal_retain_segments], retained[1:]
+        ):
+            if floor is not None and successor.base > floor:
+                break
             segment.path.unlink(missing_ok=True)
+        survivors = [
+            segment
+            for segment in list_wal_segments(self.data_dir)
+            if not segment.active
+        ]
+        oldest_base = survivors[0].base if survivors else self.applied
+        for anchor in list_retained_snapshots(self.data_dir):
+            if anchor.position < oldest_base:
+                anchor.path.unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------
+    # retention floor: time-travel pins + standby acks
+    # ------------------------------------------------------------------
+    def pin_wal(self, position: int) -> int:
+        """Pin WAL retention at ``position``; returns a token for :meth:`unpin_wal`.
+
+        While the pin is held, :meth:`_prune_segments` never discards the
+        segments (or the snapshot anchor) an in-flight replay from
+        ``position`` needs.  Callers must release the token in a
+        ``finally`` block — a leaked pin holds segments forever.
+        """
+        if position < 0:
+            raise ValueError(f"pin position must be >= 0, got {position}")
+        with self._retention_lock:
+            self._pin_seq += 1
+            token = self._pin_seq
+            self._pins[token] = position
+        return token
+
+    def unpin_wal(self, token: int) -> None:
+        """Release a retention pin (unknown tokens are ignored)."""
+        with self._retention_lock:
+            self._pins.pop(token, None)
+
+    def note_standby_ack(self, position: int) -> None:
+        """Record the standby ack observed on the WAL-serving route.
+
+        A single last-wins slot, mirroring the manager's per-shard ack
+        telemetry: the shipper re-acks on every fetch, so the slot tracks
+        the live standby's replay frontier.
+        """
+        with self._retention_lock:
+            self._standby_ack = position
+
+    def retention_floor(self) -> Optional[int]:
+        """Oldest stream position WAL pruning must keep replayable.
+
+        ``min`` over the active time-travel pins and the last standby ack;
+        ``None`` (no pins, no standby seen) restores the plain
+        ``wal_retain_segments`` count window.
+        """
+        with self._retention_lock:
+            candidates = list(self._pins.values())
+            if self._standby_ack is not None:
+                candidates.append(self._standby_ack)
+        return min(candidates) if candidates else None
+
+    def wal_horizon(self) -> Dict[str, object]:
+        """How far back this engine's history is replayable.
+
+        The operator-facing ``as_of`` horizon: oldest retained WAL base,
+        retained segment count and bytes, the current snapshot position,
+        and ``oldest_replayable`` — the oldest position-stamped snapshot
+        anchor, i.e. the oldest ``as_of`` the engine can still answer.
+        """
+        if self.data_dir is None:
+            return {
+                "durable": False,
+                "segments": 0,
+                "bytes": 0,
+                "oldest_retained_base": None,
+                "snapshot_position": None,
+                "oldest_replayable": None,
+            }
+        segments = self.wal_segments()
+        total_bytes = 0
+        for segment in segments:
+            try:
+                total_bytes += segment.path.stat().st_size
+            except OSError:
+                continue  # pruned underneath the listing: benign race
+        anchors = list_retained_snapshots(self.data_dir)
+        return {
+            "durable": True,
+            "segments": len(segments),
+            "bytes": total_bytes,
+            "oldest_retained_base": segments[0].base if segments else None,
+            "snapshot_position": self._updates_at_checkpoint,
+            "oldest_replayable": anchors[0].position if anchors else None,
+        }
 
 
 def canonicalise_vertex(v: Vertex) -> Vertex:

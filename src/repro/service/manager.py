@@ -32,6 +32,7 @@ from repro.service.engine import ClusteringEngine, EngineConfig
 from repro.service.metrics import ServiceMetrics
 from repro.service.replication import StandbyEngine
 from repro.service.sharding import AnyEngine, ShardedEngine, make_engine
+from repro.service.timetravel import DEFAULT_HISTORY_CACHE_SIZE, HistoricalViewStore
 
 #: Tenant names are path segments: one release of URL-safety by construction.
 _TENANT_NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
@@ -169,6 +170,10 @@ class EngineManager:
     create_default:
         Create the ``default`` tenant eagerly so the legacy unversioned
         routes resolve.
+    history_cache_size:
+        Per-tenant bound on materialised historical (``as_of``) views —
+        the LRU capacity of each tenant's
+        :class:`~repro.service.timetravel.HistoricalViewStore`.
     """
 
     def __init__(
@@ -179,9 +184,12 @@ class EngineManager:
         data_root: Optional[Union[str, Path]] = None,
         max_tenants: int = 64,
         create_default: bool = True,
+        history_cache_size: int = DEFAULT_HISTORY_CACHE_SIZE,
     ) -> None:
         if max_tenants < 1:
             raise ValueError("max_tenants must be >= 1")
+        if history_cache_size < 1:
+            raise ValueError("history_cache_size must be >= 1")
         self.default_params = default_params
         self.default_engine_config = (
             default_engine_config if default_engine_config is not None else EngineConfig()
@@ -189,6 +197,7 @@ class EngineManager:
         self.default_backend = default_backend.strip().lower()
         self.data_root = Path(data_root) if data_root is not None else None
         self.max_tenants = max_tenants
+        self.history_cache_size = history_cache_size
         self._lock = threading.Lock()
         # a slot holds either a live engine or the _RESERVED placeholder
         self._engines: Dict[str, Union[ClusteringEngine, _Reserved]] = {}
@@ -197,6 +206,8 @@ class EngineManager:
         # per-tenant standby acks observed on the WAL-serving route:
         # {tenant: {shard: acked position}} — lag telemetry for primaries
         self._acks: Dict[str, Dict[int, int]] = {}
+        # per-tenant historical (as_of) view stores, created lazily
+        self._stores: Dict[str, HistoricalViewStore] = {}
         self._closed = False
         self._close_completed = False
         if create_default:
@@ -384,6 +395,24 @@ class EngineManager:
             raise UnknownTenantError(f"no tenant named {name!r}")
         return config
 
+    def timetravel(self, name: str) -> HistoricalViewStore:
+        """The named tenant's historical (``as_of``) view store.
+
+        Created lazily on first use with the manager-wide
+        ``history_cache_size`` bound, then reused — the store holds the
+        tenant's cached replayers and materialised-view LRU.  Raises
+        :class:`UnknownTenantError` for unknown tenants.
+        """
+        engine = self.get(name)  # raises UnknownTenantError first
+        with self._lock:
+            store = self._stores.get(name)
+            if store is None or store.engine is not engine:
+                # no store yet, or the tenant was deleted and re-created
+                # under the same name: bind a fresh store to the live engine
+                store = HistoricalViewStore(engine, capacity=self.history_cache_size)
+                self._stores[name] = store
+        return store
+
     def delete(self, name: str, checkpoint: bool = True) -> None:
         """Delete a tenant: close its engine, *then* deregister it.
 
@@ -419,6 +448,7 @@ class EngineManager:
                     f"close ({exc}); the tenant remains registered — retry "
                     "the delete"
                 ) from exc
+        store: Optional[HistoricalViewStore] = None
         with self._lock:
             # deregister only the engine we closed (a concurrent
             # delete+recreate must not have its fresh tenant removed)
@@ -427,6 +457,9 @@ class EngineManager:
                 self._configs.pop(name, None)
                 self._owned.pop(name, None)
                 self._acks.pop(name, None)
+                store = self._stores.pop(name, None)
+        if store is not None:
+            store.clear()
 
     def promote(self, name: str) -> Dict[str, object]:
         """Promote a standby tenant to primary; returns the promotion document.
@@ -445,10 +478,33 @@ class EngineManager:
         return engine.promote()
 
     def record_ack(self, name: str, shard: int, position: int) -> None:
-        """Record a standby's acked position (WAL-serving telemetry)."""
+        """Record a standby's acked position (WAL-serving telemetry).
+
+        Besides the lag-telemetry map, the ack is forwarded to the shard's
+        engine as its standby-ack retention floor
+        (:meth:`~repro.service.engine.ClusteringEngine.note_standby_ack`),
+        so WAL pruning never outruns the slowest standby.
+        """
+        engine: Optional[AnyEngine] = None
         with self._lock:
             if name in self._engines:
                 self._acks.setdefault(name, {})[shard] = position
+                candidate = self._engines[name]
+                if not isinstance(candidate, _Reserved):
+                    engine = candidate
+        if engine is None:
+            return
+        # resolve the acked shard's inner engine; forwarding happens
+        # outside the lock (note_standby_ack takes the engine's own lock)
+        if isinstance(engine, StandbyEngine):
+            engine = engine.engine
+        target: Optional[ClusteringEngine]
+        if isinstance(engine, ShardedEngine):
+            target = engine.shards[shard] if 0 <= shard < engine.num_shards else None
+        else:
+            target = engine if shard == 0 else None
+        if target is not None:
+            target.note_standby_ack(position)
 
     def acks(self, name: str) -> Dict[int, int]:
         """Last acked position per shard for one (primary) tenant."""
@@ -537,9 +593,21 @@ class EngineManager:
         max_lag = 0
         lag_by_tenant: Dict[str, int] = {}
         shard_depths: Dict[str, List[int]] = {}
+        total_segments = 0
+        total_bytes = 0
+        horizon_by_tenant: Dict[str, Dict[str, object]] = {}
         pairs = self.items()
         all_metrics: List[ServiceMetrics] = []
         for name, engine in pairs:
+            horizon = engine.wal_horizon()
+            if horizon.get("durable"):
+                total_segments += int(horizon.get("segments", 0))
+                total_bytes += int(horizon.get("bytes", 0))
+                horizon_by_tenant[name] = {
+                    "oldest_retained_base": horizon.get("oldest_retained_base"),
+                    "oldest_replayable": horizon.get("oldest_replayable"),
+                    "snapshot_position": horizon.get("snapshot_position"),
+                }
             total_applied += engine.applied
             total_depth += engine.queue_depth
             total_capacity += engine.total_queue_capacity
@@ -577,6 +645,11 @@ class EngineManager:
                 "standbys": standbys,
                 "max_lag": max_lag,
                 "lag": lag_by_tenant,
+            },
+            "wal": {
+                "segments": total_segments,
+                "bytes": total_bytes,
+                "horizon": horizon_by_tenant,
             },
             "ingest": merged.ingest.summary(),
             "query": merged.query.summary(),
@@ -617,6 +690,7 @@ class EngineManager:
             self._engines.clear()
             self._configs.clear()
             self._owned.clear()
+            self._stores.clear()
             self._close_completed = True
 
     def __enter__(self) -> "EngineManager":

@@ -858,6 +858,10 @@ class StandbyEngine:
     def flush(self, timeout: Optional[float] = None) -> bool:
         return self._engine.flush(timeout=timeout)
 
+    def wal_horizon(self) -> Dict[str, object]:
+        """The inner engine's replayable horizon (standby history is local)."""
+        return self._engine.wal_horizon()
+
     def stats(self) -> Dict[str, object]:
         document = self._engine.stats()
         document["applied"] = self.applied

@@ -85,6 +85,7 @@ from repro.service.replication import (
     read_wal_range,
 )
 from repro.service.sharding import ShardedEngine
+from repro.service.timetravel import AsOfUnavailableError
 
 #: Largest accepted request body (1 MiB keeps parsing trivially safe).
 MAX_BODY_BYTES = 1 << 20
@@ -96,11 +97,19 @@ _STATUS_TEXT = {
     404: "Not Found",
     405: "Method Not Allowed",
     409: "Conflict",
+    410: "Gone",
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",
 }
+
+#: Allowed query parameters per v1 read route — anything else is a 400.
+#: (Silently ignoring a mistyped ``?asof=`` would serve the *latest* view
+#: while the caller believes they asked for history.)
+_AS_OF_QUERY_PARAMS = frozenset({"as_of"})
+_WAL_QUERY_PARAMS = frozenset({"from", "shard", "max", "ack"})
+_SNAPSHOT_QUERY_PARAMS = frozenset({"shard"})
 
 #: Extra headers attached to a response (name → value).
 Headers = Dict[str, str]
@@ -261,7 +270,7 @@ class ClusteringServiceServer:
                 if request is None:
                     break
                 method, path, query, headers, body = request
-                if self._is_blocking_route(method, path):
+                if self._is_blocking_route(method, path, query):
                     # tenant lifecycle can block for seconds (standby
                     # seeding over HTTP, fence attempts against a dead
                     # primary, final checkpoints): run it in a worker
@@ -299,7 +308,7 @@ class ClusteringServiceServer:
     # routing
     # ------------------------------------------------------------------
     @staticmethod
-    def _is_blocking_route(method: str, path: str) -> bool:
+    def _is_blocking_route(method: str, path: str, query: str = "") -> bool:
         """Routes whose handlers may block for seconds, not microseconds.
 
         Tenant creation can crash-recover a large snapshot+WAL or seed a
@@ -308,9 +317,16 @@ class ClusteringServiceServer:
         fence against a possibly-dead primary with full network timeouts,
         and the WAL/snapshot serving routes read segment/checkpoint files
         from disk on every replica poll — none of which may stall the
-        event loop every tenant shares.
+        event loop every tenant shares.  Likewise any tenant read carrying
+        ``as_of``: a cold historical query restores a snapshot anchor and
+        replays retained WAL from disk.
         """
         segments = [segment for segment in path.split("/") if segment]
+        if (
+            segments[:2] == ["v1", "tenants"]
+            and "as_of" in _parse_query(query)
+        ):
+            return True
         if method == "POST":
             # fence belongs here too: it fsyncs a manifest per shard
             return segments == ["v1", "tenants"] or (
@@ -365,6 +381,18 @@ class ClusteringServiceServer:
             return 409, document, {}
         except ReplicationError as exc:
             return 409, error_envelope("replication_error", str(exc)), {}
+        except AsOfUnavailableError as exc:
+            # the requested history was pruned past the retention horizon:
+            # permanent for this position (410, not retryable) — the body
+            # says where replayable history starts
+            document = {
+                **error_envelope("as_of_unavailable", str(exc)),
+                "requested_position": exc.requested,
+                "oldest_position": exc.oldest,
+            }
+            if exc.shard is not None:
+                document["shard"] = exc.shard
+            return 410, document, {}
         except TenantDeleteError as exc:
             # the engine refused to close: the tenant is still fully
             # registered (no half-deleted state) and the delete is safe to
@@ -413,18 +441,26 @@ class ClusteringServiceServer:
             if rest == ["updates"] and method == "POST":
                 return self._post_updates_v1(engine, _parse_json(body))
             if rest == ["group-by"] and method == "POST":
-                return 200, self._group_by(engine, _parse_json(body)), {}
+                params = _checked_query(query, _AS_OF_QUERY_PARAMS, path)
+                view, as_of = self._resolve_view(tenant, engine, params)
+                return 200, self._group_by(engine, _parse_json(body), view, as_of), {}
             if rest[0] == "cluster" and len(rest) >= 2 and method == "GET":
+                params = _checked_query(query, _AS_OF_QUERY_PARAMS, path)
+                view, as_of = self._resolve_view(tenant, engine, params)
                 # rejoin (a string vertex id may legally contain '/'), then
                 # percent-decode: the v1 segment is defined as URL-encoded
                 raw = unquote("/".join(rest[1:]))
-                return 200, self._cluster_of(engine, raw), {}
+                return 200, self._cluster_of(engine, raw, view=view, as_of=as_of), {}
             if rest == ["stats"] and method == "GET":
-                return 200, self._stats_v1(tenant, engine), {}
+                params = _checked_query(query, _AS_OF_QUERY_PARAMS, path)
+                return 200, self._stats_v1(tenant, engine, params), {}
             if rest == ["wal"] and method == "GET":
-                return self._get_wal(tenant, engine, _parse_query(query))
+                return self._get_wal(
+                    tenant, engine, _checked_query(query, _WAL_QUERY_PARAMS, path)
+                )
             if rest == ["snapshot"] and method == "GET":
-                return 200, self._get_snapshot(tenant, engine, _parse_query(query)), {}
+                params = _checked_query(query, _SNAPSHOT_QUERY_PARAMS, path)
+                return 200, self._get_snapshot(tenant, engine, params), {}
             if rest == ["fence"] and method == "POST":
                 return self._post_fence(tenant, engine, _parse_json(body))
             if rest == ["promote"] and method == "POST":
@@ -626,21 +662,63 @@ class ClusteringServiceServer:
             raise
         return 201, self.manager.describe(name), {}
 
+    def _resolve_view(
+        self, tenant: str, engine: ClusteringEngine, params: Dict[str, str]
+    ) -> Tuple[Optional[object], Optional[object]]:
+        """Resolve the ``as_of`` query parameter to the view to serve.
+
+        Returns ``(view, as_of_echo)``: ``(None, None)`` without the
+        parameter (the handler serves the live view as always),
+        ``(live view, "latest")`` for ``as_of=latest``, and a
+        historical view plus the position list for an explicit position
+        tuple.  Malformed positions are a 400; pruned history propagates
+        as :class:`AsOfUnavailableError` (410).
+        """
+        raw = params.get("as_of")
+        if raw is None:
+            return None, None
+        if raw.strip().lower() == "latest":
+            return engine.view(), "latest"
+        try:
+            positions = tuple(int(part) for part in raw.split(","))
+        except ValueError:
+            raise BadRequest(
+                "as_of must be 'latest', an applied position, or a comma-"
+                f"separated per-shard position tuple, got {raw!r}"
+            ) from None
+        store = self.manager.timetravel(tenant)
+        try:
+            view = store.view_at(positions)
+        except AsOfUnavailableError:
+            raise
+        except ValueError as exc:
+            raise BadRequest(str(exc)) from exc
+        return view, list(positions)
+
     def _cluster_of(
-        self, engine: ClusteringEngine, raw: str, unescape: bool = True
+        self,
+        engine: ClusteringEngine,
+        raw: str,
+        unescape: bool = True,
+        view: Optional[object] = None,
+        as_of: Optional[object] = None,
     ) -> Dict[str, object]:
         if not raw:
             raise BadRequest("missing vertex identifier")
         vertex = parse_vertex_token(raw, unescape=unescape)
-        view = engine.view()
+        if view is None:
+            view = engine.view()
         start = _now()
         clusters = view.cluster_of(vertex)
         engine.metrics.observe_query(_now() - start)
-        return {
+        document: Dict[str, object] = {
             "vertex": vertex,
             "clusters": list(clusters),
             "view_version": view.version,
         }
+        if as_of is not None:
+            document["as_of"] = as_of
+        return document
 
     def _post_updates_v1(
         self, engine: ClusteringEngine, payload: object
@@ -661,15 +739,34 @@ class ClusteringServiceServer:
             return 429, document, headers
         return 200, {"accepted": accepted, "submitted": len(updates)}, {}
 
-    def _stats_v1(self, tenant: str, engine: ClusteringEngine) -> Dict[str, object]:
-        """Per-tenant stats plus the ``replication`` block.
+    def _stats_v1(
+        self,
+        tenant: str,
+        engine: ClusteringEngine,
+        params: Optional[Dict[str, str]] = None,
+    ) -> Dict[str, object]:
+        """Per-tenant stats plus the ``replication``/``wal``/``timetravel`` blocks.
 
-        Standby tenants bring their own block (role, lag, per-shard
-        positions); for regular tenants the server composes the primary
-        view: epoch, fence state and the positions its standbys acked on
-        the WAL-serving route.
+        Standby tenants bring their own replication block (role, lag,
+        per-shard positions); for regular tenants the server composes the
+        primary view: epoch, fence state and the positions its standbys
+        acked on the WAL-serving route.  ``wal`` is the tenant's
+        replayable horizon, ``timetravel`` the historical-view cache
+        counters and replay latency.  With ``?as_of=<positions>`` the
+        view-statistics portion describes that historical view instead of
+        the live one.
         """
+        view, as_of = self._resolve_view(tenant, engine, params or {})
+        if view is not None and as_of != "latest":
+            # historical: the view's own statistics at that position
+            document = {"tenant": tenant, "as_of": as_of, **view.stats()}
+            document["timetravel"] = self.manager.timetravel(tenant).stats()
+            return document
         document = {"tenant": tenant, **engine.stats()}
+        if as_of is not None:
+            document["as_of"] = as_of
+        document["wal"] = engine.wal_horizon()
+        document["timetravel"] = self.manager.timetravel(tenant).stats()
         if "replication" not in document:
             acked = self.manager.acks(tenant)
             document["replication"] = {
@@ -765,24 +862,34 @@ class ClusteringServiceServer:
             return 409, error_envelope("stale_epoch", str(exc)), {}
         return 200, {"tenant": tenant, "epoch": epoch, "fenced": True}, {}
 
-    def _group_by(self, engine: ClusteringEngine, payload: object) -> Dict[str, object]:
+    def _group_by(
+        self,
+        engine: ClusteringEngine,
+        payload: object,
+        view: Optional[object] = None,
+        as_of: Optional[object] = None,
+    ) -> Dict[str, object]:
         if not isinstance(payload, dict) or "vertices" not in payload:
             raise BadRequest('body must be {"vertices": [...]}')
         vertices = payload["vertices"]
         if not isinstance(vertices, list):
             raise BadRequest('"vertices" must be a list')
         query = [_decode_vertex(v) for v in vertices]
-        view = engine.view()
+        if view is None:
+            view = engine.view()
         start = _now()
         result = view.group_by(query)
         engine.metrics.observe_query(_now() - start)
-        return {
+        document: Dict[str, object] = {
             "view_version": view.version,
             "groups": {
                 str(gid): sorted(members, key=repr)
                 for gid, members in result.groups.items()
             },
         }
+        if as_of is not None:
+            document["as_of"] = as_of
+        return document
 
 
 def _decode_params(payload: object, defaults) -> "repro.StrCluParams":
@@ -882,6 +989,29 @@ def _parse_query(query: str) -> Dict[str, str]:
         name: values[-1]
         for name, values in parse_qs(query, keep_blank_values=True).items()
     }
+
+
+def _checked_query(
+    query: str, allowed: frozenset, path: str
+) -> Dict[str, str]:
+    """Parse a v1 read route's query string, rejecting unknown parameters.
+
+    A mistyped parameter (``?asof=120``) silently ignored would serve the
+    *latest* view while the caller believes they asked for history — on
+    these routes that is a correctness hazard, so unknown names are a
+    structured 400 listing what the route accepts.
+    """
+    params = _parse_query(query)
+    unknown = set(params) - allowed
+    if unknown:
+        accepted = (
+            f" (accepted: {', '.join(sorted(allowed))})" if allowed else ""
+        )
+        raise BadRequest(
+            f"unknown query parameter(s) for {path}: "
+            f"{', '.join(sorted(unknown))}{accepted}"
+        )
+    return params
 
 
 def _query_int(query: Dict[str, str], name: str, default: int) -> int:

@@ -224,6 +224,75 @@ def _closed(v: Vertex, neighbours: Optional[FrozenSet[Vertex]]) -> Set[Vertex]:
     return out
 
 
+def capture_similar_neighbours(
+    maintainer: object,
+    v: Vertex,
+    shard_index: int,
+    owner_of: Callable[[Vertex], int],
+) -> Set[Vertex]:
+    """Same-shard similar neighbours of an owned vertex.
+
+    Delta-capable backends answer from their maintained structures
+    (DynStrClu's vAuxInfo, already scoped to owned edges); fallback
+    backends re-derive the decision from the graph with the exact
+    similarity — both endpoints are owned, so their neighbourhoods in the
+    shard graph are complete and the answer is exact.
+
+    The probe's answer is filtered to same-shard neighbours anyway: a
+    plugin backend that ignores the ``scope`` hook labels boundary
+    replicas too (on truncated neighbourhoods), and those decisions must
+    never leak into the export — the merge owns every boundary edge.
+    """
+    probe = getattr(maintainer, "core_attachments", None)
+    if callable(probe):
+        return {w for w in probe(v) if owner_of(w) == shard_index}
+    from repro.graph.similarity import structural_similarity
+
+    graph = maintainer.graph
+    params = maintainer.params
+    out: Set[Vertex] = set()
+    for w in graph.neighbours(v):
+        if owner_of(w) != shard_index:
+            continue
+        if structural_similarity(graph, v, w, params.similarity) >= params.epsilon:
+            out.add(w)
+    return out
+
+
+def capture_shard_export(
+    maintainer: object,
+    shard_index: int,
+    num_shards: int,
+    version: int,
+    owner: Optional[_OwnerMap] = None,
+) -> ShardExport:
+    """Full export of one shard maintainer: owned adjacency + similar maps.
+
+    Works on *any* maintainer holding shard ``shard_index``'s state — a
+    live shard's (the :class:`_ShardEngine` publication path) or one
+    rebuilt from a retained snapshot + WAL replay (the time-travel path),
+    which is what makes historical sharded reads reuse
+    :func:`merge_shard_views` unchanged.
+    """
+    owner_of = owner if owner is not None else _OwnerMap(num_shards)
+    graph = maintainer.graph
+    adjacency: Dict[Vertex, FrozenSet[Vertex]] = {}
+    similar: Dict[Vertex, FrozenSet[Vertex]] = {}
+    for v in graph.vertices():
+        if owner_of(v) != shard_index:
+            continue
+        adjacency[v] = frozenset(graph.neighbours(v))
+        sim = capture_similar_neighbours(maintainer, v, shard_index, owner_of)
+        if sim:
+            similar[v] = frozenset(sim)
+    return ShardExport(
+        shard=shard_index,
+        version=version,
+        adjacency=PersistentMap.build(adjacency),
+        similar=PersistentMap.build(similar),
+    )
+
+
 
 
 # ----------------------------------------------------------------------
@@ -482,54 +551,18 @@ class _ShardEngine(ClusteringEngine):
         self._published = (view, export)
 
     def _sim_neighbours(self, v: Vertex) -> Set[Vertex]:
-        """Same-shard similar neighbours of an owned vertex.
-
-        Delta-capable backends answer from their maintained structures
-        (DynStrClu's vAuxInfo, already scoped to owned edges); fallback
-        backends re-derive the decision from the graph with the exact
-        similarity — both endpoints are owned, so their neighbourhoods in
-        the shard graph are complete and the answer is exact.
-
-        The probe's answer is filtered to same-shard neighbours anyway:
-        a plugin backend that ignores the ``scope`` hook labels boundary
-        replicas too (on truncated neighbourhoods), and those decisions
-        must never leak into the export — the merge owns every boundary
-        edge.
-        """
-        probe = getattr(self.maintainer, "core_attachments", None)
-        if callable(probe):
-            index, owner_of = self.shard_index, self._owner
-            return {w for w in probe(v) if owner_of(w) == index}
-        from repro.graph.similarity import structural_similarity
-
-        graph = self.maintainer.graph
-        params = self.maintainer.params
-        index, owner_of = self.shard_index, self._owner
-        out: Set[Vertex] = set()
-        for w in graph.neighbours(v):
-            if owner_of(w) != index:
-                continue
-            if structural_similarity(graph, v, w, params.similarity) >= params.epsilon:
-                out.add(w)
-        return out
+        """Same-shard similar neighbours (see :func:`capture_similar_neighbours`)."""
+        return capture_similar_neighbours(
+            self.maintainer, v, self.shard_index, self._owner
+        )
 
     def _full_export(self, version: int) -> ShardExport:
-        graph = self.maintainer.graph
-        index, owner_of = self.shard_index, self._owner
-        adjacency: Dict[Vertex, FrozenSet[Vertex]] = {}
-        similar: Dict[Vertex, FrozenSet[Vertex]] = {}
-        for v in graph.vertices():
-            if owner_of(v) != index:
-                continue
-            adjacency[v] = frozenset(graph.neighbours(v))
-            sim = self._sim_neighbours(v)
-            if sim:
-                similar[v] = frozenset(sim)
-        return ShardExport(
-            shard=index,
-            version=version,
-            adjacency=PersistentMap.build(adjacency),
-            similar=PersistentMap.build(similar),
+        return capture_shard_export(
+            self.maintainer,
+            self.shard_index,
+            self.num_shards,
+            version,
+            owner=self._owner,
         )
 
     def _patched_export(
@@ -902,6 +935,33 @@ class ShardedEngine:
         for shard in self.shards:
             shard.set_epoch(epoch)
         self._fenced = False
+
+    def wal_horizon(self) -> Dict[str, object]:
+        """Aggregated ``as_of`` horizon: totals plus per-shard rows.
+
+        ``oldest_replayable`` is the per-shard position vector (the same
+        shape an ``as_of`` tuple for this tenant takes), or ``None`` when
+        any shard has no replayable history.
+        """
+        rows = [shard.wal_horizon() for shard in self.shards]
+        oldest_bases = [
+            row["oldest_retained_base"]
+            for row in rows
+            if row["oldest_retained_base"] is not None
+        ]
+        replayable = [row["oldest_replayable"] for row in rows]
+        return {
+            "durable": all(row["durable"] for row in rows),
+            "segments": sum(row["segments"] for row in rows),
+            "bytes": sum(row["bytes"] for row in rows),
+            "oldest_retained_base": min(oldest_bases) if oldest_bases else None,
+            "snapshot_position": None,  # per-shard notion: see the rows
+            "oldest_replayable": (
+                None if any(position is None for position in replayable)
+                else replayable
+            ),
+            "shards": rows,
+        }
 
     # ------------------------------------------------------------------
     # ingest path

@@ -1,0 +1,371 @@
+"""Time-travel reads: ``as_of`` historical queries over retained state.
+
+The durability layer already retains everything needed to reconstruct any
+past state of a tenant — position-stamped snapshot anchors
+(``snapshot-<position>.json``, cut at every checkpoint) and the retained
+WAL segments behind them.  This module turns that retention into a read
+feature, following the reenactment idea (replay the log to the requested
+point instead of materialising every version eagerly):
+
+* **Anchor + replay.**  A query ``as_of=P`` locates the newest retained
+  snapshot at position ``≤ P``, restores it through the exact machinery
+  crash recovery and standby re-seeds use
+  (:func:`repro.persistence.snapshot.restore_dynstrclu`), and replays the
+  retained WAL forward through
+  :func:`repro.service.replication.read_wal_range` — the same range reader
+  that ships WAL to standbys — stopping exactly at ``P``.
+* **Cached replayers.**  The replayed maintainer is kept per shard; a
+  later query at ``P' ≥ P`` continues the replay forward instead of
+  restarting from an anchor, so walking a tenant's history in order costs
+  each WAL record once.
+* **Materialised-view LRU.**  The captured views are held in a
+  size-bounded LRU keyed by the requested position tuple, so repeated
+  audits of the same epoch are O(1) lookups.
+* **Retention pins.**  Before replaying, the store pins the engine's WAL
+  retention at the anchor position
+  (:meth:`~repro.service.engine.ClusteringEngine.pin_wal`), so a
+  checkpoint cut mid-replay cannot prune the segments out from under it.
+* **Sharded tenants.**  Each shard replays to its own position, exports
+  are captured with :func:`repro.service.sharding.capture_shard_export`,
+  and the per-shard snapshots go through the *live* scatter-gather merge
+  (:func:`repro.service.sharding.merge_shard_views`) — historical sharded
+  reads are exactly as exact as current ones.
+
+History that has been pruned past the retention horizon raises
+:class:`AsOfUnavailableError` (HTTP ``410 as_of_unavailable``) carrying
+the oldest position still replayable.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.persistence.snapshot import list_retained_snapshots, load_snapshot, restore_dynstrclu
+from repro.service.engine import ClusteringEngine, EngineError
+from repro.service.metrics import LatencyHistogram
+from repro.service.replication import StandbyEngine, WalGapError, read_wal_range
+from repro.service.sharding import (
+    AnyEngine,
+    ShardedEngine,
+    ShardedView,
+    _OwnerMap,
+    capture_shard_export,
+    merge_shard_views,
+)
+from repro.service.views import ClusteringView
+
+#: Records pulled per replay iteration (matches the shipping clamp).
+REPLAY_FETCH_RECORDS = 4096
+
+#: Consecutive empty fetches tolerated before a replay gives up: an empty
+#: chunk only happens in a rotation race window, which the next listing
+#: resolves, so a long run of them means the WAL cannot produce the range.
+_MAX_REPLAY_STALLS = 50
+
+#: Default bound on materialised historical views kept per tenant.
+DEFAULT_HISTORY_CACHE_SIZE = 8
+
+
+class AsOfUnavailableError(EngineError):
+    """The requested historical position is no longer replayable.
+
+    Raised when the snapshot anchor / WAL segments an ``as_of`` replay
+    needs have been pruned past the retention horizon.  Carries the
+    context the HTTP 410 body surfaces: ``requested`` (the position asked
+    for), ``oldest`` (the oldest position still replayable — ``None``
+    when the tenant has no replayable history at all) and ``shard`` (the
+    shard whose history ran out, for sharded tenants).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        requested: int = 0,
+        oldest: Optional[int] = None,
+        shard: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.requested = requested
+        self.oldest = oldest
+        self.shard = shard
+
+
+class _Replayer:
+    """One shard's cached read-only replay maintainer and its position."""
+
+    __slots__ = ("maintainer", "position")
+
+    def __init__(self, maintainer: object, position: int) -> None:
+        self.maintainer = maintainer
+        self.position = position
+
+
+def _advance(maintainer: object, target: ClusteringEngine, position: int, goal: int) -> int:
+    """Replay ``target``'s WAL through ``maintainer`` from ``position`` to ``goal``.
+
+    Reuses :func:`read_wal_range` — the standby-shipping range reader —
+    so rotation races, pruned segments and torn tails are handled by the
+    one battle-tested implementation.  Re-lists the segments per
+    iteration (a checkpoint may rotate the active log mid-replay).
+    """
+    stalls = 0
+    while position < goal:
+        try:
+            chunk = read_wal_range(
+                target.wal_segments(), position, REPLAY_FETCH_RECORDS, goal
+            )
+        except WalGapError as exc:
+            raise AsOfUnavailableError(
+                f"positions below {exc.min_position} are no longer retained "
+                f"(requested replay through {goal})",
+                requested=goal,
+                oldest=target.wal_horizon()["oldest_replayable"],
+            ) from exc
+        if chunk.torn:
+            raise AsOfUnavailableError(
+                f"a retained WAL segment is damaged; cannot replay to {goal}",
+                requested=goal,
+                oldest=target.wal_horizon()["oldest_replayable"],
+            )
+        if not chunk.records:
+            stalls += 1
+            if stalls > _MAX_REPLAY_STALLS:
+                raise EngineError(
+                    f"as_of replay stalled at position {position} "
+                    f"(goal {goal}): the WAL cannot produce the range"
+                )
+            time.sleep(0.01)
+            continue
+        stalls = 0
+        for update in chunk.records:
+            maintainer.apply(update)
+            position += 1
+    return position
+
+
+class HistoricalViewStore:
+    """Materialised historical views of one tenant, replayed on demand.
+
+    One store per tenant, created lazily by
+    :meth:`repro.service.manager.EngineManager.timetravel`.  Thread-safe:
+    LRU lookups take a short lock; replays are serialised behind a
+    dedicated replay lock (one historical rebuild at a time per tenant —
+    they share the cached replayers).
+
+    Counters (``timetravel_hits`` / ``timetravel_misses`` /
+    ``timetravel_evictions``) go through the engine's own metrics, so they
+    appear in the tenant's ``/stats`` counter block; replay wall-clock is
+    tracked in a dedicated latency histogram exposed via :meth:`stats`.
+    """
+
+    def __init__(
+        self,
+        engine: Union[AnyEngine, StandbyEngine],
+        capacity: int = DEFAULT_HISTORY_CACHE_SIZE,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("history cache capacity must be >= 1")
+        self.engine = engine
+        self.capacity = capacity
+        self.replay_latency = LatencyHistogram()
+        self._lock = threading.Lock()
+        self._replay_lock = threading.Lock()
+        self._views: "OrderedDict[Tuple[int, ...], object]" = OrderedDict()
+        self._replayers: Dict[int, _Replayer] = {}
+
+    # ------------------------------------------------------------------
+    # engine-shape resolution (per call: survives re-seeds and promotion)
+    # ------------------------------------------------------------------
+    def _shape(self) -> AnyEngine:
+        engine = self.engine
+        if isinstance(engine, StandbyEngine):
+            engine = engine.engine
+        return engine
+
+    def _targets(self) -> List[ClusteringEngine]:
+        shape = self._shape()
+        if isinstance(shape, ShardedEngine):
+            targets: List[ClusteringEngine] = list(shape.shards)
+        else:
+            targets = [shape]
+        for target in targets:
+            if target.data_dir is None:
+                raise ValueError(
+                    "as_of requires a durable tenant (snapshot + WAL "
+                    "retention); this tenant keeps no history"
+                )
+        return targets
+
+    @property
+    def num_shards(self) -> int:
+        """Expected length of an ``as_of`` position tuple for this tenant."""
+        return getattr(self._shape(), "num_shards", 1)
+
+    # ------------------------------------------------------------------
+    # the read path
+    # ------------------------------------------------------------------
+    def view_at(self, positions: Sequence[int]) -> object:
+        """The tenant's view at the requested per-shard position tuple.
+
+        ``positions`` must hold exactly one position per shard (one
+        entry for unsharded tenants).  Returns a
+        :class:`~repro.service.views.ClusteringView` (unsharded) or
+        :class:`~repro.service.sharding.ShardedView` (sharded) — the same
+        read surface the live path serves.  Raises ``ValueError`` for a
+        malformed request (wrong tuple length, position beyond the
+        applied prefix, non-durable tenant) and
+        :class:`AsOfUnavailableError` for pruned history.
+        """
+        key = tuple(int(position) for position in positions)
+        if any(position < 0 for position in key):
+            raise ValueError(f"as_of positions must be >= 0, got {list(key)}")
+        metrics = self.engine.metrics
+        with self._lock:
+            view = self._views.get(key)
+            if view is not None:
+                self._views.move_to_end(key)
+                metrics.add("timetravel_hits")
+                return view
+        with self._replay_lock:
+            # re-check: a concurrent request may have materialised it
+            # while this one waited for the replay lock
+            with self._lock:
+                view = self._views.get(key)
+                if view is not None:
+                    self._views.move_to_end(key)
+                    metrics.add("timetravel_hits")
+                    return view
+            targets = self._targets()
+            if len(key) != len(targets):
+                raise ValueError(
+                    f"as_of needs exactly {len(targets)} per-shard "
+                    f"position(s) for this tenant, got {len(key)}"
+                )
+            for index, (target, goal) in enumerate(zip(targets, key)):
+                if goal > target.applied:
+                    raise ValueError(
+                        f"as_of position {goal} is beyond the applied "
+                        f"prefix {target.applied}"
+                        + (f" of shard {index}" if len(targets) > 1 else "")
+                    )
+            metrics.add("timetravel_misses")
+            start = time.perf_counter()
+            maintainers = [
+                self._replay(target, index, goal)
+                for index, (target, goal) in enumerate(zip(targets, key))
+            ]
+            view = self._capture(maintainers, key)
+            self.replay_latency.observe(time.perf_counter() - start)
+            with self._lock:
+                self._views[key] = view
+                self._views.move_to_end(key)
+                while len(self._views) > self.capacity:
+                    self._views.popitem(last=False)
+                    metrics.add("timetravel_evictions")
+            return view
+
+    def _capture(
+        self, maintainers: List[object], key: Tuple[int, ...]
+    ) -> Union[ClusteringView, ShardedView]:
+        shape = self._shape()
+        if not isinstance(shape, ShardedEngine):
+            return ClusteringView.capture(maintainers[0], key[0])
+        owner = getattr(shape, "_owner", None) or _OwnerMap(shape.num_shards)
+        snapshots = tuple(
+            (
+                ClusteringView.capture(maintainer, position),
+                capture_shard_export(
+                    maintainer, index, shape.num_shards, position, owner=owner
+                ),
+            )
+            for index, (maintainer, position) in enumerate(zip(maintainers, key))
+        )
+        return merge_shard_views(snapshots, shape.params, shape.num_shards, owner=owner)
+
+    def _replay(self, target: ClusteringEngine, index: int, goal: int) -> object:
+        """A maintainer holding shard ``index``'s state at exactly ``goal``."""
+        slot = self._replayers.get(index)
+        if slot is not None and slot.position <= goal:
+            token = target.pin_wal(slot.position)
+            try:
+                _advance(slot.maintainer, target, slot.position, goal)
+                slot.position = goal
+                return slot.maintainer
+            except AsOfUnavailableError:
+                # the WAL behind the cached replayer was pruned (or is
+                # damaged): drop it and rebuild from a fresh anchor below
+                self._replayers.pop(index, None)
+            except BaseException:
+                # a replay that died mid-application leaves the cached
+                # maintainer between positions — unusable, discard it
+                self._replayers.pop(index, None)
+                raise
+            finally:
+                target.unpin_wal(token)
+        anchors = [
+            anchor
+            for anchor in list_retained_snapshots(target.data_dir)
+            if anchor.position <= goal
+        ]
+        if not anchors:
+            raise AsOfUnavailableError(
+                f"no retained snapshot at or below position {goal}"
+                + (f" for shard {index}" if self.num_shards > 1 else ""),
+                requested=goal,
+                oldest=target.wal_horizon()["oldest_replayable"],
+                shard=index if self.num_shards > 1 else None,
+            )
+        anchor = anchors[-1]
+        token = target.pin_wal(anchor.position)
+        try:
+            try:
+                snapshot = load_snapshot(anchor.path)
+            except FileNotFoundError:
+                # pruned between the listing and the pin landing
+                raise AsOfUnavailableError(
+                    f"snapshot anchor at {anchor.position} was pruned",
+                    requested=goal,
+                    oldest=target.wal_horizon()["oldest_replayable"],
+                    shard=index if self.num_shards > 1 else None,
+                ) from None
+            maintainer = restore_dynstrclu(
+                snapshot,
+                connectivity_backend=target.connectivity_backend,
+                scope=target.label_scope,
+            )
+            try:
+                _advance(maintainer, target, snapshot.updates_processed, goal)
+            except AsOfUnavailableError as exc:
+                if self.num_shards > 1 and exc.shard is None:
+                    exc.shard = index
+                raise
+        finally:
+            target.unpin_wal(token)
+        self._replayers[index] = _Replayer(maintainer, goal)
+        return maintainer
+
+    # ------------------------------------------------------------------
+    # introspection / lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """The ``timetravel`` stats block of this tenant."""
+        metrics = self.engine.metrics
+        with self._lock:
+            cached = len(self._views)
+        return {
+            "cached_views": cached,
+            "capacity": self.capacity,
+            "hits": metrics.get("timetravel_hits"),
+            "misses": metrics.get("timetravel_misses"),
+            "evictions": metrics.get("timetravel_evictions"),
+            "replay": self.replay_latency.summary(),
+        }
+
+    def clear(self) -> None:
+        """Drop every cached view and replayer (tenant delete / close)."""
+        with self._lock:
+            self._views.clear()
+        self._replayers.clear()
