@@ -24,17 +24,42 @@ Exits non-zero (with a diagnostic) on any violation — wired into CI as
 the ``failover-smoke`` job.  Run locally with::
 
     PYTHONPATH=src python scripts/smoke_failover.py
+
+**Zero-operator mode** (``--auto [ROUNDS]``, the CI ``fleet-smoke``
+job): no promotion is issued by hand.  A fleet of ``1 + 2*ROUNDS``
+servers replicates both tenants, one ``repro watchdog`` sidecar probes
+every primary, and live writers drive both tenants through a replica-set
+:class:`ServiceClient` (writes re-route to whichever endpoint holds the
+primary role).  The script then:
+
+1. ``SIGSTOP``\\ s the primary for well under the quorum window and
+   asserts the watchdog does **not** promote (transient partitions are
+   suppressed);
+2. ``SIGKILL``\\ s every primary-hosting server, round after round, and
+   asserts the watchdog promotes a replacement within the probe budget,
+   that exactly one server claims the primary role per tenant (no
+   dueling promotion), that surviving standbys are re-parented onto the
+   winner, and that the promoted clustering exactly equals a
+   truncated-WAL sequential replay of the dead primary's disk;
+3. resumes the writers and asserts ingest flows into each new primary.
+
+The watchdog's decision log lands in ``--decision-log`` (default
+``./watchdog_decisions.jsonl``) — CI uploads it as an artifact when the
+gate fails.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
+import random
 import shutil
 import signal
 import socket
 import subprocess
 import sys
 import tempfile
+import threading
 import time
 from pathlib import Path
 
@@ -390,5 +415,418 @@ def main() -> int:
         shutil.rmtree(tmp, ignore_errors=True)
 
 
+# ----------------------------------------------------------------------
+# zero-operator mode: the watchdog does every promotion
+# ----------------------------------------------------------------------
+PROMOTE_BUDGET = 60.0  # seconds from SIGKILL to an observed promotion
+WATCHDOG_INTERVAL = 0.25
+WATCHDOG_QUORUM = 4
+WATCHDOG_COOLDOWN = 2.0
+WATCHDOG_PROBE_TIMEOUT = 1.0
+
+
+class _Writer(threading.Thread):
+    """Live load against one tenant through a replica-set client.
+
+    Strictly toggling inserts/deletes over the probe vertex space (the
+    same applicability rule the property tests use), pausable so each
+    round's equivalence check sees a frozen cut.
+    """
+
+    def __init__(self, tenant: str, endpoints: list[str], seed: int) -> None:
+        super().__init__(name=f"writer-{tenant}", daemon=True)
+        self.tenant = tenant
+        self.endpoints = endpoints
+        self.rng = random.Random(seed)
+        self.accepted = 0
+        self.errors = 0
+        self._present: set[tuple[int, int]] = set()
+        self._run = threading.Event()
+        self._run.set()
+        self._idle = threading.Event()
+        # not `_stop`: that would shadow threading.Thread._stop(), which
+        # Thread.join() calls internally
+        self._halt = threading.Event()
+
+    def pause(self) -> None:
+        self._run.clear()
+        if not self._idle.wait(timeout=30.0):
+            _fail(f"writer for {self.tenant!r} never went idle")
+
+    def resume(self) -> None:
+        self._run.set()
+
+    def stop(self) -> None:
+        self._halt.set()
+        self._run.set()
+
+    def _next_update(self) -> Update:
+        # ring locality: neighbors share most of their neighborhoods, so
+        # real clusters form (a uniform 120-vertex random graph is too
+        # dense for epsilon-similarity cores)
+        u = self.rng.randrange(120)
+        v = (u + self.rng.randint(1, 4)) % 120
+        edge = (min(u, v), max(u, v))
+        a, b = f"{self.tenant}:{edge[0]}", f"{self.tenant}:{edge[1]}"
+        if edge in self._present:
+            self._present.discard(edge)
+            return Update.delete(a, b)
+        self._present.add(edge)
+        return Update.insert(a, b)
+
+    def run(self) -> None:
+        with ServiceClient(
+            endpoints=self.endpoints,
+            tenant=self.tenant,
+            timeout=5.0,
+            topology_max_age=0.5,
+        ) as client:
+            while not self._halt.is_set():
+                if not self._run.is_set():
+                    self._idle.set()
+                    self._run.wait(timeout=1.0)
+                    continue
+                self._idle.clear()
+                batch = [self._next_update() for _ in range(10)]
+                try:
+                    self.accepted += client.submit_updates(batch, max_retries=2)
+                except (ServiceError, OSError):
+                    self.errors += 1
+                    time.sleep(0.2)
+                time.sleep(0.01)
+        self._idle.set()
+
+
+def _topology(port: int, tenant: str) -> dict | None:
+    try:
+        with ServiceClient(
+            "127.0.0.1", port, tenant=tenant, timeout=2.0
+        ) as client:
+            return client.topology()
+    except (OSError, ServiceError):
+        return None
+
+
+def _decisions(path: Path, event: str | None = None) -> list[dict]:
+    if not path.exists():
+        return []
+    rows = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        row = json.loads(line)
+        if event is None or row.get("event") == event:
+            rows.append(row)
+    return rows
+
+
+def _watchdog(endpoints: list[str], log_path: Path) -> subprocess.Popen:
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "watchdog",
+            "--targets",
+            *endpoints,
+            "--tenant",
+            SOLO,
+            "--tenant",
+            WIDE,
+            "--interval",
+            str(WATCHDOG_INTERVAL),
+            "--quorum",
+            str(WATCHDOG_QUORUM),
+            "--cooldown",
+            str(WATCHDOG_COOLDOWN),
+            "--probe-timeout",
+            str(WATCHDOG_PROBE_TIMEOUT),
+            "--decision-log",
+            str(log_path),
+        ],
+    )
+
+
+def _wait_promoted(
+    alive: list[int], tenant: str, dead: set[int]
+) -> tuple[int, dict]:
+    """Block until exactly one live server claims the primary role."""
+    deadline = time.monotonic() + PROMOTE_BUDGET
+    while time.monotonic() < deadline:
+        claims = []
+        for port in alive:
+            doc = _topology(port, tenant)
+            if doc and doc.get("role") == "primary" and not doc.get("fenced"):
+                claims.append((port, doc))
+        if len(claims) > 1:
+            _fail(
+                f"dueling promotion for {tenant!r}: "
+                f"{sorted(port for port, _ in claims)} all claim primary"
+            )
+        if claims:
+            return claims[0]
+        time.sleep(0.25)
+    _fail(
+        f"watchdog never promoted {tenant!r} within {PROMOTE_BUDGET}s "
+        f"of killing {sorted(dead)}"
+    )
+    raise AssertionError("unreachable")
+
+
+def _positions_of(doc: dict) -> list[int]:
+    rows = sorted(doc.get("shard_positions", []), key=lambda row: row["shard"])
+    if not rows:
+        _fail(f"topology document has no shard positions: {doc}")
+    return [int(row["position"]) for row in rows]
+
+
+def _verify_cut(
+    tenant: str, winner_port: int, doc: dict, dead_root: Path
+) -> None:
+    """Promoted clustering == truncated-WAL replay of the dead disk."""
+    positions = _positions_of(doc)
+    with ServiceClient("127.0.0.1", winner_port, tenant=tenant) as client:
+        groups = _groups(client.group_by_raw(PROBE))
+        edges = client.stats()["num_edges"]
+    if tenant == SOLO:
+        reference, ref_edges = _solo_reference(
+            dead_root / tenant, positions[0], PROBE
+        )
+    else:
+        reference, ref_edges = _wide_reference(dead_root / tenant, positions, PROBE)
+    if groups != reference:
+        _fail(
+            f"{tenant} clustering diverged from the dead primary's WAL at "
+            f"{positions}: {len(groups ^ reference)} differing groups"
+        )
+    if edges != ref_edges:
+        _fail(
+            f"{tenant} graph diverged at {positions}: promoted standby has "
+            f"{edges} edges, truncated-WAL replay has {ref_edges}"
+        )
+    print(
+        f"  {tenant}: cluster equivalence holds at {positions} "
+        f"({len(groups)} groups, {edges} edges)"
+    )
+
+
+def auto_main(rounds: int, log_path: Path) -> int:
+    if rounds < 1:
+        _fail(f"--auto needs at least 1 round, got {rounds}")
+    log_path.parent.mkdir(parents=True, exist_ok=True)
+    if log_path.exists():
+        log_path.unlink()
+    tmp = Path(tempfile.mkdtemp(prefix="fleet-smoke-"))
+    count = 1 + 2 * rounds
+    ports = [_free_port() for _ in range(count)]
+    endpoints = [f"127.0.0.1:{port}" for port in ports]
+    roots = {port: tmp / f"server-{port}" for port in ports}
+    servers = {port: _serve(port, roots[port]) for port in ports}
+    watchdog: subprocess.Popen | None = None
+    writers: list[_Writer] = []
+    try:
+        for port in ports:
+            _wait_healthy(port)
+        head, *rest = ports
+        with ServiceClient("127.0.0.1", head) as admin:
+            admin.create_tenant(SOLO, shards=1)
+            admin.create_tenant(WIDE, shards=4)
+        for port in rest:
+            with ServiceClient("127.0.0.1", port) as admin:
+                for name in (SOLO, WIDE):
+                    row = admin.create_tenant(
+                        name, replica_of=f"127.0.0.1:{head}"
+                    )
+                    if row.get("replica_of") != f"127.0.0.1:{head}":
+                        _fail(f"server {port} tenant {name!r} not a replica: {row}")
+        print(
+            f"fleet up: primary 127.0.0.1:{head}, {len(rest)} standbys, "
+            f"{rounds} kill rounds planned"
+        )
+
+        watchdog = _watchdog(endpoints, log_path)
+        writers = [_Writer(SOLO, endpoints, seed=1), _Writer(WIDE, endpoints, seed=2)]
+        for writer in writers:
+            writer.start()
+
+        # every standby must be replicating before the first fault
+        warm_deadline = time.monotonic() + 60.0
+        while time.monotonic() < warm_deadline:
+            docs = [
+                _topology(port, name) for port in rest for name in (SOLO, WIDE)
+            ]
+            if all(doc and doc.get("applied", 0) >= 30 for doc in docs):
+                break
+            time.sleep(0.25)
+        else:
+            _fail("standbys never replicated the warm-up prefix")
+        if watchdog.poll() is not None:
+            _fail(f"watchdog died during warm-up (exit {watchdog.returncode})")
+
+        # --- transient-partition round: SIGSTOP, no promotion ----------
+        started_before = len(_decisions(log_path, "promotion_started"))
+        servers[head].send_signal(signal.SIGSTOP)
+        time.sleep(0.6)  # well under quorum * (interval + probe timeout)
+        servers[head].send_signal(signal.SIGCONT)
+        time.sleep(3.0)
+        started_after = len(_decisions(log_path, "promotion_started"))
+        if started_after != started_before:
+            _fail(
+                "watchdog promoted during a sub-quorum stall: "
+                f"{started_after - started_before} promotion(s) started"
+            )
+        for name in (SOLO, WIDE):
+            doc = _topology(head, name)
+            if not doc or doc.get("role") != "primary" or doc.get("fenced"):
+                _fail(f"paused-then-resumed primary lost {name!r}: {doc}")
+        print("transient SIGSTOP suppressed: no promotion below the quorum")
+
+        # --- kill rounds -----------------------------------------------
+        primaries = {SOLO: head, WIDE: head}
+        dead: set[int] = set()
+        for round_no in range(1, rounds + 1):
+            time.sleep(1.0)  # let the writers land a fresh mid-stream prefix
+            victims = sorted(set(primaries.values()))
+            for port in victims:
+                servers[port].send_signal(signal.SIGKILL)
+                servers[port].wait(timeout=30)
+                dead.add(port)
+            killed_at = time.monotonic()
+            for writer in writers:
+                writer.pause()
+            alive = [port for port in ports if port not in dead]
+            print(
+                f"round {round_no}: killed {victims}; "
+                f"{len(alive)} servers remain"
+            )
+            for name in (SOLO, WIDE):
+                winner_port, doc = _wait_promoted(alive, name, dead)
+                elapsed = time.monotonic() - killed_at
+                print(
+                    f"  {name}: promoted 127.0.0.1:{winner_port} "
+                    f"after {elapsed:.1f}s (epoch {doc.get('epoch')})"
+                )
+                # the topology flips before the watchdog's log line lands
+                # on disk — give the JSONL append a moment to catch up
+                log_deadline = time.monotonic() + 10.0
+                while True:
+                    succeeded = _decisions(log_path, "promotion_succeeded")
+                    mine = [
+                        row for row in succeeded if row.get("tenant") == name
+                    ]
+                    if len(mine) == round_no or time.monotonic() > log_deadline:
+                        break
+                    time.sleep(0.2)
+                if len(mine) != round_no:
+                    _fail(
+                        f"{name}: expected {round_no} promotion(s) in the "
+                        f"decision log, found {len(mine)}"
+                    )
+                _verify_cut(name, winner_port, doc, roots[primaries[name]])
+                primaries[name] = winner_port
+                # surviving standbys must be re-parented onto the winner
+                reparent_deadline = time.monotonic() + 30.0
+                while time.monotonic() < reparent_deadline:
+                    stale = []
+                    for port in alive:
+                        if port == winner_port:
+                            continue
+                        standby_doc = _topology(port, name)
+                        if (
+                            standby_doc
+                            and standby_doc.get("role") == "standby"
+                            and standby_doc.get("replica_of")
+                            != f"127.0.0.1:{winner_port}"
+                        ):
+                            stale.append(port)
+                    if not stale:
+                        break
+                    time.sleep(0.25)
+                else:
+                    _fail(
+                        f"{name}: standbys {stale} never re-parented onto "
+                        f"127.0.0.1:{winner_port}"
+                    )
+            for writer in writers:
+                writer.resume()
+            for name, port in primaries.items():
+                before_doc = _topology(port, name)
+                before = before_doc.get("applied", 0) if before_doc else 0
+                ingest_deadline = time.monotonic() + 30.0
+                while time.monotonic() < ingest_deadline:
+                    doc = _topology(port, name)
+                    if doc and doc.get("applied", 0) > before:
+                        break
+                    time.sleep(0.2)
+                else:
+                    _fail(f"{name}: no ingest after round {round_no} failover")
+            print(f"round {round_no}: writes flow into the new primaries")
+
+        for writer in writers:
+            writer.stop()
+        for writer in writers:
+            writer.join(timeout=30)
+            if writer.accepted == 0:
+                _fail(f"writer for {writer.tenant!r} never landed a write")
+        print(
+            "fleet smoke passed: "
+            + ", ".join(
+                f"{writer.tenant} accepted {writer.accepted} updates "
+                f"({writer.errors} retried bursts)"
+                for writer in writers
+            )
+        )
+        return 0
+    finally:
+        for writer in writers:
+            writer.stop()
+        if watchdog is not None and watchdog.poll() is None:
+            watchdog.terminate()
+            try:
+                watchdog.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                watchdog.kill()
+        for proc in servers.values():
+            if proc.poll() is None:
+                # SIGCONT first: a SIGSTOPped server cannot act on SIGTERM
+                proc.send_signal(signal.SIGCONT)
+                proc.terminate()
+        for proc in servers.values():
+            if proc.poll() is None:
+                try:
+                    proc.wait(timeout=15)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def _parse_args(argv: list[str] | None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        description="failover smoke gate (manual promotion by default)"
+    )
+    parser.add_argument(
+        "--auto",
+        nargs="?",
+        const=3,
+        default=None,
+        type=int,
+        metavar="ROUNDS",
+        help="zero-operator mode: the watchdog performs every promotion "
+        "across ROUNDS SIGKILL rounds (default 3)",
+    )
+    parser.add_argument(
+        "--decision-log",
+        type=Path,
+        default=Path.cwd() / "watchdog_decisions.jsonl",
+        metavar="PATH",
+        help="where --auto writes the watchdog's decision log",
+    )
+    return parser.parse_args(argv)
+
+
 if __name__ == "__main__":
+    arguments = _parse_args(None)
+    if arguments.auto is not None:
+        raise SystemExit(auto_main(arguments.auto, arguments.decision_log))
     raise SystemExit(main())

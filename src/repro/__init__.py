@@ -34,7 +34,7 @@ from repro.persistence import (
 )
 from repro.streaming import SlidingWindowClustering, StreamProcessor
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 from repro.service import (  # noqa: E402  (needs __version__ for /healthz)
     BackgroundServer,
@@ -43,11 +43,13 @@ from repro.service import (  # noqa: E402  (needs __version__ for /healthz)
     ClusteringView,
     EngineConfig,
     EngineManager,
+    FleetWatchdog,
     LoadGenConfig,
     LoadGenerator,
     ServiceClient,
     ServiceMetrics,
     TenantConfig,
+    WatchdogConfig,
 )
 
 __all__ = [
@@ -84,6 +86,8 @@ __all__ = [
     "ClusteringEngine",
     "EngineConfig",
     "EngineManager",
+    "FleetWatchdog",
+    "WatchdogConfig",
     "TenantConfig",
     "ClusteringView",
     "ClusteringServiceServer",

@@ -18,6 +18,12 @@ Subcommands
 ``promote``
     Promote a standby tenant on a running service to primary (fence the
     old primary, drain the replay queue, flip writable).
+``watchdog``
+    Run the fleet watchdog as a sidecar: probe the primaries behind the
+    standbys hosted on ``--targets``, auto-promote the best standby
+    after a quorum of consecutive failed probes (with a cool-down guard
+    against dueling promotions), and re-parent the surviving orphans
+    onto the winner.
 ``query``
     Group-by query against a running service — current view by default,
     or a *historical* one with ``--as-of <position>`` (time-travel read
@@ -195,6 +201,57 @@ def _build_parser() -> argparse.ArgumentParser:
     promote.add_argument("--port", type=int, default=8321)
     promote.add_argument(
         "--tenant", default="default", help="standby tenant to promote"
+    )
+
+    watchdog = sub.add_parser(
+        "watchdog",
+        help="sidecar fleet supervisor: probe primaries, auto-promote the "
+        "best standby after a quorum of failed probes, re-parent orphans",
+    )
+    watchdog.add_argument(
+        "--targets",
+        nargs="+",
+        required=True,
+        metavar="HOST:PORT",
+        help="servers hosting the standbys to supervise (the primaries "
+        "they replicate from are discovered and probed automatically)",
+    )
+    watchdog.add_argument(
+        "--tenant",
+        action="append",
+        dest="tenants",
+        metavar="NAME",
+        help="supervise only this tenant (repeatable; default: every "
+        "standby tenant found on the targets)",
+    )
+    watchdog.add_argument(
+        "--interval",
+        type=float,
+        default=0.5,
+        help="seconds between probe rounds",
+    )
+    watchdog.add_argument(
+        "--quorum",
+        type=int,
+        default=3,
+        help="consecutive failed probes of a primary before promotion",
+    )
+    watchdog.add_argument(
+        "--cooldown",
+        type=float,
+        default=5.0,
+        help="seconds a tenant is frozen after any promotion attempt",
+    )
+    watchdog.add_argument(
+        "--probe-timeout",
+        type=float,
+        default=2.0,
+        help="per-probe socket timeout",
+    )
+    watchdog.add_argument(
+        "--decision-log",
+        metavar="PATH",
+        help="append every probe/promotion decision to this JSONL file",
     )
 
     query = sub.add_parser(
@@ -478,6 +535,51 @@ def _cmd_promote(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_watchdog(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.service import DecisionLog, FleetError, FleetWatchdog, WatchdogConfig
+    from repro.service.replication import parse_primary_url
+
+    try:
+        for target in args.targets:
+            parse_primary_url(target)  # fail fast on malformed HOST:PORT
+        config = WatchdogConfig(
+            interval=args.interval,
+            quorum=args.quorum,
+            cooldown=args.cooldown,
+            probe_timeout=args.probe_timeout,
+        )
+        log = DecisionLog(
+            path=Path(args.decision_log) if args.decision_log else None,
+            echo=lambda line: print(line, file=sys.stderr, flush=True),
+        )
+        watchdog = FleetWatchdog(
+            targets=args.targets,
+            tenants=args.tenants,
+            config=config,
+            decision_log=log,
+        )
+    except (FleetError, ValueError) as exc:
+        print(f"repro watchdog: {exc}", file=sys.stderr)
+        return 2
+    watchdog.start()
+    print(
+        f"repro watchdog supervising {', '.join(args.targets)} "
+        f"(interval {args.interval}s, quorum {args.quorum}, "
+        f"cooldown {args.cooldown}s); Ctrl-C to stop",
+        file=sys.stderr,
+    )
+    try:
+        while watchdog.is_alive():
+            watchdog.join(timeout=1.0)
+    except KeyboardInterrupt:
+        print("repro watchdog: stopping", file=sys.stderr)
+    finally:
+        watchdog.stop()
+    return 0
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     from repro.persistence.updatelog import parse_vertex_token
     from repro.service import ServiceClient, ServiceError
@@ -665,6 +767,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_serve(args)
     if args.command == "promote":
         return _cmd_promote(args)
+    if args.command == "watchdog":
+        return _cmd_watchdog(args)
     if args.command == "query":
         return _cmd_query(args)
     if args.command == "loadgen":

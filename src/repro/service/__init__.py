@@ -25,6 +25,14 @@ hosts many isolated tenants behind one versioned HTTP surface:
   (:class:`WalShipper`, one per shard) and replays it continuously into a
   live read-only engine, with snapshot re-seed on WAL gaps and an
   epoch-fenced :meth:`~repro.service.replication.StandbyEngine.promote`;
+  ``replica_of`` may itself point at another replica (chained standbys
+  with per-hop ack forwarding), and orphans re-parent onto a new primary
+  after failover;
+* :mod:`repro.service.fleet` — :class:`FleetWatchdog`, the autonomous
+  failover supervisor: probes primaries, auto-promotes the
+  best-positioned standby behind a quorum-of-probes + cool-down guard,
+  re-parents orphans, and journals every decision in a
+  :class:`DecisionLog` (``repro watchdog`` runs it as a sidecar);
 * :mod:`repro.service.timetravel` — :class:`HistoricalViewStore`,
   time-travel (``as_of``) reads: any retained historical position is
   answered by restoring the newest position-stamped snapshot anchor at or
@@ -77,6 +85,12 @@ from repro.service.manager import (
     TenantLimitError,
     UnknownTenantError,
 )
+from repro.service.fleet import (
+    DecisionLog,
+    FleetError,
+    FleetWatchdog,
+    WatchdogConfig,
+)
 from repro.service.replication import (
     ReplicationError,
     StandbyEngine,
@@ -115,6 +129,10 @@ __all__ = [
     "ReadOnlyEngineError",
     "ReplicationError",
     "WalGapError",
+    "FleetWatchdog",
+    "WatchdogConfig",
+    "DecisionLog",
+    "FleetError",
     "HistoricalViewStore",
     "AsOfUnavailableError",
     "EngineManager",

@@ -29,11 +29,19 @@ from repro.core.result import GroupByResult
 from repro.graph.dynamic_graph import Vertex
 from repro.persistence.updatelog import format_vertex_token
 from repro.service.server import encode_update
+from repro.service.replication import parse_primary_url
 
 #: An ``as_of`` argument: one applied position (unsharded tenants), a
 #: per-shard position sequence (sharded tenants), or the string
 #: ``"latest"`` (the live view — useful to echo which view was served).
 AsOf = Union[int, str, Sequence[int]]
+
+#: Error codes that mean "this endpoint is the wrong place to ask, the
+#: topology moved" — a replica-set client re-resolves and retries on
+#: these (plus raw connection failures), never on ordinary errors.
+_REROUTE_CODES = frozenset(
+    {"tenant_fenced", "tenant_read_only", "unknown_tenant", "engine_unavailable"}
+)
 
 
 def format_as_of(as_of: AsOf) -> str:
@@ -162,6 +170,17 @@ class ServiceClient:
         client.create_tenant("acme", exist_ok=True)
         client.submit_updates([Update.insert(1, 2), Update.insert(2, 3)])
         result = client.group_by([1, 2, 3])
+
+    Replica-set mode
+    ----------------
+    ``ServiceClient(endpoints=["h1:p1", "h2:p2", ...], tenant=...)``
+    turns the client into a fleet router: reads (``group_by`` /
+    ``cluster_of`` / ``stats``) go to the least-lagged standby, writes to
+    the primary, and the topology is re-resolved transparently on
+    ``tenant_fenced`` / ``tenant_read_only`` / connection failure — so a
+    watchdog-driven failover behind the client needs no caller changes.
+    ``min_position=`` on the read methods is a read-your-writes barrier
+    (pair with :meth:`primary_position`).
     """
 
     def __init__(
@@ -170,16 +189,45 @@ class ServiceClient:
         port: int = 8321,
         timeout: float = 10.0,
         tenant: str = "default",
+        endpoints: Optional[Sequence[str]] = None,
+        topology_max_age: float = 2.0,
     ) -> None:
+        if endpoints is not None:
+            fleet = [str(endpoint) for endpoint in endpoints]
+            if not fleet:
+                raise ValueError("endpoints must be a non-empty list of host:port")
+            # the first endpoint doubles as the default server for the
+            # un-routed surface (healthz, tenant admin, wal/snapshot)
+            host, port = parse_primary_url(fleet[0])
+            endpoints = fleet
         self.host = host
         self.port = port
         self.timeout = timeout
         self.tenant = tenant
+        self.endpoints: Optional[List[str]] = (
+            list(endpoints) if endpoints is not None else None
+        )
+        self.topology_max_age = topology_max_age
         self._lock = threading.Lock()
         self._connection: Optional[http.client.HTTPConnection] = None
+        # replica-set state: lazily-built per-endpoint sub-clients plus a
+        # cached fleet topology (who is primary, how far along each
+        # standby is) refreshed at most every topology_max_age seconds
+        self._topology_lock = threading.Lock()
+        self._peers: Dict[str, "ServiceClient"] = {}
+        self._fleet: Dict[str, Dict[str, object]] = {}
+        self._primary_endpoint: Optional[str] = None
+        self._topology_at: Optional[float] = None
 
     def for_tenant(self, tenant: str) -> "ServiceClient":
-        """A new client for another tenant on the same server."""
+        """A new client for another tenant on the same server(s)."""
+        if self.endpoints is not None:
+            return ServiceClient(
+                timeout=self.timeout,
+                tenant=tenant,
+                endpoints=self.endpoints,
+                topology_max_age=self.topology_max_age,
+            )
         return ServiceClient(self.host, self.port, timeout=self.timeout, tenant=tenant)
 
     def _tenant_path(self, suffix: str, as_of: Optional[AsOf] = None) -> str:
@@ -238,6 +286,161 @@ class ServiceClient:
             if self._connection is not None:
                 self._connection.close()
                 self._connection = None
+        with self._topology_lock:
+            peers = list(self._peers.values())
+            self._peers.clear()
+        for peer in peers:
+            peer.close()
+
+    # ------------------------------------------------------------------
+    # replica-set routing (endpoints= mode)
+    # ------------------------------------------------------------------
+    def _peer(self, endpoint: str) -> "ServiceClient":
+        with self._topology_lock:
+            peer = self._peers.get(endpoint)
+            if peer is None:
+                host, port = parse_primary_url(endpoint)
+                peer = ServiceClient(
+                    host, port, timeout=self.timeout, tenant=self.tenant
+                )
+                self._peers[endpoint] = peer
+        return peer
+
+    def _refresh_topology(self, force: bool = False) -> None:
+        """Re-learn who is primary and how far along each standby is.
+
+        Probes every endpoint's ``topology`` route; unreachable members
+        are simply absent from the cache this round.  When several
+        members claim ``primary`` (a just-promoted standby racing a
+        zombie), the highest epoch wins — the fenced zombie answers
+        writes with ``tenant_fenced`` anyway, so a wrong pick here only
+        costs one reroute.
+        """
+        now = time.monotonic()
+        with self._topology_lock:
+            fresh = (
+                self._topology_at is not None
+                and now - self._topology_at < self.topology_max_age
+            )
+            if fresh and not force:
+                return
+        fleet: Dict[str, Dict[str, object]] = {}
+        for endpoint in self.endpoints or []:
+            peer = self._peer(endpoint)
+            try:
+                document = peer._expect_ok(
+                    "GET", f"/v1/tenants/{peer.tenant}/topology"
+                )
+            except (OSError, ServiceError):
+                continue
+            if isinstance(document, dict):
+                fleet[endpoint] = document
+        primary: Optional[str] = None
+        best_epoch = -1
+        for endpoint, document in fleet.items():
+            if document.get("role") == "primary" and not document.get("fenced"):
+                epoch = int(document.get("epoch", 0))  # type: ignore[arg-type]
+                if epoch > best_epoch:
+                    best_epoch = epoch
+                    primary = endpoint
+        with self._topology_lock:
+            self._fleet = fleet
+            self._primary_endpoint = primary
+            self._topology_at = time.monotonic()
+
+    def _select_reader(
+        self, min_position: Optional[int] = None, force: bool = False
+    ) -> "ServiceClient":
+        """The least-lagged standby (ties: most applied), else the primary.
+
+        With ``min_position``, only standbys whose *cached* applied
+        position already covers it qualify — positions are monotone, so
+        the cache is a safe lower bound — and the primary (which always
+        satisfies any barrier it acked) is the fallback.
+        """
+        self._refresh_topology(force=force)
+        with self._topology_lock:
+            fleet = dict(self._fleet)
+            primary = self._primary_endpoint
+        floor = 0 if min_position is None else int(min_position)
+        candidates: List[Tuple[int, int, str]] = []
+        for endpoint, document in fleet.items():
+            if document.get("role") != "standby":
+                continue
+            applied = int(document.get("applied", 0))  # type: ignore[arg-type]
+            if applied < floor:
+                continue
+            lag = int(document.get("lag", 0))  # type: ignore[arg-type]
+            candidates.append((lag, -applied, endpoint))
+        if candidates:
+            candidates.sort()
+            return self._peer(candidates[0][2])
+        if primary is not None:
+            return self._peer(primary)
+        # nothing answered the topology probe: try the configured head
+        # and let the per-request error drive the next refresh
+        return self._peer((self.endpoints or [f"{self.host}:{self.port}"])[0])
+
+    def _select_writer(self) -> "ServiceClient":
+        with self._topology_lock:
+            primary = self._primary_endpoint
+        if primary is not None:
+            return self._peer(primary)
+        return self._peer((self.endpoints or [f"{self.host}:{self.port}"])[0])
+
+    def _routed_read(
+        self,
+        method: str,
+        suffix: str,
+        payload: Optional[object] = None,
+        as_of: Optional[AsOf] = None,
+        min_position: Optional[int] = None,
+    ) -> object:
+        if self.endpoints is None:
+            return self._expect_ok(method, self._tenant_path(suffix, as_of=as_of), payload)
+        last_error: Optional[Exception] = None
+        for attempt in range(3):
+            peer = self._select_reader(min_position, force=attempt > 0)
+            try:
+                return peer._expect_ok(
+                    method, peer._tenant_path(suffix, as_of=as_of), payload
+                )
+            except BackpressureError:
+                raise
+            except ServiceError as exc:
+                if exc.code not in _REROUTE_CODES:
+                    raise
+                last_error = exc
+            except OSError as exc:
+                last_error = exc
+        assert last_error is not None
+        raise last_error
+
+    def _routed_write(
+        self, method: str, suffix: str, payload: Optional[object] = None
+    ) -> object:
+        if self.endpoints is None:
+            return self._expect_ok(method, self._tenant_path(suffix), payload)
+        last_error: Optional[Exception] = None
+        for attempt in range(4):
+            if attempt:
+                # a mid-failover fleet needs a beat for the watchdog to
+                # promote; burning all attempts in microseconds helps no one
+                time.sleep(0.05 * attempt)
+            self._refresh_topology(force=attempt > 0)
+            peer = self._select_writer()
+            try:
+                return peer._expect_ok(method, peer._tenant_path(suffix), payload)
+            except BackpressureError:
+                raise
+            except ServiceError as exc:
+                if exc.code not in _REROUTE_CODES:
+                    raise
+                last_error = exc
+            except OSError as exc:
+                last_error = exc
+        assert last_error is not None
+        raise last_error
 
     def __enter__(self) -> "ServiceClient":
         return self
@@ -332,6 +535,70 @@ class ServiceClient:
             "POST", f"/v1/tenants/{tenant}/fence", {"epoch": epoch}
         )
 
+    def topology(self, name: Optional[str] = None) -> Dict[str, object]:
+        """The replication-topology document of a tenant.
+
+        Single-endpoint mode returns the server's
+        ``GET /v1/tenants/{t}/topology`` body (role, upstream, per-shard
+        positions with wall-clock staleness, downstream acks).  In
+        replica-set mode it instead returns the *fleet* view the router
+        uses: ``{"primary": endpoint|None, "endpoints": {endpoint:
+        topology document}}`` after a forced refresh.
+        """
+        if self.endpoints is not None and name is None:
+            self._refresh_topology(force=True)
+            with self._topology_lock:
+                return {
+                    "tenant": self.tenant,
+                    "primary": self._primary_endpoint,
+                    "endpoints": dict(self._fleet),
+                }
+        tenant = name if name is not None else self.tenant
+        return self._expect_ok(  # type: ignore[return-value]
+            "GET", f"/v1/tenants/{tenant}/topology"
+        )
+
+    def reparent_tenant(
+        self, replica_of: str, name: Optional[str] = None
+    ) -> Dict[str, object]:
+        """Re-point a standby tenant at a new upstream primary.
+
+        The orphan-rescue call after a promotion elsewhere in the fleet;
+        the response says whether the standby could resume in place or
+        had to re-seed (``{"reseeded": bool}``).
+        """
+        tenant = name if name is not None else self.tenant
+        return self._expect_ok(  # type: ignore[return-value]
+            "POST", f"/v1/tenants/{tenant}/reparent", {"replica_of": replica_of}
+        )
+
+    def primary_position(self) -> int:
+        """The primary's current applied position (a read-your-writes barrier).
+
+        Capture it after a write, then pass it as ``min_position=`` to a
+        read: the read is then guaranteed to be served from a view that
+        includes everything the primary had applied at capture time.
+        """
+        if self.endpoints is None:
+            document = self.topology()
+            return int(document.get("applied", 0))  # type: ignore[arg-type]
+        self._refresh_topology(force=True)
+        with self._topology_lock:
+            primary = self._primary_endpoint
+            fleet = dict(self._fleet)
+        if primary is None:
+            raise ServiceError(
+                503,
+                {
+                    "error": {
+                        "code": "no_primary",
+                        "message": "no reachable endpoint claims primary",
+                        "retryable": True,
+                    }
+                },
+            )
+        return int(fleet[primary].get("applied", 0))  # type: ignore[arg-type]
+
     def fetch_wal(
         self,
         from_position: int,
@@ -367,7 +634,11 @@ class ServiceClient:
     # ------------------------------------------------------------------
     # per-tenant routes
     # ------------------------------------------------------------------
-    def stats(self, as_of: Optional[AsOf] = None) -> Dict[str, object]:
+    def stats(
+        self,
+        as_of: Optional[AsOf] = None,
+        min_position: Optional[int] = None,
+    ) -> Dict[str, object]:
         """View statistics plus engine metrics for this client's tenant.
 
         With ``as_of`` (an applied position, a per-shard position sequence
@@ -375,10 +646,12 @@ class ServiceClient:
         describes the tenant's *historical* view at that position instead
         of the live one; pruned history raises a 410
         ``as_of_unavailable`` :class:`ServiceError` whose document carries
-        ``oldest_position``.
+        ``oldest_position``.  ``min_position`` is the replica-set read
+        barrier (see :meth:`primary_position`); single-endpoint clients
+        ignore it.
         """
-        return self._expect_ok(  # type: ignore[return-value]
-            "GET", self._tenant_path("/stats", as_of=as_of)
+        return self._routed_read(  # type: ignore[return-value]
+            "GET", "/stats", as_of=as_of, min_position=min_position
         )
 
     def submit_updates(
@@ -402,9 +675,7 @@ class ServiceClient:
         while True:
             payload = {"updates": [encode_update(u) for u in remaining]}
             try:
-                document = self._expect_ok(
-                    "POST", self._tenant_path("/updates"), payload
-                )
+                document = self._routed_write("POST", "/updates", payload)
                 return total_accepted + int(document["accepted"])  # type: ignore[index]
             except BackpressureError as exc:
                 total_accepted += exc.accepted
@@ -417,15 +688,19 @@ class ServiceClient:
                     time.sleep(exc.retry_after_s)
 
     def group_by(
-        self, vertices: Iterable[Vertex], as_of: Optional[AsOf] = None
+        self,
+        vertices: Iterable[Vertex],
+        as_of: Optional[AsOf] = None,
+        min_position: Optional[int] = None,
     ) -> GroupByResult:
         """Snapshot-consistent cluster-group-by over ``vertices``.
 
         With ``as_of``, the group-by is answered from the tenant's
         historical view at that position (see :meth:`stats` for the
         argument forms and failure modes) — a time-travel read.
+        ``min_position`` is the replica-set read barrier.
         """
-        document = self.group_by_raw(vertices, as_of=as_of)
+        document = self.group_by_raw(vertices, as_of=as_of, min_position=min_position)
         groups = {
             int(gid): set(members)
             for gid, members in document["groups"].items()  # type: ignore[index]
@@ -433,17 +708,25 @@ class ServiceClient:
         return GroupByResult(groups=groups)
 
     def group_by_raw(
-        self, vertices: Iterable[Vertex], as_of: Optional[AsOf] = None
+        self,
+        vertices: Iterable[Vertex],
+        as_of: Optional[AsOf] = None,
+        min_position: Optional[int] = None,
     ) -> Dict[str, object]:
         """Like :meth:`group_by` but returns the raw document (with version)."""
-        return self._expect_ok(  # type: ignore[return-value]
+        return self._routed_read(  # type: ignore[return-value]
             "POST",
-            self._tenant_path("/group-by", as_of=as_of),
+            "/group-by",
             {"vertices": list(vertices)},
+            as_of=as_of,
+            min_position=min_position,
         )
 
     def cluster_of(
-        self, vertex: Vertex, as_of: Optional[AsOf] = None
+        self,
+        vertex: Vertex,
+        as_of: Optional[AsOf] = None,
+        min_position: Optional[int] = None,
     ) -> List[int]:
         """Cluster indices of one vertex in the current view.
 
@@ -455,7 +738,7 @@ class ServiceClient:
         (see :meth:`stats`).
         """
         token = quote(format_vertex_token(vertex), safe="")
-        document = self._expect_ok(
-            "GET", self._tenant_path(f"/cluster/{token}", as_of=as_of)
+        document = self._routed_read(
+            "GET", f"/cluster/{token}", as_of=as_of, min_position=min_position
         )
         return list(document["clusters"])  # type: ignore[index]

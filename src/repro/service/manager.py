@@ -477,13 +477,93 @@ class EngineManager:
             )
         return engine.promote()
 
+    def reparent(self, name: str, replica_of: str) -> Dict[str, object]:
+        """Re-point a standby tenant at a new upstream primary.
+
+        The orphan-rescue path after a promotion elsewhere in the fleet —
+        see :meth:`repro.service.replication.StandbyEngine.reparent` for
+        the divergence-vs-reseed rules.  Raises
+        :class:`NotAStandbyError` for regular or already-promoted tenants.
+        """
+        engine = self.get(name)
+        if not isinstance(engine, StandbyEngine) or engine.promoted:
+            raise NotAStandbyError(
+                f"tenant {name!r} is not an un-promoted standby; only "
+                "replicating tenants can be re-parented"
+            )
+        return engine.reparent(replica_of)
+
+    def topology(self, name: str) -> Dict[str, object]:
+        """One tenant's replication-topology document.
+
+        The ``GET /v1/tenants/{t}/topology`` body: the tenant's role, its
+        upstream (for standbys), per-shard applied positions with
+        wall-clock publish staleness, and the acked positions of any
+        downstream replicas shipping from this node — enough for a
+        watchdog or routing client to draw the whole tree by walking
+        ``replica_of`` edges.
+        """
+        engine = self.get(name)
+        document: Dict[str, object] = {
+            "tenant": name,
+            "shards": getattr(engine, "num_shards", 1),
+            "applied": engine.applied,
+            "epoch": engine.epoch,
+        }
+        if isinstance(engine, StandbyEngine):
+            document["role"] = "primary" if engine.promoted else "standby"
+            document["promoted"] = engine.promoted
+            document["fenced"] = engine.fenced
+            document["replica_of"] = engine.replica_of
+            status = engine.replication_status()
+            document["lag"] = status.get("lag", 0)
+            document["reseeds"] = status.get("reseeds", 0)
+            document["reparents"] = status.get("reparents", 0)
+            if "last_applied_at" in status:
+                document["last_applied_at"] = status["last_applied_at"]
+            document["shard_positions"] = [
+                {
+                    "shard": row["shard"],
+                    "position": row["position"],
+                    "last_applied_at": row.get("last_applied_at"),
+                }
+                for row in status.get("shards", [])
+            ]
+        else:
+            document["role"] = "primary"
+            # a fenced primary is a zombie: routing clients must prefer
+            # the promoted standby even when the epochs tie
+            document["fenced"] = getattr(engine, "fenced", False)
+            # per-shard applied positions without forcing a scatter-gather
+            # merge: resolve the inner engines directly
+            inner = getattr(engine, "shards", None)
+            targets = inner if isinstance(inner, list) else [engine]
+            document["shard_positions"] = [
+                {
+                    "shard": slot,
+                    "position": target.applied,
+                    "last_applied_at": target.view().published_at,
+                }
+                for slot, target in enumerate(targets)
+            ]
+        acks = self.acks(name)
+        if acks:
+            document["downstream_acks"] = {
+                str(slot): position for slot, position in sorted(acks.items())
+            }
+        return document
+
     def record_ack(self, name: str, shard: int, position: int) -> None:
         """Record a standby's acked position (WAL-serving telemetry).
 
         Besides the lag-telemetry map, the ack is forwarded to the shard's
         engine as its standby-ack retention floor
         (:meth:`~repro.service.engine.ClusteringEngine.note_standby_ack`),
-        so WAL pruning never outruns the slowest standby.
+        so WAL pruning never outruns the slowest standby.  When this
+        tenant is itself an un-promoted standby serving a chained replica,
+        the ack is also recorded on the :class:`StandbyEngine` so its own
+        upstream fetches forward ``min(local position, downstream ack)`` —
+        per-hop ack forwarding up the replication tree.
         """
         engine: Optional[AnyEngine] = None
         with self._lock:
@@ -497,6 +577,8 @@ class EngineManager:
         # resolve the acked shard's inner engine; forwarding happens
         # outside the lock (note_standby_ack takes the engine's own lock)
         if isinstance(engine, StandbyEngine):
+            if not engine.promoted:
+                engine.note_downstream_ack(shard, position)
             engine = engine.engine
         target: Optional[ClusteringEngine]
         if isinstance(engine, ShardedEngine):
@@ -592,6 +674,8 @@ class EngineManager:
         standbys = 0
         max_lag = 0
         lag_by_tenant: Dict[str, int] = {}
+        applied_at_by_tenant: Dict[str, float] = {}
+        topology_by_tenant: Dict[str, Dict[str, object]] = {}
         shard_depths: Dict[str, List[int]] = {}
         total_segments = 0
         total_bytes = 0
@@ -617,12 +701,23 @@ class EngineManager:
             shape = engine
             if isinstance(engine, StandbyEngine):
                 shape = engine.engine
+                topology_by_tenant[name] = {
+                    "role": "primary" if engine.promoted else "standby",
+                    "replica_of": engine.replica_of,
+                    "promoted": engine.promoted,
+                }
                 if not engine.promoted:
                     standbys += 1
                     status = engine.replication_status()
                     lag = int(status.get("lag", 0))
                     lag_by_tenant[name] = lag
                     max_lag = max(max_lag, lag)
+                    if "last_applied_at" in status:
+                        applied_at_by_tenant[name] = float(
+                            status["last_applied_at"]  # type: ignore[arg-type]
+                        )
+            else:
+                topology_by_tenant[name] = {"role": "primary"}
             inner = getattr(shape, "shards", None)
             if isinstance(inner, list):  # a ShardedEngine's inner engines
                 total_engines += len(inner)
@@ -645,6 +740,8 @@ class EngineManager:
                 "standbys": standbys,
                 "max_lag": max_lag,
                 "lag": lag_by_tenant,
+                "last_applied_at": applied_at_by_tenant,
+                "topology": topology_by_tenant,
             },
             "wal": {
                 "segments": total_segments,

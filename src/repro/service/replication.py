@@ -47,6 +47,7 @@ replay is the same deterministic sequence through the same maintainer.
 from __future__ import annotations
 
 import json
+import random
 import shutil
 import threading
 from dataclasses import dataclass, replace
@@ -76,6 +77,9 @@ MAX_FETCH_RECORDS = 4096
 
 #: Default seconds a shipper sleeps when the primary has nothing new.
 DEFAULT_POLL_INTERVAL = 0.05
+
+#: Ceiling on the shipper's jittered error-path backoff (seconds).
+DEFAULT_MAX_POLL_INTERVAL = 2.0
 
 #: Standby-local manifest: everything needed to rebuild the standby's
 #: engine when the primary is unreachable at restart (the failover case).
@@ -236,6 +240,26 @@ def read_wal_range(
     return WalChunk(start=start, records=records, torn=False)
 
 
+def backoff_delay(
+    failures: int, base: float, cap: float, rng: random.Random
+) -> float:
+    """Jittered exponential backoff for the ``failures``-th consecutive error.
+
+    The delay is drawn uniformly from ``[base, min(cap, base * 2**failures)]``
+    — exponential growth with full jitter above the healthy poll interval.
+    The jitter is the point: every shard of every standby polls a dead
+    primary on its own clock, and identical fixed retry intervals would
+    synchronise them into one thundering herd the moment the primary
+    returns.  ``failures <= 0`` (the healthy path) is just ``base``.
+    """
+    if failures <= 0:
+        return base
+    ceiling = min(cap, base * (2 ** min(failures, 30)))
+    if ceiling <= base:
+        return base
+    return base + rng.random() * (ceiling - base)
+
+
 # ----------------------------------------------------------------------
 # standby side: the shipper
 # ----------------------------------------------------------------------
@@ -258,16 +282,20 @@ class WalShipper(threading.Thread):
         slot: int,
         poll_interval: float = DEFAULT_POLL_INTERVAL,
         max_records: int = DEFAULT_FETCH_RECORDS,
+        max_poll_interval: float = DEFAULT_MAX_POLL_INTERVAL,
     ) -> None:
         name = f"wal-shipper-{standby.tenant}-{slot}"
         super().__init__(name=name, daemon=True)
         self.standby = standby
         self.slot = slot
         self.poll_interval = poll_interval
+        self.max_poll_interval = max(poll_interval, max_poll_interval)
         self.max_records = max_records
         self.last_primary_position = 0
         self.last_error: Optional[str] = None
         self.connected = False
+        self.consecutive_failures = 0
+        self._rng = random.Random()
         self._stop_event = threading.Event()
 
     def stop(self) -> None:
@@ -277,6 +305,18 @@ class WalShipper(threading.Thread):
     @property
     def stopping(self) -> bool:
         return self._stop_event.is_set()
+
+    def _backoff(self) -> None:
+        """Sleep the jittered, exponentially growing error-path delay."""
+        self.consecutive_failures += 1
+        self._stop_event.wait(
+            backoff_delay(
+                self.consecutive_failures,
+                self.poll_interval,
+                self.max_poll_interval,
+                self._rng,
+            )
+        )
 
     def _reseed(self, reason: str) -> None:
         """Trigger a re-seed; a primary dying mid-re-seed is just a retry.
@@ -292,7 +332,7 @@ class WalShipper(threading.Thread):
         except (OSError, ServiceError) as exc:
             self.connected = False
             self.last_error = f"re-seed failed ({reason}): {exc}"
-            self._stop_event.wait(self.poll_interval)
+            self._backoff()
 
     def run(self) -> None:
         from repro.service.client import ServiceError
@@ -307,21 +347,25 @@ class WalShipper(threading.Thread):
                 if exc.code == "wal_gap":
                     self.connected = True
                     self.last_error = None
+                    self.consecutive_failures = 0
                     self._reseed(f"wal gap at shard {self.slot}")
                     continue
                 self.connected = False
                 self.last_error = f"{exc.code}: {exc}"
-                self._stop_event.wait(self.poll_interval)
+                self._backoff()
                 continue
             except OSError as exc:
                 # primary unreachable (crashed, restarting): keep retrying
-                # — the warm standby keeps serving its last replayed state
+                # with jittered exponential backoff — the warm standby keeps
+                # serving its last replayed state, and the backoff keeps a
+                # whole fleet's shippers from stampeding a returning primary
                 self.connected = False
                 self.last_error = str(exc)
-                self._stop_event.wait(self.poll_interval)
+                self._backoff()
                 continue
             self.connected = True
             self.last_error = None
+            self.consecutive_failures = 0
             self.last_primary_position = int(document.get("applied", 0))
             self.standby.note_epoch(int(document.get("epoch", 0)))
             if document.get("torn"):
@@ -342,7 +386,7 @@ class WalShipper(threading.Thread):
                 # surface the error and retry from the re-read position
                 self.connected = False
                 self.last_error = f"apply failed: {exc}"
-                self._stop_event.wait(self.poll_interval)
+                self._backoff()
 
 
 def _decode_records(records: List[object]) -> List[Update]:
@@ -394,16 +438,15 @@ class StandbyEngine:
         self._promotion: Optional[Dict[str, object]] = None
         self._seen_epoch = 0
         self._reseeds = 0
+        self._reparents = 0
         self._replayed_logical = 0
+        # last acked position per shard of *our own* downstream replicas
+        # (chained standbys shipping from us): forwarded upstream so the
+        # root primary's retention floor reflects the slowest leaf
+        self._downstream_acks: Dict[int, int] = {}
 
         if client_factory is None:
-            host, port = parse_primary_url(replica_of)
-
-            def client_factory() -> object:
-                from repro.service.client import ServiceClient
-
-                return ServiceClient(host, port, tenant=tenant)
-
+            client_factory = self._url_client_factory(replica_of)
         self._client_factory = client_factory
         self._client = client_factory()
 
@@ -426,11 +469,9 @@ class StandbyEngine:
                     f"tenant {tenant!r} on {replica_of} is not durable; only "
                     "durable (WAL-backed) tenants can be replicated"
                 )
-            if row.get("replica_of") and not row.get("promoted"):
-                raise ReplicationError(
-                    f"tenant {tenant!r} on {replica_of} is an un-promoted "
-                    "standby; chained replicas are not supported yet"
-                )
+            # an un-promoted standby upstream is allowed: it serves the
+            # wal/snapshot routes from its own local log, so replicas can
+            # chain (primary -> A -> B) to fan out a replication tree
         self.num_shards = int(row.get("shards", 1))
         self.backend = str(row.get("backend", "dynstrclu"))
         base_config = config if config is not None else EngineConfig()
@@ -448,6 +489,18 @@ class StandbyEngine:
     # ------------------------------------------------------------------
     # construction helpers
     # ------------------------------------------------------------------
+    def _url_client_factory(self, url: str) -> Callable[[], object]:
+        """The default client factory for a primary URL (used by reparent too)."""
+        host, port = parse_primary_url(url)
+        tenant = self.tenant
+
+        def factory() -> object:
+            from repro.service.client import ServiceClient
+
+            return ServiceClient(host, port, tenant=tenant)
+
+        return factory
+
     def _spawn_shippers(self) -> None:
         """(Re-)create the shipper threads, one per shard (not started)."""
         self._shippers = [
@@ -548,19 +601,53 @@ class StandbyEngine:
             return self._engine.shards[slot].applied
 
     def fetch_wal(self, slot: int, position: int, max_records: int) -> Dict[str, object]:
-        """One primary fetch (kept here so the client is shared/lockable)."""
-        return self._client.fetch_wal(
+        """One primary fetch (kept here so the client is shared/lockable).
+
+        The ``ack`` carried upstream is ``min(our applied position, the
+        last ack of our own slowest downstream replica)`` — per-hop ack
+        forwarding, so in a chain ``primary -> A -> B`` the root primary's
+        retention floor reflects the slowest *leaf*, not just A.
+        """
+        with self._lock:
+            client = self._client
+            ack = position
+            downstream = self._downstream_acks.get(slot)
+            if downstream is not None:
+                ack = min(ack, downstream)
+        return client.fetch_wal(
             from_position=position,
             shard=slot if self.num_shards > 1 else None,
             max_records=max_records,
-            ack=position,
+            ack=ack,
         )
+
+    def note_downstream_ack(self, slot: int, position: int) -> None:
+        """Record a chained replica's acked position for one shard.
+
+        Called by the manager when this (un-promoted) standby serves its
+        own WAL route; the recorded position is folded into the next
+        upstream fetch's ``ack`` (see :meth:`fetch_wal`).  Last-wins per
+        shard, mirroring the primary's own standby-ack slot.
+        """
+        with self._lock:
+            self._downstream_acks[slot] = position
+
+    def downstream_acks(self) -> Dict[int, int]:
+        """Last acked position per shard of our downstream replicas."""
+        with self._lock:
+            return dict(self._downstream_acks)
 
     def note_epoch(self, epoch: int) -> None:
         """Remember the highest primary epoch observed on the wire."""
         with self._lock:
             if epoch > self._seen_epoch:
                 self._seen_epoch = epoch
+
+    @property
+    def seen_epoch(self) -> int:
+        """Highest upstream epoch observed on the wire (>= own epoch's source)."""
+        with self._lock:
+            return self._seen_epoch
 
     def apply_chunk(self, slot: int, start: int, updates: List[Update]) -> bool:
         """Apply one fetched chunk; returns false when it raced a re-seed.
@@ -778,6 +865,118 @@ class StandbyEngine:
             return dict(self._promotion)
 
     # ------------------------------------------------------------------
+    # re-parenting (orphan rescue after a promotion elsewhere)
+    # ------------------------------------------------------------------
+    def reparent(
+        self,
+        replica_of: str,
+        client_factory: Optional[Callable[[], object]] = None,
+    ) -> Dict[str, object]:
+        """Re-point this standby at a new primary, keeping its local state.
+
+        The post-failover orphan path: when a sibling standby was promoted,
+        every other replica of the dead primary re-parents onto the winner
+        and resumes shipping from its *own* position — both histories are
+        prefixes of the dead primary's stream, so as long as the new
+        primary's log covers our position the records are identical and no
+        re-seed is needed.  Two cases do force a re-seed, detected with a
+        probe fetch against the new primary before shipping resumes:
+
+        * we are **ahead** of the new primary on some shard (we replicated
+          records the winner never acked): our extra suffix may diverge
+          from what the winner writes next, so our state is discarded and
+          re-seeded from the winner's checkpoint;
+        * we are **below** the new primary's retained WAL horizon
+          (``wal_gap``): the ordinary re-seed case.
+
+        An unreachable or refusing new primary aborts with
+        :class:`ReplicationError` and the standby keeps shipping from its
+        previous source — the caller (typically the fleet watchdog)
+        retries.  Raises for a closed or promoted standby.
+        """
+        from repro.service.client import ServiceError
+
+        if client_factory is None:
+            client_factory = self._url_client_factory(replica_of)
+        with self._lock:
+            if self._closed:
+                raise EngineError("standby is closed")
+            if self._promoted:
+                raise ReplicationError(
+                    f"tenant {self.tenant!r} is promoted; a primary cannot "
+                    "be re-parented"
+                )
+        # stop the shippers outside the lock (an in-flight apply_chunk
+        # holds it), exactly like promote()
+        self._stop_shippers()
+        probe = client_factory()
+        needs_reseed = False
+        try:
+            for slot in range(self.num_shards):
+                position = self.position(slot)
+                try:
+                    document = probe.fetch_wal(
+                        from_position=position,
+                        shard=slot if self.num_shards > 1 else None,
+                        max_records=1,
+                        ack=position,
+                    )
+                except ServiceError as exc:
+                    if exc.code == "wal_gap":
+                        needs_reseed = True
+                        continue
+                    raise ReplicationError(
+                        f"reparent aborted: new primary {replica_of} refused "
+                        f"the probe fetch with {exc.code!r} ({exc})"
+                    ) from exc
+                except OSError as exc:
+                    raise ReplicationError(
+                        f"reparent aborted: new primary {replica_of} is "
+                        f"unreachable: {exc}"
+                    ) from exc
+                if int(document.get("applied", 0)) < position:
+                    # we replicated past the winner's acked history: the
+                    # suffix we hold may diverge from its future writes
+                    needs_reseed = True
+        except ReplicationError:
+            probe.close()
+            # keep replicating from the previous source
+            self._spawn_shippers()
+            self.start()
+            raise
+        with self._lock:
+            if self._closed or self._promoted:
+                probe.close()
+                raise ReplicationError(
+                    f"tenant {self.tenant!r} changed state during reparent"
+                )
+            old_client = self._client
+            self._client_factory = client_factory
+            self._client = probe
+            self.replica_of = replica_of
+            self._reparents += 1
+            self._store_local_manifest()
+        old_client.close()
+        if needs_reseed:
+            try:
+                self.reseed(reason=f"reparent onto {replica_of}")
+            except (OSError, ServiceError) as exc:
+                # the winner died between probe and re-seed: leave the
+                # shippers stopped (resuming could replay a diverged
+                # suffix) and report — the watchdog retries the reparent
+                raise ReplicationError(
+                    f"reparent onto {replica_of} needs a re-seed that "
+                    f"failed: {exc}; shipping is paused until a retry"
+                ) from exc
+        self._spawn_shippers()
+        self.start()
+        return {
+            "tenant": self.tenant,
+            "replica_of": replica_of,
+            "reseeded": needs_reseed,
+        }
+
+    # ------------------------------------------------------------------
     # engine surface (reads delegate; writes are gated on promotion)
     # ------------------------------------------------------------------
     @property
@@ -872,6 +1071,7 @@ class StandbyEngine:
         """The ``replication`` stats block of this tenant."""
         shards: List[Dict[str, object]] = []
         total_lag = 0
+        oldest_applied_at: Optional[float] = None
         for shipper in self._shippers:
             position = self.position(shipper.slot)
             primary_position = max(shipper.last_primary_position, position)
@@ -884,10 +1084,21 @@ class StandbyEngine:
                 "lag": lag,
                 "connected": shipper.connected,
             }
+            # wall-clock staleness: the publish timestamp of the shard's
+            # current view (views.py is the one sanctioned wall-clock
+            # source), so watchdogs and routing clients don't have to
+            # infer freshness from position deltas alone
+            with self._lock:
+                engine = self._engine
+            target = engine if self.num_shards == 1 else engine.shards[shipper.slot]
+            applied_at = target.view().published_at
+            row["last_applied_at"] = applied_at
+            if oldest_applied_at is None or applied_at < oldest_applied_at:
+                oldest_applied_at = applied_at
             if shipper.last_error is not None:
                 row["last_error"] = shipper.last_error
             shards.append(row)
-        return {
+        status: Dict[str, object] = {
             "role": "primary" if self._promoted else "standby",
             "promoted": self._promoted,
             "replica_of": self.replica_of,
@@ -895,5 +1106,14 @@ class StandbyEngine:
             "primary_epoch": self._seen_epoch,
             "lag": total_lag,
             "reseeds": self._reseeds,
+            "reparents": self._reparents,
             "shards": shards,
         }
+        if oldest_applied_at is not None:
+            status["last_applied_at"] = oldest_applied_at
+        downstream = self.downstream_acks()
+        if downstream:
+            status["downstream_acks"] = {
+                str(slot): position for slot, position in sorted(downstream.items())
+            }
+        return status

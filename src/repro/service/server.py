@@ -328,11 +328,12 @@ class ClusteringServiceServer:
         ):
             return True
         if method == "POST":
-            # fence belongs here too: it fsyncs a manifest per shard
+            # fence belongs here too: it fsyncs a manifest per shard, and
+            # reparent probes the new primary with full network timeouts
             return segments == ["v1", "tenants"] or (
                 len(segments) == 4
                 and segments[:2] == ["v1", "tenants"]
-                and segments[3] in ("promote", "fence")
+                and segments[3] in ("promote", "fence", "reparent")
             )
         if method == "DELETE":
             return len(segments) == 3 and segments[:2] == ["v1", "tenants"]
@@ -465,6 +466,11 @@ class ClusteringServiceServer:
                 return self._post_fence(tenant, engine, _parse_json(body))
             if rest == ["promote"] and method == "POST":
                 return 200, {"tenant": tenant, **self.manager.promote(tenant)}, {}
+            if rest == ["topology"] and method == "GET":
+                _checked_query(query, frozenset(), path)
+                return 200, self.manager.topology(tenant), {}
+            if rest == ["reparent"] and method == "POST":
+                return self._post_reparent(tenant, _parse_json(body))
             if rest in (
                 ["updates"],
                 ["group-by"],
@@ -473,6 +479,8 @@ class ClusteringServiceServer:
                 ["snapshot"],
                 ["fence"],
                 ["promote"],
+                ["topology"],
+                ["reparent"],
             ) or (rest and rest[0] == "cluster"):
                 return self._method_not_allowed(method, path)
         return 404, error_envelope("not_found", f"no route for {path}"), {}
@@ -779,16 +787,21 @@ class ClusteringServiceServer:
 
     def _wal_target(
         self, tenant: str, engine: ClusteringEngine, query: Dict[str, str]
-    ) -> Tuple[int, ClusteringEngine]:
-        """Resolve the ``shard`` query param to the engine serving that WAL."""
+    ) -> Tuple[int, ClusteringEngine, int]:
+        """Resolve the ``shard`` query param to the engine serving that WAL.
+
+        Returns ``(shard, inner engine, served epoch)``.  Any standby may
+        serve its WAL — a *promoted* one because it IS the primary now,
+        an *un-promoted* one to feed a chained replica
+        (``primary -> A -> B``).  A chained hop advertises
+        ``max(local epoch, upstream's seen epoch)`` so a promotion
+        anywhere above propagates down the tree and fences stale leaves
+        exactly as if they shipped from the root.
+        """
+        served_epoch: Optional[int] = None
         if isinstance(engine, StandbyEngine):
             if not engine.promoted:
-                raise BadRequest(
-                    f"tenant {tenant!r} is an un-promoted standby; chained "
-                    "replication is not supported — ship from its primary"
-                )
-            # a promoted standby IS the primary now: serve from its engine
-            # so the post-failover survivor can in turn feed new standbys
+                served_epoch = max(engine.engine.epoch, engine.seen_epoch)
             engine = engine.engine
         shard = _query_int(query, "shard", 0)
         if isinstance(engine, ShardedEngine):
@@ -805,12 +818,14 @@ class ClusteringServiceServer:
             raise BadRequest(
                 f"tenant {tenant!r} is not durable; there is no WAL to ship"
             )
-        return shard, target
+        if served_epoch is None:
+            served_epoch = target.epoch
+        return shard, target, served_epoch
 
     def _get_wal(
         self, tenant: str, engine: ClusteringEngine, query: Dict[str, str]
     ) -> Response:
-        shard, target = self._wal_target(tenant, engine, query)
+        shard, target, served_epoch = self._wal_target(tenant, engine, query)
         start = _query_int(query, "from", 0)
         if start < 0:
             raise BadRequest(f"from must be >= 0, got {start}")
@@ -830,7 +845,7 @@ class ClusteringServiceServer:
             "records": [encode_update(update) for update in chunk.records],
             "position": start + len(chunk.records),
             "applied": target.wal_position,
-            "epoch": target.epoch,
+            "epoch": served_epoch,
             "torn": chunk.torn,
         }
         return 200, document, {}
@@ -838,13 +853,13 @@ class ClusteringServiceServer:
     def _get_snapshot(
         self, tenant: str, engine: ClusteringEngine, query: Dict[str, str]
     ) -> Dict[str, object]:
-        shard, target = self._wal_target(tenant, engine, query)
+        shard, target, served_epoch = self._wal_target(tenant, engine, query)
         snapshot = target.read_snapshot_document()
         return {
             "tenant": tenant,
             "shard": shard,
             "position": int(snapshot.get("updates_processed", 0)),
-            "epoch": target.epoch,
+            "epoch": served_epoch,
             "snapshot": snapshot,
         }
 
@@ -861,6 +876,37 @@ class ClusteringServiceServer:
         except ValueError as exc:
             return 409, error_envelope("stale_epoch", str(exc)), {}
         return 200, {"tenant": tenant, "epoch": epoch, "fenced": True}, {}
+
+    def _post_reparent(self, tenant: str, payload: object) -> Response:
+        if not isinstance(payload, dict) or "replica_of" not in payload:
+            raise BadRequest('body must be {"replica_of": "host:port"}')
+        replica_of = payload["replica_of"]
+        if not isinstance(replica_of, str):
+            raise BadRequest(f'"replica_of" must be a string, got {replica_of!r}')
+        if self._points_at_self(replica_of):
+            raise BadRequest(
+                f"replica_of {replica_of!r} points at this server itself; "
+                "a standby cannot replicate from its own server"
+            )
+        try:
+            document = self.manager.reparent(tenant, replica_of)
+        except (OSError, ReplicationError) as exc:
+            if isinstance(exc, ReplicationError) and not isinstance(
+                exc.__cause__, OSError
+            ):
+                raise  # refused probe / state change: 409 replication_error
+            # the new primary is unreachable: clean, retryable 409 (same
+            # contract as standby creation against a dead primary)
+            return (
+                409,
+                error_envelope(
+                    "primary_unreachable",
+                    f"cannot reach primary {replica_of!r}: {exc}",
+                    retryable=True,
+                ),
+                {},
+            )
+        return 200, document, {}
 
     def _group_by(
         self,

@@ -292,3 +292,38 @@ class TestLoadgenSharding:
             )
             assert status == 2
             assert "shards must be in [1, 64]" in capsys.readouterr().err
+
+
+class TestWatchdogCli:
+    def test_registered_in_help(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["watchdog", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "--targets" in out and "--quorum" in out
+
+    def test_targets_are_required(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["watchdog"])
+        assert excinfo.value.code == 2
+        assert "--targets" in capsys.readouterr().err
+
+    def test_invalid_quorum_exits_cleanly(self, capsys):
+        status = main(
+            ["watchdog", "--targets", "127.0.0.1:1", "--quorum", "0"]
+        )
+        assert status == 2
+        assert "quorum" in capsys.readouterr().err
+
+    def test_invalid_interval_exits_cleanly(self, capsys):
+        status = main(
+            ["watchdog", "--targets", "127.0.0.1:1", "--interval", "-1"]
+        )
+        assert status == 2
+        assert "interval" in capsys.readouterr().err
+
+    def test_malformed_target_exits_cleanly(self, capsys):
+        # "not-a-url" is not HOST:PORT — clean exit 2, no traceback
+        status = main(["watchdog", "--targets", "not-a-url"])
+        assert status == 2
+        assert "repro watchdog:" in capsys.readouterr().err
