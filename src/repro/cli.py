@@ -32,6 +32,11 @@ Subcommands
     Generate open-loop insert/delete/query traffic against a running service
     (or in-process engines) and print the throughput/latency report;
     repeat ``--tenant`` for a multi-tenant mix with disjoint vertex spaces.
+``check``
+    Run the project-invariant static-analysis suite (monotonic-clock
+    discipline, guarded fields, durable writes, asyncio hygiene,
+    structured errors, thread hygiene) over the package source — or over
+    explicit paths; exits non-zero on any unsuppressed finding.
 
 ``repro --version`` prints the library version.  Unknown subcommands exit
 with status 2 and a usage message (argparse's standard behaviour, locked in
@@ -328,6 +333,32 @@ def _build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--mu", type=int, default=3)
     loadgen.add_argument("--rho", type=float, default=0.01)
     loadgen.add_argument("--json", dest="json_out", help="also write the report to this file")
+
+    check = sub.add_parser(
+        "check",
+        help="run the project-invariant static-analysis suite "
+        "(see docs/DEVTOOLS.md)",
+    )
+    check.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files or directories to check (default: the installed "
+        "repro package source)",
+    )
+    check.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        dest="output_format",
+        help="output format (default: human)",
+    )
+    check.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated check codes or names to run "
+        "(e.g. REPRO301 or durable-write,monotonic)",
+    )
     return parser
 
 
@@ -753,6 +784,30 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     return 0 if not errors else 1
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    import repro
+    from repro.devtools import all_checkers, run_checks
+
+    paths = (
+        [Path(path) for path in args.paths]
+        if args.paths
+        else [Path(repro.__file__).parent]
+    )
+    select = args.select.split(",") if args.select else None
+    try:
+        report = run_checks(paths, all_checkers(), select=select)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.output_format == "json":
+        print(report.render_json())
+    else:
+        print(report.render_human())
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = _build_parser()
@@ -773,6 +828,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_query(args)
     if args.command == "loadgen":
         return _cmd_loadgen(args)
+    if args.command == "check":
+        return _cmd_check(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -1,0 +1,142 @@
+"""REPRO101 — monotonic-clock discipline for the service layer.
+
+Duration arithmetic anywhere in ``repro.service`` must use the monotonic
+clocks (``time.monotonic`` for schedules and deadlines,
+``time.perf_counter`` for latencies): wall-clock time jumps under NTP
+steps and DST and would corrupt retry horizons, watchdog quorums and
+latency histograms.  ``time.time()`` is legal in exactly one role — an
+**event timestamp** recorded for humans or persisted documents — and only
+when assigned to one of the pinned timestamp names below.  Anything else
+is a finding; genuinely new timestamp fields extend the pinned allowlist
+(a deliberate, reviewed act), they do not silently slip through.
+
+This checker generalises (and replaces the engine of) the original
+hand-rolled audit in ``tests/service/test_time_sources.py``; that test is
+now a thin wrapper invoking it over every service module.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Tuple
+
+from repro.devtools.core import Checker, Finding, SourceFile
+
+CODE = "REPRO101"
+
+#: Assignment targets (``x = time.time()`` / ``self.x = time.time()`` /
+#: dataclass ``x: float = field(default_factory=time.time)``) allowed to
+#: carry a wall-clock *event timestamp*.
+ALLOWED_TIMESTAMP_NAMES = frozenset({"published_at", "last_applied_at"})
+
+#: Dict keys (``{"ts": time.time()}``) allowed to carry one — the decision
+#: log's post-mortem timestamps.
+ALLOWED_TIMESTAMP_KEYS = frozenset({"ts", "published_at", "last_applied_at"})
+
+
+def _is_wall_clock(node: ast.AST) -> bool:
+    """True for a ``time.time`` attribute reference."""
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == "time"
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "time"
+    )
+
+
+def _target_names(node: ast.AST) -> List[str]:
+    """Plain / attribute names assigned by one Assign/AnnAssign target."""
+    if isinstance(node, ast.Name):
+        return [node.id]
+    if isinstance(node, ast.Attribute):
+        return [node.attr]
+    if isinstance(node, (ast.Tuple, ast.List)):
+        names: List[str] = []
+        for element in node.elts:
+            names.extend(_target_names(element))
+        return names
+    return []
+
+
+def _is_allowed(source: SourceFile, node: ast.Attribute) -> bool:
+    """True when the ``time.time`` reference is a pinned event timestamp."""
+    previous: ast.AST = node
+    for ancestor in source.ancestors(node):
+        if isinstance(ancestor, ast.Dict):
+            for key, value in zip(ancestor.keys, ancestor.values):
+                if value is previous and isinstance(key, ast.Constant):
+                    if key.value in ALLOWED_TIMESTAMP_KEYS:
+                        return True
+        if isinstance(ancestor, ast.Assign):
+            names = [
+                name
+                for target in ancestor.targets
+                for name in _target_names(target)
+            ]
+            if set(names) & ALLOWED_TIMESTAMP_NAMES:
+                return True
+        if isinstance(ancestor, ast.AnnAssign):
+            if set(_target_names(ancestor.target)) & ALLOWED_TIMESTAMP_NAMES:
+                return True
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # don't leak an allowance out of the enclosing statement's
+            # function (an allowed assignment can't be above a def)
+            return False
+        previous = ancestor
+    return False
+
+
+def wall_clock_references(
+    source: SourceFile,
+) -> Tuple[List[ast.Attribute], List[ast.Attribute]]:
+    """All ``time.time`` references, split into (violations, allowed)."""
+    violations: List[ast.Attribute] = []
+    allowed: List[ast.Attribute] = []
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.ImportFrom):
+            if node.module == "time" and any(
+                alias.name == "time" for alias in node.names
+            ):
+                # ``from time import time`` hides the clock kind at every
+                # call site; treated as a violation at the import itself
+                fake = ast.Attribute(
+                    value=ast.Name(id="time", ctx=ast.Load()),
+                    attr="time",
+                    ctx=ast.Load(),
+                )
+                fake.lineno = node.lineno
+                fake.col_offset = node.col_offset
+                violations.append(fake)
+            continue
+        if not _is_wall_clock(node):
+            continue
+        if _is_allowed(source, node):
+            allowed.append(node)
+        else:
+            violations.append(node)
+    return violations, allowed
+
+
+class MonotonicDisciplineChecker(Checker):
+    name = "monotonic"
+    codes = (CODE,)
+    description = (
+        "time.time() is forbidden in repro.service outside the pinned "
+        "event-timestamp allowlist; use time.monotonic/perf_counter"
+    )
+    scope = ("/repro/service/",)
+
+    def check(self, source: SourceFile) -> List[Finding]:
+        violations, _allowed = wall_clock_references(source)
+        return [
+            self.finding(
+                source,
+                node,
+                CODE,
+                "wall-clock time.time() in duration-sensitive code; use "
+                "time.monotonic (schedules) or time.perf_counter "
+                "(latencies) — event timestamps belong to the pinned "
+                f"allowlist {sorted(ALLOWED_TIMESTAMP_NAMES)}",
+            )
+            for node in violations
+        ]

@@ -1,0 +1,330 @@
+"""Core of the ``repro check`` static-analysis suite.
+
+The service stack's correctness rests on a handful of *project invariants*
+— WAL-before-apply, durable writes only via ``write_durable``, no blocking
+calls on the asyncio loop, monotonic-clock-only duration arithmetic,
+lock-guarded shared state — that no general-purpose linter knows about.
+This module supplies the shared machinery the project-specific checkers in
+:mod:`repro.devtools` build on:
+
+* :class:`SourceFile` — one parsed file: source text, AST, a parent map
+  for ancestor walks, and the parsed ``# repro: allow[CODE]`` suppression
+  comments.  Instances are cached per ``(path, mtime)`` so a run over the
+  tree parses each file once no matter how many checkers visit it.
+* :class:`Finding` — one diagnostic: ``path:line:col CODE message``.
+* :class:`Checker` — the protocol every checker implements (``name``, the
+  ``codes`` it can emit, a path ``scope`` and a ``check(source)`` hook).
+* :func:`run_checks` — the driver: collect files, apply checker scoping
+  and ``--select`` filtering, drop suppressed findings, and return a
+  :class:`CheckReport` the CLI renders as human or JSON output.
+
+Suppression syntax (documented in docs/DEVTOOLS.md): a finding is silenced
+by ``# repro: allow[CODE] <one-line justification>`` on the flagged line,
+or on a comment-only line directly above it.  ``allow[*]`` silences every
+code on that line; unknown codes silence nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+#: Matches one suppression comment; group 1 is the comma-separated codes.
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_*,\s-]+)\]")
+
+#: Matches one guarded-field annotation; group 1 is the lock attribute.
+_GUARDED_BY_RE = re.compile(r"#\s*guarded-by:\s*([A-Za-z_][A-Za-z0-9_]*)")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic, sortable into (path, line, col, code) order."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+class SourceFile:
+    """One parsed Python file plus the lookups every checker needs."""
+
+    def __init__(self, path: Path, text: str) -> None:
+        self.path = path
+        self.display = _display_path(path)
+        self.text = text
+        self.lines: List[str] = text.splitlines()
+        self.tree: ast.Module = ast.parse(text, filename=str(path))
+        self._parents: Optional[Dict[ast.AST, ast.AST]] = None
+        self._allows: Optional[Dict[int, Set[str]]] = None
+
+    # -- AST ancestry ---------------------------------------------------
+    @property
+    def parents(self) -> Dict[ast.AST, ast.AST]:
+        """``child node -> parent node`` over the whole tree (lazy)."""
+        if self._parents is None:
+            parents: Dict[ast.AST, ast.AST] = {}
+            for parent in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(parent):
+                    parents[child] = parent
+            self._parents = parents
+        return self._parents
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """The node's ancestors, nearest first, up to the module."""
+        parents = self.parents
+        current = parents.get(node)
+        while current is not None:
+            yield current
+            current = parents.get(current)
+
+    # -- suppressions ---------------------------------------------------
+    @property
+    def allows(self) -> Dict[int, Set[str]]:
+        """``line number -> set of allowed codes`` (``*`` allows all)."""
+        if self._allows is None:
+            allows: Dict[int, Set[str]] = {}
+            for lineno, line in enumerate(self.lines, start=1):
+                match = _ALLOW_RE.search(line)
+                if match:
+                    codes = {
+                        token.strip()
+                        for token in match.group(1).split(",")
+                        if token.strip()
+                    }
+                    allows[lineno] = codes
+            self._allows = allows
+        return self._allows
+
+    def suppressed(self, line: int, code: str) -> bool:
+        """True when ``code`` is allowed on ``line`` — by a suppression
+        comment on the line itself or in the contiguous block of
+        comment-only lines directly above it."""
+        def allowed_on(candidate: int) -> bool:
+            codes = self.allows.get(candidate, ())
+            return "*" in codes or code in codes
+
+        if allowed_on(line):
+            return True
+        candidate = line - 1
+        while candidate >= 1 and self.lines[candidate - 1].lstrip().startswith("#"):
+            if allowed_on(candidate):
+                return True
+            candidate -= 1
+        return False
+
+    # -- guarded-by annotations ----------------------------------------
+    def guarded_by(self, line: int) -> Optional[str]:
+        """The ``# guarded-by: <lock>`` annotation covering ``line``.
+
+        Looked up on the line itself first, then on a comment-only line
+        directly above (for assignments too long to annotate inline).
+        """
+        for candidate in (line, line - 1):
+            if not 1 <= candidate <= len(self.lines):
+                continue
+            text = self.lines[candidate - 1]
+            if candidate != line and not text.lstrip().startswith("#"):
+                continue
+            match = _GUARDED_BY_RE.search(text)
+            if match:
+                return match.group(1)
+        return None
+
+
+def _display_path(path: Path) -> str:
+    """Repo-relative display path when possible, else the given path."""
+    resolved = path.resolve()
+    for base in (Path.cwd(), *Path.cwd().parents):
+        try:
+            return str(resolved.relative_to(base))
+        except ValueError:
+            continue
+    return str(path)
+
+
+#: ``resolved path -> (mtime_ns, SourceFile)`` — one parse per file per run
+#: (and across runs in one process, for the test suite's repeated calls).
+_SOURCE_CACHE: Dict[Path, Tuple[int, SourceFile]] = {}
+
+
+def load_source(path) -> SourceFile:
+    """Parse ``path`` (cached by modification time)."""
+    resolved = Path(path).resolve()
+    mtime_ns = resolved.stat().st_mtime_ns
+    cached = _SOURCE_CACHE.get(resolved)
+    if cached is not None and cached[0] == mtime_ns:
+        return cached[1]
+    source = SourceFile(resolved, resolved.read_text(encoding="utf-8"))
+    _SOURCE_CACHE[resolved] = (mtime_ns, source)
+    return source
+
+
+class Checker:
+    """Base class for one project-invariant checker.
+
+    Subclasses set ``name`` (the ``--select`` alias), ``codes`` (every
+    code they can emit), ``description`` and — when the invariant only
+    applies to part of the tree — ``scope``: posix path fragments; a file
+    under ``src/repro`` is only checked when its path contains one of
+    them.  Files *outside* the package (explicit CLI paths, test
+    fixtures) are always in scope, so fixtures exercise every checker.
+    """
+
+    name: str = ""
+    codes: Tuple[str, ...] = ()
+    description: str = ""
+    scope: Tuple[str, ...] = ()
+
+    def applies_to(self, source: SourceFile) -> bool:
+        posix = source.path.as_posix()
+        if "/repro/" not in posix:
+            return True
+        if not self.scope:
+            return True
+        return any(fragment in posix for fragment in self.scope)
+
+    def check(self, source: SourceFile) -> List[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+    def finding(
+        self, source: SourceFile, node: ast.AST, code: str, message: str
+    ) -> Finding:
+        return Finding(
+            path=source.display,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            code=code,
+            message=message,
+        )
+
+
+@dataclass
+class CheckReport:
+    """The outcome of one :func:`run_checks` run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.errors
+
+    def render_human(self) -> str:
+        lines = [finding.render() for finding in self.findings]
+        lines.extend(f"error: {error}" for error in self.errors)
+        lines.append(
+            f"{len(self.findings)} finding(s) "
+            f"({len(self.suppressed)} suppressed) "
+            f"in {self.files_checked} file(s)"
+        )
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        return json.dumps(
+            {
+                "ok": self.ok,
+                "files_checked": self.files_checked,
+                "findings": [finding.as_dict() for finding in self.findings],
+                "suppressed": [finding.as_dict() for finding in self.suppressed],
+                "errors": list(self.errors),
+            },
+            indent=2,
+        )
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Every ``.py`` file under ``paths`` (files pass through verbatim)."""
+    for path in paths:
+        path = Path(path)
+        if path.is_file():
+            yield path
+        elif path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if "__pycache__" in candidate.parts:
+                    continue
+                yield candidate
+
+
+def select_checkers(
+    checkers: Sequence[Checker], select: Optional[Iterable[str]]
+) -> Tuple[List[Checker], Optional[Set[str]]]:
+    """Resolve ``--select`` tokens (names or codes) to checkers + codes.
+
+    Returns the selected checkers and, when any token was a *code*, the
+    set of codes findings are additionally filtered to (a name token
+    admits all of that checker's codes).
+    """
+    if not select:
+        return list(checkers), None
+    tokens = {token.strip() for token in select if token.strip()}
+    picked: List[Checker] = []
+    codes: Set[str] = set()
+    unknown = set(tokens)
+    for checker in checkers:
+        hit = False
+        if checker.name in tokens:
+            hit = True
+            codes.update(checker.codes)
+            unknown.discard(checker.name)
+        for code in checker.codes:
+            if code in tokens:
+                hit = True
+                codes.add(code)
+                unknown.discard(code)
+        if hit:
+            picked.append(checker)
+    if unknown:
+        raise ValueError(
+            f"unknown check selector(s): {', '.join(sorted(unknown))}"
+        )
+    return picked, codes
+
+
+def run_checks(
+    paths: Sequence[Path],
+    checkers: Sequence[Checker],
+    select: Optional[Iterable[str]] = None,
+) -> CheckReport:
+    """Run ``checkers`` over every Python file under ``paths``."""
+    picked, codes = select_checkers(checkers, select)
+    report = CheckReport()
+    for path in iter_python_files(paths):
+        try:
+            source = load_source(path)
+        except (OSError, SyntaxError, ValueError) as exc:
+            report.errors.append(f"{path}: {exc}")
+            continue
+        report.files_checked += 1
+        for checker in picked:
+            if not checker.applies_to(source):
+                continue
+            for finding in checker.check(source):
+                if codes is not None and finding.code not in codes:
+                    continue
+                if source.suppressed(finding.line, finding.code):
+                    report.suppressed.append(finding)
+                else:
+                    report.findings.append(finding)
+    report.findings.sort()
+    report.suppressed.sort()
+    return report

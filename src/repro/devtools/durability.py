@@ -1,0 +1,113 @@
+"""REPRO301 — durable writes only through ``write_durable``.
+
+Every persisted state file the recovery path parses — snapshots, shard /
+replication / standby manifests, seeds — must be written with the one
+shared discipline in :func:`repro.persistence.snapshot.write_durable`
+(tmp file + fsync + atomic rename): a crash mid-write must leave the old
+whole file or the new whole file, never a torn one that bricks recovery.
+
+This checker flags, across ``repro.persistence`` and ``repro.service``:
+
+* ``open(path, "w")`` / ``path.open("w")`` (any mode starting with ``w``),
+* ``os.rename`` / ``os.replace``,
+* ``json.dump`` (the to-file variant; ``json.dumps`` is fine),
+* ``.write_text(...)`` / ``.write_bytes(...)``,
+
+everywhere except inside ``write_durable`` itself.  Append-mode opens are
+not flagged: the WAL's append+fsync protocol (``UpdateLogWriter``) is its
+own, separately-reviewed durability discipline, as is the decision log's
+best-effort JSONL mirror.  Intentional exceptions (e.g. renaming an
+already-fsynced WAL segment into its retained name) carry an inline
+``# repro: allow[REPRO301]`` with a one-line justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.devtools.core import Checker, Finding, SourceFile
+
+CODE = "REPRO301"
+
+#: The one function allowed to open-for-write and rename: the primitive.
+EXEMPT_FUNCTIONS = frozenset({"write_durable"})
+
+
+def _mode_argument(node: ast.Call) -> Optional[ast.expr]:
+    """The mode argument of an ``open`` call (builtin or ``Path.open``)."""
+    func = node.func
+    position = 1 if isinstance(func, ast.Name) else 0
+    if len(node.args) > position:
+        return node.args[position]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            return keyword.value
+    return None
+
+
+def _violation_message(node: ast.Call) -> Optional[str]:
+    func = node.func
+    if isinstance(func, ast.Name) and func.id == "open" or (
+        isinstance(func, ast.Attribute) and func.attr == "open"
+    ):
+        mode = _mode_argument(node)
+        if (
+            isinstance(mode, ast.Constant)
+            and isinstance(mode.value, str)
+            and mode.value.startswith(("w", "x"))
+        ):
+            return (
+                f"bare open(..., {mode.value!r}) writes a state file "
+                "non-atomically; persist through write_durable"
+            )
+        return None
+    if isinstance(func, ast.Attribute):
+        if func.attr in {"rename", "replace"} and isinstance(
+            func.value, ast.Name
+        ) and func.value.id == "os":
+            return (
+                f"os.{func.attr} outside write_durable: renames must be "
+                "part of the tmp+fsync+rename discipline"
+            )
+        if func.attr in {"write_text", "write_bytes"}:
+            return (
+                f".{func.attr}(...) writes a state file non-atomically; "
+                "persist through write_durable"
+            )
+        if func.attr == "dump" and isinstance(
+            func.value, ast.Name
+        ) and func.value.id == "json":
+            return (
+                "json.dump to a file handle is a non-durable write; "
+                "json.dumps + write_durable instead"
+            )
+    return None
+
+
+class DurableWriteChecker(Checker):
+    name = "durable-write"
+    codes = (CODE,)
+    description = (
+        "state files in repro.persistence/repro.service are written only "
+        "via write_durable (tmp + fsync + rename)"
+    )
+    scope = ("/repro/persistence/", "/repro/service/")
+
+    def check(self, source: SourceFile) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            message = _violation_message(node)
+            if message is None:
+                continue
+            enclosing = [
+                ancestor.name
+                for ancestor in source.ancestors(node)
+                if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef))
+            ]
+            if any(name in EXEMPT_FUNCTIONS for name in enclosing):
+                continue
+            findings.append(self.finding(source, node, CODE, message))
+        return findings

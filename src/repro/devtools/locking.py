@@ -1,0 +1,269 @@
+"""REPRO201/REPRO601/REPRO602 — lock discipline and thread hygiene.
+
+**REPRO201 guarded-field** enforces the ``# guarded-by: <lock>``
+annotation contract: a field whose ``__init__`` assignment carries the
+annotation (inline, or on a comment line directly above) may only be read
+or written
+
+* inside a ``with self.<lock>:`` block of the same class,
+* inside ``__init__`` itself (construction is single-threaded), or
+* inside a method whose name ends in ``_locked`` (the project convention
+  for helpers documented as "caller holds the lock").
+
+Accesses through other instances (``other._lock`` patterns like histogram
+merges) are outside the checker's model and are not flagged — the
+annotation contract covers ``self`` accesses only.
+
+**REPRO601 thread-hygiene/naming**: every ``threading.Thread(...)``
+construction (and every ``super().__init__(...)`` of a ``Thread``
+subclass) must pass an explicit ``name=`` — anonymous ``Thread-N`` names
+make hang dumps and log lines unattributable.
+
+**REPRO602 thread-hygiene/join**: a class that stores a thread on an
+attribute (``self.x = threading.Thread(...)``) must ``self.x.join()``
+somewhere in the class — the close/stop path must reap what it started.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from repro.devtools.core import Checker, Finding, SourceFile
+
+GUARDED_CODE = "REPRO201"
+THREAD_NAME_CODE = "REPRO601"
+THREAD_JOIN_CODE = "REPRO602"
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """``x`` for a ``self.x`` attribute node, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _with_held_locks(source: SourceFile, node: ast.AST) -> Set[str]:
+    """Names of every ``self.<lock>`` held by enclosing ``with`` blocks."""
+    held: Set[str] = set()
+    for ancestor in source.ancestors(node):
+        if isinstance(ancestor, (ast.With, ast.AsyncWith)):
+            for item in ancestor.items:
+                lock = _self_attr(item.context_expr)
+                if lock is not None:
+                    held.add(lock)
+    return held
+
+
+def _enclosing_functions(source: SourceFile, node: ast.AST) -> List[str]:
+    return [
+        ancestor.name
+        for ancestor in source.ancestors(node)
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+
+
+class GuardedFieldChecker(Checker):
+    name = "guarded-field"
+    codes = (GUARDED_CODE,)
+    description = (
+        "fields annotated '# guarded-by: <lock>' in __init__ must only be "
+        "touched under 'with self.<lock>' (or in *_locked methods)"
+    )
+    scope = ()  # driven entirely by annotations, so any file qualifies
+
+    def check(self, source: SourceFile) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef):
+                findings.extend(self._check_class(source, node))
+        return findings
+
+    def _guarded_fields(self, source: SourceFile, init: ast.AST) -> Dict[str, str]:
+        """``field -> lock`` from annotated ``self.x = ...`` lines."""
+        guarded: Dict[str, str] = {}
+        for stmt in ast.walk(init):
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+            elif isinstance(stmt, ast.AnnAssign):
+                targets = [stmt.target]
+            else:
+                continue
+            lock = source.guarded_by(stmt.lineno)
+            if lock is None:
+                continue
+            for target in targets:
+                field = _self_attr(target)
+                if field is not None:
+                    guarded[field] = lock
+        return guarded
+
+    def _check_class(
+        self, source: SourceFile, klass: ast.ClassDef
+    ) -> List[Finding]:
+        init = next(
+            (
+                stmt
+                for stmt in klass.body
+                if isinstance(stmt, ast.FunctionDef) and stmt.name == "__init__"
+            ),
+            None,
+        )
+        if init is None:
+            return []
+        guarded = self._guarded_fields(source, init)
+        if not guarded:
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(klass):
+            field = _self_attr(node)
+            if field is None or field not in guarded:
+                continue
+            lock = guarded[field]
+            functions = _enclosing_functions(source, node)
+            if not functions:
+                continue
+            if "__init__" in functions:
+                continue  # construction is single-threaded
+            if any(name.endswith("_locked") for name in functions):
+                continue  # convention: caller documentedly holds the lock
+            if lock in _with_held_locks(source, node):
+                continue
+            findings.append(
+                self.finding(
+                    source,
+                    node,
+                    GUARDED_CODE,
+                    f"self.{field} is guarded-by {lock} but accessed "
+                    f"outside 'with self.{lock}' "
+                    f"(in {klass.name}.{functions[0]})",
+                )
+            )
+        return findings
+
+
+def _is_thread_subclass(klass: ast.ClassDef) -> bool:
+    for base in klass.bases:
+        if isinstance(base, ast.Name) and base.id == "Thread":
+            return True
+        if (
+            isinstance(base, ast.Attribute)
+            and base.attr == "Thread"
+            and isinstance(base.value, ast.Name)
+            and base.value.id == "threading"
+        ):
+            return True
+    return False
+
+
+def _is_thread_call(node: ast.Call) -> bool:
+    func = node.func
+    if isinstance(func, ast.Name) and func.id == "Thread":
+        return True
+    return (
+        isinstance(func, ast.Attribute)
+        and func.attr == "Thread"
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "threading"
+    )
+
+
+def _is_super_init(node: ast.Call) -> bool:
+    func = node.func
+    return (
+        isinstance(func, ast.Attribute)
+        and func.attr == "__init__"
+        and isinstance(func.value, ast.Call)
+        and isinstance(func.value.func, ast.Name)
+        and func.value.func.id == "super"
+    )
+
+
+def _has_keyword(node: ast.Call, name: str) -> bool:
+    return any(keyword.arg == name for keyword in node.keywords)
+
+
+class ThreadHygieneChecker(Checker):
+    name = "thread-hygiene"
+    codes = (THREAD_NAME_CODE, THREAD_JOIN_CODE)
+    description = (
+        "threads must be constructed with an explicit name=, and a class "
+        "that stores a thread on self must join it somewhere"
+    )
+    scope = ()
+
+    def check(self, source: SourceFile) -> List[Finding]:
+        findings: List[Finding] = []
+        thread_classes = {
+            node for node in ast.walk(source.tree) if isinstance(node, ast.ClassDef)
+        }
+        # REPRO601: anonymous Thread constructions
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if _is_thread_call(node) and not _has_keyword(node, "name"):
+                findings.append(
+                    self.finding(
+                        source,
+                        node,
+                        THREAD_NAME_CODE,
+                        "threading.Thread(...) without an explicit name=; "
+                        "anonymous Thread-N names make stack dumps "
+                        "unattributable",
+                    )
+                )
+        for klass in thread_classes:
+            if not _is_thread_subclass(klass):
+                continue
+            for node in ast.walk(klass):
+                if (
+                    isinstance(node, ast.Call)
+                    and _is_super_init(node)
+                    and not _has_keyword(node, "name")
+                ):
+                    findings.append(
+                        self.finding(
+                            source,
+                            node,
+                            THREAD_NAME_CODE,
+                            f"{klass.name} is a Thread subclass; "
+                            "super().__init__ must pass an explicit name=",
+                        )
+                    )
+        # REPRO602: threads stored on self must be joined in the class
+        for klass in thread_classes:
+            assignments: Dict[str, ast.Assign] = {}
+            joined: Set[str] = set()
+            for node in ast.walk(klass):
+                if isinstance(node, ast.Assign) and isinstance(
+                    node.value, ast.Call
+                ) and _is_thread_call(node.value):
+                    for target in node.targets:
+                        field = _self_attr(target)
+                        if field is not None:
+                            assignments.setdefault(field, node)
+                if isinstance(node, ast.Call):
+                    func = node.func
+                    if (
+                        isinstance(func, ast.Attribute)
+                        and func.attr == "join"
+                        and _self_attr(func.value) is not None
+                    ):
+                        joined.add(func.value.attr)  # type: ignore[union-attr]
+            for field, node in assignments.items():
+                if field not in joined:
+                    findings.append(
+                        self.finding(
+                            source,
+                            node,
+                            THREAD_JOIN_CODE,
+                            f"{klass.name} stores a thread on self.{field} "
+                            f"but never joins it; close()/stop() must reap "
+                            "what start() spawned",
+                        )
+                    )
+        return findings

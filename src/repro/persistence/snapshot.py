@@ -225,9 +225,15 @@ def take_snapshot(algo: Union[DynELM, DynStrClu]) -> StateSnapshot:
 
 
 def save_snapshot(algo: Union[DynELM, DynStrClu], path: Union[str, Path]) -> StateSnapshot:
-    """Take a snapshot of ``algo`` and write it to ``path`` as JSON."""
+    """Take a snapshot of ``algo`` and write it to ``path`` as JSON.
+
+    Written through :func:`write_durable`: a crash mid-save must leave
+    the previous snapshot intact, never a torn document that bricks the
+    next recovery's parse (regression: this used to be a bare
+    ``write_text``, which truncates before it writes).
+    """
     snapshot = take_snapshot(algo)
-    Path(path).write_text(snapshot.to_json(indent=2), encoding="utf-8")
+    write_durable(path, snapshot.to_json(indent=2))
     return snapshot
 
 

@@ -209,15 +209,15 @@ class ServiceClient:
         )
         self.topology_max_age = topology_max_age
         self._lock = threading.Lock()
-        self._connection: Optional[http.client.HTTPConnection] = None
+        self._connection: Optional[http.client.HTTPConnection] = None  # guarded-by: _lock
         # replica-set state: lazily-built per-endpoint sub-clients plus a
         # cached fleet topology (who is primary, how far along each
         # standby is) refreshed at most every topology_max_age seconds
         self._topology_lock = threading.Lock()
-        self._peers: Dict[str, "ServiceClient"] = {}
-        self._fleet: Dict[str, Dict[str, object]] = {}
-        self._primary_endpoint: Optional[str] = None
-        self._topology_at: Optional[float] = None
+        self._peers: Dict[str, "ServiceClient"] = {}  # guarded-by: _topology_lock
+        self._fleet: Dict[str, Dict[str, object]] = {}  # guarded-by: _topology_lock
+        self._primary_endpoint: Optional[str] = None  # guarded-by: _topology_lock
+        self._topology_at: Optional[float] = None  # guarded-by: _topology_lock
 
     def for_tenant(self, tenant: str) -> "ServiceClient":
         """A new client for another tenant on the same server(s)."""

@@ -347,9 +347,9 @@ class ClusteringEngine:
         # WAL-serving route — all read by the writer thread at prune time
         # and written by serving threads, hence the dedicated lock
         self._retention_lock = threading.Lock()
-        self._pins: Dict[int, int] = {}
-        self._pin_seq = 0
-        self._standby_ack: Optional[int] = None
+        self._pins: Dict[int, int] = {}  # guarded-by: _retention_lock
+        self._pin_seq = 0  # guarded-by: _retention_lock
+        self._standby_ack: Optional[int] = None  # guarded-by: _retention_lock
 
         if self.data_dir is not None:
             if self.backend not in SNAPSHOT_CAPABLE_BACKENDS:
@@ -904,6 +904,8 @@ class ClusteringEngine:
             entries = sum(1 for _update in reader)
         if entries < 1:
             return
+        # repro: allow[REPRO301] rotating an already-fsynced WAL into its
+        # retained segment name; the rename *is* the atomic commit here
         os.replace(wal_path, self.data_dir / segment_file_name(base))
         self._prune_segments()
 

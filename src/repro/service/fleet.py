@@ -122,7 +122,7 @@ class DecisionLog:
         limit: int = 1024,
         echo: Optional[Callable[[str], None]] = None,
     ) -> None:
-        self._events: Deque[Dict[str, object]] = deque(maxlen=max(1, limit))
+        self._events: Deque[Dict[str, object]] = deque(maxlen=max(1, limit))  # guarded-by: _lock
         self._path = Path(path) if path is not None else None
         self._echo = echo
         self._lock = threading.Lock()

@@ -200,14 +200,14 @@ class EngineManager:
         self.history_cache_size = history_cache_size
         self._lock = threading.Lock()
         # a slot holds either a live engine or the _RESERVED placeholder
-        self._engines: Dict[str, Union[ClusteringEngine, _Reserved]] = {}
-        self._configs: Dict[str, TenantConfig] = {}
-        self._owned: Dict[str, bool] = {}
+        self._engines: Dict[str, Union[ClusteringEngine, _Reserved]] = {}  # guarded-by: _lock
+        self._configs: Dict[str, TenantConfig] = {}  # guarded-by: _lock
+        self._owned: Dict[str, bool] = {}  # guarded-by: _lock
         # per-tenant standby acks observed on the WAL-serving route:
         # {tenant: {shard: acked position}} — lag telemetry for primaries
-        self._acks: Dict[str, Dict[int, int]] = {}
+        self._acks: Dict[str, Dict[int, int]] = {}  # guarded-by: _lock
         # per-tenant historical (as_of) view stores, created lazily
-        self._stores: Dict[str, HistoricalViewStore] = {}
+        self._stores: Dict[str, HistoricalViewStore] = {}  # guarded-by: _lock
         self._closed = False
         self._close_completed = False
         if create_default:

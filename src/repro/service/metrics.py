@@ -46,7 +46,7 @@ class LatencyHistogram:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._counts: List[int] = [0] * (len(_BUCKET_BOUNDS) + 1)
+        self._counts: List[int] = [0] * (len(_BUCKET_BOUNDS) + 1)  # guarded-by: _lock
         self.count = 0
         self.total = 0.0
         self.max_value = 0.0
@@ -164,11 +164,11 @@ class ServiceMetrics:
         self.view_capture = LatencyHistogram()
         self.counter = OpCounter()
         self._lock = threading.Lock()
-        self._started_at: Optional[float] = None
-        self._flip_count = 0
-        self._flip_total = 0
-        self._flip_max = 0
-        self._flip_last = 0
+        self._started_at: Optional[float] = None  # guarded-by: _lock
+        self._flip_count = 0  # guarded-by: _lock
+        self._flip_total = 0  # guarded-by: _lock
+        self._flip_max = 0  # guarded-by: _lock
+        self._flip_last = 0  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     def start_clock(self) -> None:

@@ -433,17 +433,17 @@ class StandbyEngine:
         self.connectivity_backend = connectivity_backend
         self.poll_interval = poll_interval
         self._lock = threading.RLock()
-        self._closed = False
-        self._promoted = False
-        self._promotion: Optional[Dict[str, object]] = None
-        self._seen_epoch = 0
-        self._reseeds = 0
-        self._reparents = 0
-        self._replayed_logical = 0
+        self._closed = False  # guarded-by: _lock
+        self._promoted = False  # guarded-by: _lock
+        self._promotion: Optional[Dict[str, object]] = None  # guarded-by: _lock
+        self._seen_epoch = 0  # guarded-by: _lock
+        self._reseeds = 0  # guarded-by: _lock
+        self._reparents = 0  # guarded-by: _lock
+        self._replayed_logical = 0  # guarded-by: _lock
         # last acked position per shard of *our own* downstream replicas
         # (chained standbys shipping from us): forwarded upstream so the
         # root primary's retention floor reflects the slowest leaf
-        self._downstream_acks: Dict[int, int] = {}
+        self._downstream_acks: Dict[int, int] = {}  # guarded-by: _lock
 
         if client_factory is None:
             client_factory = self._url_client_factory(replica_of)
@@ -725,7 +725,7 @@ class StandbyEngine:
     def start(self) -> "StandbyEngine":
         """Start the inner engine and (unless promoted) the shippers."""
         self._engine.start()
-        if not self._promoted:
+        if not self.promoted:
             for shipper in self._shippers:
                 if not shipper.is_alive() and not shipper.stopping:
                     shipper.start()
@@ -772,7 +772,8 @@ class StandbyEngine:
     # ------------------------------------------------------------------
     @property
     def promoted(self) -> bool:
-        return self._promoted
+        with self._lock:
+            return self._promoted
 
     def promote(self) -> Dict[str, object]:
         """Fence the old primary, drain the replay queue, flip writable.
@@ -793,9 +794,9 @@ class StandbyEngine:
         standby writable next to it would split the brain.  On abort the
         shippers are restarted and the standby keeps replicating.
         """
-        if self._closed:
-            raise EngineError("standby is closed")
         with self._lock:
+            if self._closed:
+                raise EngineError("standby is closed")
             if self._promoted:
                 return dict(self._promotion or {})
         # stop the shippers *outside* the lock: an in-flight apply_chunk
@@ -996,7 +997,8 @@ class StandbyEngine:
     def applied(self) -> int:
         if self.num_shards == 1:
             return self._engine.applied
-        return self._engine.applied + self._replayed_logical
+        with self._lock:
+            return self._engine.applied + self._replayed_logical
 
     @property
     def queue_depth(self) -> int:
@@ -1036,7 +1038,7 @@ class StandbyEngine:
         return self._engine.cluster_of(v)
 
     def submit(self, update: Update, block: bool = True, timeout: Optional[float] = None) -> None:
-        if not self._promoted:
+        if not self.promoted:
             raise ReadOnlyEngineError(
                 f"tenant {self.tenant!r} is a standby of {self.replica_of}; "
                 "promote it before writing"
@@ -1044,7 +1046,7 @@ class StandbyEngine:
         self._engine.submit(update, block=block, timeout=timeout)
 
     def submit_many(self, updates, block: bool = True, timeout: Optional[float] = None) -> int:
-        if not self._promoted:
+        if not self.promoted:
             raise ReadOnlyEngineError(
                 f"tenant {self.tenant!r} is a standby of {self.replica_of}; "
                 "promote it before writing"
@@ -1098,15 +1100,20 @@ class StandbyEngine:
             if shipper.last_error is not None:
                 row["last_error"] = shipper.last_error
             shards.append(row)
+        with self._lock:
+            promoted = self._promoted
+            seen_epoch = self._seen_epoch
+            reseeds = self._reseeds
+            reparents = self._reparents
         status: Dict[str, object] = {
-            "role": "primary" if self._promoted else "standby",
-            "promoted": self._promoted,
+            "role": "primary" if promoted else "standby",
+            "promoted": promoted,
             "replica_of": self.replica_of,
             "epoch": self._engine.epoch,
-            "primary_epoch": self._seen_epoch,
+            "primary_epoch": seen_epoch,
             "lag": total_lag,
-            "reseeds": self._reseeds,
-            "reparents": self._reparents,
+            "reseeds": reseeds,
+            "reparents": reparents,
             "shards": shards,
         }
         if oldest_applied_at is not None:

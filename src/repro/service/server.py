@@ -233,6 +233,8 @@ class ClusteringServiceServer:
     def port(self) -> int:
         """The bound port (resolves port 0 to the kernel-assigned one)."""
         if self._server is None or not self._server.sockets:
+            # repro: allow[REPRO501] lifecycle error for the embedding
+            # process (server not started), never surfaced to a client
             raise RuntimeError("server is not started")
         return self._server.sockets[0].getsockname()[1]
 
@@ -281,6 +283,9 @@ class ClusteringServiceServer:
                         )
                     )
                 else:
+                    # repro: allow[REPRO401] fast path: _is_blocking_route
+                    # just ruled this a non-blocking read; the executor hop
+                    # would cost more than the dispatch itself
                     status, document, extra_headers = self._dispatch(
                         method, path, body, query
                     )

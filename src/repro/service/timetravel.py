@@ -173,8 +173,8 @@ class HistoricalViewStore:
         self.replay_latency = LatencyHistogram()
         self._lock = threading.Lock()
         self._replay_lock = threading.Lock()
-        self._views: "OrderedDict[Tuple[int, ...], object]" = OrderedDict()
-        self._replayers: Dict[int, _Replayer] = {}
+        self._views: "OrderedDict[Tuple[int, ...], object]" = OrderedDict()  # guarded-by: _lock
+        self._replayers: Dict[int, _Replayer] = {}  # guarded-by: _replay_lock
 
     # ------------------------------------------------------------------
     # engine-shape resolution (per call: survives re-seeds and promotion)
@@ -254,7 +254,7 @@ class HistoricalViewStore:
             metrics.add("timetravel_misses")
             start = time.perf_counter()
             maintainers = [
-                self._replay(target, index, goal)
+                self._replay_locked(target, index, goal)
                 for index, (target, goal) in enumerate(zip(targets, key))
             ]
             view = self._capture(maintainers, key)
@@ -285,8 +285,14 @@ class HistoricalViewStore:
         )
         return merge_shard_views(snapshots, shape.params, shape.num_shards, owner=owner)
 
-    def _replay(self, target: ClusteringEngine, index: int, goal: int) -> object:
-        """A maintainer holding shard ``index``'s state at exactly ``goal``."""
+    def _replay_locked(self, target: ClusteringEngine, index: int, goal: int) -> object:
+        """A maintainer holding shard ``index``'s state at exactly ``goal``.
+
+        Caller holds ``_replay_lock`` (the ``_locked`` suffix is the
+        project convention the guarded-field checker understands): the
+        cached ``_replayers`` are mutated freely here because
+        :meth:`view_at` serialises every replay behind that lock.
+        """
         slot = self._replayers.get(index)
         if slot is not None and slot.position <= goal:
             token = target.pin_wal(slot.position)
@@ -365,7 +371,12 @@ class HistoricalViewStore:
         }
 
     def clear(self) -> None:
-        """Drop every cached view and replayer (tenant delete / close)."""
-        with self._lock:
-            self._views.clear()
-        self._replayers.clear()
+        """Drop every cached view and replayer (tenant delete / close).
+
+        Lock order matches :meth:`view_at` (``_replay_lock`` outside,
+        ``_lock`` inside) so a clear racing a replay cannot deadlock.
+        """
+        with self._replay_lock:
+            with self._lock:
+                self._views.clear()
+            self._replayers.clear()

@@ -1,0 +1,15 @@
+"""Fixture: blocking calls on the event loop (REPRO401 x3)."""
+
+import time
+
+
+class Handler:
+    async def handle(self, request):
+        time.sleep(0.01)  # REPRO401: stalls every connection
+        body = self._dispatch(request)  # REPRO401: dispatch may take locks
+        with open("state.json", encoding="utf-8") as handle:  # REPRO401
+            handle.read()
+        return body
+
+    def _dispatch(self, request):
+        return request

@@ -1,0 +1,16 @@
+"""Fixture: blocking work hops through the executor (0 findings)."""
+
+import asyncio
+
+
+class Handler:
+    async def handle(self, request):
+        loop = asyncio.get_running_loop()
+        # the blocking callable is passed by reference, never called here
+        return await loop.run_in_executor(None, self._dispatch, request)
+
+    async def pause(self):
+        await asyncio.sleep(0.01)
+
+    def _dispatch(self, request):
+        return request

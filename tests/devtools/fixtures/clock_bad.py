@@ -1,0 +1,17 @@
+"""Fixture: wall-clock time in duration arithmetic (REPRO101 x3)."""
+
+import time
+from time import time as now  # REPRO101: hides the clock kind at call sites
+
+
+def elapsed(start):
+    return time.time() - start  # REPRO101: duration math on the wall clock
+
+
+class Poller:
+    def __init__(self):
+        # "deadline" is not a pinned event-timestamp name
+        self.deadline = time.time() + 5.0  # REPRO101
+
+    def tick(self):
+        return now()

@@ -1,0 +1,20 @@
+"""Fixture: monotonic discipline respected (0 findings, 2 pinned allows)."""
+
+import time
+
+
+def elapsed(start):
+    return time.monotonic() - start
+
+
+def latency(start):
+    return time.perf_counter() - start
+
+
+class View:
+    def __init__(self):
+        self.published_at = time.time()  # pinned event-timestamp name
+
+
+def log_event(event):
+    return {"event": event, "ts": time.time()}  # pinned event-timestamp key

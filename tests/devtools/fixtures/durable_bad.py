@@ -1,0 +1,17 @@
+"""Fixture: non-durable state-file writes (REPRO301 x4)."""
+
+import json
+import os
+
+
+def save_state(path, document):
+    with open(path, "w", encoding="utf-8") as handle:  # REPRO301
+        json.dump(document, handle)  # REPRO301
+
+
+def rotate(path):
+    os.rename(path, str(path) + ".old")  # REPRO301
+
+
+def stamp(path, text):
+    path.write_text(text, encoding="utf-8")  # REPRO301

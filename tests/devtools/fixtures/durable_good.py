@@ -1,0 +1,24 @@
+"""Fixture: durable-write discipline respected (0 findings)."""
+
+import os
+
+
+def write_durable(path, text):
+    # the one sanctioned primitive: tmp + fsync + atomic rename
+    tmp = str(path) + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def append_wal(path, record):
+    # append-mode is the WAL's own separately-reviewed discipline
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(record)
+
+
+def read_state(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()

@@ -1,0 +1,8 @@
+"""Fixture: bare builtin exceptions in route handlers (REPRO501 x2)."""
+
+
+class Router:
+    def dispatch(self, route):
+        if route is None:
+            raise ValueError("unknown route")  # REPRO501
+        raise RuntimeError  # REPRO501: bare name, no call

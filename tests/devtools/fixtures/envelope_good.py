@@ -1,0 +1,22 @@
+"""Fixture: structured error families + exempt surfaces (0 findings)."""
+
+
+class BadRequest(Exception):
+    """Project error family: maps to the structured envelope."""
+
+
+class Router:
+    def dispatch(self, route):
+        if route is None:
+            raise BadRequest("unknown route")
+        return route
+
+    async def start(self):
+        # lifecycle surface: errors face the embedding process
+        raise RuntimeError("already started")
+
+
+class BackgroundServer:
+    def port(self):
+        # exempt class: not a route handler
+        raise RuntimeError("server is not started")

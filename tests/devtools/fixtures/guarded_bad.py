@@ -1,0 +1,15 @@
+"""Fixture: guarded fields touched outside their lock (REPRO201 x2)."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0  # guarded-by: _lock
+
+    def increment(self):
+        self._count += 1  # REPRO201: write without the lock
+
+    def peek(self):
+        return self._count  # REPRO201: read without the lock

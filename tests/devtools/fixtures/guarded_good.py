@@ -1,0 +1,24 @@
+"""Fixture: every guarded access holds the lock (0 findings)."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0  # guarded-by: _lock
+        self._count = self._count + 0  # __init__ is single-threaded: exempt
+
+    def increment(self):
+        with self._lock:
+            self._count += 1
+
+    def snapshot(self):
+        with self._lock:
+            return self._count
+
+    def _drain_locked(self):
+        # the *_locked suffix documents "caller holds the lock"
+        value = self._count
+        self._count = 0
+        return value

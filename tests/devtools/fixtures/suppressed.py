@@ -1,0 +1,20 @@
+"""Fixture: violations silenced by inline suppressions (0 findings, 3 suppressed)."""
+
+import os
+
+
+def rotate(path):
+    # repro: allow[REPRO301] fixture: rename of an already-fsynced file
+    os.replace(path, str(path) + ".bak")
+
+
+def stamp(path, text):
+    path.write_text(text)  # repro: allow[*] fixture: allow-all inline
+
+
+def relocate(path):
+    # a multi-line justification: the allow[...] marker sits at the top of
+    # the contiguous comment block directly above the flagged line
+    # repro: allow[REPRO301, REPRO999] fixture: comment-block suppression
+    # (the unknown REPRO999 code is inert — it silences nothing real)
+    os.rename(path, str(path) + ".moved")

@@ -1,0 +1,17 @@
+"""Fixture: anonymous / unreaped threads (REPRO601 x2, REPRO602 x1)."""
+
+import threading
+
+
+class Worker:
+    def __init__(self):
+        # REPRO601 (no name=) and REPRO602 (never joined in the class)
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        pass
+
+
+class Loop(threading.Thread):
+    def __init__(self):
+        super().__init__(daemon=True)  # REPRO601: subclass without name=

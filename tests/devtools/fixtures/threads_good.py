@@ -1,0 +1,21 @@
+"""Fixture: named threads, reaped on close (0 findings)."""
+
+import threading
+
+
+class Worker:
+    def __init__(self):
+        self._thread = threading.Thread(
+            target=self._run, name="fixture-worker", daemon=True
+        )
+
+    def _run(self):
+        pass
+
+    def close(self):
+        self._thread.join()
+
+
+class Loop(threading.Thread):
+    def __init__(self):
+        super().__init__(name="fixture-loop", daemon=True)

@@ -842,7 +842,10 @@ class TestShardedStandby:
                         standby.position(i) >= targets[i] for i in range(3)
                     )
                 )
-                assert standby.applied == engine.applied
+                # positions advance per shard batch while the shipper is
+                # still folding the chunk's logical count in — wait for
+                # the deduped applied counter to converge too
+                assert wait_until(lambda: standby.applied == engine.applied)
                 universe = range(30)
                 assert groups_of(standby, universe) == groups_of(engine, universe)
                 info = standby.promote()

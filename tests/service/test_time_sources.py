@@ -2,70 +2,94 @@
 
 The service layer measures every elapsed time with the monotonic clocks
 (``time.monotonic`` for schedules/deadlines, ``time.perf_counter`` for
-latencies); ``time.time()`` is reserved for *event* timestamps — exactly
-one use, the ``published_at`` field of a view.  A wall-clock step (NTP
-correction, manual clock change) must never distort a latency histogram,
-a flush deadline or a load-generation schedule, so this test audits the
-service modules' sources for ``time.time`` references and pins the one
-legitimate exception.
+latencies); ``time.time()`` is reserved for *event* timestamps — the
+``published_at`` field of a view, the decision log's ``ts``, a shard
+manifest's ``published_at``.  A wall-clock step (NTP correction, manual
+clock change) must never distort a latency histogram, a flush deadline or
+a load-generation schedule.
+
+The audit itself now lives in the devtools static-analysis suite
+(:mod:`repro.devtools.clocks`, code ``REPRO101``) so it runs in CI over
+the whole tree via ``repro check``; this file is a thin wrapper that
+drives the same checker module-by-module, pins the exact set of allowed
+wall-clock sites, and keeps the behavioural ``published_at`` tests.
 """
 
 from __future__ import annotations
 
-import ast
-import inspect
 import time
+from pathlib import Path
 
+import repro.service.client
 import repro.service.engine
+import repro.service.fleet
 import repro.service.loadgen
 import repro.service.manager
 import repro.service.metrics
 import repro.service.replication
 import repro.service.server
+import repro.service.sharding
+import repro.service.timetravel
 import repro.service.views
 from repro.core.config import StrCluParams
 from repro.core.dynstrclu import DynStrClu
+from repro.devtools import MonotonicDisciplineChecker, load_source
+from repro.devtools.clocks import wall_clock_references
 from repro.service.views import ClusteringView
 
 #: Modules that must not reference ``time.time`` at all.
 DURATION_ONLY_MODULES = [
+    repro.service.client,
     repro.service.engine,
-    repro.service.metrics,
     repro.service.loadgen,
     repro.service.manager,
+    repro.service.metrics,
     repro.service.replication,
     repro.service.server,
+    repro.service.timetravel,
 ]
 
+#: Modules allowed exactly N pinned event-timestamp references.
+EVENT_TIMESTAMP_MODULES = {
+    repro.service.views: 1,  # published_at default_factory
+    repro.service.sharding: 1,  # manifest published_at
+    repro.service.fleet: 1,  # decision log {"ts": ...}
+}
 
-def _wall_clock_references(module) -> list:
-    """Line numbers of every ``time.time`` attribute reference in a module."""
-    tree = ast.parse(inspect.getsource(module))
-    return [
-        node.lineno
-        for node in ast.walk(tree)
-        if isinstance(node, ast.Attribute)
-        and node.attr == "time"
-        and isinstance(node.value, ast.Name)
-        and node.value.id == "time"
-    ]
+
+def _check(module):
+    """Run the REPRO101 checker over one module's source file."""
+    source = load_source(Path(module.__file__))
+    findings = MonotonicDisciplineChecker().check(source)
+    return source, findings
 
 
 class TestNoWallClockInDurationMath:
     def test_service_modules_never_touch_wall_clock(self):
         for module in DURATION_ONLY_MODULES:
-            references = _wall_clock_references(module)
-            assert references == [], (
-                f"{module.__name__} references time.time at lines {references}; "
-                "elapsed-time measurement must use time.monotonic/perf_counter"
+            source, findings = _check(module)
+            _, allowed = wall_clock_references(source)
+            lines = [finding.line for finding in findings]
+            assert findings == [] and allowed == [], (
+                f"{module.__name__} references time.time at lines "
+                f"{lines or [n.lineno for n in allowed]}; elapsed-time "
+                "measurement must use time.monotonic/perf_counter"
             )
 
-    def test_views_use_wall_clock_only_for_published_at(self):
-        references = _wall_clock_references(repro.service.views)
-        assert len(references) == 1, (
-            "views.py should reference time.time exactly once "
-            f"(the published_at default), found lines {references}"
-        )
+    def test_event_timestamp_modules_stay_pinned(self):
+        for module, expected in EVENT_TIMESTAMP_MODULES.items():
+            source, findings = _check(module)
+            _, allowed = wall_clock_references(source)
+            assert findings == [], (
+                f"{module.__name__} has unallowed time.time references at "
+                f"lines {[finding.line for finding in findings]}"
+            )
+            assert len(allowed) == expected, (
+                f"{module.__name__} should carry exactly {expected} pinned "
+                "event-timestamp reference(s), found lines "
+                f"{[n.lineno for n in allowed]} — extending the allowlist "
+                "is a deliberate act: update this pin alongside the code"
+            )
 
 
 class TestPublishedAtStaysWallClock:
