@@ -31,12 +31,20 @@ Subcommands
 ``loadgen``
     Generate open-loop insert/delete/query traffic against a running service
     (or in-process engines) and print the throughput/latency report;
-    repeat ``--tenant`` for a multi-tenant mix with disjoint vertex spaces.
+    repeat ``--tenant`` for a multi-tenant mix with disjoint vertex spaces,
+    and add ``--trace`` to send a fresh ``X-Repro-Trace`` id per ingest
+    batch so every batch's pipeline is recorded server-side.
+``trace``
+    Fetch recent spans from a running service's ``/v1/debug/traces``
+    route — all recent spans, or one trace end-to-end with
+    ``--trace-id`` (HTTP dispatch → router → per-shard apply → standby
+    replay).
 ``check``
     Run the project-invariant static-analysis suite (monotonic-clock
     discipline, guarded fields, durable writes, asyncio hygiene,
-    structured errors, thread hygiene) over the package source — or over
-    explicit paths; exits non-zero on any unsuppressed finding.
+    structured errors, thread hygiene, span hygiene) over the package
+    source — or over explicit paths; exits non-zero on any unsuppressed
+    finding.
 
 ``repro --version`` prints the library version.  Unknown subcommands exit
 with status 2 and a usage message (argparse's standard behaviour, locked in
@@ -196,6 +204,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--dataset",
         help="optionally preload a registry dataset into the default tenant",
     )
+    serve.add_argument(
+        "--trace-log",
+        metavar="PATH",
+        help="mirror every completed trace span to this JSONL file "
+        "(the in-memory span ring serves GET /v1/debug/traces either way)",
+    )
 
     promote = sub.add_parser(
         "promote",
@@ -332,7 +346,39 @@ def _build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--epsilon", type=float, default=0.5)
     loadgen.add_argument("--mu", type=int, default=3)
     loadgen.add_argument("--rho", type=float, default=0.01)
+    loadgen.add_argument(
+        "--trace",
+        action="store_true",
+        help="send a fresh X-Repro-Trace id with every ingest batch so the "
+        "server records each batch's full pipeline (HTTP mode only; "
+        "inspect with 'repro trace' or GET /v1/debug/traces)",
+    )
     loadgen.add_argument("--json", dest="json_out", help="also write the report to this file")
+
+    trace = sub.add_parser(
+        "trace",
+        help="fetch recent spans from a running service "
+        "(GET /v1/debug/traces; --trace-id follows one request end-to-end)",
+    )
+    trace.add_argument("--host", default="127.0.0.1")
+    trace.add_argument("--port", type=int, default=8321)
+    trace.add_argument(
+        "--trace-id",
+        dest="trace_id",
+        help="show only this trace's spans (an X-Repro-Trace value)",
+    )
+    trace.add_argument(
+        "--limit",
+        type=int,
+        default=100,
+        help="most recent spans to fetch (default: 100)",
+    )
+    trace.add_argument(
+        "--json",
+        dest="json_out",
+        action="store_true",
+        help="print the raw span documents as JSON instead of the table",
+    )
 
     check = sub.add_parser(
         "check",
@@ -430,6 +476,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         make_engine,
     )
 
+    if args.trace_log:
+        from repro.service import configure_tracer
+
+        configure_tracer(jsonl_path=Path(args.trace_log))
     try:
         params = StrCluParams(
             epsilon=args.epsilon,
@@ -658,6 +708,13 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     )
     from repro.workloads.updates import generate_update_sequence
 
+    if args.trace and args.in_process:
+        print(
+            "repro loadgen: --trace needs the HTTP path (the X-Repro-Trace "
+            "header); it cannot be combined with --in-process",
+            file=sys.stderr,
+        )
+        return 2
     # dedup while preserving order: a repeated --tenant must not double-count
     tenants = list(dict.fromkeys(args.tenants)) if args.tenants else ["default"]
     try:
@@ -728,7 +785,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                     print(f"repro loadgen: creating tenant {tenant!r}: {exc}",
                           file=sys.stderr)
                     return 2
-            targets[tenant] = ClientTarget(client)
+            targets[tenant] = ClientTarget(client, trace=args.trace)
         clients.append(probe)
 
     try:
@@ -784,6 +841,48 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     return 0 if not errors else 1
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.host, args.port)
+    try:
+        document = client.debug_traces(trace_id=args.trace_id, limit=args.limit)
+    except (OSError, ServiceError) as exc:
+        print(f"repro trace: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        client.close()
+    spans = document.get("spans", [])
+    if args.json_out:
+        print(json.dumps(spans, indent=2, default=str))
+        return 0
+    if not spans:
+        scope = f"trace {args.trace_id!r}" if args.trace_id else "the span ring"
+        print(f"no spans in {scope} (ring capacity "
+              f"{document.get('capacity')}, dropped {document.get('dropped')})")
+        return 0
+    rows = []
+    for span in spans:
+        attrs = span.get("attrs") or {}
+        rows.append(
+            {
+                "trace": span.get("trace_id"),
+                "span": span.get("span_id"),
+                "parent": span.get("parent_id") or "-",
+                "name": span.get("name"),
+                "ms": round(float(span.get("duration_s", 0.0)) * 1e3, 3),
+                "thread": span.get("thread"),
+                "attrs": ",".join(f"{k}={v}" for k, v in sorted(attrs.items())),
+            }
+        )
+    title = (
+        f"trace {args.trace_id}" if args.trace_id
+        else f"last {len(rows)} spans"
+    )
+    print(format_table(rows, title=title))
+    return 0
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -828,6 +927,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_query(args)
     if args.command == "loadgen":
         return _cmd_loadgen(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "check":
         return _cmd_check(args)
     parser.error(f"unknown command {args.command!r}")

@@ -20,6 +20,7 @@ REPRO401   async-blocking   blocking call on the asyncio loop in ``server.py``
 REPRO501   error-envelope   bare builtin exception raised in a route handler
 REPRO601   thread-hygiene   ``threading.Thread`` without an explicit ``name=``
 REPRO602   thread-hygiene   thread stored on ``self`` but never joined
+REPRO701   span-hygiene     tracer ``span()`` opened outside a ``with``
 ========== ================ ==================================================
 """
 
@@ -41,6 +42,7 @@ from repro.devtools.core import (
 )
 from repro.devtools.durability import DurableWriteChecker
 from repro.devtools.locking import GuardedFieldChecker, ThreadHygieneChecker
+from repro.devtools.spans import SpanHygieneChecker
 
 __all__ = [
     "Checker",
@@ -58,6 +60,7 @@ __all__ = [
     "AsyncBlockingChecker",
     "ErrorEnvelopeChecker",
     "ThreadHygieneChecker",
+    "SpanHygieneChecker",
 ]
 
 
@@ -70,4 +73,5 @@ def all_checkers() -> List[Checker]:
         AsyncBlockingChecker(),
         ErrorEnvelopeChecker(),
         ThreadHygieneChecker(),
+        SpanHygieneChecker(),
     ]

@@ -1,0 +1,70 @@
+"""REPRO701 — span hygiene for the tracing layer.
+
+``Tracer.span`` is a context manager: the span's duration is measured and
+the record pushed into the ring in ``__exit__``, so a span opened any
+other way (``span(...).__enter__()``, stashing the generator, calling it
+for side effects) is silently never recorded — or worse, leaks an
+unfinished span past an exception.  Every ``span(...)`` call in
+``repro.service`` must therefore appear as the context expression of a
+``with`` statement:
+
+    with get_tracer().span("router.route", ...) as context:
+        ...
+
+Anything else — assigning the call, passing it to a function, entering it
+through ``ExitStack`` — is a finding.  Code that genuinely needs dynamic
+span lifetimes should restructure into contiguous ``with`` blocks (the
+way ``StandbyReplica.apply_chunk`` groups same-trace runs) rather than
+hand-managing ``__enter__``/``__exit__`` pairs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.devtools.core import Checker, Finding, SourceFile
+
+CODE = "REPRO701"
+
+
+def _is_span_call(node: ast.AST) -> bool:
+    """True for any call spelled ``span(...)`` / ``<expr>.span(...)``."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id == "span"
+    if isinstance(func, ast.Attribute):
+        return func.attr == "span"
+    return False
+
+
+class SpanHygieneChecker(Checker):
+    name = "span-hygiene"
+    codes = (CODE,)
+    description = (
+        "tracer span() calls in repro.service must be the context "
+        "expression of a with statement so __exit__ always records them"
+    )
+    scope = ("/repro/service/",)
+
+    def check(self, source: SourceFile) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(source.tree):
+            if not _is_span_call(node):
+                continue
+            parent = source.parents.get(node)
+            if isinstance(parent, ast.withitem) and parent.context_expr is node:
+                continue
+            findings.append(
+                self.finding(
+                    source,
+                    node,
+                    CODE,
+                    "span() opened outside a with statement; use "
+                    "'with tracer.span(...) as context:' so the span is "
+                    "closed (and recorded) on every exit path",
+                )
+            )
+        return findings

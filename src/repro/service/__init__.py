@@ -49,6 +49,10 @@ hosts many isolated tenants behind one versioned HTTP surface:
   ``default`` tenant for one release) and its matching client;
 * :mod:`repro.service.metrics` — ingest/query latency histograms and
   throughput counters, mergeable across tenants;
+* :mod:`repro.service.obs` — end-to-end tracing (``X-Repro-Trace``
+  propagation from client through router, shard apply and standby
+  replay), Prometheus text-format exposition for ``GET /metrics``, and a
+  sampling profiler behind ``/v1/debug/profile``;
 * :mod:`repro.service.loadgen` — an open-loop insert/delete/query load
   generator over :mod:`repro.workloads.updates` streams, including
   multi-tenant mixes with disjoint per-tenant vertex spaces.
@@ -98,6 +102,18 @@ from repro.service.replication import (
     WalShipper,
 )
 from repro.service.metrics import LatencyHistogram, ServiceMetrics
+from repro.service.obs import (
+    SpanContext,
+    Tracer,
+    configure_tracer,
+    decision_events,
+    get_tracer,
+    new_trace_id,
+    parse_prometheus_text,
+    register_decision_log,
+    render_metrics,
+    sample_stacks,
+)
 from repro.service.server import BackgroundServer, ClusteringServiceServer
 from repro.service.sharding import (
     ShardedEngine,
@@ -152,6 +168,16 @@ __all__ = [
     "BackpressureError",
     "ServiceMetrics",
     "LatencyHistogram",
+    "Tracer",
+    "SpanContext",
+    "configure_tracer",
+    "get_tracer",
+    "new_trace_id",
+    "render_metrics",
+    "parse_prometheus_text",
+    "sample_stacks",
+    "decision_events",
+    "register_decision_log",
     "LoadGenerator",
     "LoadGenConfig",
     "LoadReport",

@@ -240,10 +240,16 @@ class ServiceClient:
     # transport
     # ------------------------------------------------------------------
     def _request(
-        self, method: str, path: str, payload: Optional[object] = None
+        self,
+        method: str,
+        path: str,
+        payload: Optional[object] = None,
+        extra_headers: Optional[Dict[str, str]] = None,
     ) -> Tuple[int, object, Dict[str, str]]:
         body = None if payload is None else json.dumps(payload).encode("utf-8")
         headers = {"Content-Type": "application/json"} if body is not None else {}
+        if extra_headers:
+            headers.update(extra_headers)
         with self._lock:
             for attempt in (0, 1):
                 if self._connection is None:
@@ -270,8 +276,14 @@ class ServiceClient:
         }
         return response.status, document, response_headers
 
-    def _expect_ok(self, method: str, path: str, payload: Optional[object] = None) -> object:
-        status, document, headers = self._request(method, path, payload)
+    def _expect_ok(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[object] = None,
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> object:
+        status, document, headers = self._request(method, path, payload, extra_headers)
         if status == 429:
             # on the v1 surface 429 is the only backpressure status; a 503
             # means the engine itself is unavailable and must surface as a
@@ -417,10 +429,16 @@ class ServiceClient:
         raise last_error
 
     def _routed_write(
-        self, method: str, suffix: str, payload: Optional[object] = None
+        self,
+        method: str,
+        suffix: str,
+        payload: Optional[object] = None,
+        extra_headers: Optional[Dict[str, str]] = None,
     ) -> object:
         if self.endpoints is None:
-            return self._expect_ok(method, self._tenant_path(suffix), payload)
+            return self._expect_ok(
+                method, self._tenant_path(suffix), payload, extra_headers
+            )
         last_error: Optional[Exception] = None
         for attempt in range(4):
             if attempt:
@@ -430,7 +448,9 @@ class ServiceClient:
             self._refresh_topology(force=attempt > 0)
             peer = self._select_writer()
             try:
-                return peer._expect_ok(method, peer._tenant_path(suffix), payload)
+                return peer._expect_ok(
+                    method, peer._tenant_path(suffix), payload, extra_headers
+                )
             except BackpressureError:
                 raise
             except ServiceError as exc:
@@ -454,6 +474,53 @@ class ServiceClient:
     def healthz(self) -> Dict[str, object]:
         """Liveness document: status, library version, tenant aggregate."""
         return self._expect_ok("GET", "/v1/healthz")  # type: ignore[return-value]
+
+    def metrics_text(self) -> str:
+        """The raw ``/metrics`` Prometheus text exposition (version 0.0.4)."""
+        status, document, headers = self._request("GET", "/metrics")
+        if not 200 <= status < 300:
+            raise ServiceError(status, document, headers)
+        if not isinstance(document, str):
+            raise ServiceError(
+                status, {"error": "non-text /metrics payload"}, headers
+            )
+        return document
+
+    def debug_traces(
+        self, trace_id: Optional[str] = None, limit: Optional[int] = None
+    ) -> Dict[str, object]:
+        """Recent completed spans (optionally one trace's, last ``limit``)."""
+        params = []
+        if trace_id is not None:
+            params.append(f"trace_id={quote(trace_id, safe='')}")
+        if limit is not None:
+            params.append(f"limit={int(limit)}")
+        path = "/v1/debug/traces"
+        if params:
+            path += "?" + "&".join(params)
+        return self._expect_ok("GET", path)  # type: ignore[return-value]
+
+    def debug_decisions(self, limit: Optional[int] = None) -> Dict[str, object]:
+        """The fleet decision log's most recent events over HTTP."""
+        path = "/v1/debug/decisions"
+        if limit is not None:
+            path += f"?limit={int(limit)}"
+        return self._expect_ok("GET", path)  # type: ignore[return-value]
+
+    def debug_profile(
+        self, seconds: float = 1.0, interval: Optional[float] = None
+    ) -> Dict[str, object]:
+        """Sample the server's thread stacks for ``seconds``.
+
+        Returns flamegraph-ready collapsed stacks (``"frame;frame 12"``
+        lines under ``"stacks"``).  The server clamps the window, but the
+        client timeout must out-wait it — pass a generous ``timeout`` to
+        the constructor for long profiles.
+        """
+        path = f"/v1/debug/profile?seconds={float(seconds)}"
+        if interval is not None:
+            path += f"&interval={float(interval)}"
+        return self._expect_ok("GET", path)  # type: ignore[return-value]
 
     def list_tenants(self) -> List[Dict[str, object]]:
         """Headline documents for every hosted tenant."""
@@ -655,7 +722,10 @@ class ServiceClient:
         )
 
     def submit_updates(
-        self, updates: Sequence[Update], max_retries: int = 0
+        self,
+        updates: Sequence[Update],
+        max_retries: int = 0,
+        trace_id: Optional[str] = None,
     ) -> int:
         """Submit a batch of updates; returns the total accepted count.
 
@@ -668,14 +738,22 @@ class ServiceClient:
         to ``max_retries`` times; the final :class:`BackpressureError` (if
         any) carries the last attempt's context plus ``total_accepted``,
         the cumulative count the server applied across every attempt.
+
+        ``trace_id`` is sent as the ``X-Repro-Trace`` header: the server
+        samples the request, tags every accepted update with the id, and
+        the trace is queryable end-to-end (router → shard apply → standby
+        replay) via :meth:`debug_traces`.
         """
+        headers = {"X-Repro-Trace": trace_id} if trace_id is not None else None
         remaining = list(updates)
         total_accepted = 0
         retries = 0
         while True:
             payload = {"updates": [encode_update(u) for u in remaining]}
             try:
-                document = self._routed_write("POST", "/updates", payload)
+                document = self._routed_write(
+                    "POST", "/updates", payload, extra_headers=headers
+                )
                 return total_accepted + int(document["accepted"])  # type: ignore[index]
             except BackpressureError as exc:
                 total_accepted += exc.accepted

@@ -43,11 +43,13 @@ rotation, and after both — resolve correctly under that arithmetic.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import queue
 import threading
 import time
 import warnings
+from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
@@ -78,7 +80,21 @@ from repro.persistence.updatelog import (
 )
 from repro.graph.dynamic_graph import Vertex
 from repro.service.metrics import ServiceMetrics
+from repro.service.obs import (
+    SpanContext,
+    enqueued_at,
+    get_tracer,
+    stamp_enqueue,
+    tag_update,
+    update_context,
+)
 from repro.service.views import ClusteringView
+
+#: Slow-batch diagnostics (threshold-gated; see EngineConfig.slow_batch_seconds).
+_LOG = logging.getLogger("repro.service.engine")
+
+#: Recently applied traced positions retained per engine for WAL serving.
+_TRACE_POSITIONS_CAPACITY = 4096
 
 #: File names inside an engine's data directory.
 SNAPSHOT_FILE = "snapshot.json"
@@ -271,6 +287,11 @@ class EngineConfig:
         than the retained suffix catches up by tailing; one that lags past
         it falls back to a snapshot re-seed).  ``0`` restores the
         pre-replication behaviour of discarding the outgoing segment.
+    slow_batch_seconds:
+        Log (WARNING) any micro-batch whose end-to-end application took at
+        least this long, with the per-stage decomposition (queue wait, WAL
+        append, backend apply, view publish) so the slow stage is named in
+        the log line.  ``0`` disables the slow-batch log.
     """
 
     batch_size: int = 64
@@ -282,6 +303,7 @@ class EngineConfig:
     view_rebuild_fraction: float = 0.5
     shards: int = 1
     wal_retain_segments: int = 2
+    slow_batch_seconds: float = 1.0
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
@@ -298,6 +320,8 @@ class EngineConfig:
             raise ValueError(f"shards must be in [1, {MAX_SHARDS}]")
         if self.wal_retain_segments < 0:
             raise ValueError("wal_retain_segments must be >= 0")
+        if self.slow_batch_seconds < 0.0:
+            raise ValueError("slow_batch_seconds must be >= 0")
 
 
 class ClusteringEngine:
@@ -350,6 +374,11 @@ class ClusteringEngine:
         self._pins: Dict[int, int] = {}  # guarded-by: _retention_lock
         self._pin_seq = 0  # guarded-by: _retention_lock
         self._standby_ack: Optional[int] = None  # guarded-by: _retention_lock
+        # stream position → trace id of recently applied *traced* updates,
+        # written by the writer thread and read by the WAL-serving route —
+        # the map a standby uses to re-attach trace context on replay
+        self._trace_lock = threading.Lock()
+        self._trace_positions: "OrderedDict[int, str]" = OrderedDict()  # guarded-by: _trace_lock
 
         if self.data_dir is not None:
             if self.backend not in SNAPSHOT_CAPABLE_BACKENDS:
@@ -543,6 +572,10 @@ class ClusteringEngine:
             )
         self._raise_writer_failure()
         update = canonicalise_update(update)
+        # trace context rides with the update (ambient span, if sampled);
+        # the admission stamp feeds the queue_wait stage histogram
+        tag_update(update)
+        stamp_enqueue(update)
         try:
             self._queue.put(update, block=block, timeout=timeout)
         except queue.Full:
@@ -703,25 +736,73 @@ class ClusteringEngine:
                 deadline = time.monotonic() + config.flush_interval
         return batch, flushes, False
 
+    #: Span name of one traced update application; the sharded composition
+    #: overrides this so router/shard hops are distinguishable in a trace.
+    _APPLY_SPAN_NAME = "engine.apply"
+
     def _apply_batch(self, batch: List[Update]) -> None:
         start = time.perf_counter()
         applied = 0
+        queued_at: Optional[float] = None
+        # stage accumulators (mutated by _apply_one): wal_append, backend_apply
+        stages = [0.0, 0.0]
+        tracer = get_tracer()
         for update in batch:
+            stamp = enqueued_at(update)
+            if stamp is not None and (queued_at is None or stamp < queued_at):
+                queued_at = stamp
             if not self._applicable(update):
                 self.metrics.add("updates_rejected")
                 continue
-            # WAL-before-apply: an accepted update is on disk before it
-            # mutates the maintainer, so recovery can always finish it
-            if self._wal is not None:
-                self._wal.append(update)
-            self.maintainer.apply(update)
+            context = update_context(update)
+            if context is None:
+                self._apply_one(update, stages)
+            else:
+                position = self.applied + applied
+                with tracer.span(
+                    self._APPLY_SPAN_NAME,
+                    trace_id=context.trace_id,
+                    parent_id=context.span_id,
+                    shard=getattr(self, "shard_index", 0),
+                    position=position,
+                    op=update.kind.value,
+                ):
+                    self._apply_one(update, stages)
+                self._note_trace(position, context)
             applied += 1
         if self._wal is not None and self.config.fsync_each_batch:
+            sync_start = time.perf_counter()
             self._wal.sync()
+            stages[0] += time.perf_counter() - sync_start
         self.applied += applied
+        publish_elapsed = 0.0
         if applied:
+            publish_start = time.perf_counter()
             self._publish_view()
-        self.metrics.observe_batch(applied, time.perf_counter() - start)
+            publish_elapsed = time.perf_counter() - publish_start
+        elapsed = time.perf_counter() - start
+        self.metrics.observe_batch(applied, elapsed)
+        queue_wait = max(0.0, start - queued_at) if queued_at is not None else 0.0
+        if queued_at is not None:
+            self.metrics.observe_stage("queue_wait", queue_wait)
+        self.metrics.observe_stage("wal_append", stages[0])
+        self.metrics.observe_stage("backend_apply", stages[1])
+        self.metrics.observe_stage("view_publish", publish_elapsed)
+        threshold = self.config.slow_batch_seconds
+        if threshold > 0.0 and elapsed >= threshold:
+            self.metrics.add("slow_batches")
+            _LOG.warning(
+                "slow ingest batch: %d update(s) in %.3fs "
+                "(queue_wait=%.3fs wal_append=%.3fs backend_apply=%.3fs "
+                "view_publish=%.3fs, shard=%s)",
+                applied,
+                elapsed,
+                queue_wait,
+                stages[0],
+                stages[1],
+                publish_elapsed,
+                getattr(self, "shard_index", 0),
+            )
         if (
             self.config.checkpoint_every
             and self.data_dir is not None
@@ -729,6 +810,46 @@ class ClusteringEngine:
         ):
             self._checkpoint()
             self.metrics.add("checkpoints")
+
+    def _apply_one(self, update: Update, stages: List[float]) -> None:
+        """Append + apply one accepted update, accumulating stage time.
+
+        ``stages`` is the batch's two mutable accumulators:
+        ``[wal_append, backend_apply]`` elapsed seconds.
+        """
+        # WAL-before-apply: an accepted update is on disk before it
+        # mutates the maintainer, so recovery can always finish it
+        if self._wal is not None:
+            wal_start = time.perf_counter()
+            self._wal.append(update)
+            stages[0] += time.perf_counter() - wal_start
+        apply_start = time.perf_counter()
+        self.maintainer.apply(update)
+        stages[1] += time.perf_counter() - apply_start
+
+    # ------------------------------------------------------------------
+    # trace propagation (writer thread writes, WAL-serving threads read)
+    # ------------------------------------------------------------------
+    def _note_trace(self, position: int, context: SpanContext) -> None:
+        with self._trace_lock:
+            self._trace_positions[position] = context.trace_id
+            while len(self._trace_positions) > _TRACE_POSITIONS_CAPACITY:
+                self._trace_positions.popitem(last=False)
+
+    def trace_ids(self, start: int, count: int) -> Dict[int, str]:
+        """Trace ids of stream positions ``[start, start + count)``.
+
+        Served next to the WAL records so a standby can re-attach trace
+        context on replay; empty when nothing in the range was traced.
+        """
+        if count <= 0:
+            return {}
+        with self._trace_lock:
+            return {
+                position: trace_id
+                for position, trace_id in self._trace_positions.items()
+                if start <= position < start + count
+            }
 
     def _publish_view(self) -> None:
         """Publish view N+1 (writer thread only): patch when possible.

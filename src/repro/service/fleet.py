@@ -50,6 +50,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
+from repro.service.obs import register_decision_log
+
 __all__ = [
     "FleetError",
     "WatchdogConfig",
@@ -126,6 +128,9 @@ class DecisionLog:
         self._path = Path(path) if path is not None else None
         self._echo = echo
         self._lock = threading.Lock()
+        # surfaces this log on GET /v1/debug/decisions (weakly held —
+        # registration never extends the log's lifetime)
+        register_decision_log(self)
 
     def record(self, event: str, **fields: object) -> Dict[str, object]:
         entry: Dict[str, object] = {"event": event, "ts": time.time()}

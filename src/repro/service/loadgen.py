@@ -35,6 +35,7 @@ from repro.graph.dynamic_graph import Vertex
 from repro.service.client import BackpressureError, ServiceClient
 from repro.service.engine import ClusteringEngine, EngineBackpressure
 from repro.service.metrics import ServiceMetrics
+from repro.service.obs import new_trace_id
 from repro.service.sharding import AnyEngine
 
 
@@ -67,13 +68,21 @@ class EngineTarget:
 
 @dataclass
 class ClientTarget:
-    """Drive a remote server through :class:`ServiceClient`."""
+    """Drive a remote server through :class:`ServiceClient`.
+
+    With ``trace=True`` every ingest batch carries a fresh
+    ``X-Repro-Trace`` id, so the server records its full pipeline
+    (router → shard apply → standby replay) for later inspection via
+    ``/v1/debug/traces`` — the loadgen doubles as a trace generator.
+    """
 
     client: ServiceClient
+    trace: bool = False
 
     def submit_updates(self, updates: Sequence[Update]) -> int:
+        trace_id = new_trace_id() if self.trace else None
         try:
-            return self.client.submit_updates(updates)
+            return self.client.submit_updates(updates, trace_id=trace_id)
         except BackpressureError as exc:
             return exc.accepted
 

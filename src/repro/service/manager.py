@@ -30,6 +30,7 @@ from repro.core.api import SNAPSHOT_CAPABLE_BACKENDS, available_backends
 from repro.core.config import StrCluParams
 from repro.service.engine import ClusteringEngine, EngineConfig
 from repro.service.metrics import ServiceMetrics
+from repro.service.obs import get_tracer
 from repro.service.replication import StandbyEngine
 from repro.service.sharding import AnyEngine, ShardedEngine, make_engine
 from repro.service.timetravel import DEFAULT_HISTORY_CACHE_SIZE, HistoricalViewStore
@@ -283,6 +284,33 @@ class EngineManager:
         ``ValueError`` for a bad name, backend, shard count or parameter
         bundle.
         """
+        with get_tracer().span(
+            "manager.create_tenant",
+            tenant=name,
+            standby=replica_of is not None,
+        ):
+            return self._create(
+                name,
+                params=params,
+                backend=backend,
+                engine_config=engine_config,
+                queue_capacity=queue_capacity,
+                durable=durable,
+                shards=shards,
+                replica_of=replica_of,
+            )
+
+    def _create(
+        self,
+        name: str,
+        params: Optional[StrCluParams] = None,
+        backend: Optional[str] = None,
+        engine_config: Optional[EngineConfig] = None,
+        queue_capacity: Optional[int] = None,
+        durable: bool = True,
+        shards: Optional[int] = None,
+        replica_of: Optional[str] = None,
+    ) -> AnyEngine:
         config = engine_config if engine_config is not None else self.default_engine_config
         if queue_capacity is not None:
             config = replace(config, queue_capacity=queue_capacity)
@@ -427,6 +455,10 @@ class EngineManager:
         fully registered — never a half-deleted ghost whose engine still
         runs.  A retry re-attempts the close (closing twice is a no-op).
         """
+        with get_tracer().span("manager.delete_tenant", tenant=name):
+            self._delete(name, checkpoint)
+
+    def _delete(self, name: str, checkpoint: bool) -> None:
         with self._lock:
             engine = self._engines.get(name)
             if engine is None:
@@ -475,7 +507,8 @@ class EngineManager:
                 f"tenant {name!r} is not a standby; only replica_of tenants "
                 "can be promoted"
             )
-        return engine.promote()
+        with get_tracer().span("manager.promote_tenant", tenant=name):
+            return engine.promote()
 
     def reparent(self, name: str, replica_of: str) -> Dict[str, object]:
         """Re-point a standby tenant at a new upstream primary.
@@ -491,7 +524,10 @@ class EngineManager:
                 f"tenant {name!r} is not an un-promoted standby; only "
                 "replicating tenants can be re-parented"
             )
-        return engine.reparent(replica_of)
+        with get_tracer().span(
+            "manager.reparent_tenant", tenant=name, replica_of=replica_of
+        ):
+            return engine.reparent(replica_of)
 
     def topology(self, name: str) -> Dict[str, object]:
         """One tenant's replication-topology document.

@@ -20,7 +20,7 @@ from __future__ import annotations
 import threading
 import time
 from bisect import bisect_left
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.instrumentation import OpCounter
 
@@ -30,6 +30,18 @@ _BUCKET_BOUNDS: Sequence[float] = tuple(1e-6 * (2.0 ** k) for k in range(28))
 #: Where non-finite / absurd samples are clamped: safely inside the overflow
 #: bucket, and finite — so no inf can propagate into percentiles or JSON.
 _OVERFLOW_CLAMP: float = 2.0 * _BUCKET_BOUNDS[-1]
+
+#: The ingest pipeline stages, in data-path order: time spent queued
+#: before the writer picked the batch up, appending to the WAL, applying
+#: to the clustering backend, and publishing the refreshed view.  Each
+#: stage gets its own histogram in :class:`ServiceMetrics` (observed once
+#: per batch), decomposing the single ``ingest`` batch latency.
+INGEST_STAGES: Tuple[str, ...] = (
+    "queue_wait",
+    "wal_append",
+    "backend_apply",
+    "view_publish",
+)
 
 
 class LatencyHistogram:
@@ -47,9 +59,9 @@ class LatencyHistogram:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._counts: List[int] = [0] * (len(_BUCKET_BOUNDS) + 1)  # guarded-by: _lock
-        self.count = 0
-        self.total = 0.0
-        self.max_value = 0.0
+        self.count = 0  # guarded-by: _lock
+        self.total = 0.0  # guarded-by: _lock
+        self.max_value = 0.0  # guarded-by: _lock
 
     def observe(self, seconds: float) -> None:
         """Record one latency sample (in seconds); sanitises bad samples."""
@@ -69,7 +81,8 @@ class LatencyHistogram:
 
     @property
     def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
+        with self._lock:
+            return self.total / self.count if self.count else 0.0
 
     def percentile(self, p: float) -> float:
         """Estimate the ``p``-th percentile (``p`` in [0, 100]).
@@ -110,15 +123,38 @@ class LatencyHistogram:
             return self.max_value
 
     def summary(self) -> Dict[str, float]:
-        """JSON-serialisable digest: count, mean, p50/p90/p99, max."""
+        """JSON-serialisable digest: count, mean, p50/p90/p99, max.
+
+        ``count`` / ``mean_s`` / ``max_s`` come from one locked snapshot,
+        so a concurrent ``observe`` can never produce a torn pair (a
+        count that includes a sample whose latency the mean excludes).
+        The percentiles each take the lock again — a sample landing
+        between reads shifts an estimate, which is inherent to serving
+        live percentiles, but every individual figure is self-consistent.
+        """
+        with self._lock:
+            count = self.count
+            total = self.total
+            max_value = self.max_value
         return {
-            "count": self.count,
-            "mean_s": self.mean,
+            "count": count,
+            "mean_s": total / count if count else 0.0,
             "p50_s": self.percentile(50.0),
             "p90_s": self.percentile(90.0),
             "p99_s": self.percentile(99.0),
-            "max_s": self.max_value,
+            "max_s": max_value,
         }
+
+    def bucket_snapshot(self) -> "Tuple[Sequence[float], List[int], int, float]":
+        """One locked snapshot for exporters: bounds, counts, count, total.
+
+        ``counts`` is the raw (non-cumulative) per-bucket tally including
+        the trailing overflow bucket, so ``sum(counts) == count`` holds
+        exactly — the invariant the Prometheus renderer's ``+Inf`` bucket
+        relies on.
+        """
+        with self._lock:
+            return _BUCKET_BOUNDS, list(self._counts), self.count, self.total
 
     def merge(self, other: "LatencyHistogram") -> None:
         """Fold another histogram's samples into this one.
@@ -162,6 +198,9 @@ class ServiceMetrics:
         self.ingest = LatencyHistogram()
         self.query = LatencyHistogram()
         self.view_capture = LatencyHistogram()
+        self.ingest_stages: Dict[str, LatencyHistogram] = {
+            stage: LatencyHistogram() for stage in INGEST_STAGES
+        }
         self.counter = OpCounter()
         self._lock = threading.Lock()
         self._started_at: Optional[float] = None  # guarded-by: _lock
@@ -193,12 +232,21 @@ class ServiceMetrics:
         with self._lock:
             return self.counter.get(name)
 
+    def counters(self) -> Dict[str, int]:
+        """One locked snapshot of every named counter (for exporters)."""
+        with self._lock:
+            return dict(self.counter.snapshot())
+
     # ------------------------------------------------------------------
     def observe_batch(self, num_updates: int, seconds: float) -> None:
         """Record one applied micro-batch."""
         self.ingest.observe(seconds)
         self.add("batches")
         self.add("updates_applied", num_updates)
+
+    def observe_stage(self, stage: str, seconds: float) -> None:
+        """Record one batch's time inside one ingest pipeline stage."""
+        self.ingest_stages[stage].observe(seconds)
 
     def observe_query(self, seconds: float) -> None:
         """Record one read-path request."""
@@ -264,6 +312,10 @@ class ServiceMetrics:
             "updates_per_second": self.updates_per_second(),
             "counters": counters,
             "ingest": self.ingest.summary(),
+            "ingest_stages": {
+                stage: histogram.summary()
+                for stage, histogram in self.ingest_stages.items()
+            },
             "query": self.query.summary(),
             "view_capture": self.view_capture_summary(),
         }
@@ -281,6 +333,8 @@ class ServiceMetrics:
             merged.ingest.merge(metrics.ingest)
             merged.query.merge(metrics.query)
             merged.view_capture.merge(metrics.view_capture)
+            for stage in INGEST_STAGES:
+                merged.ingest_stages[stage].merge(metrics.ingest_stages[stage])
             flips = metrics.flip_set_stats()
             with metrics._lock:
                 counters = metrics.counter.snapshot()

@@ -64,6 +64,7 @@ from repro.service.engine import (
     ReadOnlyEngineError,
 )
 from repro.service.metrics import ServiceMetrics
+from repro.service.obs import attach_context, get_tracer
 from repro.service.sharding import (
     MANIFEST_FILE,
     SHARD_DIR_FORMAT,
@@ -377,7 +378,10 @@ class WalShipper(threading.Thread):
                 continue
             try:
                 updates = _decode_records(records)
-                self.standby.apply_chunk(self.slot, position, updates)
+                traces = _decode_traces(document.get("traces"))
+                self.standby.apply_chunk(
+                    self.slot, position, updates, traces=traces
+                )
             except Exception as exc:
                 # a malformed record, the standby's engine dying, or an
                 # apply racing a re-seed (the old engine is killed under
@@ -394,6 +398,23 @@ def _decode_records(records: List[object]) -> List[Update]:
     from repro.service.server import decode_updates
 
     return decode_updates({"updates": records})
+
+
+def _decode_traces(raw: object) -> Optional[Dict[int, str]]:
+    """Wire trace map ``{"<position>": trace_id, ...}`` → ``{int: str}``.
+
+    Best-effort: a malformed entry (or an old primary that does not ship
+    the field at all) degrades to untraced replay, never to an error.
+    """
+    if not isinstance(raw, dict) or not raw:
+        return None
+    traces: Dict[int, str] = {}
+    for key, value in raw.items():
+        try:
+            traces[int(key)] = str(value)
+        except (TypeError, ValueError):
+            continue
+    return traces or None
 
 
 # ----------------------------------------------------------------------
@@ -649,8 +670,21 @@ class StandbyEngine:
         with self._lock:
             return self._seen_epoch
 
-    def apply_chunk(self, slot: int, start: int, updates: List[Update]) -> bool:
+    def apply_chunk(
+        self,
+        slot: int,
+        start: int,
+        updates: List[Update],
+        traces: Optional[Dict[int, str]] = None,
+    ) -> bool:
         """Apply one fetched chunk; returns false when it raced a re-seed.
+
+        ``traces`` maps absolute stream positions (``start + offset``) to
+        the trace ids the primary recorded for those updates; contiguous
+        runs of the same trace replay under one ``standby.replay`` span,
+        and the replayed updates carry that span's context so the local
+        engine's apply spans — and any chained replica downstream — stay
+        on the original trace.
 
         The chunk is only valid if it still begins exactly at the shard's
         current position — a re-seed (or a competing apply) in between
@@ -676,18 +710,52 @@ class StandbyEngine:
                 return False
             engine = self._engine
         target = engine if self.num_shards == 1 else engine.shards[slot]
+        tracer = get_tracer()
         replayed = 0
-        for update in updates:
-            target.submit(update)
-            if self.num_shards > 1 and engine._owner(update.u) == slot:
-                # logical count: a cross-shard update appears in both
-                # endpoint shards' WALs; count it once, at u's owner
-                replayed += 1
+        index = 0
+        while index < len(updates):
+            trace_id = traces.get(start + index) if traces else None
+            end = index + 1
+            while end < len(updates) and (
+                (traces.get(start + end) if traces else None) == trace_id
+            ):
+                end += 1
+            run = updates[index:end]
+            if trace_id is None:
+                for update in run:
+                    replayed += self._replay_one(engine, target, slot, update)
+            else:
+                with tracer.span(
+                    "standby.replay",
+                    trace_id=trace_id,
+                    slot=slot,
+                    start=start + index,
+                    count=len(run),
+                ) as context:
+                    for update in run:
+                        attach_context(update, context)
+                        replayed += self._replay_one(
+                            engine, target, slot, update
+                        )
+            index = end
         target.flush()
         with self._lock:
             if self._engine is engine:
                 self._replayed_logical += replayed
         return True
+
+    def _replay_one(
+        self, engine: AnyEngine, target: object, slot: int, update: Update
+    ) -> int:
+        """Submit one replayed update; returns its logical-count weight.
+
+        A cross-shard update appears in both endpoint shards' WALs; it is
+        counted once, at ``u``'s owner.
+        """
+        target.submit(update)
+        if self.num_shards > 1 and engine._owner(update.u) == slot:
+            return 1
+        return 0
 
     def reseed(self, reason: str = "") -> None:
         """Discard local state, re-download the primary's checkpoint, rebuild.

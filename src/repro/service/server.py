@@ -19,7 +19,17 @@ POST      ``/v1/tenants/{t}/updates``           Enqueue edge updates
 POST      ``/v1/tenants/{t}/group-by``          Snapshot-consistent group-by
 GET       ``/v1/tenants/{t}/cluster/{v}``       Clusters of one vertex
 GET       ``/v1/tenants/{t}/stats``             View statistics + metrics
+GET       ``/metrics``                          Prometheus text exposition
+GET       ``/v1/debug/traces``                  Recent spans (``?trace_id=``)
+GET       ``/v1/debug/decisions``               Fleet decision-log events
+GET       ``/v1/debug/profile``                 Sampling profiler (collapsed
+                                                stacks; ``?seconds=N``)
 ========  ====================================  ============================
+
+Every request is traced: the server mints a ``trace_id`` (or adopts a
+client-supplied ``X-Repro-Trace`` header, which additionally samples the
+request's updates for end-to-end propagation) and echoes it back as an
+``X-Repro-Trace`` response header; see ``docs/OBSERVABILITY.md``.
 
 The five pre-v1 routes (``/updates``, ``/group-by``, ``/cluster/{v}``,
 ``/stats``, ``/healthz``) are still served for one release, mapped to the
@@ -75,6 +85,13 @@ from repro.service.manager import (
     TenantLimitError,
     UnknownTenantError,
 )
+from repro.service.obs import (
+    decision_events,
+    get_tracer,
+    new_trace_id,
+    render_metrics,
+    sample_stacks,
+)
 from repro.service.replication import (
     DEFAULT_FETCH_RECORDS,
     MAX_FETCH_RECORDS,
@@ -110,12 +127,29 @@ _STATUS_TEXT = {
 _AS_OF_QUERY_PARAMS = frozenset({"as_of"})
 _WAL_QUERY_PARAMS = frozenset({"from", "shard", "max", "ack"})
 _SNAPSHOT_QUERY_PARAMS = frozenset({"shard"})
+_DEBUG_TRACES_PARAMS = frozenset({"trace_id", "limit"})
+_DEBUG_DECISIONS_PARAMS = frozenset({"limit"})
+_DEBUG_PROFILE_PARAMS = frozenset({"seconds", "interval"})
+
+#: Accepted shape of a client-supplied ``X-Repro-Trace`` header value.
+#: Anything else is ignored (treated as absent) rather than echoed back.
+_TRACE_ID_CHARS = frozenset("0123456789abcdefABCDEF-_.")
+_TRACE_ID_MAX_LEN = 64
 
 #: Extra headers attached to a response (name → value).
 Headers = Dict[str, str]
 
+
+class RawBody:
+    """A non-JSON response body (the ``/metrics`` text exposition)."""
+
+    def __init__(self, payload: bytes, content_type: str) -> None:
+        self.payload = payload
+        self.content_type = content_type
+
+
 #: What a route handler produces.
-Response = Tuple[int, Dict[str, object], Headers]
+Response = Tuple[int, Union[Dict[str, object], RawBody], Headers]
 
 
 class BadRequest(ValueError):
@@ -272,6 +306,13 @@ class ClusteringServiceServer:
                 if request is None:
                     break
                 method, path, query, headers, body = request
+                supplied = _valid_trace_id(headers.get("x-repro-trace"))
+                # a client-supplied id marks the request *sampled*: its
+                # updates are tagged and traced end-to-end; server-minted
+                # ids still name the request span but stay off the ingest
+                # hot path (see repro.service.obs.SpanContext)
+                trace_id = supplied if supplied is not None else new_trace_id()
+                sampled = supplied is not None
                 if self._is_blocking_route(method, path, query):
                     # tenant lifecycle can block for seconds (standby
                     # seeding over HTTP, fence attempts against a dead
@@ -279,7 +320,14 @@ class ClusteringServiceServer:
                     # thread so every other tenant's requests keep flowing
                     status, document, extra_headers = (
                         await asyncio.get_running_loop().run_in_executor(
-                            None, self._dispatch, method, path, body, query
+                            None,
+                            self._dispatch,
+                            method,
+                            path,
+                            body,
+                            query,
+                            trace_id,
+                            sampled,
                         )
                     )
                 else:
@@ -287,12 +335,21 @@ class ClusteringServiceServer:
                     # just ruled this a non-blocking read; the executor hop
                     # would cost more than the dispatch itself
                     status, document, extra_headers = self._dispatch(
-                        method, path, body, query
+                        method, path, body, query, trace_id, sampled
                     )
-                payload = json.dumps(document).encode("utf-8")
+                if isinstance(document, RawBody):
+                    payload = document.payload
+                    content_type = document.content_type
+                else:
+                    payload = json.dumps(document).encode("utf-8")
+                    content_type = "application/json"
+                extra_headers = dict(extra_headers)
+                extra_headers.setdefault("X-Repro-Trace", trace_id)
                 keep_alive = headers.get("connection", "keep-alive") != "close"
                 writer.write(
-                    _response_bytes(status, payload, keep_alive, extra_headers)
+                    _response_bytes(
+                        status, payload, keep_alive, extra_headers, content_type
+                    )
                 )
                 await writer.drain()
                 if not keep_alive:
@@ -327,6 +384,10 @@ class ClusteringServiceServer:
         replays retained WAL from disk.
         """
         segments = [segment for segment in path.split("/") if segment]
+        if segments == ["metrics"] or segments == ["v1", "debug", "profile"]:
+            # /metrics walks every tenant's engines (locks, WAL horizons);
+            # the profiler deliberately blocks for the sampled window
+            return True
         if (
             segments[:2] == ["v1", "tenants"]
             and "as_of" in _parse_query(query)
@@ -350,9 +411,47 @@ class ClusteringServiceServer:
         )
 
     def _dispatch(
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        query: str = "",
+        trace_id: Optional[str] = None,
+        sampled: bool = False,
+    ) -> Response:
+        """Route one request under its ``http.request`` span.
+
+        The span is opened *here* — in whichever thread actually runs the
+        handler — because the active-span contextvar must be visible to
+        the handler code (``run_in_executor`` does not copy the caller's
+        context), and ``sampled`` governs whether submitted updates are
+        tagged for end-to-end tracing (see
+        :func:`repro.service.obs.tag_update`).
+        """
+        if trace_id is None:
+            trace_id = new_trace_id()
+        with get_tracer().span(
+            "http.request",
+            trace_id=trace_id,
+            sampled=sampled,
+            method=method,
+            path=path,
+        ):
+            return self._dispatch_routes(method, path, body, query)
+
+    def _dispatch_routes(
         self, method: str, path: str, body: bytes, query: str = ""
     ) -> Response:
         try:
+            if path == "/metrics":
+                if method != "GET":
+                    return self._method_not_allowed(method, path)
+                text = render_metrics(self.manager, version=repro.__version__)
+                raw = RawBody(
+                    text.encode("utf-8"),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+                return 200, raw, {}
             if path.startswith("/v1/"):
                 return self._dispatch_v1(method, path, body, query)
             return self._dispatch_legacy(method, path, body)
@@ -427,6 +526,8 @@ class ClusteringServiceServer:
             if method != "GET":
                 return self._method_not_allowed(method, path)
             return 200, self._healthz_v1(), {}
+        if segments[0] == "debug":
+            return self._dispatch_debug(method, segments[1:], query, path)
         if segments == ["tenants"]:
             if method == "GET":
                 return 200, {"tenants": self.manager.list_tenants()}, {}
@@ -544,6 +645,49 @@ class ClusteringServiceServer:
             error_envelope("method_not_allowed", f"method {method} not allowed for {path}"),
             {},
         )
+
+    # ------------------------------------------------------------------
+    # debug routes (observability surface; see docs/OBSERVABILITY.md)
+    # ------------------------------------------------------------------
+    def _dispatch_debug(
+        self, method: str, rest: List[str], query: str, path: str
+    ) -> Response:
+        if rest == ["traces"]:
+            if method != "GET":
+                return self._method_not_allowed(method, path)
+            params = _checked_query(query, _DEBUG_TRACES_PARAMS, path)
+            trace_id = params.get("trace_id")
+            limit = _query_int(params, "limit", 1000)
+            if limit < 0:
+                raise BadRequest(f"limit must be >= 0, got {limit}")
+            tracer = get_tracer()
+            spans = tracer.spans(trace_id=trace_id, limit=limit)
+            document: Dict[str, object] = {
+                "spans": spans,
+                "count": len(spans),
+                "capacity": tracer.capacity,
+                "dropped": tracer.dropped,
+            }
+            if trace_id is not None:
+                document["trace_id"] = trace_id
+            return 200, document, {}
+        if rest == ["decisions"]:
+            if method != "GET":
+                return self._method_not_allowed(method, path)
+            params = _checked_query(query, _DEBUG_DECISIONS_PARAMS, path)
+            limit = _query_int(params, "limit", 256)
+            if limit < 0:
+                raise BadRequest(f"limit must be >= 0, got {limit}")
+            events = decision_events(limit=limit)
+            return 200, {"decisions": events, "count": len(events)}, {}
+        if rest == ["profile"]:
+            if method != "GET":
+                return self._method_not_allowed(method, path)
+            params = _checked_query(query, _DEBUG_PROFILE_PARAMS, path)
+            seconds = _query_float(params, "seconds", 1.0)
+            interval = _query_float(params, "interval", 0.01)
+            return 200, sample_stacks(seconds=seconds, interval=interval), {}
+        return 404, error_envelope("not_found", f"no route for {path}"), {}
 
     # ------------------------------------------------------------------
     # handlers
@@ -853,6 +997,13 @@ class ClusteringServiceServer:
             "epoch": served_epoch,
             "torn": chunk.torn,
         }
+        traces = target.trace_ids(start, len(chunk.records))
+        if traces:
+            # positions whose updates carry a trace id: the shipper
+            # re-attaches them so standby replay stays on the same trace
+            document["traces"] = {
+                str(position): trace_id for position, trace_id in traces.items()
+            }
         return 200, document, {}
 
     def _get_snapshot(
@@ -1012,12 +1163,13 @@ def _response_bytes(
     payload: bytes,
     keep_alive: bool,
     extra_headers: Optional[Headers] = None,
+    content_type: str = "application/json",
 ) -> bytes:
     reason = _STATUS_TEXT.get(status, "Unknown")
     connection = "keep-alive" if keep_alive else "close"
     lines = [
         f"HTTP/1.1 {status} {reason}",
-        "Content-Type: application/json",
+        f"Content-Type: {content_type}",
         f"Content-Length: {len(payload)}",
         f"Connection: {connection}",
     ]
@@ -1073,6 +1225,38 @@ def _query_int(query: Dict[str, str], name: str, default: int) -> int:
         return int(value)
     except ValueError:
         raise BadRequest(f"query parameter {name!r} must be an int, got {value!r}") from None
+
+
+def _query_float(query: Dict[str, str], name: str, default: float) -> float:
+    value = query.get(name)
+    if value is None:
+        return default
+    try:
+        parsed = float(value)
+    except ValueError:
+        raise BadRequest(
+            f"query parameter {name!r} must be a number, got {value!r}"
+        ) from None
+    if not math.isfinite(parsed):
+        raise BadRequest(f"query parameter {name!r} must be finite, got {value!r}")
+    return parsed
+
+
+def _valid_trace_id(raw: Optional[str]) -> Optional[str]:
+    """A well-formed ``X-Repro-Trace`` value, or None to mint one.
+
+    The id is echoed back as a response header and stored verbatim in
+    span records, so anything outside a short hex-ish token is ignored
+    rather than reflected.
+    """
+    if not raw:
+        return None
+    value = raw.strip()
+    if not value or len(value) > _TRACE_ID_MAX_LEN:
+        return None
+    if not all(char in _TRACE_ID_CHARS for char in value):
+        return None
+    return value
 
 
 def _now() -> float:

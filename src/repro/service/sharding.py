@@ -90,6 +90,13 @@ from repro.service.engine import (
     retry_hint_ms,
 )
 from repro.service.metrics import ServiceMetrics
+from repro.service.obs import (
+    attach_context,
+    get_tracer,
+    stamp_enqueue,
+    tag_update,
+    update_context,
+)
 from repro.service.views import ClusteringView, PersistentMap
 
 #: Sub-directory name of shard ``i`` under a sharded engine's data_dir.
@@ -515,6 +522,8 @@ class _ShardEngine(ClusteringEngine):
     report full rebuilds — or export maps that outgrow their buckets —
     fall back to a full export rebuild, mirroring the view discipline.
     """
+
+    _APPLY_SPAN_NAME = "shard.apply"
 
     def __init__(
         self,
@@ -983,6 +992,8 @@ class ShardedEngine:
             )
         self._raise_router_failure()
         update = canonicalise_update(update)
+        tag_update(update)
+        stamp_enqueue(update)
         try:
             self._queue.put(update, block=block, timeout=timeout)
         except queue.Full:
@@ -1087,24 +1098,22 @@ class ShardedEngine:
         targets = {self._owner(u), self._owner(v)}
         if len(targets) > 1:
             self.metrics.add("cross_shard_updates")
-        for index in targets:
-            # a momentarily full shard delays the router (and, through the
-            # router queue, the producers) instead of dropping one replica
-            # of a half-routed update — but the wait is sliced, so a shard
-            # whose *writer died* with a full queue surfaces as an
-            # EngineError instead of blocking the router, and with it
-            # close()/delete, forever.  The shard's queue is fed directly:
-            # the update is already canonicalised, and the client-facing
-            # submit path would count every timeout slice as a shed
-            # request in the "backpressure" metric, which this is not.
-            shard = self.shards[index]
-            while True:
-                shard._raise_writer_failure()
-                try:
-                    shard._queue.put(update, block=True, timeout=0.25)
-                    break
-                except queue.Full:
-                    continue  # still full; the writer probe above re-runs
+        context = update_context(update)
+        if context is not None:
+            # the routing hop gets its own span so per-shard applies nest
+            # under it; the update is re-tagged with the hop's context so
+            # the shard spans point at the router span as their parent
+            with get_tracer().span(
+                "router.route",
+                trace_id=context.trace_id,
+                parent_id=context.span_id,
+                shards=sorted(targets),
+                cross_shard=len(targets) > 1,
+            ) as span_context:
+                attach_context(update, span_context)
+                self._deliver(update, targets)
+        else:
+            self._deliver(update, targets)
         if update.kind is UpdateKind.INSERT:
             self._edges.add(edge)
             for endpoint in edge:
@@ -1119,6 +1128,29 @@ class ShardedEngine:
                 else:
                     self._degrees[endpoint] = remaining
         self.applied += 1
+
+    def _deliver(self, update: Update, targets: Iterable[int]) -> None:
+        """Feed one routed update to every endpoint shard (router thread).
+
+        A momentarily full shard delays the router (and, through the
+        router queue, the producers) instead of dropping one replica
+        of a half-routed update — but the wait is sliced, so a shard
+        whose *writer died* with a full queue surfaces as an
+        EngineError instead of blocking the router, and with it
+        close()/delete, forever.  The shard's queue is fed directly:
+        the update is already canonicalised, and the client-facing
+        submit path would count every timeout slice as a shed
+        request in the "backpressure" metric, which this is not.
+        """
+        for index in targets:
+            shard = self.shards[index]
+            while True:
+                shard._raise_writer_failure()
+                try:
+                    shard._queue.put(update, block=True, timeout=0.25)
+                    break
+                except queue.Full:
+                    continue  # still full; the writer probe above re-runs
 
     def _raise_router_failure(self) -> None:
         if self._failure is not None:

@@ -1,0 +1,16 @@
+"""REPRO701 fixture: tracer span() calls opened outside a ``with``."""
+
+
+def leaked(tracer):
+    context = tracer.span("leaked")  # assigned, never exited
+    return context
+
+
+def hand_managed(tracer):
+    span = tracer.span("manual")
+    span.__enter__()  # the generator is entered by hand
+    return span
+
+
+def stacked(stack, tracer):
+    return stack.enter_context(tracer.span("stacked"))  # hidden lifetime

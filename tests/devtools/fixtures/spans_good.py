@@ -1,0 +1,17 @@
+"""REPRO701 fixture: every span is a with-statement context expression."""
+
+
+def traced(tracer):
+    with tracer.span("outer") as outer:
+        with tracer.span("inner", parent_id=outer.span_id) as inner:
+            return inner
+
+
+def bare_name_span(span):
+    with span("router.route", shards=[0, 1]):
+        pass
+
+
+def not_a_span_call(wing):
+    # a plain attribute access named span is not a span() call
+    return wing.span

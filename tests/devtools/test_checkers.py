@@ -19,6 +19,7 @@ from repro.devtools import (
     ErrorEnvelopeChecker,
     GuardedFieldChecker,
     MonotonicDisciplineChecker,
+    SpanHygieneChecker,
     ThreadHygieneChecker,
     load_source,
 )
@@ -109,6 +110,16 @@ class TestThreadHygiene:
         assert run(ThreadHygieneChecker(), "threads_good.py") == []
 
 
+class TestSpanHygiene:
+    def test_bad_fixture_is_detected(self):
+        findings = run(SpanHygieneChecker(), "spans_bad.py")
+        assert codes(findings) == ["REPRO701"] * 3
+        assert all("with" in finding.message for finding in findings)
+
+    def test_good_fixture_is_clean(self):
+        assert run(SpanHygieneChecker(), "spans_good.py") == []
+
+
 class TestScoping:
     @pytest.mark.parametrize(
         "checker_class, in_scope, out_of_scope",
@@ -127,6 +138,11 @@ class TestScoping:
                 AsyncBlockingChecker,
                 "src/repro/service/server.py",
                 "src/repro/service/engine.py",
+            ),
+            (
+                SpanHygieneChecker,
+                "src/repro/service/sharding.py",
+                "src/repro/devtools/spans.py",
             ),
         ],
     )
@@ -149,5 +165,6 @@ class TestScoping:
             AsyncBlockingChecker,
             ErrorEnvelopeChecker,
             ThreadHygieneChecker,
+            SpanHygieneChecker,
         ):
             assert checker_class().applies_to(source)

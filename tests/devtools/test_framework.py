@@ -103,6 +103,7 @@ class TestSelection:
             "REPRO501": 2,
             "REPRO601": 2,
             "REPRO602": 1,
+            "REPRO701": 3,
         }
         assert len(report.suppressed) == 3
         assert report.files_checked == len(list(FIXTURES.glob("*.py")))
