@@ -25,6 +25,7 @@ import time
 from pathlib import Path
 from typing import Dict, List
 
+from repro.bench.report import host_fingerprint
 from repro.core.config import StrCluParams
 from repro.graph.generators import planted_partition_graph
 from repro.service.engine import ClusteringEngine, EngineConfig
@@ -93,9 +94,12 @@ def run_service_benchmark(
     applied = engine.applied
     document: Dict[str, object] = {
         "benchmark": "service_throughput",
+        "host": host_fingerprint(),
         "config": {
             "num_updates": len(stream),
             "batch_size": config.batch_size,
+            "flush_interval": config.flush_interval,
+            "queue_capacity": config.queue_capacity,
             "ingest_batch": 64,
             "readers": readers,
             "query_size": query_size,

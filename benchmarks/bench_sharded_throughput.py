@@ -31,6 +31,7 @@ import time
 from pathlib import Path
 from typing import Dict, List
 
+from repro.bench.report import host_fingerprint
 from repro.core.config import StrCluParams
 from repro.core.dynstrclu import DynStrClu
 from repro.graph.generators import planted_partition_graph
@@ -131,6 +132,7 @@ def run_sharding_benchmark(
     base = throughput["1"]
     document: Dict[str, object] = {
         "benchmark": "sharded_throughput",
+        "host": host_fingerprint(),
         "config": {
             "num_vertices": n,
             "stream_updates": len(stream),

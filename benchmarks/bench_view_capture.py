@@ -27,6 +27,7 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional
 
+from repro.bench.report import host_fingerprint
 from repro.core.config import StrCluParams
 from repro.core.dynstrclu import DynStrClu
 from repro.core.result import clusterings_equal
@@ -116,6 +117,7 @@ def run_view_capture_benchmark(
     full_mean = sum(full_s) / len(full_s)
     document: Dict[str, object] = {
         "benchmark": "view_capture",
+        "host": host_fingerprint(),
         "config": {
             "num_triangles": num_triangles,
             "num_vertices": algo.graph.num_vertices,

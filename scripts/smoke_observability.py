@@ -31,7 +31,7 @@ import tempfile
 import time
 
 from repro.cli import main as repro_main
-from repro.service import ServiceClient, ServiceError, parse_prometheus_text
+from repro.service import ServiceClient, parse_prometheus_text
 
 TENANT = "t"
 SHARDS = 4
@@ -45,17 +45,7 @@ def _free_port() -> int:
 
 
 def _wait_healthy(port: int, timeout: float = 15.0) -> None:
-    deadline = time.monotonic() + timeout
-    last: Exception | None = None
-    while time.monotonic() < deadline:
-        try:
-            with ServiceClient("127.0.0.1", port, timeout=2.0) as client:
-                client.healthz()
-                return
-        except (OSError, ServiceError) as exc:
-            last = exc
-            time.sleep(0.2)
-    raise RuntimeError(f"server on port {port} never became healthy: {last}")
+    ServiceClient.wait_until_healthy("127.0.0.1", port, timeout=timeout)
 
 
 def _fail(message: str) -> None:

@@ -29,7 +29,7 @@ import sys
 import time
 
 from repro.cli import main as repro_main
-from repro.service import ServiceClient, ServiceError
+from repro.service import ServiceClient
 
 UPDATES = 400
 FLAT, WIDE = "flat", "wide"
@@ -43,17 +43,7 @@ def _free_port() -> int:
 
 
 def _wait_healthy(port: int, timeout: float = 15.0) -> None:
-    deadline = time.monotonic() + timeout
-    last: Exception | None = None
-    while time.monotonic() < deadline:
-        try:
-            with ServiceClient("127.0.0.1", port, timeout=2.0) as client:
-                client.healthz()
-                return
-        except (OSError, ServiceError) as exc:
-            last = exc
-            time.sleep(0.2)
-    raise RuntimeError(f"server on port {port} never became healthy: {last}")
+    ServiceClient.wait_until_healthy("127.0.0.1", port, timeout=timeout)
 
 
 def _fail(message: str) -> None:

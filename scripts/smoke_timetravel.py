@@ -63,17 +63,10 @@ def _fail(message: str) -> None:
 
 
 def _wait_healthy(port: int, timeout: float = 20.0) -> None:
-    deadline = time.monotonic() + timeout
-    last: Exception | None = None
-    while time.monotonic() < deadline:
-        try:
-            with ServiceClient("127.0.0.1", port, timeout=2.0) as client:
-                client.healthz()
-                return
-        except (OSError, ServiceError) as exc:
-            last = exc
-            time.sleep(0.2)
-    _fail(f"server on port {port} never became healthy: {last}")
+    try:
+        ServiceClient.wait_until_healthy("127.0.0.1", port, timeout=timeout)
+    except RuntimeError as exc:
+        _fail(str(exc))
 
 
 def _serve(port: int, data_root: Path) -> subprocess.Popen:

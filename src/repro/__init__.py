@@ -34,7 +34,7 @@ from repro.persistence import (
 )
 from repro.streaming import SlidingWindowClustering, StreamProcessor
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 from repro.service import (  # noqa: E402  (needs __version__ for /healthz)
     BackgroundServer,

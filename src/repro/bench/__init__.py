@@ -1,0 +1,83 @@
+"""Declarative capacity benchmarking: spec matrix -> run -> report -> gate.
+
+The single way perf claims are made and enforced in this repository:
+
+* :mod:`repro.bench.spec` — the JSON/TOML matrix file format and its
+  expansion into validated :class:`BenchSpec` bundles;
+* :mod:`repro.bench.runner` — boots real servers per spec (replica
+  chains included), drives them with the open-loop load generator,
+  scrapes ``/metrics`` and runs the max-sustainable-rate search;
+* :mod:`repro.bench.report` — host fingerprint, percentile tables and
+  the consolidated ``BENCH_capacity.json`` document;
+* :mod:`repro.bench.gate` — ``benchmarks/floors.json`` floors/ceilings
+  with tolerance bands, evaluated against any ``BENCH_*.json`` report.
+
+CLI: ``repro bench --matrix benchmarks/capacity_matrix.json`` and
+``repro bench gate BENCH_*.json --floors benchmarks/floors.json``.
+"""
+
+from repro.bench.gate import (
+    FLOORS_SCHEMA_VERSION,
+    CheckResult,
+    FloorsError,
+    GateOutcome,
+    evaluate_report,
+    gate_reports,
+    load_floors,
+    resolve_metric,
+    validate_floors,
+)
+from repro.bench.report import (
+    SCHEMA_VERSION,
+    build_report,
+    host_fingerprint,
+    percentile_from_buckets,
+    render_summary,
+    summary_rows,
+)
+from repro.bench.runner import (
+    BenchRunError,
+    CapacityRunner,
+    ProbeResult,
+    RunnerOptions,
+    run_matrix,
+    search_max_sustainable,
+)
+from repro.bench.spec import (
+    BenchSpec,
+    ReplicaTopology,
+    SpecError,
+    expand_matrix,
+    load_matrix,
+    select_specs,
+)
+
+__all__ = [
+    "BenchRunError",
+    "BenchSpec",
+    "CapacityRunner",
+    "CheckResult",
+    "FLOORS_SCHEMA_VERSION",
+    "FloorsError",
+    "GateOutcome",
+    "ProbeResult",
+    "ReplicaTopology",
+    "RunnerOptions",
+    "SCHEMA_VERSION",
+    "SpecError",
+    "build_report",
+    "evaluate_report",
+    "expand_matrix",
+    "gate_reports",
+    "host_fingerprint",
+    "load_floors",
+    "load_matrix",
+    "percentile_from_buckets",
+    "render_summary",
+    "resolve_metric",
+    "run_matrix",
+    "search_max_sustainable",
+    "select_specs",
+    "summary_rows",
+    "validate_floors",
+]

@@ -1,0 +1,414 @@
+"""Benchmark regression gates: committed floors instead of YAML asserts.
+
+``benchmarks/floors.json`` is the single reviewed home of every perf
+floor/ceiling this repository enforces.  ``repro bench gate REPORT...
+--floors benchmarks/floors.json`` loads one or more ``BENCH_*.json``
+reports, matches each against the gate whose ``benchmark`` field it
+carries, evaluates every check, prints a verdict table and exits
+non-zero on any violation — the CI job shells out to exactly that, so a
+floor changes only when a human edits (and a reviewer approves) the
+floors file.
+
+Floors contract
+---------------
+::
+
+    {
+      "schema_version": 1,
+      "gates": [
+        {
+          "benchmark": "sharded_throughput",
+          "checks": [
+            {"metric": "speedup_4x", "min": 1.5,
+             "reason": "4-shard ingest scaling floor (PR 4)"},
+            {"metric": "config.verified_equivalence", "equals": true}
+          ]
+        }
+      ]
+    }
+
+A check names a dot-path ``metric`` into the report document (``*``
+fans out over every element of a list — each fanned-out value must pass)
+and exactly one bound form: ``min`` / ``max`` (numeric, optionally with
+``"exclusive": true`` for a strict inequality and ``"tolerance": t`` for
+a relative band of ``t * |bound|``) or ``equals`` (exact, type-strict
+for booleans).  A metric path that resolves to nothing is a *failure*,
+not a skip — a renamed report field must never silently disarm a gate.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: Bumped when the floors contract changes incompatibly.
+FLOORS_SCHEMA_VERSION = 1
+
+_CHECK_KEYS = ("metric", "min", "max", "equals", "exclusive", "tolerance", "reason")
+_GATE_KEYS = ("benchmark", "checks")
+
+
+class FloorsError(ValueError):
+    """A malformed floors file (schema violations, fail-fast)."""
+
+
+# ----------------------------------------------------------------------
+# floors loading + schema validation
+# ----------------------------------------------------------------------
+def validate_floors(document: object, source: str = "<floors>") -> List[str]:
+    """Every schema problem in the document (empty list == valid)."""
+    problems: List[str] = []
+    if not isinstance(document, Mapping):
+        return [f"{source}: floors document must be an object"]
+    unknown = sorted(set(document) - {"schema_version", "gates"})
+    if unknown:
+        problems.append(
+            f"{source}: unknown key(s) {', '.join(map(repr, unknown))}"
+        )
+    version = document.get("schema_version")
+    if not isinstance(version, int) or isinstance(version, bool):
+        problems.append(f"{source}: schema_version must be an integer")
+    elif version > FLOORS_SCHEMA_VERSION:
+        problems.append(
+            f"{source}: schema_version {version} is newer than the "
+            f"supported {FLOORS_SCHEMA_VERSION}"
+        )
+    gates = document.get("gates")
+    if not isinstance(gates, Sequence) or isinstance(gates, (str, bytes)):
+        problems.append(f"{source}: gates must be a list")
+        return problems
+    seen_benchmarks: Dict[str, int] = {}
+    for g_index, gate in enumerate(gates):
+        where = f"{source}: gates[{g_index}]"
+        if not isinstance(gate, Mapping):
+            problems.append(f"{where}: must be an object")
+            continue
+        unknown = sorted(set(gate) - set(_GATE_KEYS))
+        if unknown:
+            problems.append(
+                f"{where}: unknown key(s) {', '.join(map(repr, unknown))}"
+            )
+        benchmark = gate.get("benchmark")
+        if not isinstance(benchmark, str) or not benchmark:
+            problems.append(f"{where}: benchmark must be a non-empty string")
+        else:
+            if benchmark in seen_benchmarks:
+                problems.append(
+                    f"{where}: duplicate gate for benchmark {benchmark!r} "
+                    f"(first at gates[{seen_benchmarks[benchmark]}])"
+                )
+            seen_benchmarks.setdefault(benchmark, g_index)
+        checks = gate.get("checks")
+        if (
+            not isinstance(checks, Sequence)
+            or isinstance(checks, (str, bytes))
+            or not checks
+        ):
+            problems.append(f"{where}: checks must be a non-empty list")
+            continue
+        for c_index, check in enumerate(checks):
+            c_where = f"{where}.checks[{c_index}]"
+            if not isinstance(check, Mapping):
+                problems.append(f"{c_where}: must be an object")
+                continue
+            unknown = sorted(set(check) - set(_CHECK_KEYS))
+            if unknown:
+                problems.append(
+                    f"{c_where}: unknown key(s) {', '.join(map(repr, unknown))}"
+                )
+            metric = check.get("metric")
+            if not isinstance(metric, str) or not metric:
+                problems.append(f"{c_where}: metric must be a non-empty string")
+            bounds = [key for key in ("min", "max", "equals") if key in check]
+            if not bounds:
+                problems.append(
+                    f"{c_where}: needs at least one of min / max / equals"
+                )
+            if "equals" in check and ("min" in check or "max" in check):
+                problems.append(
+                    f"{c_where}: equals cannot be combined with min/max"
+                )
+            for bound in ("min", "max"):
+                value = check.get(bound)
+                if bound in check and (
+                    isinstance(value, bool) or not isinstance(value, (int, float))
+                ):
+                    problems.append(f"{c_where}: {bound} must be a number")
+            tolerance = check.get("tolerance", 0)
+            if isinstance(tolerance, bool) or not isinstance(
+                tolerance, (int, float)
+            ) or tolerance < 0:
+                problems.append(f"{c_where}: tolerance must be a number >= 0")
+            elif tolerance and "equals" in check:
+                problems.append(
+                    f"{c_where}: tolerance only applies to min/max bounds"
+                )
+            if not isinstance(check.get("exclusive", False), bool):
+                problems.append(f"{c_where}: exclusive must be a boolean")
+            elif check.get("exclusive") and "equals" in check:
+                problems.append(
+                    f"{c_where}: exclusive only applies to min/max bounds"
+                )
+    return problems
+
+
+def load_floors(path: "str | Path") -> Dict[str, object]:
+    """Read, parse and schema-validate a floors file (raises FloorsError)."""
+    path = Path(path)
+    try:
+        raw = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise FloorsError(f"cannot read floors file {path}: {exc}") from exc
+    try:
+        document = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise FloorsError(f"{path}: malformed JSON: {exc}") from exc
+    problems = validate_floors(document, source=str(path))
+    if problems:
+        raise FloorsError("; ".join(problems))
+    return document
+
+
+# ----------------------------------------------------------------------
+# metric resolution
+# ----------------------------------------------------------------------
+def resolve_metric(
+    document: object, path: str
+) -> List[Tuple[str, object]]:
+    """Resolve a dot-path into ``[(concrete_path, value), ...]``.
+
+    ``*`` fans out over every element of a list (the capacity report's
+    ``specs.*....`` form); a digit segment indexes a list; anything else
+    is a dict key.  Raises :class:`KeyError` naming the first segment
+    that fails to resolve.
+    """
+    results: List[Tuple[List[str], object]] = [([], document)]
+    for segment in path.split("."):
+        next_results: List[Tuple[List[str], object]] = []
+        for trail, value in results:
+            where = ".".join(trail) or "<root>"
+            if segment == "*":
+                if not isinstance(value, Sequence) or isinstance(
+                    value, (str, bytes)
+                ):
+                    raise KeyError(
+                        f"{where}: '*' needs a list, got {type(value).__name__}"
+                    )
+                if not value:
+                    raise KeyError(f"{where}: '*' over an empty list")
+                for index, item in enumerate(value):
+                    next_results.append((trail + [str(index)], item))
+            elif segment.isdigit() and isinstance(value, Sequence) and not isinstance(
+                value, (str, bytes)
+            ):
+                index = int(segment)
+                if index >= len(value):
+                    raise KeyError(
+                        f"{where}: index {index} out of range ({len(value)} items)"
+                    )
+                next_results.append((trail + [segment], value[index]))
+            elif isinstance(value, Mapping) and segment in value:
+                next_results.append((trail + [segment], value[segment]))
+            else:
+                raise KeyError(f"{where}: no key {segment!r}")
+        results = next_results
+    return [(".".join(trail), value) for trail, value in results]
+
+
+# ----------------------------------------------------------------------
+# evaluation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CheckResult:
+    """Verdict of one check against one resolved metric value."""
+
+    report: str
+    benchmark: str
+    metric: str
+    constraint: str
+    ok: bool
+    value: object = None
+    detail: str = ""
+    reason: str = ""
+
+    def row(self) -> Dict[str, object]:
+        return {
+            "report": self.report,
+            "metric": self.metric,
+            "value": self.value if self.value is not None else "-",
+            "constraint": self.constraint,
+            "status": "ok" if self.ok else "FAIL",
+            "detail": self.detail or self.reason,
+        }
+
+
+def _constraint_text(check: Mapping[str, object]) -> str:
+    parts: List[str] = []
+    strict = bool(check.get("exclusive", False))
+    tolerance = float(check.get("tolerance", 0) or 0)
+    if "min" in check:
+        op = ">" if strict else ">="
+        parts.append(f"{op} {check['min']}")
+    if "max" in check:
+        op = "<" if strict else "<="
+        parts.append(f"{op} {check['max']}")
+    if "equals" in check:
+        parts.append(f"== {json.dumps(check['equals'])}")
+    if tolerance:
+        parts.append(f"(±{tolerance:g} band)")
+    return " and ".join(parts)
+
+
+def _evaluate_value(
+    check: Mapping[str, object], value: object
+) -> Tuple[bool, str]:
+    """Apply one check's bounds to one concrete value."""
+    if "equals" in check:
+        expected = check["equals"]
+        if isinstance(expected, bool):
+            ok = isinstance(value, bool) and value == expected
+        elif isinstance(value, bool):
+            ok = False  # true is not a number for a numeric equals
+        else:
+            ok = value == expected
+        return ok, "" if ok else f"got {json.dumps(value, default=repr)}"
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return False, f"not a number: {json.dumps(value, default=repr)}"
+    strict = bool(check.get("exclusive", False))
+    tolerance = float(check.get("tolerance", 0) or 0)
+    if "min" in check:
+        floor = float(check["min"])  # type: ignore[arg-type]
+        effective = floor - abs(floor) * tolerance
+        if (value <= effective) if strict else (value < effective):
+            return False, (
+                f"{value} below floor {floor}"
+                + (f" (tolerance band {effective:g})" if tolerance else "")
+            )
+    if "max" in check:
+        ceiling = float(check["max"])  # type: ignore[arg-type]
+        effective = ceiling + abs(ceiling) * tolerance
+        if (value >= effective) if strict else (value > effective):
+            return False, (
+                f"{value} above ceiling {ceiling}"
+                + (f" (tolerance band {effective:g})" if tolerance else "")
+            )
+    return True, ""
+
+
+def evaluate_report(
+    report: Mapping[str, object],
+    floors: Mapping[str, object],
+    report_name: str = "<report>",
+) -> List[CheckResult]:
+    """All check verdicts for one report against the floors document.
+
+    A report whose ``benchmark`` has no gate yields no results (other
+    report kinds may ride in the same artifact); a report *missing* the
+    ``benchmark`` field is a failure — it cannot be matched to a gate.
+    """
+    benchmark = report.get("benchmark")
+    if not isinstance(benchmark, str) or not benchmark:
+        return [
+            CheckResult(
+                report=report_name,
+                benchmark="?",
+                metric="benchmark",
+                constraint="present",
+                ok=False,
+                detail="report has no 'benchmark' field; cannot match a gate",
+            )
+        ]
+    results: List[CheckResult] = []
+    for gate in floors.get("gates", []):  # type: ignore[union-attr]
+        if gate.get("benchmark") != benchmark:
+            continue
+        for check in gate.get("checks", []):
+            metric = str(check.get("metric"))
+            constraint = _constraint_text(check)
+            reason = str(check.get("reason", ""))
+            try:
+                resolved = resolve_metric(report, metric)
+            except KeyError as exc:
+                results.append(
+                    CheckResult(
+                        report=report_name,
+                        benchmark=benchmark,
+                        metric=metric,
+                        constraint=constraint,
+                        ok=False,
+                        detail=f"metric missing: {exc.args[0]}",
+                        reason=reason,
+                    )
+                )
+                continue
+            for concrete_path, value in resolved:
+                ok, detail = _evaluate_value(check, value)
+                results.append(
+                    CheckResult(
+                        report=report_name,
+                        benchmark=benchmark,
+                        metric=concrete_path,
+                        constraint=constraint,
+                        ok=ok,
+                        value=value,
+                        detail=detail,
+                        reason=reason,
+                    )
+                )
+    return results
+
+
+@dataclass
+class GateOutcome:
+    """Everything the CLI needs to print and exit."""
+
+    results: List[CheckResult] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)
+    unmatched: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors and all(result.ok for result in self.results)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "checks": [result.row() for result in self.results],
+            "failed": sum(1 for result in self.results if not result.ok),
+            "unmatched_reports": list(self.unmatched),
+            "errors": list(self.errors),
+        }
+
+
+def gate_reports(
+    report_paths: Sequence["str | Path"],
+    floors_path: "str | Path",
+    floors: Optional[Mapping[str, object]] = None,
+) -> GateOutcome:
+    """Evaluate every report file against the floors file."""
+    outcome = GateOutcome()
+    if floors is None:
+        try:
+            floors = load_floors(floors_path)
+        except FloorsError as exc:
+            outcome.errors.append(str(exc))
+            return outcome
+    for path in report_paths:
+        path = Path(path)
+        try:
+            report = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            outcome.errors.append(f"cannot read report {path}: {exc}")
+            continue
+        if not isinstance(report, Mapping):
+            outcome.errors.append(f"{path}: report must be a JSON object")
+            continue
+        results = evaluate_report(report, floors, report_name=path.name)
+        if not results:
+            outcome.unmatched.append(
+                f"{path.name} (benchmark {report.get('benchmark')!r} has no gate)"
+            )
+        outcome.results.extend(results)
+    return outcome

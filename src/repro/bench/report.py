@@ -1,0 +1,204 @@
+"""Capacity-report assembly: host fingerprint, percentile tables, schema.
+
+Every report produced by the bench harness (and, since this module
+landed, the standalone ``benchmarks/bench_*.py`` scripts too) embeds
+
+* ``host`` — cpu count, python version/implementation, platform — so a
+  number measured on a 2-vCPU CI runner is never mistaken for one from a
+  16-core workstation, and
+* the *effective knobs* (the spec echo) — so "74 updates/s" always comes
+  with the ``rho`` that dominated it.
+
+The consolidated document is ``BENCH_capacity.json``: one entry per
+executed spec with p50/p90/p99 ingest+query latency, achieved vs offered
+throughput, per-stage server-side timing scraped from ``/metrics``, and
+(when enabled) the max-sustainable-rate search transcript.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import time
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro import __version__
+from repro.service.metrics import LatencyHistogram
+
+#: Bumped when the report layout changes incompatibly; the gate refuses
+#: reports from the future so a stale checkout cannot mis-read them.
+SCHEMA_VERSION = 1
+
+BENCHMARK_NAME = "capacity_matrix"
+
+
+def host_fingerprint() -> Dict[str, object]:
+    """The comparability block embedded in every benchmark report."""
+    return {
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "repro_version": __version__,
+    }
+
+
+def histogram_summary_ms(histogram: LatencyHistogram) -> Dict[str, float]:
+    """p50/p90/p99 + mean of a client-side latency histogram, in ms."""
+    return {
+        "count": float(histogram.count),
+        "p50_ms": histogram.percentile(50) * 1e3,
+        "p90_ms": histogram.percentile(90) * 1e3,
+        "p99_ms": histogram.percentile(99) * 1e3,
+        "mean_ms": histogram.mean * 1e3,
+    }
+
+
+def percentile_from_buckets(
+    bounds: Sequence[float], cumulative: Sequence[float], p: float
+) -> float:
+    """Approximate percentile from Prometheus-style cumulative buckets.
+
+    ``bounds`` are the finite upper bounds (ascending) and ``cumulative``
+    the matching cumulative counts, with one trailing entry for ``+Inf``
+    allowed in either form.  Linear interpolation inside the winning
+    bucket, matching how Prometheus' ``histogram_quantile`` reads the same
+    data — close enough for a report table, exact at bucket edges.
+    """
+    if not cumulative:
+        return 0.0
+    total = cumulative[-1]
+    if total <= 0:
+        return 0.0
+    target = total * min(max(p, 0.0), 100.0) / 100.0
+    previous_bound = 0.0
+    previous_count = 0.0
+    for index, count in enumerate(cumulative):
+        if count >= target:
+            upper = (
+                bounds[index] if index < len(bounds) else previous_bound
+            )
+            width = upper - previous_bound
+            in_bucket = count - previous_count
+            if width <= 0 or in_bucket <= 0:
+                return upper
+            fraction = (target - previous_count) / in_bucket
+            return previous_bound + width * fraction
+        previous_count = count
+        if index < len(bounds):
+            previous_bound = bounds[index]
+    return previous_bound
+
+
+def stage_table_from_samples(
+    samples: Sequence[object], tenants: Sequence[str]
+) -> Dict[str, Dict[str, float]]:
+    """Fold scraped ``repro_ingest_stage_seconds`` samples per stage.
+
+    ``samples`` are :class:`repro.service.obs.Sample` records from
+    :func:`parse_prometheus_text`; only the benched ``tenants``' series
+    are folded (the default tenant's idle series would dilute the means).
+    Returns ``{stage: {count, mean_ms, p50_ms, p99_ms}}`` with the
+    percentiles interpolated from the merged cumulative buckets.
+    """
+    sums: Dict[str, float] = {}
+    counts: Dict[str, float] = {}
+    buckets: Dict[str, Dict[float, float]] = {}
+    wanted = set(tenants)
+    for sample in samples:
+        labels = getattr(sample, "labels", {})
+        if labels.get("tenant") not in wanted:
+            continue
+        stage = labels.get("stage")
+        if stage is None:
+            continue
+        name = getattr(sample, "name", "")
+        if name == "repro_ingest_stage_seconds_sum":
+            sums[stage] = sums.get(stage, 0.0) + sample.value
+        elif name == "repro_ingest_stage_seconds_count":
+            counts[stage] = counts.get(stage, 0.0) + sample.value
+        elif name == "repro_ingest_stage_seconds_bucket":
+            bound = labels.get("le", "+Inf")
+            upper = float("inf") if bound == "+Inf" else float(bound)
+            per_stage = buckets.setdefault(stage, {})
+            per_stage[upper] = per_stage.get(upper, 0.0) + sample.value
+    table: Dict[str, Dict[str, float]] = {}
+    for stage in sorted(counts):
+        count = counts.get(stage, 0.0)
+        entry: Dict[str, float] = {
+            "count": count,
+            "mean_ms": (sums.get(stage, 0.0) / count * 1e3) if count else 0.0,
+        }
+        per_stage = buckets.get(stage, {})
+        if per_stage:
+            bounds = sorted(b for b in per_stage if b != float("inf"))
+            cumulative = [per_stage[b] for b in bounds]
+            if float("inf") in per_stage:
+                cumulative.append(per_stage[float("inf")])
+            entry["p50_ms"] = percentile_from_buckets(bounds, cumulative, 50) * 1e3
+            entry["p99_ms"] = percentile_from_buckets(bounds, cumulative, 99) * 1e3
+        table[stage] = entry
+    return table
+
+
+def build_report(
+    spec_results: Sequence[Mapping[str, object]],
+    matrix_path: Optional[str] = None,
+) -> Dict[str, object]:
+    """Assemble the consolidated capacity document."""
+    return {
+        "benchmark": BENCHMARK_NAME,
+        "schema_version": SCHEMA_VERSION,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "matrix": matrix_path,
+        "host": host_fingerprint(),
+        "specs": list(spec_results),
+    }
+
+
+def summary_rows(report: Mapping[str, object]) -> List[Dict[str, object]]:
+    """Flatten a capacity report into printable per-spec rows."""
+    rows: List[Dict[str, object]] = []
+    for entry in report.get("specs", []):  # type: ignore[union-attr]
+        if "error" in entry:
+            rows.append({"spec": entry.get("name"), "error": entry["error"]})
+            continue
+        ingest = entry.get("ingest", {})
+        query = entry.get("query", {})
+        saturation = entry.get("saturation") or {}
+        rows.append(
+            {
+                "spec": entry.get("name"),
+                "offered_upd_s": round(
+                    float(ingest.get("offered_updates_per_second", 0.0)), 1
+                ),
+                "achieved_upd_s": round(
+                    float(ingest.get("achieved_updates_per_second", 0.0)), 1
+                ),
+                "ingest_p50_ms": round(float(ingest.get("p50_ms", 0.0)), 3),
+                "ingest_p99_ms": round(float(ingest.get("p99_ms", 0.0)), 3),
+                "query_p50_ms": round(float(query.get("p50_ms", 0.0)), 3),
+                "query_p99_ms": round(float(query.get("p99_ms", 0.0)), 3),
+                "max_sustainable_upd_s": (
+                    round(
+                        float(saturation["max_sustainable_updates_per_second"]), 1
+                    )
+                    if "max_sustainable_updates_per_second" in saturation
+                    else "-"
+                ),
+            }
+        )
+    return rows
+
+
+def render_summary(report: Mapping[str, object]) -> str:
+    """Human table for the CLI (lazy import keeps bench -> experiments thin)."""
+    from repro.experiments.reporting import format_table
+
+    host = report.get("host", {})
+    title = (
+        f"capacity matrix — {len(report.get('specs', []))} specs, "
+        f"{host.get('cpu_count')} cpus, python {host.get('python')}"
+    )
+    return format_table(summary_rows(report), title=title)

@@ -1,0 +1,333 @@
+"""Declarative capacity-bench specs: the matrix file and its expansion.
+
+A *matrix file* (JSON, or TOML on interpreters that ship :mod:`tomllib`)
+declares a set of benchmark specs without writing any code::
+
+    {
+      "defaults": {"dataset": "email", "updates": 600, "rho": 0.0},
+      "matrix":   {"shards": [1, 4], "rate": [0, 800]},
+      "specs":    [{"name": "chain", "replicas": {"chain_depth": 1}}]
+    }
+
+``defaults`` seeds every spec, ``matrix`` is expanded as a full cross
+product of its axes (here 2 x 2 = 4 specs), and ``specs`` appends
+explicit one-off entries.  Every produced spec is a :class:`BenchSpec` —
+a frozen, fully-validated bundle of knobs the runner can execute and the
+report can echo verbatim (the echo is what makes cross-run numbers
+comparable).
+
+Unknown keys are rejected *loudly*, naming the offender and the accepted
+set — the same contract the v1 HTTP surface applies to unknown query
+parameters.  A typo in a matrix file must fail at parse time, never
+mid-bench.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+try:  # python >= 3.11; on 3.10 TOML matrix files are rejected with a hint
+    import tomllib
+except ImportError:  # pragma: no cover - 3.10 fallback
+    tomllib = None  # type: ignore[assignment]
+
+#: Backends the service registry accepts (kept in sync lazily: the server
+#: re-validates at tenant creation, this is the fail-fast copy).
+KNOWN_BACKENDS = ("dynstrclu", "dynelm", "scan-exact", "pscan", "hscan")
+
+
+class SpecError(ValueError):
+    """A malformed matrix file or spec (the 400 of the bench surface)."""
+
+
+def _reject_unknown(
+    document: Mapping[str, object], accepted: Iterable[str], where: str
+) -> None:
+    accepted_set = set(accepted)
+    unknown = sorted(set(document) - accepted_set)
+    if unknown:
+        raise SpecError(
+            f"{where}: unknown key(s) {', '.join(map(repr, unknown))}; "
+            f"accepted: {', '.join(sorted(accepted_set))}"
+        )
+
+
+@dataclass(frozen=True)
+class ReplicaTopology:
+    """Replica shape hung off a spec's primary server.
+
+    ``fanout`` chains of ``chain_depth`` standbys each are attached below
+    the primary (``chain_depth=2, fanout=1`` is primary -> A -> B; depth 1
+    with fanout 2 is two direct standbys).  ``chain_depth == 0`` means no
+    replication at all.  With ``read_from_standbys`` the load generator
+    drives query traffic through the replica-set client (reads routed to
+    the least-lagged standby), exercising the read-load-balancing path.
+    """
+
+    chain_depth: int = 0
+    fanout: int = 1
+    read_from_standbys: bool = True
+
+    def __post_init__(self) -> None:
+        if self.chain_depth < 0:
+            raise SpecError("replicas.chain_depth must be >= 0")
+        if self.fanout < 1:
+            raise SpecError("replicas.fanout must be >= 1")
+
+    @property
+    def standby_count(self) -> int:
+        return self.chain_depth * self.fanout
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "chain_depth": self.chain_depth,
+            "fanout": self.fanout,
+            "read_from_standbys": self.read_from_standbys,
+        }
+
+    @classmethod
+    def from_document(cls, document: Mapping[str, object]) -> "ReplicaTopology":
+        _reject_unknown(
+            document,
+            ("chain_depth", "fanout", "read_from_standbys"),
+            "replicas",
+        )
+        return cls(
+            chain_depth=int(document.get("chain_depth", 0)),
+            fanout=int(document.get("fanout", 1)),
+            read_from_standbys=bool(document.get("read_from_standbys", True)),
+        )
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """One fully-resolved benchmark configuration.
+
+    Attributes mirror the knobs of the serving stack end to end: engine
+    shape (``backend`` x ``shards``), tenancy (``tenants`` driven
+    concurrently with disjoint vertex spaces), offered load (open-loop
+    ``rate`` in updates/second; 0 means "as fast as possible"), workload
+    shape (dataset, update count, batch/query mix, clustering params) and
+    replica topology.  ``saturation_search`` additionally runs the
+    bisection for the maximum sustainable rate under ``slo_p99_ms``.
+    """
+
+    name: str
+    backend: str = "dynstrclu"
+    shards: int = 1
+    tenants: int = 1
+    rate: float = 0.0  # offered updates/second; 0 = unthrottled
+    dataset: str = "email"
+    # Generated updates appended after the initial dataset edge insertions
+    # (paper recipe); the driven stream is ``len(dataset edges) + updates``.
+    updates: int = 600
+    ingest_batch: int = 16
+    query_ratio: float = 0.2
+    query_size: int = 16
+    epsilon: float = 0.3
+    mu: int = 2
+    rho: float = 0.0
+    seed: int = 0
+    durable: bool = False
+    queue_capacity: int = 8192
+    replicas: ReplicaTopology = field(default_factory=ReplicaTopology)
+    slo_p99_ms: float = 250.0
+    saturation_search: bool = False
+    saturation_rounds: int = 4
+    probe_seconds: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not self.name or any(ch.isspace() for ch in self.name):
+            raise SpecError("spec name must be non-empty and whitespace-free")
+        if self.backend not in KNOWN_BACKENDS:
+            raise SpecError(
+                f"spec {self.name!r}: unknown backend {self.backend!r}; "
+                f"accepted: {', '.join(KNOWN_BACKENDS)}"
+            )
+        if self.shards < 1:
+            raise SpecError(f"spec {self.name!r}: shards must be >= 1")
+        if self.tenants < 1:
+            raise SpecError(f"spec {self.name!r}: tenants must be >= 1")
+        if self.rate < 0:
+            raise SpecError(f"spec {self.name!r}: rate must be >= 0")
+        if self.updates < 1:
+            raise SpecError(f"spec {self.name!r}: updates must be >= 1")
+        if self.ingest_batch < 1:
+            raise SpecError(f"spec {self.name!r}: ingest_batch must be >= 1")
+        if not 0.0 <= self.query_ratio < 1.0:
+            raise SpecError(
+                f"spec {self.name!r}: query_ratio must be in [0, 1) — an "
+                "all-query spec would never drain its update stream"
+            )
+        if self.query_size < 1:
+            raise SpecError(f"spec {self.name!r}: query_size must be >= 1")
+        if self.queue_capacity < 1:
+            raise SpecError(f"spec {self.name!r}: queue_capacity must be >= 1")
+        if self.slo_p99_ms <= 0:
+            raise SpecError(f"spec {self.name!r}: slo_p99_ms must be > 0")
+        if self.saturation_rounds < 1:
+            raise SpecError(f"spec {self.name!r}: saturation_rounds must be >= 1")
+        if self.probe_seconds <= 0:
+            raise SpecError(f"spec {self.name!r}: probe_seconds must be > 0")
+        if self.replicas.chain_depth and not self.durable:
+            # replication ships the primary's WAL: force the durable path
+            # rather than failing deep inside tenant creation
+            object.__setattr__(self, "durable", True)
+
+    @property
+    def tenant_names(self) -> List[str]:
+        return [f"t{i}" for i in range(self.tenants)]
+
+    def as_dict(self) -> Dict[str, object]:
+        """The effective-knob echo embedded in every report."""
+        document = dataclasses.asdict(self)
+        document["replicas"] = self.replicas.as_dict()
+        return document
+
+
+#: Spec fields settable from a matrix file (everything except the name,
+#: which only explicit spec entries may carry).
+_SPEC_FIELDS: Tuple[str, ...] = tuple(
+    f.name for f in dataclasses.fields(BenchSpec) if f.name != "name"
+)
+
+
+def _build_spec(name: str, document: Mapping[str, object]) -> BenchSpec:
+    kwargs: Dict[str, object] = {}
+    for key, value in document.items():
+        if key == "replicas":
+            if not isinstance(value, Mapping):
+                raise SpecError(
+                    f"spec {name!r}: replicas must be an object, "
+                    f"got {type(value).__name__}"
+                )
+            kwargs[key] = ReplicaTopology.from_document(value)
+        else:
+            kwargs[key] = value
+    try:
+        return BenchSpec(name=name, **kwargs)  # type: ignore[arg-type]
+    except TypeError as exc:  # non-mapping garbage for a scalar field
+        raise SpecError(f"spec {name!r}: {exc}") from exc
+
+
+def _auto_name(document: Mapping[str, object], axes: Sequence[str]) -> str:
+    """A readable deterministic name from the expanded axis values."""
+    parts: List[str] = []
+    for axis in axes:
+        value = document[axis]
+        if axis == "replicas" and isinstance(value, Mapping):
+            depth = value.get("chain_depth", 0)
+            fanout = value.get("fanout", 1)
+            parts.append(f"chain{depth}x{fanout}")
+        elif axis == "rate":
+            parts.append("ratemax" if not value else f"rate{value:g}")
+        elif isinstance(value, bool):
+            parts.append(f"{axis}{'on' if value else 'off'}")
+        else:
+            parts.append(f"{axis}{value}")
+    return "-".join(parts) if parts else "spec"
+
+
+def expand_matrix(
+    document: Mapping[str, object], source: str = "<matrix>"
+) -> List[BenchSpec]:
+    """Expand a parsed matrix document into the full, validated spec list."""
+    if not isinstance(document, Mapping):
+        raise SpecError(f"{source}: matrix document must be an object")
+    _reject_unknown(document, ("defaults", "matrix", "specs"), source)
+    defaults = document.get("defaults", {})
+    if not isinstance(defaults, Mapping):
+        raise SpecError(f"{source}: defaults must be an object")
+    _reject_unknown(defaults, _SPEC_FIELDS, f"{source}: defaults")
+
+    specs: List[BenchSpec] = []
+    axes_document = document.get("matrix", {})
+    if not isinstance(axes_document, Mapping):
+        raise SpecError(f"{source}: matrix must be an object of axis lists")
+    _reject_unknown(axes_document, _SPEC_FIELDS, f"{source}: matrix")
+    if axes_document:
+        axes = sorted(axes_document)
+        for axis in axes:
+            values = axes_document[axis]
+            if not isinstance(values, Sequence) or isinstance(values, (str, bytes)):
+                raise SpecError(
+                    f"{source}: matrix axis {axis!r} must be a list of values"
+                )
+            if not values:
+                raise SpecError(f"{source}: matrix axis {axis!r} is empty")
+        for combo in itertools.product(*(axes_document[axis] for axis in axes)):
+            merged: Dict[str, object] = dict(defaults)
+            merged.update(dict(zip(axes, combo)))
+            specs.append(_build_spec(_auto_name(merged, axes), merged))
+
+    explicit = document.get("specs", [])
+    if not isinstance(explicit, Sequence) or isinstance(explicit, (str, bytes)):
+        raise SpecError(f"{source}: specs must be a list of objects")
+    for index, entry in enumerate(explicit):
+        if not isinstance(entry, Mapping):
+            raise SpecError(f"{source}: specs[{index}] must be an object")
+        _reject_unknown(
+            entry, _SPEC_FIELDS + ("name",), f"{source}: specs[{index}]"
+        )
+        merged = dict(defaults)
+        merged.update({k: v for k, v in entry.items() if k != "name"})
+        name = str(entry.get("name", f"spec{index}"))
+        specs.append(_build_spec(name, merged))
+
+    if not specs:
+        raise SpecError(f"{source}: no specs — provide 'matrix' axes or 'specs'")
+    seen: Dict[str, int] = {}
+    unique: List[BenchSpec] = []
+    for spec in specs:
+        count = seen.get(spec.name, 0)
+        seen[spec.name] = count + 1
+        if count:
+            spec = dataclasses.replace(spec, name=f"{spec.name}-{count + 1}")
+        unique.append(spec)
+    return unique
+
+
+def load_matrix(path: "str | Path") -> List[BenchSpec]:
+    """Read and expand a JSON (or TOML) matrix file."""
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        raise SpecError(f"cannot read matrix file {path}: {exc}") from exc
+    if path.suffix.lower() == ".toml":
+        if tomllib is None:
+            raise SpecError(
+                f"{path}: TOML matrix files need python >= 3.11 (tomllib); "
+                "use the JSON form on this interpreter"
+            )
+        try:
+            document = tomllib.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, tomllib.TOMLDecodeError) as exc:
+            raise SpecError(f"{path}: malformed TOML: {exc}") from exc
+    else:
+        try:
+            document = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise SpecError(f"{path}: malformed JSON: {exc}") from exc
+    return expand_matrix(document, source=str(path))
+
+
+def select_specs(
+    specs: Sequence[BenchSpec], only: Optional[Sequence[str]]
+) -> List[BenchSpec]:
+    """Filter the expanded list down to explicitly named specs."""
+    if not only:
+        return list(specs)
+    by_name = {spec.name: spec for spec in specs}
+    missing = [name for name in only if name not in by_name]
+    if missing:
+        raise SpecError(
+            f"unknown spec name(s) {', '.join(map(repr, missing))}; "
+            f"expanded matrix has: {', '.join(sorted(by_name))}"
+        )
+    return [by_name[name] for name in only]

@@ -45,6 +45,15 @@ Subcommands
     structured errors, thread hygiene, span hygiene) over the package
     source — or over explicit paths; exits non-zero on any unsuppressed
     finding.
+``bench``
+    Run a declarative capacity-bench matrix (``--matrix
+    benchmarks/capacity_matrix.json``): boot real servers per spec,
+    drive them with the open-loop load generator, emit the consolidated
+    ``BENCH_capacity.json`` with p50/p90/p99 ingest+query latency and
+    the max-sustainable-rate search.  ``repro bench gate BENCH_*.json
+    --floors benchmarks/floors.json`` validates any benchmark report
+    against the committed floors/ceilings and exits non-zero on a
+    regression — the CI perf gate.
 
 ``repro --version`` prints the library version.  Unknown subcommands exit
 with status 2 and a usage message (argparse's standard behaviour, locked in
@@ -404,6 +413,81 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="CODES",
         help="comma-separated check codes or names to run "
         "(e.g. REPRO301 or durable-write,monotonic)",
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="run a declarative capacity-bench matrix, or gate benchmark "
+        "reports against committed floors (see docs/BENCHMARKS.md)",
+    )
+    bench.add_argument(
+        "--matrix",
+        metavar="PATH",
+        help="JSON (or TOML) spec-matrix file to execute "
+        "(e.g. benchmarks/capacity_matrix.json)",
+    )
+    bench.add_argument(
+        "--output",
+        default="BENCH_capacity.json",
+        metavar="PATH",
+        help="where to write the consolidated report "
+        "(default: BENCH_capacity.json)",
+    )
+    bench.add_argument(
+        "--mode",
+        choices=("subprocess", "inprocess"),
+        default="subprocess",
+        help="server boot mode per spec: real 'repro serve' subprocesses "
+        "(default) or an in-process background server (test harness)",
+    )
+    bench.add_argument(
+        "--only",
+        action="append",
+        metavar="NAME",
+        help="run only this expanded spec (repeatable)",
+    )
+    bench.add_argument(
+        "--list",
+        dest="list_specs",
+        action="store_true",
+        help="print the expanded spec list and exit without running",
+    )
+    bench.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-spec progress lines on stderr",
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command")
+    bench_gate = bench_sub.add_parser(
+        "gate",
+        help="validate BENCH_*.json reports against the committed floors "
+        "file; exits non-zero on any regression",
+    )
+    bench_gate.add_argument(
+        "reports",
+        nargs="*",
+        metavar="REPORT",
+        help="benchmark report files (BENCH_*.json); matched to gates by "
+        "their 'benchmark' field",
+    )
+    bench_gate.add_argument(
+        "--floors",
+        required=True,
+        metavar="PATH",
+        help="the committed floors file (benchmarks/floors.json)",
+    )
+    bench_gate.add_argument(
+        "--check-floors",
+        action="store_true",
+        help="only schema-validate the floors file (no reports needed); "
+        "exit 2 when it is malformed — the fail-fast CI step",
+    )
+    bench_gate.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        dest="output_format",
+        help="output format (default: human)",
     )
     return parser
 
@@ -907,6 +991,91 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_bench_gate(args: argparse.Namespace) -> int:
+    from repro.bench import FloorsError, gate_reports, load_floors
+
+    try:
+        floors = load_floors(args.floors)
+    except FloorsError as exc:
+        print(f"repro bench gate: malformed floors file: {exc}", file=sys.stderr)
+        return 2
+    if args.check_floors and not args.reports:
+        print(f"floors file {args.floors} is schema-valid")
+        return 0
+    if not args.reports:
+        print(
+            "repro bench gate: at least one REPORT is required "
+            "(or --check-floors to only validate the floors file)",
+            file=sys.stderr,
+        )
+        return 2
+    outcome = gate_reports(args.reports, args.floors, floors=floors)
+    if args.output_format == "json":
+        print(json.dumps(outcome.as_dict(), indent=2))
+    else:
+        from repro.experiments import format_table
+
+        if outcome.results:
+            rows = [result.row() for result in outcome.results]
+            print(format_table(rows, title=f"bench gate — floors {args.floors}"))
+        for note in outcome.unmatched:
+            print(f"note: {note}", file=sys.stderr)
+        for error in outcome.errors:
+            print(f"error: {error}", file=sys.stderr)
+        failed = sum(1 for result in outcome.results if not result.ok)
+        verdict = "OK" if outcome.ok else f"FAIL ({failed} check(s) violated)"
+        print(f"bench gate: {verdict}")
+    return 0 if outcome.ok else 1
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    if getattr(args, "bench_command", None) == "gate":
+        return _cmd_bench_gate(args)
+
+    from repro.bench import (
+        RunnerOptions,
+        SpecError,
+        load_matrix,
+        render_summary,
+        run_matrix,
+        select_specs,
+    )
+
+    if not args.matrix:
+        print(
+            "repro bench: --matrix PATH is required "
+            "(or use the 'gate' subcommand)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        specs = select_specs(load_matrix(args.matrix), args.only)
+    except SpecError as exc:
+        print(f"repro bench: {exc}", file=sys.stderr)
+        return 2
+    if args.list_specs:
+        for spec in specs:
+            print(spec.name)
+        return 0
+    options = RunnerOptions(mode=args.mode, verbose=not args.quiet)
+    report = run_matrix(specs, options=options, matrix_path=args.matrix)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+    print(render_summary(report))
+    print(f"report written to {args.output}", file=sys.stderr)
+    errors = [
+        entry for entry in report["specs"] if "error" in entry  # type: ignore[index]
+    ]
+    if errors:
+        for entry in errors:
+            print(
+                f"repro bench: spec {entry['name']!r} failed: {entry['error']}",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = _build_parser()
@@ -931,6 +1100,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_trace(args)
     if args.command == "check":
         return _cmd_check(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

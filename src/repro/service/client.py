@@ -219,6 +219,36 @@ class ServiceClient:
         self._primary_endpoint: Optional[str] = None  # guarded-by: _topology_lock
         self._topology_at: Optional[float] = None  # guarded-by: _topology_lock
 
+    @classmethod
+    def wait_until_healthy(
+        cls,
+        host: str,
+        port: int,
+        timeout: float = 15.0,
+        interval: float = 0.2,
+    ) -> None:
+        """Block until ``GET /v1/healthz`` answers on ``host:port``.
+
+        The shared boot-wait of every harness that spawns a real server
+        (the CI smokes, the capacity-bench runner).  Raises
+        :class:`RuntimeError` carrying the last failure when the server
+        never comes up within ``timeout`` seconds.
+        """
+        deadline = time.monotonic() + timeout
+        last: Optional[Exception] = None
+        while time.monotonic() < deadline:
+            try:
+                with cls(host, port, timeout=2.0) as probe:
+                    probe.healthz()
+                    return
+            except (OSError, ServiceError) as exc:
+                last = exc
+                time.sleep(interval)
+        raise RuntimeError(
+            f"server on {host}:{port} never became healthy "
+            f"within {timeout:.0f}s: {last}"
+        )
+
     def for_tenant(self, tenant: str) -> "ServiceClient":
         """A new client for another tenant on the same server(s)."""
         if self.endpoints is not None:

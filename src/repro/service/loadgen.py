@@ -113,6 +113,14 @@ class LoadGenConfig:
         different prefixes produce disjoint vertex spaces — the isolation
         probe of the multi-tenant smoke gate (and an exercise of the
         service's lossless string-ID path).
+    max_seconds:
+        When > 0 the run stops after this many (monotonic) seconds even if
+        updates remain — the fixed-duration probe mode of the capacity
+        bench's saturation search.  0 (the default) runs the whole stream.
+    loop:
+        When true the update stream wraps around instead of ending, so a
+        fixed-duration run at a high rate never starves; requires
+        ``max_seconds > 0`` (a looped unbounded run would never finish).
     """
 
     rate: float = 0.0
@@ -121,6 +129,8 @@ class LoadGenConfig:
     query_size: int = 32
     seed: int = 0
     vertex_prefix: str = ""
+    max_seconds: float = 0.0
+    loop: bool = False
 
     def __post_init__(self) -> None:
         if self.rate < 0:
@@ -133,6 +143,10 @@ class LoadGenConfig:
             raise ValueError("query_size must be >= 1")
         if any(ch.isspace() for ch in self.vertex_prefix):
             raise ValueError("vertex_prefix must be whitespace-free")
+        if self.max_seconds < 0:
+            raise ValueError("max_seconds must be >= 0")
+        if self.loop and not self.max_seconds:
+            raise ValueError("loop requires max_seconds > 0")
 
 
 @dataclass
@@ -228,7 +242,11 @@ class LoadGenerator:
         started = time.monotonic()
         cursor = 0
         tick = 0
-        while cursor < len(self.updates):
+        while config.loop or cursor < len(self.updates):
+            if config.max_seconds and time.monotonic() - started >= config.max_seconds:
+                break
+            if not self.updates:
+                break
             if interval:
                 scheduled = started + tick * interval
                 now = time.monotonic()
@@ -257,7 +275,15 @@ class LoadGenerator:
 
     # ------------------------------------------------------------------
     def _one_ingest(self, cursor: int, report: LoadReport) -> int:
-        batch = self.updates[cursor : cursor + self.config.ingest_batch]
+        if self.config.loop:
+            # wrap the stream: the cursor counts sent updates, the index
+            # into the stream is taken modulo its length
+            start = cursor % len(self.updates)
+            batch = self.updates[start : start + self.config.ingest_batch]
+            if len(batch) < self.config.ingest_batch:
+                batch = batch + self.updates[: self.config.ingest_batch - len(batch)]
+        else:
+            batch = self.updates[cursor : cursor + self.config.ingest_batch]
         start = time.perf_counter()
         accepted = self.target.submit_updates(batch)
         self.metrics.observe_batch(accepted, time.perf_counter() - start)

@@ -1,0 +1,156 @@
+"""Saturation-search unit tests and a tiny end-to-end matrix run.
+
+The e2e case boots real in-process servers (BackgroundServer over a real
+socket), drives them with the open-loop load generator, and checks the
+consolidated report both structurally and against the committed floors —
+the same path CI's capacity-bench job takes, scaled down.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.gate import evaluate_report, load_floors
+from repro.bench.report import host_fingerprint, percentile_from_buckets
+from repro.bench.runner import (
+    ProbeResult,
+    RunnerOptions,
+    run_matrix,
+    search_max_sustainable,
+)
+from repro.bench.spec import expand_matrix
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _probe_with_capacity(capacity: float):
+    """A fake probe that sustains any rate up to ``capacity``."""
+    calls = []
+
+    def probe(rate: float) -> ProbeResult:
+        calls.append(rate)
+        ok = rate <= capacity
+        return ProbeResult(
+            rate=rate,
+            offered=rate,
+            achieved=min(rate, capacity),
+            p99_ms=5.0 if ok else 900.0,
+            rejected=0 if ok else 50,
+            max_lag_s=0.0 if ok else 3.0,
+            ok=ok,
+            detail="" if ok else "p99 above SLO",
+        )
+
+    return probe, calls
+
+
+class TestSearchMaxSustainable:
+    def test_ceiling_sustainable_short_circuits(self):
+        probe, calls = _probe_with_capacity(1000.0)
+        best, saturated, probes = search_max_sustainable(probe, hi=800.0, rounds=5)
+        assert best == 800.0
+        assert saturated is False
+        assert calls == [800.0]
+        assert len(probes) == 1
+
+    def test_bisection_converges_to_capacity(self):
+        probe, _ = _probe_with_capacity(500.0)
+        best, saturated, probes = search_max_sustainable(probe, hi=1600.0, rounds=6)
+        assert saturated is True
+        # bisection over (0, 1600] with 5 refinement probes lands within
+        # 1600 / 2**5 = 50 updates/s of the true capacity, from below
+        assert 450.0 <= best <= 500.0
+        assert len(probes) == 6
+
+    def test_fully_saturated_returns_lo(self):
+        probe, _ = _probe_with_capacity(0.0)
+        best, saturated, _ = search_max_sustainable(probe, hi=100.0, rounds=3)
+        assert saturated is True
+        assert best == 0.0
+
+    def test_probe_log_preserved_in_order(self):
+        probe, calls = _probe_with_capacity(500.0)
+        _, _, probes = search_max_sustainable(probe, hi=1000.0, rounds=4)
+        assert [p.rate for p in probes] == calls
+
+
+class TestPercentileFromBuckets:
+    def test_interpolates_within_bucket(self):
+        bounds = [1.0, 2.0, 4.0]
+        cumulative = [0, 10, 10]  # all 10 observations in (1.0, 2.0]
+        p50 = percentile_from_buckets(bounds, cumulative, 50)
+        assert 1.0 < p50 <= 2.0
+
+    def test_empty_histogram(self):
+        assert percentile_from_buckets([1.0], [0], 99) == 0.0
+
+
+class TestHostFingerprint:
+    def test_required_fields(self):
+        host = host_fingerprint()
+        assert host["cpu_count"] >= 1
+        assert host["python"].count(".") == 2
+        assert host["repro_version"]
+
+
+class TestTinyMatrixEndToEnd:
+    @pytest.fixture(scope="class")
+    def report(self):
+        specs = expand_matrix(
+            {
+                "defaults": {
+                    "dataset": "email",
+                    "updates": 60,
+                    "ingest_batch": 8,
+                    "query_ratio": 0.2,
+                    "seed": 3,
+                },
+                "specs": [
+                    {"name": "one-shard", "shards": 1},
+                    {"name": "two-shards", "shards": 2},
+                ],
+            },
+            "inline",
+        )
+        return run_matrix(
+            specs, RunnerOptions(mode="inprocess", verbose=False), matrix_path="inline"
+        )
+
+    def test_report_shape(self, report):
+        assert report["benchmark"] == "capacity_matrix"
+        assert report["schema_version"] == 1
+        assert report["host"]["cpu_count"] >= 1
+        assert [e["name"] for e in report["specs"]] == ["one-shard", "two-shards"]
+
+    def test_every_spec_completed(self, report):
+        for entry in report["specs"]:
+            assert "error" not in entry, entry.get("error")
+            assert entry["ingest"]["updates_applied"] > 0
+            assert entry["ingest"]["achieved_updates_per_second"] > 0
+            assert entry["ingest"]["updates_rejected"] == 0
+
+    def test_percentiles_present_and_ordered(self, report):
+        for entry in report["specs"]:
+            ingest = entry["ingest"]
+            assert ingest["count"] > 0
+            assert 0 < ingest["p50_ms"] <= ingest["p90_ms"] <= ingest["p99_ms"]
+            query = entry["query"]
+            assert query["count"] > 0
+            assert 0 < query["p50_ms"] <= query["p99_ms"]
+
+    def test_stage_table_scraped_from_metrics(self, report):
+        for entry in report["specs"]:
+            stages = entry["stages"]
+            assert {"queue_wait", "backend_apply", "view_publish"} <= set(stages)
+            for table in stages.values():
+                assert table["count"] > 0
+                assert table["p99_ms"] >= table["p50_ms"] >= 0
+
+    def test_report_passes_committed_capacity_floors(self, report):
+        floors = load_floors(REPO_ROOT / "benchmarks" / "floors.json")
+        results = evaluate_report(report, floors, "BENCH_capacity.json")
+        assert results, "capacity_matrix gate must match the report"
+        failures = [r for r in results if not r.ok]
+        assert not failures, [r.row() for r in failures]

@@ -327,3 +327,90 @@ class TestWatchdogCli:
         status = main(["watchdog", "--targets", "not-a-url"])
         assert status == 2
         assert "repro watchdog:" in capsys.readouterr().err
+
+
+class TestBenchCli:
+    def _matrix(self, tmp_path):
+        import json
+
+        path = tmp_path / "matrix.json"
+        path.write_text(
+            json.dumps({"specs": [{"name": "a", "shards": 1}, {"name": "b"}]})
+        )
+        return path
+
+    def _floors(self, tmp_path, minimum=1.0):
+        import json
+
+        path = tmp_path / "floors.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "schema_version": 1,
+                    "gates": [
+                        {
+                            "benchmark": "demo",
+                            "checks": [{"metric": "x", "min": minimum}],
+                        }
+                    ],
+                }
+            )
+        )
+        return path
+
+    def test_list_prints_expanded_specs(self, tmp_path, capsys):
+        assert main(["bench", "--matrix", str(self._matrix(tmp_path)), "--list"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines() == ["a", "b"]
+
+    def test_matrix_is_required(self, capsys):
+        assert main(["bench"]) == 2
+        assert "--matrix" in capsys.readouterr().err
+
+    def test_malformed_matrix_exits_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        assert main(["bench", "--matrix", str(path), "--list"]) == 2
+        assert "repro bench:" in capsys.readouterr().err
+
+    def test_gate_passes_and_fails(self, tmp_path, capsys):
+        import json
+
+        floors = self._floors(tmp_path, minimum=1.0)
+        report = tmp_path / "BENCH_demo.json"
+        report.write_text(json.dumps({"benchmark": "demo", "x": 2.0}))
+        assert main(["bench", "gate", str(report), "--floors", str(floors)]) == 0
+        assert "bench gate: OK" in capsys.readouterr().out
+
+        report.write_text(json.dumps({"benchmark": "demo", "x": 0.5}))
+        assert main(["bench", "gate", str(report), "--floors", str(floors)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_gate_json_format(self, tmp_path, capsys):
+        import json
+
+        floors = self._floors(tmp_path)
+        report = tmp_path / "BENCH_demo.json"
+        report.write_text(json.dumps({"benchmark": "demo", "x": 2.0}))
+        status = main(
+            ["bench", "gate", str(report), "--floors", str(floors), "--format", "json"]
+        )
+        assert status == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["checks"][0]["metric"] == "x"
+
+    def test_gate_check_floors_only(self, tmp_path, capsys):
+        assert main(["bench", "gate", "--floors", str(self._floors(tmp_path)), "--check-floors"]) == 0
+        assert "schema-valid" in capsys.readouterr().out
+
+    def test_gate_rejects_malformed_floors(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "floors.json"
+        path.write_text(json.dumps({"schema_version": 1, "gates": [{}]}))
+        assert main(["bench", "gate", "--floors", str(path), "--check-floors"]) == 2
+        assert "repro bench gate:" in capsys.readouterr().err
+
+    def test_gate_requires_reports_without_check_floors(self, tmp_path, capsys):
+        assert main(["bench", "gate", "--floors", str(self._floors(tmp_path))]) == 2
